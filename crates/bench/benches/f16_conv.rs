@@ -1,0 +1,57 @@
+//! Conversion throughput of the software binary16 implementation — the
+//! cost RayStation pays once per matrix export (f64 master data down to
+//! 16-bit storage) and the kernels pay per element on the way up.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rt_f16::{Bf16, F16, Quantizer};
+
+const N: usize = 1 << 16;
+
+fn bench_conversions(c: &mut Criterion) {
+    let f64s: Vec<f64> = (0..N).map(|i| (i as f64 * 0.37).sin().abs() * 10.0).collect();
+    let f32s: Vec<f32> = f64s.iter().map(|&x| x as f32).collect();
+    let halves: Vec<F16> = f64s.iter().map(|&x| F16::from_f64(x)).collect();
+
+    let mut g = c.benchmark_group("f16_conversion");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("f32_to_f16", |b| {
+        b.iter(|| {
+            f32s.iter()
+                .map(|&x| F16::from_f32(x).to_bits() as u32)
+                .sum::<u32>()
+        })
+    });
+    g.bench_function("f64_to_f16_single_rounding", |b| {
+        b.iter(|| {
+            f64s.iter()
+                .map(|&x| F16::from_f64(x).to_bits() as u32)
+                .sum::<u32>()
+        })
+    });
+    g.bench_function("f16_to_f32", |b| {
+        b.iter(|| halves.iter().map(|&h| h.to_f32()).sum::<f32>())
+    });
+    g.bench_function("f16_to_f64", |b| {
+        b.iter(|| halves.iter().map(|&h| h.to_f64()).sum::<f64>())
+    });
+    g.bench_function("f32_to_bf16", |b| {
+        b.iter(|| {
+            f32s.iter()
+                .map(|&x| Bf16::from_f32(x).to_bits() as u32)
+                .sum::<u32>()
+        })
+    });
+    g.bench_function("f64_quantize_fixed16", |b| {
+        let q = Quantizer::for_max_value(10.0);
+        b.iter(|| f64s.iter().map(|&x| q.quantize(x).0 as u32).sum::<u32>())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_conversions
+}
+criterion_main!(benches);

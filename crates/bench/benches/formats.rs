@@ -1,0 +1,39 @@
+//! Format-conversion throughput: the one-time costs the paper's export
+//! pipeline pays (RayStation compressed -> CSR) plus the future-work
+//! format builds (SELL-C-sigma, ELLPACK).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rt_dose::cases::{prostate_case, ScaleConfig};
+use rt_f16::F16;
+use rt_sparse::{Csr, RsCompressed, SellCSigma};
+
+fn bench_formats(c: &mut Criterion) {
+    let case = prostate_case(ScaleConfig { shrink: 12.0 }).remove(0);
+    let csr: Csr<F16, u32> = case.matrix.convert_values();
+    let rs = RsCompressed::from_csr(&csr);
+
+    let mut g = c.benchmark_group("format_conversion");
+    g.throughput(Throughput::Elements(csr.nnz() as u64));
+
+    g.bench_function("csr_to_rs_compressed", |b| {
+        b.iter(|| RsCompressed::from_csr(&csr).nnz())
+    });
+    g.bench_function("rs_compressed_to_csr", |b| {
+        b.iter(|| rs.to_csr().unwrap().nnz())
+    });
+    g.bench_function("csr_transpose", |b| b.iter(|| csr.transpose().nnz()));
+    g.bench_function("csr_to_sell_32_1024", |b| {
+        b.iter(|| SellCSigma::from_csr(&csr, 32, 1024).nnz())
+    });
+    g.bench_function("csr_values_f64_to_f16", |b| {
+        b.iter(|| case.matrix.convert_values::<F16>().nnz())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_formats
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock Criterion benches of the *real* host implementations:
+//! the RayStation-style column-parallel engine (scratch arrays) and the
+//! row-parallel CSR SpMV, on generated dose matrices. These are actual
+//! measurements, unlike the figure binaries' modeled GPU times.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rt_core::{cpu_csr_spmv, RsCpu};
+use rt_dose::cases::{prostate_case, ScaleConfig};
+use rt_f16::F16;
+use rt_sparse::{Csr, RsCompressed};
+
+fn bench_cpu_spmv(c: &mut Criterion) {
+    let case = prostate_case(ScaleConfig { shrink: 8.0 }).remove(0);
+    let csr: Csr<F16, u32> = case.matrix.convert_values();
+    let rs = RsCompressed::from_csr(&csr);
+    let weights = vec![1.0f64; csr.ncols()];
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    let mut g = c.benchmark_group("cpu_spmv");
+    g.throughput(Throughput::Elements(csr.nnz() as u64));
+
+    g.bench_function(BenchmarkId::new("csr_row_parallel", csr.nnz()), |b| {
+        let mut y = vec![0.0; csr.nrows()];
+        b.iter(|| cpu_csr_spmv(&csr, &weights, &mut y, threads).unwrap());
+    });
+
+    g.bench_function(BenchmarkId::new("rs_scratch_arrays", rs.nnz()), |b| {
+        let engine = RsCpu::with_threads(threads);
+        let mut y = vec![0.0; rs.nrows()];
+        b.iter(|| engine.spmv(&rs, &weights, &mut y).unwrap());
+    });
+
+    g.bench_function(BenchmarkId::new("csr_sequential_ref", csr.nnz()), |b| {
+        let mut y = vec![0.0; csr.nrows()];
+        b.iter(|| csr.spmv_ref(&weights, &mut y).unwrap());
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cpu_spmv
+}
+criterion_main!(benches);

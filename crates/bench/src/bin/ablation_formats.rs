@@ -1,0 +1,12 @@
+//! Ablation: sparse-format storage footprints (§II-C / §VII).
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let mut out = String::new();
+    for case in [ctx.liver1(), ctx.prostate1()] {
+        let rows = ablations::formats(case);
+        out.push_str(&ablations::render_formats(case.name(), &rows));
+        out.push('\n');
+    }
+    rt_bench::emit("ablation_formats", &out);
+}

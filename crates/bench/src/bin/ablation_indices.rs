@@ -1,0 +1,7 @@
+//! Ablation: 16-bit vs 32-bit column indices (§V future work).
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let rows = ablations::index_width(&ctx);
+    rt_bench::emit("ablation_indices", &ablations::render_index_width(&rows));
+}

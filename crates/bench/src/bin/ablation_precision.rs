@@ -1,0 +1,12 @@
+//! Ablation: 16-bit value encodings (binary16 / bfloat16 / fixed16).
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let mut out = String::new();
+    for case in [ctx.liver1(), ctx.prostate1()] {
+        let rows = ablations::value_encoding(case);
+        out.push_str(&ablations::render_value_encoding(case.name(), &rows));
+        out.push('\n');
+    }
+    rt_bench::emit("ablation_precision", &out);
+}

@@ -1,0 +1,7 @@
+//! Ablation: the cost of bitwise reproducibility (§II-D).
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let rows = ablations::reproducibility(&ctx);
+    rt_bench::emit("ablation_repro", &ablations::render_reproducibility(&rows));
+}

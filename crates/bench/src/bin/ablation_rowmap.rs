@@ -1,0 +1,7 @@
+//! Ablation: warp-per-row vs thread-per-row (§III).
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let rows = ablations::row_mapping(&ctx);
+    rt_bench::emit("ablation_rowmap", &ablations::render_row_mapping(&rows));
+}

@@ -1,0 +1,8 @@
+//! Extension: the SELL-C-32 GPU kernel (§VII future work) vs the CSR
+//! vector kernel.
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    let rows = ablations::sell_vs_csr(&ctx);
+    rt_bench::emit("ablation_sell", &ablations::render_sell_vs_csr(&rows));
+}

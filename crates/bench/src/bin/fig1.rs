@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (the spot-scanning beam's-eye-view).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig1", &rt_repro::fig1::generate(&ctx).render());
+}

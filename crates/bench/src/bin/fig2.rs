@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (cumulative row-length histograms).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig2", &rt_repro::fig2::generate(&ctx).render());
+}

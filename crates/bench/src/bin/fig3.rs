@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (A100 roofline analysis).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig3", &rt_repro::fig3::generate(&ctx).render());
+}

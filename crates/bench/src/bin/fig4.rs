@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 (threads-per-block sweep on liver beam 1).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig4", &rt_repro::fig4::generate(&ctx).render());
+}

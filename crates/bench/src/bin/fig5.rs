@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (kernel performance on the A100 + CPU row).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig5", &rt_repro::fig5::generate(&ctx).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 (single-precision library comparison).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig6", &rt_repro::fig6::generate(&ctx).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 (Half/double across A100 / V100 / P100).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("fig7", &rt_repro::fig7::generate(&ctx).render());
+}

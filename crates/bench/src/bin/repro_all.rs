@@ -1,0 +1,47 @@
+//! Regenerates every table, figure and ablation in one run.
+use rt_repro::ablations;
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("table1", &rt_repro::table1::generate(&ctx).render());
+    rt_bench::emit("fig1", &rt_repro::fig1::generate(&ctx).render());
+    rt_bench::emit("fig2", &rt_repro::fig2::generate(&ctx).render());
+    rt_bench::emit("fig3", &rt_repro::fig3::generate(&ctx).render());
+    rt_bench::emit("fig4", &rt_repro::fig4::generate(&ctx).render());
+    rt_bench::emit("fig5", &rt_repro::fig5::generate(&ctx).render());
+    rt_bench::emit("fig6", &rt_repro::fig6::generate(&ctx).render());
+    rt_bench::emit("fig7", &rt_repro::fig7::generate(&ctx).render());
+    rt_bench::emit("speedups", &rt_repro::speedups::generate(&ctx).render());
+    rt_bench::emit(
+        "ablation_indices",
+        &ablations::render_index_width(&ablations::index_width(&ctx)),
+    );
+    let mut formats = String::new();
+    let mut precision = String::new();
+    for case in [ctx.liver1(), ctx.prostate1()] {
+        formats.push_str(&ablations::render_formats(case.name(), &ablations::formats(case)));
+        formats.push('\n');
+        precision.push_str(&ablations::render_value_encoding(
+            case.name(),
+            &ablations::value_encoding(case),
+        ));
+        precision.push('\n');
+    }
+    rt_bench::emit("ablation_formats", &formats);
+    rt_bench::emit("ablation_precision", &precision);
+    rt_bench::emit(
+        "traffic",
+        &rt_repro::traffic::render(&rt_repro::traffic::generate(&ctx)),
+    );
+    rt_bench::emit(
+        "ablation_sell",
+        &ablations::render_sell_vs_csr(&ablations::sell_vs_csr(&ctx)),
+    );
+    rt_bench::emit(
+        "ablation_rowmap",
+        &ablations::render_row_mapping(&ablations::row_mapping(&ctx)),
+    );
+    rt_bench::emit(
+        "ablation_repro",
+        &ablations::render_reproducibility(&ablations::reproducibility(&ctx)),
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates the headline speedup claims of §V / §VII.
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("speedups", &rt_repro::speedups::generate(&ctx).render());
+}

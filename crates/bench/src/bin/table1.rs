@@ -1,0 +1,5 @@
+//! Regenerates Table I (dose deposition matrix characteristics).
+fn main() {
+    let ctx = rt_bench::context();
+    rt_bench::emit("table1", &rt_repro::table1::generate(&ctx).render());
+}

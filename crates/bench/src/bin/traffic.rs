@@ -1,0 +1,7 @@
+//! Per-buffer DRAM traffic decomposition (the measurable version of the
+//! paper's §V traffic model).
+fn main() {
+    let ctx = rt_bench::context();
+    let cases = rt_repro::traffic::generate(&ctx);
+    rt_bench::emit("traffic", &rt_repro::traffic::render(&cases));
+}

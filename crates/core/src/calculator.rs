@@ -1,0 +1,233 @@
+//! High-level dose calculation API — what the treatment-plan optimizer
+//! calls every iteration.
+
+use crate::vector_csr::{vector_csr_spmv, GpuCsrMatrix};
+use crate::{profile_half_double, profile_single};
+use rt_f16::F16;
+use rt_gpusim::{DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, KernelStats, TimeEstimate};
+use rt_sparse::Csr;
+
+/// Result of one dose calculation.
+#[derive(Clone, Debug)]
+pub struct DoseResult {
+    /// Dose per voxel (Gray per unit weight), `nrows` long.
+    pub dose: Vec<f64>,
+    /// Simulator traffic counters of the launch.
+    pub stats: KernelStats,
+    /// Modeled execution time on the configured device.
+    pub estimate: TimeEstimate,
+}
+
+/// A dose calculator holding one beam's dose deposition matrix on the
+/// (simulated) GPU in the paper's production configuration: matrix in
+/// binary16, vectors in binary64, warp-per-row kernel, 512 threads per
+/// block. Optionally also holds the transpose for gradient computations.
+///
+/// Guarantee: [`DoseCalculator::compute_dose`] is bitwise reproducible —
+/// same weights, same matrix, same result, regardless of host thread
+/// scheduling (§II-D requirement).
+pub struct DoseCalculator {
+    gpu: Gpu,
+    matrix: GpuCsrMatrix<F16, u32>,
+    transpose: Option<GpuCsrMatrix<F16, u32>>,
+    y: DeviceOutBuffer<f64>,
+    profile: rt_gpusim::KernelProfile,
+    threads_per_block: u32,
+    /// Extrapolation factor applied to traffic/flop counters before
+    /// timing (1.0 = report at simulation scale).
+    scale: f64,
+    /// Extrapolation factor for warp/block counts (rows scale, since the
+    /// kernel is warp-per-row). Defaults to `scale`.
+    row_scale: Option<f64>,
+}
+
+impl DoseCalculator {
+    /// Uploads `matrix` (converted once to binary16) to a simulated
+    /// `device`. `matrix` is `voxels x spots`, full precision.
+    pub fn new(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
+        let gpu = Gpu::new(device);
+        let m16: Csr<F16, u32> = matrix.convert_values();
+        let gm = GpuCsrMatrix::upload(&gpu, &m16);
+        let y = gpu.alloc_out::<f64>(matrix.nrows());
+        DoseCalculator {
+            gpu,
+            matrix: gm,
+            transpose: None,
+            y,
+            profile: profile_half_double(),
+            threads_per_block: 512,
+            scale: 1.0,
+            row_scale: None,
+        }
+    }
+
+    /// Also uploads the transpose so [`DoseCalculator::compute_gradient_term`]
+    /// is available (costs a second copy of the matrix, as on real GPUs).
+    pub fn with_transpose(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
+        let mut c = DoseCalculator::new(device, matrix);
+        let t16: Csr<F16, u32> = matrix.transpose().convert_values();
+        c.transpose = Some(GpuCsrMatrix::upload(&c.gpu, &t16));
+        c
+    }
+
+    /// Sets the execution configuration (Figure 4 parameter).
+    pub fn with_threads_per_block(mut self, tpb: u32) -> Self {
+        self.threads_per_block = tpb;
+        self
+    }
+
+    /// Sets the counter extrapolation factor (see
+    /// `rt_dose::DoseCase::extrapolation`).
+    pub fn with_scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets a separate extrapolation factor for warp/block counts (the
+    /// kernel is warp-per-row, so this is the clinical-to-simulated
+    /// *row* ratio when traffic scales by the nnz ratio).
+    pub fn with_row_scale(mut self, row_scale: f64) -> Self {
+        self.row_scale = Some(row_scale);
+        self
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    #[inline]
+    pub fn device(&self) -> &DeviceSpec {
+        self.gpu.spec()
+    }
+
+    /// Computes `dose = A w` with the Half/double kernel.
+    pub fn compute_dose(&self, weights: &[f64]) -> DoseResult {
+        assert_eq!(weights.len(), self.ncols(), "one weight per spot");
+        let dx: DeviceBuffer<f64> = self.gpu.upload(weights);
+        let stats = vector_csr_spmv(&self.gpu, &self.matrix, &dx, &self.y, self.threads_per_block);
+        let mut scaled = stats.scale(self.scale);
+        let row_factor = self.row_scale.unwrap_or(self.scale);
+        scaled.warps = (stats.warps as f64 * row_factor).round() as u64;
+        scaled.blocks = ((stats.blocks as f64 * row_factor).round() as u64).max(1);
+        let estimate = rt_gpusim::timing::estimate(self.gpu.spec(), &self.profile, &scaled);
+        DoseResult { dose: self.y.to_vec(), stats, estimate }
+    }
+
+    /// Computes `g = A^T r` (the optimizer's gradient back-projection).
+    /// Requires construction via [`DoseCalculator::with_transpose`].
+    pub fn compute_gradient_term(&self, residual: &[f64]) -> Vec<f64> {
+        let t = self
+            .transpose
+            .as_ref()
+            .expect("build with with_transpose() to enable gradient computation");
+        assert_eq!(residual.len(), self.nrows(), "one residual per voxel");
+        let dr: DeviceBuffer<f64> = self.gpu.upload(residual);
+        let g = self.gpu.alloc_out::<f64>(self.ncols());
+        vector_csr_spmv(&self.gpu, t, &dr, &g, self.threads_per_block);
+        g.to_vec()
+    }
+
+    /// Switches the report profile to the Single configuration (used by
+    /// the library-comparison experiments; the arithmetic stays
+    /// Half/double — use the free kernels for real single-precision
+    /// runs).
+    pub fn profile_as_single(mut self) -> Self {
+        self.profile = profile_single();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(seed: u64, nrows: usize, ncols: usize) -> Csr<f64, u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+            .map(|_| {
+                let len = rng.gen_range(0..20);
+                let mut cols: Vec<usize> =
+                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter().map(|c| (c, rng.gen_range(0.0..0.1))).collect()
+            })
+            .collect();
+        Csr::from_rows(ncols, &rows).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_dose_calculation() {
+        let m = random_matrix(51, 600, 40);
+        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        let w = vec![1.0; 40];
+        let r = calc.compute_dose(&w);
+        assert_eq!(r.dose.len(), 600);
+        assert!(r.estimate.seconds > 0.0);
+        assert!(r.stats.flops > 0);
+
+        // Against the f16-rounded reference.
+        let m16: Csr<rt_f16::F16, u32> = m.convert_values();
+        let mut want = vec![0.0; 600];
+        m16.spmv_ref(&w, &mut want).unwrap();
+        for (g, wv) in r.dose.iter().zip(want.iter()) {
+            assert!((g - wv).abs() <= 1e-9 * (1.0 + wv.abs()));
+        }
+    }
+
+    #[test]
+    fn repeated_calls_are_bitwise_identical() {
+        let m = random_matrix(52, 400, 30);
+        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        let w: Vec<f64> = (0..30).map(|i| (i as f64 * 0.11).sin().abs()).collect();
+        let a = calc.compute_dose(&w).dose;
+        let b = calc.compute_dose(&w).dose;
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gradient_term_matches_transpose_reference() {
+        let m = random_matrix(53, 300, 25);
+        let calc = DoseCalculator::with_transpose(DeviceSpec::a100(), &m);
+        let r: Vec<f64> = (0..300).map(|i| (i % 3) as f64).collect();
+        let g = calc.compute_gradient_term(&r);
+
+        let m16: Csr<rt_f16::F16, u32> = m.convert_values();
+        let mut want = vec![0.0; 25];
+        m16.spmv_transpose_ref(&r, &mut want).unwrap();
+        for (a, b) in g.iter().zip(want.iter()) {
+            assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with_transpose")]
+    fn gradient_requires_transpose() {
+        let m = random_matrix(54, 50, 5);
+        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        let _ = calc.compute_gradient_term(&vec![0.0; 50]);
+    }
+
+    #[test]
+    fn scale_affects_estimate_not_dose() {
+        let m = random_matrix(55, 500, 40);
+        let w = vec![1.0; 40];
+        let small = DoseCalculator::new(DeviceSpec::a100(), &m).compute_dose(&w);
+        let big = DoseCalculator::new(DeviceSpec::a100(), &m)
+            .with_scale(100.0)
+            .compute_dose(&w);
+        assert_eq!(small.dose, big.dose);
+        assert!(big.estimate.seconds > small.estimate.seconds);
+    }
+}

@@ -1,0 +1,373 @@
+//! The warp-per-row "vector" CSR kernel with cooperative-groups reduction
+//! — the paper's Listing 1, in its mixed-precision generic form.
+//!
+//! One warp of 32 lanes processes each matrix row: lane `k` accumulates
+//! elements `start+k, start+32+k, ...` of the row (so consecutive lanes
+//! always read consecutive elements of the value and column-index arrays —
+//! the coalescing argument of §III), gathers the corresponding input
+//! vector entries, and a fixed-order shuffle-down tree (the cooperative
+//! groups `reduce`) folds the 32 partial sums. Because the per-lane
+//! accumulation order and the reduction tree are fixed, the result is
+//! **bitwise reproducible** — the RayStation requirement that rules out
+//! atomics (§II-D).
+
+use rt_f16::DoseScalar;
+use rt_gpusim::buffer::OutScalar;
+use rt_gpusim::{DeviceBuffer, DeviceOutBuffer, Gpu, Grid, KernelStats, WARP_SIZE};
+use rt_sparse::{ColIndex, Csr};
+
+/// Scalar type usable for the input/output vectors and the accumulator.
+pub trait VecScalar:
+    DoseScalar
+    + OutScalar
+    + core::ops::Add<Output = Self>
+    + core::ops::Mul<Output = Self>
+    + Default
+{
+}
+
+impl VecScalar for f64 {}
+impl VecScalar for f32 {}
+
+/// A CSR matrix resident in simulated device memory.
+pub struct GpuCsrMatrix<V, I = u32> {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: DeviceBuffer<u32>,
+    col_idx: DeviceBuffer<I>,
+    values: DeviceBuffer<V>,
+}
+
+impl<V: DoseScalar, I: ColIndex> GpuCsrMatrix<V, I> {
+    /// Uploads a host CSR matrix ("cudaMemcpy H2D").
+    pub fn upload(gpu: &Gpu, m: &Csr<V, I>) -> Self {
+        GpuCsrMatrix {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr: gpu.upload(m.row_ptr()),
+            col_idx: gpu.upload(m.col_idx()),
+            values: gpu.upload(m.values()),
+        }
+    }
+
+    /// Like [`GpuCsrMatrix::upload`], registering each array for
+    /// per-buffer traffic attribution as `row_ptr`, `col_idx`, `values`.
+    pub fn upload_named(gpu: &Gpu, m: &Csr<V, I>) -> Self {
+        GpuCsrMatrix {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            row_ptr: gpu.upload_named("row_ptr", m.row_ptr()),
+            col_idx: gpu.upload_named("col_idx", m.col_idx()),
+            values: gpu.upload_named("values", m.values()),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Device footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.row_ptr.size_bytes() + self.col_idx.size_bytes() + self.values.size_bytes()
+    }
+
+    #[inline]
+    pub fn row_ptr(&self) -> &DeviceBuffer<u32> {
+        &self.row_ptr
+    }
+
+    #[inline]
+    pub fn col_idx(&self) -> &DeviceBuffer<I> {
+        &self.col_idx
+    }
+
+    #[inline]
+    pub fn values(&self) -> &DeviceBuffer<V> {
+        &self.values
+    }
+}
+
+/// Launches the vector CSR kernel: `y = A x` with one warp per row.
+///
+/// `V` is the matrix storage scalar (`F16` for the paper's Half/double
+/// configuration, `f32` for Single), `X` the vector/accumulator scalar
+/// (`f64` / `f32` respectively). `threads_per_block` is the Figure 4
+/// sweep parameter (the paper settles on 512).
+pub fn vector_csr_spmv<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    m: &GpuCsrMatrix<V, I>,
+    x: &DeviceBuffer<X>,
+    y: &DeviceOutBuffer<X>,
+    threads_per_block: u32,
+) -> KernelStats {
+    assert_eq!(x.len(), m.ncols, "input vector length mismatch");
+    assert_eq!(y.len(), m.nrows, "output vector length mismatch");
+    let grid = Grid::warp_per_item(m.nrows, threads_per_block);
+    let nrows = m.nrows;
+
+    gpu.launch(grid, |w| {
+        let row = w.warp_id();
+        if row >= nrows {
+            return;
+        }
+        let start = w.load_scalar(&m.row_ptr, row) as usize;
+        let end = w.load_scalar(&m.row_ptr, row + 1) as usize;
+
+        let mut lanes = [X::default(); WARP_SIZE];
+        let mut idxs = [0usize; WARP_SIZE];
+        let mut xs = [X::default(); WARP_SIZE];
+
+        let mut j = start;
+        while j < end {
+            let n = (end - j).min(WARP_SIZE);
+            let cols = w.load_span(&m.col_idx, j..j + n);
+            let vals = w.load_span(&m.values, j..j + n);
+            for k in 0..n {
+                idxs[k] = cols[k].to_usize();
+            }
+            w.load_gather(x, &idxs[..n], &mut xs);
+            for k in 0..n {
+                lanes[k] = lanes[k] + X::from_f64(vals[k].to_f64()) * xs[k];
+            }
+            w.add_flops(2 * n as u64);
+            j += n;
+        }
+
+        let sum = w.reduce_sum(&mut lanes);
+        w.store_scalar(y, row, sum);
+    })
+}
+
+/// Host-side reference of the exact arithmetic the kernel performs —
+/// same lane partitioning, same reduction tree — used by the
+/// bitwise-reproducibility tests.
+#[allow(clippy::needless_range_loop)] // mirrors the kernel's lane loop
+pub fn vector_csr_reference<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    m: &Csr<V, I>,
+    x: &[X],
+) -> Vec<X> {
+    let mut y = vec![X::default(); m.nrows()];
+    for row in 0..m.nrows() {
+        let (cols, vals) = m.row(row);
+        let mut lanes = [X::default(); WARP_SIZE];
+        for (k, (c, v)) in cols.iter().zip(vals.iter()).enumerate() {
+            let lane = k % WARP_SIZE;
+            lanes[lane] = lanes[lane] + X::from_f64(v.to_f64()) * x[c.to_usize()];
+        }
+        let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            for i in 0..offset {
+                lanes[i] = lanes[i] + lanes[i + offset];
+            }
+            offset /= 2;
+        }
+        y[row] = lanes[0];
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rt_f16::F16;
+    use rt_gpusim::{DeviceSpec, ExecMode};
+
+    fn random_csr(nrows: usize, ncols: usize, avg_row: usize, seed: u64) -> Csr<f64, u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    return Vec::new(); // empty rows, like the real matrices
+                }
+                let len = rng.gen_range(1..=2 * avg_row);
+                let mut cols: Vec<usize> =
+                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        Csr::from_rows(ncols, &rows).unwrap()
+    }
+
+    #[test]
+    fn matches_reference_spmv_half_double() {
+        let m64 = random_csr(300, 64, 40, 1);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin() + 1.5).collect();
+
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f64>(300);
+        let stats = vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+
+        let mut want = vec![0.0; 300];
+        m.spmv_ref(&x, &mut want).unwrap();
+        let got = dy.to_vec();
+        for (g, w) in got.iter().zip(want.iter()) {
+            // Same values summed in different order: tolerance only.
+            assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()), "{g} vs {w}");
+        }
+        assert_eq!(stats.flops, 2 * m.nnz() as u64);
+    }
+
+    #[test]
+    fn bitwise_reproducible_across_runs_and_modes() {
+        let m64 = random_csr(200, 128, 60, 2);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..128).map(|i| 1.0 / (i + 1) as f64).collect();
+
+        let run = |mode| {
+            let gpu = Gpu::with_mode(DeviceSpec::a100(), mode);
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(200);
+            vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+            dy.to_vec()
+        };
+        let a = run(ExecMode::Parallel);
+        let b = run(ExecMode::Parallel);
+        let c = run(ExecMode::Sequential);
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b), "parallel runs must agree bitwise");
+        assert_eq!(bits(&a), bits(&c), "parallel vs sequential must agree bitwise");
+
+        // And they match the documented lane/tree arithmetic exactly.
+        let want = vector_csr_reference(&m, &x);
+        assert_eq!(bits(&a), bits(&want));
+    }
+
+    #[test]
+    fn single_precision_variant() {
+        let m64 = random_csr(150, 80, 30, 3);
+        let m32: Csr<f32, u32> = m64.convert_values();
+        let x: Vec<f32> = (0..80).map(|i| (i as f32 * 0.1).cos()).collect();
+
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m32);
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f32>(150);
+        vector_csr_spmv(&gpu, &gm, &dx, &dy, 256);
+
+        let want = vector_csr_reference(&m32, &x);
+        let got = dy.to_vec();
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn u16_indices_work() {
+        let m64 = random_csr(100, 50, 20, 4);
+        let m: Csr<F16, u16> = m64.convert_values().convert_indices().unwrap();
+        let x: Vec<f64> = vec![1.0; 50];
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f64>(100);
+        let stats16 = vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+
+        // Compare traffic against u32 indices: strictly less.
+        let m32: Csr<F16, u32> = m64.convert_values();
+        let gpu2 = Gpu::new(DeviceSpec::a100());
+        let gm32 = GpuCsrMatrix::upload(&gpu2, &m32);
+        let dx2 = gpu2.upload(&x);
+        let dy2 = gpu2.alloc_out::<f64>(100);
+        let stats32 = vector_csr_spmv(&gpu2, &gm32, &dx2, &dy2, 512);
+
+        assert!(stats16.dram_read_bytes < stats32.dram_read_bytes);
+        // Same numeric results.
+        assert_eq!(dy.to_vec(), dy2.to_vec());
+    }
+
+    #[test]
+    fn empty_rows_store_zero() {
+        let m: Csr<F16, u32> =
+            Csr::from_rows(4, &[vec![], vec![(0, 1.0)], vec![]])
+                .map(|m: Csr<f64, u32>| m.convert_values())
+                .unwrap();
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&[2.0f64; 4]);
+        let dy = gpu.alloc_out::<f64>(3);
+        // Pre-fill with garbage to prove the kernel writes every row.
+        dy.set(0, 99.0);
+        dy.set(2, 99.0);
+        vector_csr_spmv(&gpu, &gm, &dx, &dy, 128);
+        assert_eq!(dy.to_vec(), vec![0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn per_buffer_traffic_matches_paper_decomposition() {
+        // The §V model, component by component: 2B/nnz values, 4B/nnz
+        // indices, 4B/row pointers, 8B/row output write, 8B/col input.
+        let m64 = random_csr(3000, 400, 150, 6);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = vec![1.0; 400];
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+        let gm = GpuCsrMatrix::upload_named(&gpu, &m);
+        let dx = gpu.upload_named("x", &x);
+        let dy = gpu.alloc_out_named::<f64>("y", 3000);
+        vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+
+        let report = gpu.traffic_report();
+        let by = |name: &str| {
+            report.iter().find(|b| b.name == name).unwrap()
+        };
+        let nnz = m.nnz() as f64;
+        let nr = m.nrows() as f64;
+
+        // Values: 2 bytes per nnz, streamed from DRAM.
+        let value_bytes = by("values").dram_read_bytes() as f64;
+        assert!((value_bytes / (2.0 * nnz) - 1.0).abs() < 0.25, "values {value_bytes}");
+        // Indices: 4 bytes per nnz.
+        let idx_bytes = by("col_idx").dram_read_bytes() as f64;
+        assert!((idx_bytes / (4.0 * nnz) - 1.0).abs() < 0.25, "indices {idx_bytes}");
+        // Row pointers: ~4 bytes per row.
+        let ptr_bytes = by("row_ptr").dram_read_bytes() as f64;
+        assert!((ptr_bytes / (4.0 * nr) - 1.0).abs() < 0.5, "row_ptr {ptr_bytes}");
+        // Output: one store transaction per row (the DRAM-side cost is
+        // the write-back flush, counted globally: ~8 bytes per row after
+        // four row-stores merge per 32-byte sector).
+        let y_sectors = by("y").write_sectors as f64;
+        assert_eq!(y_sectors, nr, "y {y_sectors}");
+        // Input vector: read mostly from cache after first touch; its
+        // DRAM traffic is at most a few times its size.
+        let x_dram = by("x").dram_read_bytes() as f64;
+        assert!(x_dram <= 4.0 * 8.0 * 400.0, "x dram {x_dram}");
+    }
+
+    #[test]
+    fn dram_traffic_close_to_paper_model() {
+        // The paper's Half/double traffic model: 6*nnz + 12*nr + 8*nc
+        // (§V), assuming the input vector is L2-resident.
+        let m64 = random_csr(2000, 300, 200, 5);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = vec![1.0; 300];
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f64>(2000);
+        let stats = vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+
+        let model = (6 * m.nnz() + 12 * m.nrows() + 8 * m.ncols()) as u64;
+        let measured = stats.dram_total_bytes();
+        let ratio = measured as f64 / model as f64;
+        assert!(
+            (0.85..1.35).contains(&ratio),
+            "measured {measured} vs model {model} (ratio {ratio})"
+        );
+    }
+}

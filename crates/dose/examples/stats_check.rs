@@ -1,0 +1,16 @@
+use rt_dose::cases::{all_cases, ScaleConfig};
+use rt_sparse::stats::RowStats;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let cases = all_cases(ScaleConfig::default());
+    eprintln!("generation: {:?}", t0.elapsed());
+    for c in &cases {
+        let s = RowStats::from_csr(&c.matrix);
+        println!(
+            "{:<11} rows {:>8} cols {:>6} nnz {:>10} dens {:>6.2}% empty {:>5.1}% avg_nnz/ne {:>7.1} <32 {:>5.1}% max {:>6} extrap {:>7.1}",
+            c.name, s.nrows, s.ncols, s.nnz, s.density()*100.0, s.empty_fraction()*100.0,
+            s.avg_nnz_nonempty, s.frac_nonempty_below_warp*100.0, s.max_row_len, c.extrapolation()
+        );
+    }
+}

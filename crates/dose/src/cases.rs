@@ -1,0 +1,287 @@
+//! The liver and prostate test cases of Table I, at simulation scale.
+//!
+//! The paper's matrices come from clinical CT data at full clinical
+//! resolution (liver: 2.97e6 voxels x ~6.8e4 spots, 1.3–1.8e9 non-zeros
+//! per beam — 8–11 GB each). We reproduce them at a documented geometric
+//! scale: the dose grid is coarsened (fewer rows) and the spot grid
+//! widened (fewer columns) such that the *intensive* statistics that
+//! drive kernel behaviour are preserved —
+//!
+//! * the ~70% empty-row fraction,
+//! * the heavy-tailed row-length distribution and its liver-vs-prostate
+//!   contrast (long rows vs short rows),
+//! * density within the paper's 0.6–2% band (up to the documented scale
+//!   distortion),
+//! * the row >> column skew,
+//!
+//! while the *extensive* counters (nnz, rows) are extrapolated back to
+//! the Table I values via [`DoseCase::extrapolation`] when feeding the
+//! timing model (the simulated L2 is scaled by the same factor, see
+//! `rt_gpusim::DeviceSpec::scaled_l2`). EXPERIMENTS.md reports generated
+//! vs paper statistics for all six beams.
+
+use crate::beam::{Beam, BeamAxis, SpotGridConfig};
+use crate::grid::DoseGrid;
+use crate::matrix::{DoseMatrixBuilder, EngineKind};
+use crate::pencil::{McNoiseModel, PencilBeamEngine};
+use crate::phantom::{Ellipsoid, Material, Phantom};
+use rt_sparse::Csr;
+
+/// Reference row of the paper's Table I.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PaperRow {
+    pub rows: f64,
+    pub cols: f64,
+    pub nnz: f64,
+    pub nonzero_ratio_pct: f64,
+    pub size_gb: f64,
+}
+
+/// Table I, verbatim.
+pub const PAPER_TABLE1: [(&str, PaperRow); 6] = [
+    ("Liver 1", PaperRow { rows: 2.97e6, cols: 6.80e4, nnz: 1.48e9, nonzero_ratio_pct: 0.73, size_gb: 8.880 }),
+    ("Liver 2", PaperRow { rows: 2.97e6, cols: 6.77e4, nnz: 1.28e9, nonzero_ratio_pct: 0.64, size_gb: 7.672 }),
+    ("Liver 3", PaperRow { rows: 2.97e6, cols: 6.99e4, nnz: 1.39e9, nonzero_ratio_pct: 0.67, size_gb: 8.368 }),
+    ("Liver 4", PaperRow { rows: 2.97e6, cols: 6.32e4, nnz: 1.84e9, nonzero_ratio_pct: 0.98, size_gb: 11.04 }),
+    ("Prostate 1", PaperRow { rows: 1.03e6, cols: 5.09e3, nnz: 9.50e7, nonzero_ratio_pct: 1.81, size_gb: 0.5744 }),
+    ("Prostate 2", PaperRow { rows: 1.03e6, cols: 4.96e3, nnz: 9.51e7, nonzero_ratio_pct: 1.86, size_gb: 0.5747 }),
+];
+
+/// How much to shrink the generated cases relative to the default
+/// simulation scale (which is itself far below clinical scale).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleConfig {
+    /// Divides the voxel count (1.0 = default simulation scale, larger =
+    /// smaller/faster matrices for tests).
+    pub shrink: f64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig { shrink: 1.0 }
+    }
+}
+
+impl ScaleConfig {
+    /// A very small configuration for unit tests (sub-second generation).
+    pub fn tiny() -> Self {
+        ScaleConfig { shrink: 24.0 }
+    }
+
+    fn dim(&self, d: usize) -> usize {
+        ((d as f64 / self.shrink.cbrt()).round() as usize).max(8)
+    }
+
+    fn spacing(&self, s: f64) -> f64 {
+        s * self.shrink.cbrt()
+    }
+}
+
+/// A generated beam matrix plus its Table I reference.
+#[derive(Clone, Debug)]
+pub struct DoseCase {
+    pub name: String,
+    /// `voxels x spots` dose deposition matrix, full precision.
+    pub matrix: Csr<f64, u32>,
+    /// The dose grid the rows are flattened from.
+    pub grid: DoseGrid,
+    /// The corresponding Table I row.
+    pub paper: PaperRow,
+}
+
+impl DoseCase {
+    /// Factor by which to extrapolate extensive counters (traffic, flops,
+    /// warps) measured on this matrix up to the paper-scale problem:
+    /// ratio of clinical to generated non-zeros (traffic is
+    /// nnz-dominated; see the paper's own operational-intensity model).
+    pub fn extrapolation(&self) -> f64 {
+        self.paper.nnz / self.matrix.nnz() as f64
+    }
+
+    /// L2-scale factor to pair with [`DoseCase::extrapolation`]: the
+    /// simulated device's cache is shrunk by the same ratio so capacity
+    /// relations (matrix >> L2 > input vector) are preserved.
+    pub fn l2_scale(&self) -> f64 {
+        self.extrapolation().max(1.0)
+    }
+}
+
+/// Case descriptor used by the generators.
+#[derive(Clone, Debug)]
+pub struct CaseSpec {
+    pub name: &'static str,
+    pub grid: DoseGrid,
+    pub target: Ellipsoid,
+    pub organ: Material,
+    pub beams: Vec<BeamAxis>,
+    pub spot_cfg: SpotGridConfig,
+}
+
+fn build_case(spec: &CaseSpec, table_offset: usize, noise: Option<McNoiseModel>) -> Vec<DoseCase> {
+    let mut phantom = Phantom::uniform(spec.grid, Material::SoftTissue);
+    phantom.paint_ellipsoid(spec.target, spec.organ);
+    phantom.set_target(spec.target);
+
+    let engine = PencilBeamEngine { rel_threshold: 1e-3, noise };
+    let builder = DoseMatrixBuilder::new(EngineKind::Pencil(engine));
+
+    spec.beams
+        .iter()
+        .enumerate()
+        .map(|(i, &axis)| {
+            let beam = Beam::covering_target(&phantom, axis, spec.spot_cfg);
+            let matrix = builder.build(&phantom, &beam);
+            let (name, paper) = PAPER_TABLE1[table_offset + i];
+            DoseCase { name: name.to_string(), matrix, grid: spec.grid, paper }
+        })
+        .collect()
+}
+
+/// The liver case's spot-grid parameters at a given scale (exposed so
+/// experiments can rebuild the exact beam geometry, e.g. Figure 1).
+pub fn liver_spot_config(scale: ScaleConfig) -> SpotGridConfig {
+    SpotGridConfig {
+        lateral_spacing_mm: scale.spacing(2.8),
+        layer_spacing_mm: scale.spacing(4.0),
+        margin_mm: 6.0,
+        sigma0_mm: 5.0,
+    }
+}
+
+/// The liver case's phantom (with target contour) at a given scale.
+pub fn liver_phantom(scale: ScaleConfig) -> Phantom {
+    let grid = DoseGrid::new(scale.dim(56), scale.dim(40), scale.dim(40), 4.0 * scale.shrink.cbrt());
+    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let target = Ellipsoid {
+        center: (c.0 * 1.05, c.1 * 0.95, c.2),
+        radii: (
+            grid.nx as f64 * 0.15,
+            grid.ny as f64 * 0.21,
+            grid.nz as f64 * 0.21,
+        ),
+    };
+    let mut phantom = Phantom::uniform(grid, Material::SoftTissue);
+    phantom.paint_ellipsoid(target, Material::Liver);
+    phantom.set_target(target);
+    phantom
+}
+
+/// The liver case: four beams from different gantry angles (Table I rows
+/// "Liver 1"–"Liver 4").
+pub fn liver_case(scale: ScaleConfig) -> Vec<DoseCase> {
+    let grid = DoseGrid::new(scale.dim(56), scale.dim(40), scale.dim(40), 4.0 * scale.shrink.cbrt());
+    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let spec = CaseSpec {
+        name: "liver",
+        grid,
+        // A large liver lesion, slightly off-centre.
+        target: Ellipsoid {
+            center: (c.0 * 1.05, c.1 * 0.95, c.2),
+            radii: (
+                grid.nx as f64 * 0.15,
+                grid.ny as f64 * 0.21,
+                grid.nz as f64 * 0.21,
+            ),
+        },
+        organ: Material::Liver,
+        beams: vec![BeamAxis::XPlus, BeamAxis::YPlus, BeamAxis::XMinus, BeamAxis::YMinus],
+        spot_cfg: SpotGridConfig {
+            lateral_spacing_mm: scale.spacing(2.8),
+            layer_spacing_mm: scale.spacing(4.0),
+            margin_mm: 6.0,
+            sigma0_mm: 5.0,
+        },
+    };
+    build_case(&spec, 0, Some(McNoiseModel::default()))
+}
+
+/// The prostate case: two parallel-opposed lateral beams (Table I rows
+/// "Prostate 1"–"Prostate 2").
+pub fn prostate_case(scale: ScaleConfig) -> Vec<DoseCase> {
+    let grid = DoseGrid::new(scale.dim(40), scale.dim(29), scale.dim(29), 4.0 * scale.shrink.cbrt());
+    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let spec = CaseSpec {
+        name: "prostate",
+        grid,
+        // A small, central prostate target.
+        target: Ellipsoid {
+            center: c,
+            radii: (
+                grid.nx as f64 * 0.13,
+                grid.ny as f64 * 0.18,
+                grid.nz as f64 * 0.18,
+            ),
+        },
+        organ: Material::SoftTissue,
+        beams: vec![BeamAxis::XPlus, BeamAxis::XMinus],
+        spot_cfg: SpotGridConfig {
+            lateral_spacing_mm: scale.spacing(2.6),
+            layer_spacing_mm: scale.spacing(4.2),
+            margin_mm: 6.0,
+            sigma0_mm: 5.0,
+        },
+    };
+    build_case(&spec, 4, Some(McNoiseModel::default()))
+}
+
+/// All six Table I beams in order.
+pub fn all_cases(scale: ScaleConfig) -> Vec<DoseCase> {
+    let mut v = liver_case(scale);
+    v.extend(prostate_case(scale));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_sparse::stats::RowStats;
+
+    #[test]
+    fn tiny_cases_generate_quickly_with_correct_counts() {
+        let cases = all_cases(ScaleConfig::tiny());
+        assert_eq!(cases.len(), 6);
+        assert!(cases[0].name.starts_with("Liver"));
+        assert!(cases[4].name.starts_with("Prostate"));
+        for c in &cases {
+            assert!(c.matrix.nnz() > 0, "{} empty", c.name);
+            assert!(c.matrix.nrows() > c.matrix.ncols(), "{} not skewed", c.name);
+            assert!(c.extrapolation() > 1.0);
+        }
+    }
+
+    #[test]
+    fn structure_resembles_paper_at_tiny_scale() {
+        // Weak sanity bounds at tiny scale; the default scale is checked
+        // in integration tests / EXPERIMENTS.md.
+        for c in prostate_case(ScaleConfig::tiny()) {
+            let s = RowStats::from_csr(&c.matrix);
+            assert!(
+                (0.3..0.95).contains(&s.empty_fraction()),
+                "{}: empty fraction {}",
+                c.name,
+                s.empty_fraction()
+            );
+            assert!(s.avg_nnz_nonempty > 4.0);
+        }
+    }
+
+    #[test]
+    fn paper_table_is_internally_consistent() {
+        for (name, row) in PAPER_TABLE1 {
+            let ratio = row.nnz / (row.rows * row.cols) * 100.0;
+            assert!(
+                (ratio - row.nonzero_ratio_pct).abs() / row.nonzero_ratio_pct < 0.06,
+                "{name}: ratio {ratio} vs {}",
+                row.nonzero_ratio_pct
+            );
+            // size = 6 bytes per nnz (f16 value + u32 index).
+            let size = row.nnz * 6.0 / 1e9;
+            assert!(
+                (size - row.size_gb).abs() / row.size_gb < 0.05,
+                "{name}: size {size} vs {}",
+                row.size_gb
+            );
+        }
+    }
+}

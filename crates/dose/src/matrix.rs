@@ -1,0 +1,163 @@
+//! Assembles dose deposition matrices from per-spot dose columns.
+
+use crate::beam::Beam;
+use crate::mc::MonteCarloEngine;
+use crate::pencil::PencilBeamEngine;
+use crate::phantom::Phantom;
+use rt_sparse::Csr;
+
+/// Which dose engine computes the spot columns.
+#[derive(Clone, Debug)]
+pub enum EngineKind {
+    Pencil(PencilBeamEngine),
+    MonteCarlo(MonteCarloEngine),
+}
+
+impl EngineKind {
+    fn spot_column(
+        &self,
+        phantom: &Phantom,
+        beam: &Beam,
+        spot_index: usize,
+    ) -> Vec<(usize, f64)> {
+        let spot = &beam.spots[spot_index];
+        match self {
+            EngineKind::Pencil(e) => e.spot_column(phantom, beam, spot, spot_index),
+            EngineKind::MonteCarlo(e) => e.spot_column(phantom, beam, spot, spot_index),
+        }
+    }
+}
+
+/// Builds the `voxels x spots` dose deposition matrix for one beam.
+#[derive(Clone, Debug)]
+pub struct DoseMatrixBuilder {
+    pub engine: EngineKind,
+    /// Worker threads for spot-parallel generation (0 = all cores).
+    pub workers: usize,
+}
+
+impl DoseMatrixBuilder {
+    pub fn new(engine: EngineKind) -> Self {
+        DoseMatrixBuilder { engine, workers: 0 }
+    }
+
+    /// Computes every spot column (in parallel) and assembles the CSR
+    /// dose deposition matrix: one row per voxel, one column per spot.
+    /// Deterministic: spot columns are independent and merged in spot
+    /// order regardless of scheduling.
+    pub fn build(&self, phantom: &Phantom, beam: &Beam) -> Csr<f64, u32> {
+        let nspots = beam.spots.len();
+        let workers = if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.workers
+        }
+        .min(nspots.max(1));
+
+        let chunk = nspots.div_ceil(workers.max(1)).max(1);
+        let columns: Vec<Vec<(usize, f64)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let engine = &self.engine;
+                    s.spawn(move || {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(nspots);
+                        (lo..hi)
+                            .map(|i| engine.spot_column(phantom, beam, i))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("dose worker panicked"))
+                .collect()
+        });
+
+        // Assemble spot-major (each spot's entries are sorted by voxel),
+        // then transpose to the voxel-major dose deposition matrix.
+        let spot_major = Csr::<f64, u32>::from_rows(
+            phantom.grid().len(),
+            &columns
+                .into_iter()
+                .map(|col| col.into_iter().collect())
+                .collect::<Vec<_>>(),
+        )
+        .expect("spot columns are sorted and in-bounds");
+        spot_major.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::{BeamAxis, SpotGridConfig};
+    use crate::grid::DoseGrid;
+    use crate::phantom::{Ellipsoid, Material};
+
+    fn setup() -> (Phantom, Beam) {
+        let grid = DoseGrid::new(24, 16, 16, 3.0);
+        let mut p = Phantom::uniform(grid, Material::Water);
+        p.set_target(Ellipsoid { center: (12.0, 8.0, 8.0), radii: (4.0, 4.0, 4.0) });
+        let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
+        (p, b)
+    }
+
+    #[test]
+    fn matrix_has_one_column_per_spot() {
+        let (p, b) = setup();
+        let m = DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default()))
+            .build(&p, &b);
+        assert_eq!(m.ncols(), b.num_spots());
+        assert_eq!(m.nrows(), p.grid().len());
+        assert!(m.nnz() > 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let (p, b) = setup();
+        let eng = EngineKind::Pencil(PencilBeamEngine::default());
+        let m1 = DoseMatrixBuilder { engine: eng.clone(), workers: 1 }.build(&p, &b);
+        let m4 = DoseMatrixBuilder { engine: eng, workers: 4 }.build(&p, &b);
+        assert_eq!(m1, m4);
+    }
+
+    #[test]
+    fn matrix_is_sparse_and_skewed() {
+        let (p, b) = setup();
+        let m = DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default()))
+            .build(&p, &b);
+        assert!(m.density() < 0.25, "density {}", m.density());
+        assert!(m.nrows() > m.ncols(), "{} rows x {} cols", m.nrows(), m.ncols());
+    }
+
+    #[test]
+    fn columns_match_engine_output() {
+        let (p, b) = setup();
+        let engine = PencilBeamEngine::default();
+        let m = DoseMatrixBuilder::new(EngineKind::Pencil(engine.clone())).build(&p, &b);
+        let t = m.transpose();
+        for spot_idx in [0usize, b.num_spots() / 2, b.num_spots() - 1] {
+            let want = engine.spot_column(&p, &b, &b.spots[spot_idx], spot_idx);
+            let (rows, vals) = t.row(spot_idx);
+            let got: Vec<(usize, f64)> = rows
+                .iter()
+                .zip(vals.iter())
+                .map(|(&r, &v)| (r as usize, v))
+                .collect();
+            assert_eq!(got, want, "spot {spot_idx}");
+        }
+    }
+
+    #[test]
+    fn mc_engine_builds_too() {
+        let (p, b) = setup();
+        let m = DoseMatrixBuilder::new(EngineKind::MonteCarlo(MonteCarloEngine {
+            protons_per_spot: 50,
+            ..Default::default()
+        }))
+        .build(&p, &b);
+        assert_eq!(m.ncols(), b.num_spots());
+        assert!(m.nnz() > 0);
+    }
+}

@@ -1,0 +1,376 @@
+//! Analytic pencil-beam dose engine.
+//!
+//! For each spot, marches through the phantom along the beam axis
+//! accumulating water-equivalent depth, evaluates the straggling-smeared
+//! Bragg curve on the central axis and spreads it laterally with the
+//! depth-dependent Gaussian. This is the fast engine used to generate the
+//! large Table I matrices; [`McNoiseModel`] optionally perturbs the
+//! result to mimic the Monte Carlo noise the paper describes (which
+//! "can lead to an artificial increase of the non-zero values in the
+//! dose deposition matrix", §II-A).
+
+use crate::beam::{Beam, BeamAxis, Spot};
+use crate::phantom::Phantom;
+use crate::physics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Maps beam-relative coordinates (depth step, lateral u, lateral v) to
+/// grid coordinates for each axis. `u` is y for x-beams and x for
+/// y-beams; `v` is always z.
+pub(crate) struct AxisView {
+    pub axis: BeamAxis,
+    pub depth_len: usize,
+    pub u_len: usize,
+    pub v_len: usize,
+}
+
+impl AxisView {
+    pub fn new(axis: BeamAxis, grid: crate::grid::DoseGrid) -> Self {
+        let (depth_len, u_len) = match axis {
+            BeamAxis::XPlus | BeamAxis::XMinus => (grid.nx, grid.ny),
+            BeamAxis::YPlus | BeamAxis::YMinus => (grid.ny, grid.nx),
+        };
+        AxisView { axis, depth_len, u_len, v_len: grid.nz }
+    }
+
+    /// Grid coordinates of (depth step, u, v).
+    #[inline]
+    pub fn coords(&self, step: usize, u: usize, v: usize) -> (usize, usize, usize) {
+        match self.axis {
+            BeamAxis::XPlus => (step, u, v),
+            BeamAxis::XMinus => (self.depth_len - 1 - step, u, v),
+            BeamAxis::YPlus => (u, step, v),
+            BeamAxis::YMinus => (u, self.depth_len - 1 - step, v),
+        }
+    }
+}
+
+/// Monte Carlo noise model applied on top of the analytic engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct McNoiseModel {
+    /// Relative noise at the column's peak dose (noise scales like
+    /// `1/sqrt(dose)`, Poisson-style, so low-dose voxels are noisier).
+    pub rel_sigma_at_peak: f64,
+    /// Probability that a voxel adjacent to the dose envelope receives a
+    /// small stray dose — the nnz inflation the paper mentions.
+    pub halo_probability: f64,
+    /// Stray dose magnitude relative to the column peak.
+    pub halo_rel_dose: f64,
+    /// Base RNG seed (combined with the spot index for determinism).
+    pub seed: u64,
+}
+
+impl Default for McNoiseModel {
+    fn default() -> Self {
+        McNoiseModel {
+            rel_sigma_at_peak: 0.01,
+            halo_probability: 0.35,
+            halo_rel_dose: 2e-4,
+            seed: 0xD05E,
+        }
+    }
+}
+
+/// The analytic engine.
+#[derive(Clone, Debug)]
+pub struct PencilBeamEngine {
+    /// Entries below `rel_threshold * column_peak` are dropped.
+    pub rel_threshold: f64,
+    /// Optional MC-noise emulation.
+    pub noise: Option<McNoiseModel>,
+}
+
+impl Default for PencilBeamEngine {
+    fn default() -> Self {
+        PencilBeamEngine { rel_threshold: 1e-3, noise: None }
+    }
+}
+
+impl PencilBeamEngine {
+    pub fn with_noise(noise: McNoiseModel) -> Self {
+        PencilBeamEngine { rel_threshold: 1e-3, noise: Some(noise) }
+    }
+
+    /// Computes one spot's dose column: `(flattened voxel, dose)` pairs
+    /// sorted by voxel index. Deterministic (the noise RNG is seeded from
+    /// the spot index).
+    pub fn spot_column(
+        &self,
+        phantom: &Phantom,
+        beam: &Beam,
+        spot: &Spot,
+        spot_index: usize,
+    ) -> Vec<(usize, f64)> {
+        let grid = phantom.grid();
+        let vox = grid.voxel_mm;
+        let view = AxisView::new(beam.axis, grid);
+
+        let cu = spot.u_mm / vox - 0.5; // voxel-center coordinates
+        let cv = spot.v_mm / vox - 0.5;
+        let straggle = physics::range_straggling(spot.range_mm);
+
+        let mut entries: Vec<(usize, f64)> = Vec::new();
+        let mut peak = 0.0f64;
+        let mut weq = 0.0f64;
+
+        let cui = (cu.round() as isize).clamp(0, view.u_len as isize - 1) as usize;
+        let cvi = (cv.round() as isize).clamp(0, view.v_len as isize - 1) as usize;
+
+        for step in 0..view.depth_len {
+            // Water-equivalent depth at this voxel's center, using the
+            // density along the central axis.
+            let (x, y, z) = view.coords(step, cui, cvi);
+            let half = 0.5 * phantom.density_at(x, y, z) * vox;
+            let d_center = weq + half;
+            weq += 2.0 * half;
+
+            if d_center > spot.range_mm + 6.0 * straggle {
+                break; // past the distal falloff: nothing left to deposit
+            }
+
+            let axis_dose = physics::bragg_dose(d_center, spot.range_mm);
+            if axis_dose <= 0.0 {
+                continue;
+            }
+            let sigma_mm = physics::lateral_sigma(d_center, spot.range_mm, beam.sigma0_mm);
+            let sigma_vox = sigma_mm / vox;
+            let norm = axis_dose / (2.0 * core::f64::consts::PI * sigma_mm * sigma_mm);
+            let reach = (3.0 * sigma_vox).ceil() as isize;
+
+            let u_lo = ((cu - reach as f64).floor() as isize).max(0) as usize;
+            let u_hi = ((cu + reach as f64).ceil() as isize).min(view.u_len as isize - 1) as usize;
+            let v_lo = ((cv - reach as f64).floor() as isize).max(0) as usize;
+            let v_hi = ((cv + reach as f64).ceil() as isize).min(view.v_len as isize - 1) as usize;
+
+            let inv_2s2 = 1.0 / (2.0 * sigma_vox * sigma_vox);
+            for v in v_lo..=v_hi {
+                let dv = v as f64 - cv;
+                for u in u_lo..=u_hi {
+                    let du = u as f64 - cu;
+                    let r2 = du * du + dv * dv;
+                    let w = norm * (-r2 * inv_2s2).exp();
+                    if w > 0.0 {
+                        let (x, y, z) = view.coords(step, u, v);
+                        entries.push((grid.index(x, y, z), w));
+                        peak = peak.max(w);
+                    }
+                }
+            }
+        }
+
+        // Threshold relative to the column peak.
+        let cutoff = self.rel_threshold * peak;
+        entries.retain(|&(_, w)| w >= cutoff);
+
+        if let Some(noise) = self.noise {
+            self.apply_noise(&noise, &mut entries, peak, spot_index, grid);
+        }
+
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        entries.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        entries
+    }
+
+    fn apply_noise(
+        &self,
+        noise: &McNoiseModel,
+        entries: &mut Vec<(usize, f64)>,
+        peak: f64,
+        spot_index: usize,
+        grid: crate::grid::DoseGrid,
+    ) {
+        if peak <= 0.0 || entries.is_empty() {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(noise.seed ^ (spot_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+
+        // Poisson-style multiplicative perturbation.
+        for (_, w) in entries.iter_mut() {
+            let rel = noise.rel_sigma_at_peak * (peak / *w).sqrt();
+            // Box-Muller normal from two uniforms.
+            let u1: f64 = rng.gen_range(1e-12..1.0);
+            let u2: f64 = rng.gen_range(0.0..core::f64::consts::TAU);
+            let g = (-2.0 * u1.ln()).sqrt() * u2.cos();
+            *w = (*w * (1.0 + rel * g)).max(peak * 1e-9);
+        }
+
+        // Stray halo: voxels one step (+x) past each existing entry may
+        // pick up a tiny scattered dose, inflating nnz like real MC noise.
+        let mut halo = Vec::new();
+        for &(idx, _) in entries.iter() {
+            if rng.gen_bool(noise.halo_probability) {
+                let neighbor = idx + 1;
+                if neighbor < grid.len() {
+                    halo.push((neighbor, peak * noise.halo_rel_dose * rng.gen_range(0.2..1.0)));
+                }
+            }
+        }
+        entries.extend(halo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::SpotGridConfig;
+    use crate::grid::DoseGrid;
+    use crate::phantom::{Ellipsoid, Material};
+
+    fn setup() -> (Phantom, Beam) {
+        let grid = DoseGrid::new(40, 24, 24, 2.5);
+        let mut p = Phantom::uniform(grid, Material::Water);
+        p.set_target(Ellipsoid { center: (20.0, 12.0, 12.0), radii: (6.0, 5.0, 5.0) });
+        let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
+        (p, b)
+    }
+
+    #[test]
+    fn column_is_sorted_and_in_bounds() {
+        let (p, b) = setup();
+        let eng = PencilBeamEngine::default();
+        let col = eng.spot_column(&p, &b, &b.spots[0], 0);
+        assert!(!col.is_empty());
+        assert!(col.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(col.iter().all(|&(v, _)| v < p.grid().len()));
+        assert!(col.iter().all(|&(_, w)| w > 0.0));
+    }
+
+    #[test]
+    fn dose_peaks_near_spot_range() {
+        let (p, b) = setup();
+        let eng = PencilBeamEngine::default();
+        // Pick a mid-target spot.
+        let spot = b.spots[b.spots.len() / 2];
+        let col = eng.spot_column(&p, &b, &spot, 0);
+        let (peak_vox, _) = col
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let (x, _, _) = p.grid().coords(peak_vox);
+        let depth_mm = (x as f64 + 0.5) * p.grid().voxel_mm;
+        assert!(
+            (depth_mm - spot.range_mm).abs() < 10.0,
+            "peak at {depth_mm} mm for range {} mm",
+            spot.range_mm
+        );
+    }
+
+    #[test]
+    fn column_has_contiguous_runs_along_x() {
+        // The property RsCompressed exploits: many consecutive voxel
+        // indices.
+        let (p, b) = setup();
+        let eng = PencilBeamEngine::default();
+        let col = eng.spot_column(&p, &b, &b.spots[0], 0);
+        let runs = col
+            .windows(2)
+            .filter(|w| w[1].0 != w[0].0 + 1)
+            .count()
+            + 1;
+        let avg_run = col.len() as f64 / runs as f64;
+        assert!(avg_run > 2.0, "avg run {avg_run} from {} entries", col.len());
+    }
+
+    #[test]
+    fn threshold_controls_sparsity() {
+        let (p, b) = setup();
+        let loose = PencilBeamEngine { rel_threshold: 1e-4, noise: None };
+        let tight = PencilBeamEngine { rel_threshold: 1e-1, noise: None };
+        let spot = b.spots[0];
+        assert!(
+            loose.spot_column(&p, &b, &spot, 0).len()
+                > tight.spot_column(&p, &b, &spot, 0).len()
+        );
+    }
+
+    #[test]
+    fn noise_inflates_nnz_and_is_deterministic() {
+        let (p, b) = setup();
+        let clean = PencilBeamEngine::default();
+        let noisy = PencilBeamEngine::with_noise(McNoiseModel::default());
+        let spot = b.spots[0];
+        let c = clean.spot_column(&p, &b, &spot, 7);
+        let n1 = noisy.spot_column(&p, &b, &spot, 7);
+        let n2 = noisy.spot_column(&p, &b, &spot, 7);
+        assert!(n1.len() > c.len(), "noise should add entries: {} vs {}", n1.len(), c.len());
+        assert_eq!(n1, n2, "noise must be deterministic per spot");
+        // Different spot index -> different noise.
+        let n3 = noisy.spot_column(&p, &b, &spot, 8);
+        assert_ne!(n1, n3);
+    }
+
+    #[test]
+    fn denser_material_shortens_penetration() {
+        let grid = DoseGrid::new(60, 16, 16, 2.5);
+        let mut water = Phantom::uniform(grid, Material::Water);
+        water.set_target(Ellipsoid { center: (30.0, 8.0, 8.0), radii: (5.0, 4.0, 4.0) });
+        let mut bone = Phantom::uniform(grid, Material::Bone);
+        bone.set_target(Ellipsoid { center: (30.0, 8.0, 8.0), radii: (5.0, 4.0, 4.0) });
+        let beam = Beam::covering_target(&water, BeamAxis::XPlus, SpotGridConfig::default());
+        let spot = Spot { u_mm: 20.0, v_mm: 20.0, range_mm: 80.0 };
+        let eng = PencilBeamEngine::default();
+        let deepest = |phantom: &Phantom| {
+            eng.spot_column(phantom, &beam, &spot, 0)
+                .iter()
+                .map(|&(v, _)| grid.coords(v).0)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            deepest(&bone) < deepest(&water),
+            "bone {} vs water {}",
+            deepest(&bone),
+            deepest(&water)
+        );
+    }
+
+    #[test]
+    fn all_four_beam_axes_deposit_in_the_target() {
+        use crate::beam::BeamAxis::*;
+        let grid = DoseGrid::new(30, 30, 24, 3.0);
+        let mut p = Phantom::uniform(grid, Material::SoftTissue);
+        let target = Ellipsoid { center: (15.0, 15.0, 12.0), radii: (5.0, 5.0, 4.0) };
+        p.set_target(target);
+        let eng = PencilBeamEngine::default();
+        for axis in [XPlus, XMinus, YPlus, YMinus] {
+            let b = Beam::covering_target(&p, axis, SpotGridConfig::default());
+            assert!(b.num_spots() > 10, "{axis:?}: {} spots", b.num_spots());
+            // A mid-layer spot must deposit dose inside the target.
+            let spot = b.spots[b.spots.len() / 2];
+            let col = eng.spot_column(&p, &b, &spot, 0);
+            assert!(!col.is_empty(), "{axis:?}: empty column");
+            let hits_target = col.iter().any(|&(v, _)| {
+                let (x, y, z) = grid.coords(v);
+                target.contains(x as f64 + 0.5, y as f64 + 0.5, z as f64 + 0.5)
+            });
+            assert!(hits_target, "{axis:?}: no dose in target");
+        }
+    }
+
+    #[test]
+    fn opposite_beam_marches_backwards() {
+        let (p, _) = setup();
+        let cfg = SpotGridConfig::default();
+        let bplus = Beam::covering_target(&p, BeamAxis::XPlus, cfg);
+        let bminus = Beam::covering_target(&p, BeamAxis::XMinus, cfg);
+        let eng = PencilBeamEngine::default();
+        let shallow = Spot { u_mm: 30.0, v_mm: 30.0, range_mm: 25.0 };
+        let cp = eng.spot_column(&p, &bplus, &shallow, 0);
+        let cm = eng.spot_column(&p, &bminus, &shallow, 0);
+        let max_x_plus = cp.iter().map(|&(v, _)| p.grid().coords(v).0).max().unwrap();
+        let min_x_minus = cm.iter().map(|&(v, _)| p.grid().coords(v).0).min().unwrap();
+        // A shallow +x spot stays in the near half; a shallow -x spot in
+        // the far half.
+        assert!(max_x_plus < 20, "max x {max_x_plus}");
+        assert!(min_x_minus >= 20, "min x {min_x_minus}");
+    }
+}

@@ -1,0 +1,174 @@
+//! Proton dose physics: range-energy relation, Bragg curve, lateral
+//! spread.
+//!
+//! The models are the standard analytic approximations used by clinical
+//! pencil-beam dose engines:
+//!
+//! * **Range-energy**: Bragg–Kleeman rule `R = alpha * E^p` with the
+//!   water values `alpha = 0.022 mm/MeV^p`, `p = 1.77` (R in mm, E in
+//!   MeV) — a 150 MeV proton has a ~157 mm range.
+//! * **Depth dose**: Bortfeld-style pristine peak `D(d) ~ (R - d)^-0.435`
+//!   convolved with Gaussian range straggling `sigma_R ~ 0.012 * R^0.935`
+//!   (Gauss–Hermite quadrature), giving the entrance plateau, the sharp
+//!   Bragg peak and the steep distal falloff.
+//! * **Lateral spread**: Gaussian with `sigma(d) = sigma0 + k * d *
+//!   (d / R)` — multiple Coulomb scattering grows roughly quadratically
+//!   with depth relative to the residual range.
+
+/// Bragg–Kleeman coefficient, mm / MeV^p.
+pub const BK_ALPHA: f64 = 0.022;
+/// Bragg–Kleeman exponent.
+pub const BK_P: f64 = 1.77;
+/// Exponent of the pristine Bragg curve singularity.
+const BRAGG_EXP: f64 = -0.435;
+
+/// Water-equivalent range (mm) of a proton with energy `e_mev`.
+pub fn range_from_energy(e_mev: f64) -> f64 {
+    assert!(e_mev > 0.0, "energy must be positive");
+    BK_ALPHA * e_mev.powf(BK_P)
+}
+
+/// Inverse of [`range_from_energy`]: energy (MeV) for a target range (mm).
+pub fn energy_from_range(range_mm: f64) -> f64 {
+    assert!(range_mm > 0.0, "range must be positive");
+    (range_mm / BK_ALPHA).powf(1.0 / BK_P)
+}
+
+/// Range straggling width (mm) for a range `r_mm`.
+pub fn range_straggling(r_mm: f64) -> f64 {
+    0.012 * r_mm.powf(0.935)
+}
+
+/// 9-point Gauss–Hermite abscissae/weights for ∫ f(x) e^{-x²} dx.
+const GH_X: [f64; 9] = [
+    -3.190993201781528,
+    -2.266580584531843,
+    -1.468553289216668,
+    -0.723551018752838,
+    0.0,
+    0.723551018752838,
+    1.468553289216668,
+    2.266580584531843,
+    3.190993201781528,
+];
+const GH_W: [f64; 9] = [
+    3.960697726326438e-5,
+    4.943624275536947e-3,
+    8.847452739437657e-2,
+    4.326515590025558e-1,
+    7.202_352_156_060_51e-1,
+    4.326515590025558e-1,
+    8.847452739437657e-2,
+    4.943624275536947e-3,
+    3.960697726326438e-5,
+];
+
+/// Depth-dose (arbitrary units) at water-equivalent depth `d_mm` for a
+/// beam of nominal range `r_mm`: the straggling-smeared Bortfeld curve.
+pub fn bragg_dose(d_mm: f64, r_mm: f64) -> f64 {
+    let sigma = range_straggling(r_mm).max(1e-6);
+    // Convolve the pristine curve over the straggled range distribution:
+    // ∫ pristine(d, R') N(R'; R, sigma) dR'
+    //   = (1/sqrt(pi)) Σ w_i pristine(d, R + sqrt(2) sigma x_i).
+    let mut acc = 0.0;
+    for (x, w) in GH_X.iter().zip(GH_W.iter()) {
+        let r_i = r_mm + core::f64::consts::SQRT_2 * sigma * x;
+        if d_mm < r_i {
+            acc += w * (r_i - d_mm).powf(BRAGG_EXP);
+        }
+    }
+    acc / core::f64::consts::PI.sqrt()
+}
+
+/// Lateral Gaussian sigma (mm) at water-equivalent depth `d_mm` for
+/// nominal range `r_mm`, given the spot sigma at the surface.
+pub fn lateral_sigma(d_mm: f64, r_mm: f64, sigma0_mm: f64) -> f64 {
+    let t = (d_mm / r_mm).clamp(0.0, 1.5);
+    sigma0_mm + 0.028 * d_mm * t
+}
+
+/// Proton stopping power (arbitrary units) at depth `d` for a *sampled*
+/// (already straggled) range `r` — the Monte Carlo engine's per-step
+/// energy deposit. Clamped near the end of range.
+pub fn stopping_power(d_mm: f64, r_mm: f64) -> f64 {
+    let residual = (r_mm - d_mm).max(0.05);
+    residual.powf(BRAGG_EXP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_energy_roundtrip() {
+        for e in [70.0, 100.0, 150.0, 230.0] {
+            let r = range_from_energy(e);
+            assert!((energy_from_range(r) - e).abs() / e < 1e-12);
+        }
+    }
+
+    #[test]
+    fn clinical_ranges_are_plausible() {
+        // 150 MeV protons reach ~15-16 cm in water.
+        let r = range_from_energy(150.0);
+        assert!((140.0..=180.0).contains(&r), "range {r} mm");
+        // 70 MeV ~ 4 cm.
+        let r70 = range_from_energy(70.0);
+        assert!((35.0..=50.0).contains(&r70), "range {r70} mm");
+    }
+
+    #[test]
+    fn bragg_curve_peaks_near_range() {
+        let r = 150.0;
+        let samples: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let d = i as f64 * r * 1.1 / 200.0;
+                (d, bragg_dose(d, r))
+            })
+            .collect();
+        let (peak_d, peak) = samples
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        // Peak within a few straggling widths of the nominal range.
+        assert!((peak_d - r).abs() < 4.0 * range_straggling(r), "peak at {peak_d}");
+        // Entrance plateau well below the peak (peak-to-plateau ratio of a
+        // pristine-ish peak is ~3-5).
+        let entrance = bragg_dose(1.0, r);
+        assert!(peak / entrance > 2.0, "ratio {}", peak / entrance);
+        // Distal falloff: dose a few sigma past the range is negligible.
+        let distal = bragg_dose(r + 5.0 * range_straggling(r), r);
+        assert!(distal < 0.02 * peak, "distal {distal} vs peak {peak}");
+    }
+
+    #[test]
+    fn bragg_dose_is_finite_everywhere() {
+        let r = 100.0;
+        for i in 0..1000 {
+            let d = i as f64 * 0.12;
+            let v = bragg_dose(d, r);
+            assert!(v.is_finite() && v >= 0.0, "dose {v} at {d}");
+        }
+    }
+
+    #[test]
+    fn lateral_sigma_grows_with_depth() {
+        let r = 150.0;
+        let s0 = lateral_sigma(0.0, r, 3.0);
+        let s_mid = lateral_sigma(r / 2.0, r, 3.0);
+        let s_end = lateral_sigma(r, r, 3.0);
+        assert_eq!(s0, 3.0);
+        assert!(s_mid > s0);
+        assert!(s_end > s_mid);
+        // End-of-range spread of a 15 cm beam is several mm.
+        assert!((5.0..=15.0).contains(&s_end), "sigma {s_end}");
+    }
+
+    #[test]
+    fn stopping_power_rises_toward_range_end() {
+        let r = 100.0;
+        assert!(stopping_power(90.0, r) > stopping_power(10.0, r));
+        assert!(stopping_power(110.0, r).is_finite()); // clamped past range
+    }
+}

@@ -1,0 +1,31 @@
+//! Software 16-bit floating-point and fixed-point scalar types.
+//!
+//! RayStation stores dose deposition matrix entries in 16 bits to halve the
+//! memory footprint of matrices that otherwise reach several gigabytes (the
+//! liver cases in the paper are 7.7–11 GB). The paper's GPU kernel matches
+//! that precision with IEEE-754 binary16 (`half` in CUDA). This crate
+//! implements the required conversions **from scratch** — no hardware or
+//! external `half` crate — with correct round-to-nearest-even semantics:
+//!
+//! * [`F16`] — IEEE-754 binary16 (1 sign, 5 exponent, 10 mantissa bits).
+//! * [`Bf16`] — bfloat16 (1 sign, 8 exponent, 7 mantissa bits), used by the
+//!   value-encoding ablation bench.
+//! * [`Quantizer`] / scaled `u16` fixed point — the third 16-bit encoding
+//!   candidate examined in the ablation.
+//! * [`DoseScalar`] — the trait the sparse-matrix and kernel crates
+//!   genericize over, implemented for `F16`, `Bf16`, `f32` and `f64`.
+//!
+//! Conversions to wider types are exact; conversions from wider types use
+//! round-to-nearest, ties-to-even, including correct handling of subnormals,
+//! overflow to infinity and NaN preservation. `f64 -> F16` rounds in a
+//! single step (going through `f32` first can double-round).
+
+mod bfloat16;
+mod binary16;
+mod fixed;
+mod scalar;
+
+pub use bfloat16::Bf16;
+pub use binary16::F16;
+pub use fixed::{Fixed16, Quantizer};
+pub use scalar::DoseScalar;

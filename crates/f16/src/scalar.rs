@@ -1,0 +1,161 @@
+//! The scalar abstraction the rest of the workspace genericizes over.
+
+use crate::{Bf16, F16};
+use core::fmt;
+
+/// A numeric type that can store dose deposition matrix entries.
+///
+/// The SpMV kernels are generic over the *matrix* storage scalar while the
+/// input/output vectors stay in `f64` (a hard RayStation requirement: lower
+/// vector precision destabilizes the optimizer). `BYTES` feeds the memory
+/// traffic model — it is the number of bytes one matrix entry moves across
+/// the DRAM bus, which is what separates the Half/Double kernel's
+/// operational intensity (6 bytes/nnz) from the Single kernel's (8).
+pub trait DoseScalar:
+    Copy + Send + Sync + PartialEq + fmt::Debug + Default + 'static
+{
+    /// Size of the stored representation in bytes.
+    const BYTES: usize;
+    /// Human-readable name used in experiment output ("half", "single", ...).
+    const NAME: &'static str;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_f32(x: f32) -> Self;
+    fn to_f32(self) -> f32;
+
+    #[inline]
+    fn zero() -> Self {
+        Self::default()
+    }
+}
+
+impl DoseScalar for F16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "half";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+}
+
+impl DoseScalar for Bf16 {
+    const BYTES: usize = 2;
+    const NAME: &'static str = "bfloat16";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Bf16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Bf16::to_f64(self)
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        Bf16::from_f32(x)
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        Bf16::to_f32(self)
+    }
+}
+
+impl DoseScalar for f32 {
+    const BYTES: usize = 4;
+    const NAME: &'static str = "single";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+}
+
+impl DoseScalar for f64 {
+    const BYTES: usize = 8;
+    const NAME: &'static str = "double";
+
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x as f64
+    }
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_is_projection<S: DoseScalar>() {
+        // Converting twice must equal converting once (idempotence of the
+        // rounding projection onto the representable set).
+        for i in 0..1000 {
+            let x = (i as f64) * 0.37 + 1e-4;
+            let once = S::from_f64(x);
+            let twice = S::from_f64(once.to_f64());
+            assert_eq!(once, twice);
+        }
+    }
+
+    #[test]
+    fn projections() {
+        roundtrip_is_projection::<F16>();
+        roundtrip_is_projection::<Bf16>();
+        roundtrip_is_projection::<f32>();
+        roundtrip_is_projection::<f64>();
+    }
+
+    #[test]
+    fn byte_sizes_match_repr() {
+        assert_eq!(F16::BYTES, core::mem::size_of::<F16>());
+        assert_eq!(Bf16::BYTES, core::mem::size_of::<Bf16>());
+        assert_eq!(<f32 as DoseScalar>::BYTES, 4);
+        assert_eq!(<f64 as DoseScalar>::BYTES, 8);
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names = [F16::NAME, Bf16::NAME, <f32 as DoseScalar>::NAME, <f64 as DoseScalar>::NAME];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Sectored, set-associative, write-back L2 cache model.
+//!
+//! The unit of transfer between L2 and DRAM on the modeled GPUs is the
+//! 32-byte sector, so the model tracks 32-byte sectors directly (a
+//! "line" here is one sector). Sets are LRU; the set array is sharded
+//! across mutexes so executor workers can probe concurrently — shard
+//! contention is low because consecutive sectors map to consecutive sets.
+//!
+//! The model intentionally omits the L1/SMEM level: for streaming SpMV
+//! kernels L1 hit rates are negligible for the matrix (each element is
+//! touched once) and the input-vector reuse the paper discusses is an L2
+//! capacity effect.
+
+use parking_lot::Mutex;
+
+/// Transfer granularity between L2 and DRAM, in bytes.
+pub const SECTOR_BYTES: u64 = 32;
+
+const SHARDS: usize = 64;
+
+#[derive(Clone, Copy, Default)]
+struct Way {
+    /// Sector tag (full sector index; 0 is encoded as `valid == false`).
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+struct Shard {
+    /// `sets_per_shard * ways` entries, set-major.
+    ways: Vec<Way>,
+    stamp: u64,
+}
+
+/// Result of one sector access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessResult {
+    pub hit: bool,
+    /// A dirty sector was evicted (costs one DRAM write-back).
+    pub writeback: bool,
+}
+
+/// The cache model. Cheap to probe, safe to share across threads.
+pub struct L2Cache {
+    shards: Vec<Mutex<Shard>>,
+    nsets: u64,
+    ways: usize,
+    sets_per_shard: u64,
+}
+
+impl L2Cache {
+    /// Builds a cache of `capacity_bytes` with `ways`-way sets.
+    pub fn new(capacity_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0);
+        let nsets = ((capacity_bytes as u64 / SECTOR_BYTES / ways as u64).max(1))
+            .next_power_of_two();
+        let sets_per_shard = (nsets / SHARDS as u64).max(1);
+        let shard_count = nsets.div_ceil(sets_per_shard) as usize;
+        let shards = (0..shard_count)
+            .map(|_| {
+                Mutex::new(Shard {
+                    ways: vec![Way::default(); (sets_per_shard as usize) * ways],
+                    stamp: 0,
+                })
+            })
+            .collect();
+        L2Cache { shards, nsets, ways, sets_per_shard }
+    }
+
+    /// Capacity in bytes (rounded to the power-of-two set count).
+    pub fn capacity_bytes(&self) -> u64 {
+        self.nsets * self.ways as u64 * SECTOR_BYTES
+    }
+
+    /// Accesses the sector containing byte address `addr`. `write` marks
+    /// the sector dirty. Misses allocate (write-allocate policy; GPU L2
+    /// write misses do not read DRAM, so the caller should count DRAM
+    /// read traffic only for read misses).
+    pub fn access(&self, addr: u64, write: bool) -> AccessResult {
+        let sector = addr / SECTOR_BYTES;
+        let set = sector % self.nsets;
+        let shard_idx = (set / self.sets_per_shard) as usize;
+        let local_set = (set % self.sets_per_shard) as usize;
+
+        let mut shard = self.shards[shard_idx].lock();
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        let base = local_set * self.ways;
+        let ways = &mut shard.ways[base..base + self.ways];
+
+        // Hit?
+        for w in ways.iter_mut() {
+            if w.valid && w.tag == sector {
+                w.stamp = stamp;
+                w.dirty |= write;
+                return AccessResult { hit: true, writeback: false };
+            }
+        }
+        // Miss: evict LRU (prefer an invalid way).
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.stamp + 1 } else { 0 })
+            .expect("ways > 0");
+        let writeback = victim.valid && victim.dirty;
+        *victim = Way { tag: sector, valid: true, dirty: write, stamp };
+        AccessResult { hit: false, writeback }
+    }
+
+    /// Marks every dirty sector clean and returns how many there were —
+    /// the end-of-kernel write-back flush.
+    pub fn flush_dirty(&self) -> u64 {
+        let mut count = 0;
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for w in s.ways.iter_mut() {
+                if w.valid && w.dirty {
+                    w.dirty = false;
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Invalidates everything (cold-cache reset between experiments).
+    pub fn invalidate(&self) {
+        for shard in &self.shards {
+            let mut s = shard.lock();
+            for w in s.ways.iter_mut() {
+                *w = Way::default();
+            }
+            s.stamp = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let c = L2Cache::new(1 << 16, 8);
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        // Same sector, different byte.
+        assert!(c.access(0x101f, false).hit);
+        // Next sector misses.
+        assert!(!c.access(0x1020, false).hit);
+    }
+
+    #[test]
+    fn capacity_eviction() {
+        // Tiny cache: 4 sets * 2 ways * 32 B = 256 B.
+        let c = L2Cache::new(256, 2);
+        assert_eq!(c.capacity_bytes(), 256);
+        // Fill one set (sectors mapping to set 0: multiples of nsets*32).
+        let stride = c.capacity_bytes() / 2; // nsets * 32 = capacity / ways
+        assert!(!c.access(0, false).hit);
+        assert!(!c.access(stride, false).hit);
+        // Both resident.
+        assert!(c.access(0, false).hit);
+        assert!(c.access(stride, false).hit);
+        // Third distinct sector in the same set evicts the LRU (addr 0).
+        assert!(!c.access(2 * stride, false).hit);
+        assert!(!c.access(0, false).hit);
+        // `stride` was more recently used than 0 at eviction time, but the
+        // re-miss of 0 evicted 2*stride (LRU then). Just check the set
+        // still functions.
+        assert!(c.access(0, false).hit);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let c = L2Cache::new(256, 2);
+        let stride = c.capacity_bytes() / 2;
+        assert!(!c.access(0, true).hit); // dirty
+        c.access(stride, false);
+        let r = c.access(2 * stride, false); // evicts addr 0 (dirty LRU)
+        assert!(r.writeback);
+    }
+
+    #[test]
+    fn flush_counts_and_cleans() {
+        let c = L2Cache::new(1 << 16, 8);
+        c.access(0, true);
+        c.access(64, true);
+        c.access(128, false);
+        assert_eq!(c.flush_dirty(), 2);
+        assert_eq!(c.flush_dirty(), 0);
+        // Still resident after flush.
+        assert!(c.access(0, false).hit);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let c = L2Cache::new(1 << 16, 8);
+        c.access(0, true);
+        c.invalidate();
+        assert!(!c.access(0, false).hit);
+        assert_eq!(c.flush_dirty(), 0);
+    }
+
+    #[test]
+    fn streaming_larger_than_cache_always_misses_on_second_pass() {
+        let c = L2Cache::new(1 << 12, 4); // 4 KB
+        let n = 1 << 14; // 16 KB of data
+        let mut misses = 0;
+        for pass in 0..2 {
+            for addr in (0..n).step_by(32) {
+                if !c.access(addr, false).hit {
+                    misses += 1;
+                }
+            }
+            if pass == 0 {
+                assert_eq!(misses, n / 32);
+            }
+        }
+        // Second pass misses everything too: LRU streaming eviction.
+        assert_eq!(misses, 2 * n / 32);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_stays_resident() {
+        let c = L2Cache::new(1 << 16, 16); // 64 KB
+        let n = 1 << 12; // 4 KB working set
+        for addr in (0..n).step_by(32) {
+            c.access(addr, false);
+        }
+        for addr in (0..n).step_by(32) {
+            assert!(c.access(addr, false).hit, "addr {addr} not resident");
+        }
+    }
+}

@@ -1,0 +1,522 @@
+//! The warp-synchronous executor and the kernel-facing [`WarpCtx`] API.
+//!
+//! Kernels are written per-warp, mirroring the cooperative-groups style of
+//! the paper's Listing 1: the CUDA `tiled_partition<32>` tile becomes one
+//! [`WarpCtx`]; per-lane loads become [`WarpCtx::load_gather`]; the
+//! cooperative-groups `reduce` becomes [`WarpCtx::reduce_sum`], which
+//! performs the exact shuffle-down tree the hardware primitive does — in a
+//! fixed order, which is what makes the vector kernel bitwise reproducible.
+//!
+//! Blocks are distributed dynamically over host worker threads (like SMs
+//! picking up blocks); warps within a block run in a fixed order. All
+//! non-atomic result stores go to disjoint indices (the kernels' own
+//! invariant, same as on real hardware), so functional results are
+//! deterministic regardless of scheduling; traffic counters can vary
+//! slightly under [`ExecMode::Parallel`] because cache eviction order
+//! depends on interleaving — use [`ExecMode::Sequential`] when exact
+//! traffic reproducibility matters.
+
+use crate::buffer::{DeviceBuffer, DeviceOutBuffer, OutScalar};
+use crate::counters::{KernelStats, LocalCounters};
+use crate::device::DeviceSpec;
+use crate::mem::MemSystem;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lanes per warp on every modeled device.
+pub const WARP_SIZE: usize = 32;
+
+/// A launch grid: number of thread blocks and threads per block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Grid {
+    pub blocks: u64,
+    pub threads_per_block: u32,
+}
+
+impl Grid {
+    /// Creates a grid. `threads_per_block` must be a multiple of the warp
+    /// size in `32..=1024`, like on real hardware.
+    pub fn new(blocks: u64, threads_per_block: u32) -> Self {
+        assert!(
+            (32..=1024).contains(&threads_per_block) && threads_per_block.is_multiple_of(32),
+            "threads_per_block must be a multiple of 32 in 32..=1024, got {threads_per_block}"
+        );
+        Grid { blocks, threads_per_block }
+    }
+
+    /// The paper's configuration: one warp per item (matrix row), i.e.
+    /// `32 * items` total threads split into `threads_per_block`-sized
+    /// blocks.
+    pub fn warp_per_item(items: usize, threads_per_block: u32) -> Self {
+        let total_threads = items as u64 * WARP_SIZE as u64;
+        let blocks = total_threads.div_ceil(threads_per_block as u64).max(1);
+        Grid::new(blocks, threads_per_block)
+    }
+
+    /// One *thread* per item (scalar kernels): each warp covers 32 items.
+    pub fn thread_per_item(items: usize, threads_per_block: u32) -> Self {
+        let blocks = (items as u64).div_ceil(threads_per_block as u64).max(1);
+        Grid::new(blocks, threads_per_block)
+    }
+
+    #[inline]
+    pub fn warps_per_block(&self) -> u32 {
+        self.threads_per_block / WARP_SIZE as u32
+    }
+
+    #[inline]
+    pub fn total_warps(&self) -> u64 {
+        self.blocks * self.warps_per_block() as u64
+    }
+
+    #[inline]
+    pub fn total_threads(&self) -> u64 {
+        self.blocks * self.threads_per_block as u64
+    }
+}
+
+/// How the executor schedules blocks onto host threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One host thread; exactly reproducible traffic counters.
+    Sequential,
+    /// All available cores; functional results still deterministic for
+    /// non-atomic kernels, traffic counters vary at the margin.
+    #[default]
+    Parallel,
+}
+
+/// A simulated GPU: device spec + memory system + executor.
+pub struct Gpu {
+    spec: DeviceSpec,
+    mem: MemSystem,
+    mode: ExecMode,
+}
+
+impl Gpu {
+    /// Creates a GPU with a cold cache, defaulting to parallel execution.
+    pub fn new(spec: DeviceSpec) -> Self {
+        let mem = MemSystem::new(&spec);
+        Gpu { spec, mem, mode: ExecMode::default() }
+    }
+
+    pub fn with_mode(spec: DeviceSpec, mode: ExecMode) -> Self {
+        let mem = MemSystem::new(&spec);
+        Gpu { spec, mem, mode }
+    }
+
+    #[inline]
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Copies host data into a fresh device buffer ("cudaMemcpy H2D").
+    pub fn upload<T: Copy>(&self, data: &[T]) -> DeviceBuffer<T> {
+        let base = self.mem.alloc(std::mem::size_of_val(data));
+        DeviceBuffer::new(base, data.to_vec())
+    }
+
+    /// Like [`Gpu::upload`], registering the buffer for per-buffer
+    /// traffic attribution (see [`Gpu::traffic_report`]).
+    pub fn upload_named<T: Copy>(&self, name: &str, data: &[T]) -> DeviceBuffer<T> {
+        let base = self.mem.alloc_named(std::mem::size_of_val(data), name);
+        DeviceBuffer::new(base, data.to_vec())
+    }
+
+    /// Allocates a zero-initialized output buffer.
+    pub fn alloc_out<T: OutScalar + Default>(&self, len: usize) -> DeviceOutBuffer<T> {
+        let base = self.mem.alloc(len * core::mem::size_of::<T>());
+        DeviceOutBuffer::new_zeroed(base, len)
+    }
+
+    /// Like [`Gpu::alloc_out`], registering the buffer for traffic
+    /// attribution.
+    pub fn alloc_out_named<T: OutScalar + Default>(
+        &self,
+        name: &str,
+        len: usize,
+    ) -> DeviceOutBuffer<T> {
+        let base = self.mem.alloc_named(len * core::mem::size_of::<T>(), name);
+        DeviceOutBuffer::new_zeroed(base, len)
+    }
+
+    /// Per-named-buffer traffic snapshot (cumulative across launches;
+    /// reset with [`Gpu::reset_traffic`]).
+    pub fn traffic_report(&self) -> Vec<crate::mem::BufferTraffic> {
+        self.mem.traffic_report()
+    }
+
+    /// Zeroes the per-buffer traffic counters.
+    pub fn reset_traffic(&self) {
+        self.mem.reset_traffic();
+    }
+
+    /// Invalidates the L2 model (cold-cache start for an experiment).
+    pub fn reset_cache(&self) {
+        self.mem.invalidate_cache();
+    }
+
+    /// Launches `kernel` once per warp of `grid` and returns the merged
+    /// traffic counters. The kernel closure receives a [`WarpCtx`] and
+    /// must only store to indices it owns (standard CUDA discipline).
+    pub fn launch<F>(&self, grid: Grid, kernel: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        let workers = match self.mode {
+            ExecMode::Sequential => 1,
+            ExecMode::Parallel => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(16),
+        };
+
+        let next_block = AtomicU64::new(0);
+        let locals: Vec<LocalCounters> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let counters = LocalCounters::default();
+                        loop {
+                            let b = next_block.fetch_add(1, Ordering::Relaxed);
+                            if b >= grid.blocks {
+                                break;
+                            }
+                            for w in 0..grid.warps_per_block() {
+                                let mut ctx = WarpCtx {
+                                    warp_id: (b * grid.warps_per_block() as u64
+                                        + w as u64)
+                                        as usize,
+                                    block_id: b,
+                                    warp_in_block: w,
+                                    grid,
+                                    mem: &self.mem,
+                                    counters: &counters,
+                                };
+                                counters.add(&counters.warps, 1);
+                                kernel(&mut ctx);
+                            }
+                        }
+                        counters
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        // Account outstanding dirty data as written back at kernel end.
+        let flush = LocalCounters::default();
+        self.mem.flush_dirty(&flush);
+        let mut all = locals;
+        all.push(flush);
+        KernelStats::merge(&all, grid.blocks, grid.threads_per_block)
+    }
+}
+
+/// The per-warp execution context handed to kernels: lane-collective
+/// memory operations (each traced through the L2 model) plus the
+/// cooperative-groups-style reduction.
+pub struct WarpCtx<'a> {
+    warp_id: usize,
+    block_id: u64,
+    warp_in_block: u32,
+    grid: Grid,
+    mem: &'a MemSystem,
+    counters: &'a LocalCounters,
+}
+
+impl WarpCtx<'_> {
+    /// Global warp index (`blockIdx.x * warpsPerBlock + warpIdInBlock`).
+    #[inline]
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    #[inline]
+    pub fn block_id(&self) -> u64 {
+        self.block_id
+    }
+
+    #[inline]
+    pub fn warp_in_block(&self) -> u32 {
+        self.warp_in_block
+    }
+
+    #[inline]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Records `n` useful floating-point operations.
+    #[inline]
+    pub fn add_flops(&self, n: u64) {
+        self.counters.add_flops(n);
+    }
+
+    /// Uniform (broadcast) load: one element read once for the whole warp.
+    #[inline]
+    pub fn load_scalar<T: Copy>(&self, buf: &DeviceBuffer<T>, idx: usize) -> T {
+        self.mem.read_contiguous(
+            buf.addr_of(idx),
+            core::mem::size_of::<T>() as u64,
+            self.counters,
+        );
+        buf.as_slice()[idx]
+    }
+
+    /// Coalesced vector load: consecutive lanes read the consecutive
+    /// elements `range`. Spans longer than a warp are traced as multiple
+    /// back-to-back fully-coalesced transactions. Returns the slice.
+    #[inline]
+    pub fn load_span<'b, T: Copy>(
+        &self,
+        buf: &'b DeviceBuffer<T>,
+        range: core::ops::Range<usize>,
+    ) -> &'b [T] {
+        let bytes = (range.len() * core::mem::size_of::<T>()) as u64;
+        self.mem.read_contiguous(buf.addr_of(range.start), bytes, self.counters);
+        &buf.as_slice()[range]
+    }
+
+    /// Gather load: lane `k` reads element `idxs[k]`. Lanes landing in the
+    /// same 32-byte sector are coalesced into one transaction. At most 32
+    /// active lanes. Results are appended to `out`.
+    pub fn load_gather<T: Copy>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        idxs: &[usize],
+        out: &mut [T],
+    ) {
+        assert!(idxs.len() <= WARP_SIZE, "a warp has at most 32 lanes");
+        assert!(out.len() >= idxs.len());
+        let mut addrs = [0u64; WARP_SIZE];
+        for (k, &i) in idxs.iter().enumerate() {
+            addrs[k] = buf.addr_of(i);
+            out[k] = buf.as_slice()[i];
+        }
+        self.mem.read_gather(
+            &addrs[..idxs.len()],
+            core::mem::size_of::<T>() as u64,
+            self.counters,
+        );
+    }
+
+    /// Single-lane store. The caller must own index `idx` (no other warp
+    /// stores there during this launch).
+    #[inline]
+    pub fn store_scalar<T: OutScalar>(&self, buf: &DeviceOutBuffer<T>, idx: usize, v: T) {
+        self.mem.write_contiguous(
+            buf.addr_of(idx),
+            core::mem::size_of::<T>() as u64,
+            self.counters,
+        );
+        buf.raw_store(idx, v);
+    }
+
+    /// Coalesced vector store: consecutive lanes store `vals` to the
+    /// consecutive elements starting at `start`. Callers own the range.
+    pub fn store_span<T: OutScalar>(
+        &self,
+        buf: &DeviceOutBuffer<T>,
+        start: usize,
+        vals: &[T],
+    ) {
+        debug_assert!(vals.len() <= WARP_SIZE);
+        if vals.is_empty() {
+            return;
+        }
+        let bytes = std::mem::size_of_val(vals) as u64;
+        self.mem.write_contiguous(buf.addr_of(start), bytes, self.counters);
+        for (k, &v) in vals.iter().enumerate() {
+            buf.raw_store(start + k, v);
+        }
+    }
+
+    /// Atomic add, like CUDA `atomicAdd`: result value is order-dependent
+    /// under parallel execution — deliberately, see the module docs.
+    #[inline]
+    pub fn atomic_add<T: OutScalar>(&self, buf: &DeviceOutBuffer<T>, idx: usize, v: T) {
+        self.mem
+            .atomic_rmw(buf.addr_of(idx), core::mem::size_of::<T>() as u64, self.counters);
+        buf.raw_fetch_add(idx, v);
+    }
+
+    /// Warp-wide sum with the fixed shuffle-down tree order of the
+    /// cooperative-groups `reduce` primitive: offsets 16, 8, 4, 2, 1.
+    /// Inactive lanes must hold the additive identity.
+    pub fn reduce_sum<T>(&self, lanes: &mut [T; WARP_SIZE]) -> T
+    where
+        T: Copy + core::ops::Add<Output = T>,
+    {
+        let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            for i in 0..offset {
+                lanes[i] = lanes[i] + lanes[i + offset];
+            }
+            offset /= 2;
+        }
+        lanes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_geometry() {
+        let g = Grid::warp_per_item(1000, 512);
+        assert_eq!(g.warps_per_block(), 16);
+        assert_eq!(g.total_warps(), g.blocks * 16);
+        assert!(g.total_warps() >= 1000);
+        let g2 = Grid::thread_per_item(1000, 128);
+        assert_eq!(g2.blocks, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "threads_per_block")]
+    fn grid_rejects_bad_tpb() {
+        let _ = Grid::new(1, 48);
+    }
+
+    #[test]
+    fn launch_runs_every_warp_once() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Parallel);
+        let out = gpu.alloc_out::<f64>(4096);
+        let grid = Grid::new(64, 256); // 64 * 8 = 512 warps
+        let stats = gpu.launch(grid, |w| {
+            w.store_scalar(&out, w.warp_id(), w.warp_id() as f64);
+        });
+        assert_eq!(stats.warps, 512);
+        for i in 0..512 {
+            assert_eq!(out.get(i), i as f64);
+        }
+    }
+
+    #[test]
+    fn functional_results_deterministic_across_modes() {
+        let data: Vec<f64> = (0..1024).map(|i| (i as f64).sin()).collect();
+        let run = |mode| {
+            let gpu = Gpu::with_mode(DeviceSpec::a100(), mode);
+            let buf = gpu.upload(&data);
+            let out = gpu.alloc_out::<f64>(32);
+            let grid = Grid::warp_per_item(32, 128);
+            gpu.launch(grid, |w| {
+                let row = w.warp_id();
+                if row >= 32 {
+                    return;
+                }
+                let mut lanes = [0.0f64; WARP_SIZE];
+                let span = w.load_span(&buf, row * 32..(row + 1) * 32);
+                lanes.copy_from_slice(span);
+                let sum = w.reduce_sum(&mut lanes);
+                w.store_scalar(&out, row, sum);
+            });
+            out.to_vec()
+        };
+        let a = run(ExecMode::Sequential);
+        let b = run(ExecMode::Parallel);
+        // Bitwise identical: fixed reduction order, disjoint stores.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sequential_traffic_is_reproducible() {
+        let run = || {
+            let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+            let data: Vec<f32> = vec![1.0; 100_000];
+            let buf = gpu.upload(&data);
+            let out = gpu.alloc_out::<f32>(100_000 / 32);
+            let grid = Grid::warp_per_item(100_000 / 32, 256);
+            gpu.launch(grid, |w| {
+                let i = w.warp_id();
+                if i < 100_000 / 32 {
+                    let span = w.load_span(&buf, i * 32..(i + 1) * 32);
+                    let s: f32 = span.iter().sum();
+                    w.store_scalar(&out, i, s);
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reduce_matches_sequential_sum_order_independence_check() {
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let out = gpu.alloc_out::<f64>(1);
+        let grid = Grid::new(1, 32);
+        gpu.launch(grid, |w| {
+            let mut lanes = [0.0f64; WARP_SIZE];
+            for (i, l) in lanes.iter_mut().enumerate() {
+                *l = (i + 1) as f64;
+            }
+            let s = w.reduce_sum(&mut lanes);
+            w.store_scalar(&out, 0, s);
+        });
+        assert_eq!(out.get(0), (32 * 33 / 2) as f64);
+    }
+
+    #[test]
+    fn store_span_is_coalesced_and_correct() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+        let out = gpu.alloc_out::<f64>(64);
+        let grid = Grid::new(1, 64); // 2 warps
+        let stats = gpu.launch(grid, |w| {
+            let base = w.warp_id() * WARP_SIZE;
+            let vals: Vec<f64> = (0..WARP_SIZE).map(|k| (base + k) as f64).collect();
+            w.store_span(&out, base, &vals);
+        });
+        for i in 0..64 {
+            assert_eq!(out.get(i), i as f64);
+        }
+        // 64 f64 stores = 512 bytes = 16 sectors, one transaction each.
+        assert_eq!(stats.l2_write_sectors, 16);
+    }
+
+    #[test]
+    fn grid_thread_accounting() {
+        let g = Grid::new(7, 96);
+        assert_eq!(g.total_threads(), 7 * 96);
+        assert_eq!(g.warps_per_block(), 3);
+        assert_eq!(g.total_warps(), 21);
+    }
+
+    #[test]
+    fn atomic_add_sums_under_parallelism() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Parallel);
+        let out = gpu.alloc_out::<f64>(1);
+        let grid = Grid::new(256, 256);
+        let stats = gpu.launch(grid, |w| {
+            w.atomic_add(&out, 0, 1.0);
+        });
+        assert_eq!(out.get(0), grid.total_warps() as f64);
+        assert_eq!(stats.atomic_ops, grid.total_warps());
+    }
+
+    #[test]
+    fn traffic_reflects_streamed_bytes() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100().scaled_l2(100.0), ExecMode::Sequential);
+        let n = 1 << 18; // 256K f32 = 1 MB, larger than the 400 KB L2
+        let data: Vec<f32> = vec![1.0; n];
+        let buf = gpu.upload(&data);
+        let out = gpu.alloc_out::<f32>(n / 32);
+        let grid = Grid::warp_per_item(n / 32, 256);
+        let stats = gpu.launch(grid, |w| {
+            let i = w.warp_id();
+            if i < n / 32 {
+                let span = w.load_span(&buf, i * 32..(i + 1) * 32);
+                let s: f32 = span.iter().sum();
+                w.add_flops(31);
+                w.store_scalar(&out, i, s);
+            }
+        });
+        let expected = (n * 4) as u64;
+        assert!(stats.dram_read_bytes >= expected, "read {}", stats.dram_read_bytes);
+        // No gratuitous amplification for a fully coalesced stream.
+        assert!(stats.dram_read_bytes < expected + expected / 8);
+        // Output written back: n/32 * 4 bytes.
+        assert!(stats.dram_write_bytes >= (n / 32 * 4) as u64);
+    }
+}

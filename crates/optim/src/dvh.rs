@@ -1,0 +1,139 @@
+//! Dose-volume histograms — the standard clinical plan-quality report:
+//! for each structure, the fraction of its volume receiving at least a
+//! given dose. Planners read plans off these curves ("V20 < 30%",
+//! "D95 > prescription"), and DVH-based objectives (see
+//! [`crate::ObjectiveTerm::DvhMax`]) drive the optimizer toward them.
+
+/// A cumulative dose-volume histogram for one structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dvh {
+    /// Sorted doses of the structure's voxels (ascending).
+    sorted: Vec<f64>,
+}
+
+impl Dvh {
+    /// Builds the DVH of a structure (a set of voxel indices) from a
+    /// dose vector.
+    pub fn new(dose: &[f64], voxels: &[usize]) -> Self {
+        let mut sorted: Vec<f64> = voxels.iter().map(|&i| dose[i]).collect();
+        sorted.sort_by(f64::total_cmp);
+        Dvh { sorted }
+    }
+
+    /// Number of voxels in the structure.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `V(d)`: fraction of the volume receiving at least dose `d`.
+    pub fn volume_at_dose(&self, d: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted.partition_point(|&x| x < d);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// `D(v)`: minimum dose received by the hottest `v` fraction of the
+    /// volume (e.g. `dose_at_volume(0.95)` = D95, the near-minimum
+    /// target dose).
+    pub fn dose_at_volume(&self, v: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let v = v.clamp(0.0, 1.0);
+        // The hottest v-fraction starts at index n*(1-v) of the
+        // ascending sort.
+        let idx = ((self.sorted.len() as f64) * (1.0 - v)).floor() as usize;
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// Mean structure dose.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            0.0
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Maximum structure dose.
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(0.0)
+    }
+
+    /// Samples the curve at `points` dose levels from 0 to the maximum,
+    /// as `(dose, volume_fraction)` pairs — the plotted DVH.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let max = self.max();
+        if max <= 0.0 || points < 2 {
+            return vec![(0.0, if self.is_empty() { 0.0 } else { 1.0 })];
+        }
+        (0..points)
+            .map(|i| {
+                let d = max * i as f64 / (points - 1) as f64;
+                (d, self.volume_at_dose(d))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dvh() -> Dvh {
+        // Structure = voxels 1,3,5 with doses 2, 6, 4.
+        Dvh::new(&[9.0, 2.0, 9.0, 6.0, 9.0, 4.0], &[1, 3, 5])
+    }
+
+    #[test]
+    fn volume_at_dose_is_a_survival_curve() {
+        let d = dvh();
+        assert_eq!(d.volume_at_dose(0.0), 1.0);
+        assert!((d.volume_at_dose(3.0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((d.volume_at_dose(5.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.volume_at_dose(7.0), 0.0);
+        // Exactly at a voxel's dose, that voxel still counts.
+        assert!((d.volume_at_dose(6.0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dose_at_volume_quantiles() {
+        let d = dvh();
+        assert_eq!(d.dose_at_volume(1.0), 2.0); // D100 = min dose
+        assert_eq!(d.dose_at_volume(0.0), 6.0); // D0 = max dose
+        assert_eq!(d.dose_at_volume(0.5), 4.0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let d = dvh();
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert_eq!(d.max(), 6.0);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let d = dvh();
+        let c = d.curve(16);
+        assert_eq!(c.len(), 16);
+        for w in c.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert_eq!(c[0].1, 1.0);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let d = Dvh::new(&[1.0, 2.0], &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.volume_at_dose(0.5), 0.0);
+        assert_eq!(d.mean(), 0.0);
+    }
+}

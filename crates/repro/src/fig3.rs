@@ -1,0 +1,154 @@
+//! Figure 3 — roofline analysis on the A100: Ginkgo, cuSPARSE, our
+//! Single and our Half/double kernels, measured operational intensity
+//! vs modeled GFLOP/s, plus the paper's analytic OI upper bound
+//! (0.332 for liver beam 1 in Half/double).
+
+use crate::context::Context;
+use crate::render::{f1, TextTable};
+use crate::runner::{run_cusparse, run_ginkgo, run_half_double, run_single, Measured};
+use rt_gpusim::DeviceSpec;
+use rt_roofline::{CsrTrafficModel, Roofline};
+
+/// One roofline point plus its analytic OI bounds.
+#[derive(Clone, Debug)]
+pub struct Fig3Point {
+    pub measured: Measured,
+    /// Infinite-cache OI bound at the *simulated* matrix dimensions
+    /// (what the measured OI should approach).
+    pub oi_bound: f64,
+    /// The same bound at the clinical Table I dimensions (the paper
+    /// quotes 0.332 for liver beam 1 in Half/double).
+    pub oi_bound_paper: f64,
+    pub attainable_gflops: f64,
+}
+
+pub struct Fig3 {
+    pub points: Vec<Fig3Point>,
+    pub roofline_f64: Roofline,
+    pub roofline_f32: Roofline,
+}
+
+pub fn generate(ctx: &Context) -> Fig3 {
+    let dev = DeviceSpec::a100();
+    let mut points = Vec::new();
+    for case in [ctx.liver1(), ctx.prostate1()] {
+        let (nnz, nr, nc) = (
+            case.case.matrix.nnz() as u64,
+            case.case.matrix.nrows() as u64,
+            case.case.matrix.ncols() as u64,
+        );
+        let (p_nnz, p_nr, p_nc) = (
+            case.case.paper.nnz as u64,
+            case.case.paper.rows as u64,
+            case.case.paper.cols as u64,
+        );
+        let runs = [
+            (run_half_double(case, &dev, 512), CsrTrafficModel::half_double()),
+            (run_single(case, &dev, 512), CsrTrafficModel::single()),
+            (run_cusparse(case, &dev), CsrTrafficModel::single()),
+            (run_ginkgo(case, &dev), CsrTrafficModel::single()),
+        ];
+        for (m, traffic) in runs {
+            let roof = Roofline::for_device(&dev, m.profile.precision);
+            let attainable = roof.attainable(m.oi()) / 1e9;
+            points.push(Fig3Point {
+                oi_bound: traffic.oi_upper_bound(nnz, nr, nc),
+                oi_bound_paper: traffic.oi_upper_bound(p_nnz, p_nr, p_nc),
+                attainable_gflops: attainable,
+                measured: m,
+            });
+        }
+    }
+    Fig3 {
+        points,
+        roofline_f64: Roofline::for_device(&dev, rt_gpusim::Precision::Double),
+        roofline_f32: Roofline::for_device(&dev, rt_gpusim::Precision::Single),
+    }
+}
+
+impl Fig3 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "case",
+            "kernel",
+            "OI measured",
+            "OI bound",
+            "OI bound (paper dims)",
+            "GFLOP/s",
+            "attainable",
+            "% of roof",
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.measured.case.clone(),
+                p.measured.kernel.clone(),
+                format!("{:.3}", p.measured.oi()),
+                format!("{:.3}", p.oi_bound),
+                format!("{:.3}", p.oi_bound_paper),
+                f1(p.measured.gflops()),
+                f1(p.attainable_gflops),
+                format!("{:.0}%", 100.0 * p.measured.gflops() / p.attainable_gflops),
+            ]);
+        }
+        format!(
+            "Figure 3: A100 roofline (peak {:.0} GF/s fp64 / {:.0} GF/s fp32, \
+             {:.0} GB/s DRAM)\npaper: Half/double OI bound for liver 1 = 0.332, \
+             measured close to it; Half/double sits right of Single/libraries.\n\n{}",
+            self.roofline_f64.peak_flops / 1e9,
+            self.roofline_f32.peak_flops / 1e9,
+            self.roofline_f64.peak_bw / 1e9,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn roofline_points_reproduce_paper_shape() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        assert_eq!(f.points.len(), 8);
+
+        let by = |case: &str, kernel: &str| {
+            f.points
+                .iter()
+                .find(|p| p.measured.case == case && p.measured.kernel == kernel)
+                .unwrap()
+        };
+
+        // Half/double has higher OI than every single-precision kernel.
+        let hd = by("Liver 1", "Half/double");
+        for k in ["Single", "cuSPARSE", "Ginkgo"] {
+            assert!(
+                hd.measured.oi() > by("Liver 1", k).measured.oi(),
+                "Half/double OI {} vs {k} {}",
+                hd.measured.oi(),
+                by("Liver 1", k).measured.oi()
+            );
+        }
+        // The paper-dimension Half/double bound reproduces the quoted
+        // 0.332 for liver beam 1.
+        assert!((hd.oi_bound_paper - 0.332).abs() < 0.003, "paper bound {}", hd.oi_bound_paper);
+        // Measured OI approaches the infinite-cache bound at matching
+        // dimensions (the paper's own validation, done at our scale).
+        for p in &f.points {
+            let ratio = p.measured.oi() / p.oi_bound;
+            assert!(
+                (0.75..=1.10).contains(&ratio),
+                "{} {}: OI {} vs bound {} (ratio {ratio})",
+                p.measured.case,
+                p.measured.kernel,
+                p.measured.oi(),
+                p.oi_bound
+            );
+        }
+        // No point beats its roof.
+        for p in &f.points {
+            assert!(p.measured.gflops() <= p.attainable_gflops * 1.02);
+        }
+    }
+}

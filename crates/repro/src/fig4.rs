@@ -1,0 +1,110 @@
+//! Figure 4 — execution-configuration sweep: performance of the
+//! Half/double, Single and GPU Baseline kernels on liver beam 1 for
+//! 32–1024 threads per block. The paper picks 512 for Half/double and
+//! Single (best) and 128 for the baseline.
+
+use crate::context::Context;
+use crate::render::{f1, TextTable};
+use crate::runner::{run_baseline, run_half_double, run_single, Measured};
+use rt_gpusim::DeviceSpec;
+
+pub const TPB_SWEEP: [u32; 6] = [32, 64, 128, 256, 512, 1024];
+
+pub struct Fig4 {
+    /// `(kernel, tpb) -> measurement`, in sweep order per kernel.
+    pub series: Vec<(String, Vec<Measured>)>,
+}
+
+pub fn generate(ctx: &Context) -> Fig4 {
+    let dev = DeviceSpec::a100();
+    let case = ctx.liver1();
+    let series = vec![
+        (
+            "Half/double".to_string(),
+            TPB_SWEEP.iter().map(|&tpb| run_half_double(case, &dev, tpb)).collect(),
+        ),
+        (
+            "Single".to_string(),
+            TPB_SWEEP.iter().map(|&tpb| run_single(case, &dev, tpb)).collect(),
+        ),
+        (
+            "GPU Baseline".to_string(),
+            TPB_SWEEP.iter().map(|&tpb| run_baseline(case, &dev, tpb)).collect(),
+        ),
+    ];
+    Fig4 { series }
+}
+
+impl Fig4 {
+    /// Best threads-per-block per kernel.
+    pub fn best(&self) -> Vec<(String, u32)> {
+        self.series
+            .iter()
+            .map(|(name, runs)| {
+                let best = runs
+                    .iter()
+                    .zip(TPB_SWEEP.iter())
+                    .max_by(|a, b| a.0.gflops().total_cmp(&b.0.gflops()))
+                    .unwrap();
+                (name.clone(), *best.1)
+            })
+            .collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "threads/block",
+            "Half/double GF/s",
+            "Single GF/s",
+            "Baseline GF/s",
+        ]);
+        for (i, &tpb) in TPB_SWEEP.iter().enumerate() {
+            t.row(vec![
+                tpb.to_string(),
+                f1(self.series[0].1[i].gflops()),
+                f1(self.series[1].1[i].gflops()),
+                f1(self.series[2].1[i].gflops()),
+            ]);
+        }
+        let best = self
+            .best()
+            .into_iter()
+            .map(|(k, tpb)| format!("{k}: {tpb}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "Figure 4: threads-per-block sweep on liver beam 1 (A100)\n\
+             paper: 512 best for Half/double and Single; 64-128 best for Baseline.\n\n{}\nbest: {}\n",
+            t.render(),
+            best
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn sweep_shape_matches_paper() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        let hd = &f.series[0].1;
+        // 32 tpb is clearly the worst for Half/double (occupancy).
+        let g32 = hd[0].gflops();
+        let g512 = hd[4].gflops();
+        assert!(g32 < g512, "32: {g32} vs 512: {g512}");
+        // 512 is at least as good as 1024.
+        assert!(hd[5].gflops() <= g512 * 1.02);
+        // The best configuration for Half/double is 256 or 512.
+        let best = f.best();
+        assert!(
+            [256, 512].contains(&best[0].1),
+            "Half/double best tpb {}",
+            best[0].1
+        );
+        let r = f.render();
+        assert!(r.contains("threads-per-block"));
+    }
+}

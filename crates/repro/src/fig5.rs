@@ -1,0 +1,132 @@
+//! Figure 5 — GFLOP/s (bars) and DRAM bandwidth (lines) for the GPU
+//! Baseline, Half/double and Single kernels on all six matrices, plus
+//! the RayStation CPU implementation, on the A100. The headline claims:
+//! Half/double up to 4x (avg ~3x) over the baseline; ~80-87% of peak
+//! bandwidth on liver, ~68% on prostate; CPU far below everything.
+
+use crate::context::Context;
+use crate::render::{f1, TextTable};
+use crate::runner::{run_baseline, run_cpu_model, run_half_double, run_single, Measured};
+use rt_gpusim::{DeviceSpec, TimeEstimate};
+
+pub struct Fig5Case {
+    pub case: String,
+    pub baseline: Measured,
+    pub half_double: Measured,
+    pub single: Measured,
+    pub cpu: TimeEstimate,
+}
+
+pub struct Fig5 {
+    pub cases: Vec<Fig5Case>,
+}
+
+pub fn generate(ctx: &Context) -> Fig5 {
+    let dev = DeviceSpec::a100();
+    let cases = ctx
+        .cases
+        .iter()
+        .map(|c| Fig5Case {
+            case: c.name().to_string(),
+            baseline: run_baseline(c, &dev, 128),
+            half_double: run_half_double(c, &dev, 512),
+            single: run_single(c, &dev, 512),
+            cpu: run_cpu_model(c).1,
+        })
+        .collect();
+    Fig5 { cases }
+}
+
+impl Fig5 {
+    /// Speedup of Half/double over the GPU baseline, per case.
+    pub fn speedups_vs_baseline(&self) -> Vec<(String, f64)> {
+        self.cases
+            .iter()
+            .map(|c| (c.case.clone(), c.half_double.gflops() / c.baseline.gflops()))
+            .collect()
+    }
+
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "case",
+            "Baseline GF/s",
+            "Half/double GF/s",
+            "Single GF/s",
+            "CPU GF/s",
+            "Baseline BW",
+            "H/D BW GB/s",
+            "Single BW",
+            "H/D %peak",
+        ]);
+        for c in &self.cases {
+            t.row(vec![
+                c.case.clone(),
+                f1(c.baseline.gflops()),
+                f1(c.half_double.gflops()),
+                f1(c.single.gflops()),
+                f1(c.cpu.gflops),
+                f1(c.baseline.bandwidth_gbps()),
+                f1(c.half_double.bandwidth_gbps()),
+                f1(c.single.bandwidth_gbps()),
+                format!("{:.0}%", c.half_double.estimate.frac_peak_bw * 100.0),
+            ]);
+        }
+        let speedups = self.speedups_vs_baseline();
+        let avg: f64 = speedups.iter().map(|s| s.1).sum::<f64>() / speedups.len() as f64;
+        let max = speedups.iter().map(|s| s.1).fold(0.0, f64::max);
+        format!(
+            "Figure 5: kernel performance on the A100 + RayStation CPU reference\n\
+             paper: up to 4x vs baseline (avg ~3x); 420 GF/s peak Half/double;\n\
+             80-87% of peak BW on liver, ~68% on prostate.\n\n{}\n\
+             Half/double vs GPU Baseline: avg {avg:.2}x, max {max:.2}x\n",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn ordering_matches_paper() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        assert_eq!(f.cases.len(), 6);
+        for c in &f.cases {
+            // Half/double beats Single beats Baseline; all beat the CPU.
+            assert!(
+                c.half_double.gflops() > c.single.gflops(),
+                "{}: H/D {} vs Single {}",
+                c.case,
+                c.half_double.gflops(),
+                c.single.gflops()
+            );
+            assert!(
+                c.single.gflops() > c.baseline.gflops(),
+                "{}: Single {} vs Baseline {}",
+                c.case,
+                c.single.gflops(),
+                c.baseline.gflops()
+            );
+            assert!(c.baseline.gflops() > c.cpu.gflops, "{}", c.case);
+        }
+        // Speedup vs baseline lands in the paper's 2x-5x band.
+        for (case, s) in f.speedups_vs_baseline() {
+            assert!((1.2..8.0).contains(&s), "{case}: speedup {s}");
+        }
+    }
+
+    #[test]
+    fn liver_bandwidth_exceeds_prostate() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        let liver_bw = f.cases[0].half_double.estimate.frac_peak_bw;
+        let prostate_bw = f.cases[4].half_double.estimate.frac_peak_bw;
+        assert!(
+            liver_bw > prostate_bw,
+            "liver {liver_bw} vs prostate {prostate_bw}"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 7 — the Half/double kernel across GPU generations: A100,
+//! V100, P100, on all six matrices. Paper findings: A100/V100 between
+//! 1.5x and 2x; V100/P100 about 2.5x; ~80-88% of peak bandwidth on
+//! A100/V100 but only ~41% on the P100 (unexplained in the paper;
+//! modeled as an architectural derate, see `rt_gpusim::device`).
+
+use crate::context::Context;
+use crate::render::{f1, TextTable};
+use crate::runner::{run_half_double, Measured};
+use rt_gpusim::DeviceSpec;
+
+pub struct Fig7Case {
+    pub case: String,
+    pub a100: Measured,
+    pub v100: Measured,
+    pub p100: Measured,
+}
+
+pub struct Fig7 {
+    pub cases: Vec<Fig7Case>,
+}
+
+pub fn generate(ctx: &Context) -> Fig7 {
+    let cases = ctx
+        .cases
+        .iter()
+        .map(|c| Fig7Case {
+            case: c.name().to_string(),
+            a100: run_half_double(c, &DeviceSpec::a100(), 512),
+            v100: run_half_double(c, &DeviceSpec::v100(), 512),
+            p100: run_half_double(c, &DeviceSpec::p100(), 512),
+        })
+        .collect();
+    Fig7 { cases }
+}
+
+impl Fig7 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "case",
+            "A100 GF/s",
+            "V100 GF/s",
+            "P100 GF/s",
+            "A100 BW GB/s",
+            "V100 BW",
+            "P100 BW",
+            "A100/V100",
+            "V100/P100",
+        ]);
+        for c in &self.cases {
+            t.row(vec![
+                c.case.clone(),
+                f1(c.a100.gflops()),
+                f1(c.v100.gflops()),
+                f1(c.p100.gflops()),
+                f1(c.a100.bandwidth_gbps()),
+                f1(c.v100.bandwidth_gbps()),
+                f1(c.p100.bandwidth_gbps()),
+                format!("{:.2}x", c.a100.gflops() / c.v100.gflops()),
+                format!("{:.2}x", c.v100.gflops() / c.p100.gflops()),
+            ]);
+        }
+        format!(
+            "Figure 7: Half/double across A100 / V100 / P100\n\
+             paper: A100/V100 1.5-2x; V100/P100 ~2.5x; ~80-88% of peak BW on\n\
+             A100/V100 vs ~41% on P100.\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn generation_ratios_match_paper() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let f = generate(&ctx);
+        for c in &f.cases {
+            let av = c.a100.gflops() / c.v100.gflops();
+            let vp = c.v100.gflops() / c.p100.gflops();
+            assert!((1.3..=2.2).contains(&av), "{}: A/V {av}", c.case);
+            assert!((1.8..=3.2).contains(&vp), "{}: V/P {vp}", c.case);
+        }
+        // P100 bandwidth fraction anomaly on the liver cases (the large,
+        // well-saturating ones).
+        let liver = &f.cases[0];
+        assert!(
+            liver.p100.estimate.frac_peak_bw < 0.55,
+            "P100 frac {}",
+            liver.p100.estimate.frac_peak_bw
+        );
+        assert!(
+            liver.a100.estimate.frac_peak_bw > 0.6,
+            "A100 frac {}",
+            liver.a100.estimate.frac_peak_bw
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`table1`] | Table I — dose deposition matrix characteristics |
+//! | [`fig1`] | Figure 1 — beam's-eye-view spot-scanning illustration |
+//! | [`fig2`] | Figure 2 — cumulative row-length histograms |
+//! | [`fig3`] | Figure 3 — A100 roofline (Ginkgo, cuSPARSE, Single, Half/double) |
+//! | [`fig4`] | Figure 4 — threads-per-block sweep on liver beam 1 |
+//! | [`fig5`] | Figure 5 — GFLOP/s + bandwidth, all kernels, all cases, + CPU |
+//! | [`fig6`] | Figure 6 — single-precision library comparison |
+//! | [`fig7`] | Figure 7 — Half/double across A100 / V100 / P100 |
+//! | [`speedups`] | §V/§VII headline claims: 3-4x vs GPU baseline, 17x / 46x vs CPU |
+//! | [`ablations`] | design-choice ablations (index width, formats, row mapping, value encodings, reproducibility cost) |
+//!
+//! Experiments run on generated matrices at simulation scale; extensive
+//! counters are extrapolated to the clinical Table I sizes (and the
+//! simulated L2 shrunk by the same factor) before the timing model is
+//! applied — see DESIGN.md §4 and `rt_dose::cases`. Every experiment
+//! returns typed rows plus a text rendering; the `rt-bench` binaries
+//! print them and EXPERIMENTS.md records paper-vs-measured.
+
+pub mod ablations;
+pub mod context;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod render;
+pub mod runner;
+pub mod speedups;
+pub mod table1;
+pub mod traffic;
+
+pub use context::Context;
+pub use runner::Measured;

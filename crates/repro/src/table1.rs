@@ -1,0 +1,95 @@
+//! Table I — characteristics of the dose deposition matrices.
+
+use crate::context::Context;
+use crate::render::{f2, sci, TextTable};
+use rt_sparse::stats::MatrixSummary;
+
+/// One generated row next to its paper reference.
+#[derive(Clone, Debug)]
+pub struct Table1Row {
+    pub generated: MatrixSummary,
+    pub paper: rt_dose::cases::PaperRow,
+    pub extrapolation: f64,
+}
+
+/// The full table.
+pub struct Table1 {
+    pub rows: Vec<Table1Row>,
+}
+
+pub fn generate(ctx: &Context) -> Table1 {
+    let rows = ctx
+        .cases
+        .iter()
+        .map(|c| Table1Row {
+            generated: MatrixSummary::from_csr(c.name(), &c.case.matrix),
+            paper: c.case.paper,
+            extrapolation: c.case.extrapolation(),
+        })
+        .collect();
+    Table1 { rows }
+}
+
+impl Table1 {
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "beam no.",
+            "rows",
+            "cols",
+            "non-zeros",
+            "nz ratio",
+            "size (GB)",
+            "paper nnz",
+            "paper ratio",
+            "extrap",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.generated.name.clone(),
+                sci(r.generated.rows as f64),
+                sci(r.generated.cols as f64),
+                sci(r.generated.nnz as f64),
+                format!("{:.2}%", r.generated.nonzero_ratio_pct),
+                format!("{:.4}", r.generated.size_gb),
+                sci(r.paper.nnz),
+                format!("{:.2}%", r.paper.nonzero_ratio_pct),
+                f2(r.extrapolation),
+            ]);
+        }
+        format!(
+            "Table I: dose deposition matrix characteristics (generated at \
+             simulation scale; 'extrap' = clinical/simulated nnz ratio)\n\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rt_dose::cases::ScaleConfig;
+
+    #[test]
+    fn table_has_six_rows_in_order() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let t = generate(&ctx);
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.rows[0].generated.name, "Liver 1");
+        assert_eq!(t.rows[5].generated.name, "Prostate 2");
+        let s = t.render();
+        assert!(s.contains("Liver 4"));
+        assert!(s.contains("Prostate 1"));
+    }
+
+    #[test]
+    fn shapes_follow_paper_ordering() {
+        let ctx = Context::generate(ScaleConfig::tiny());
+        let t = generate(&ctx);
+        // Liver matrices are bigger than prostate ones in every respect.
+        let liver = &t.rows[0].generated;
+        let prostate = &t.rows[4].generated;
+        assert!(liver.rows > prostate.rows);
+        assert!(liver.cols > prostate.cols);
+        assert!(liver.nnz > prostate.nnz);
+    }
+}

@@ -1,0 +1,72 @@
+//! Validation errors shared by the sparse formats.
+
+use core::fmt;
+
+/// Why a sparse matrix failed structural validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SparseError {
+    /// `row_ptr` must have exactly `nrows + 1` entries.
+    RowPtrLength { expected: usize, actual: usize },
+    /// `row_ptr` must be non-decreasing.
+    RowPtrNotMonotonic { row: usize },
+    /// The final `row_ptr` entry must equal the number of stored values.
+    RowPtrTailMismatch { tail: usize, nnz: usize },
+    /// A column index is out of bounds.
+    ColumnOutOfBounds { row: usize, col: usize, ncols: usize },
+    /// Column indices within a row must be strictly increasing (sorted and
+    /// duplicate-free), which the coalescing-friendly kernels rely on.
+    ColumnsNotSorted { row: usize },
+    /// A row index is out of bounds (COO assembly).
+    RowOutOfBounds { row: usize, nrows: usize },
+    /// `values` and `col_idx` must have equal lengths.
+    LengthMismatch { values: usize, indices: usize },
+    /// The column count does not fit in the requested index type.
+    IndexOverflow { ncols: usize, max: usize },
+    /// A segment extends past the end of the matrix rows.
+    SegmentOutOfBounds { col: usize, start: usize, len: usize, nrows: usize },
+    /// Dimension mismatch in an operation (e.g. SpMV with a wrong-length
+    /// input vector).
+    DimensionMismatch { expected: usize, actual: usize },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::RowPtrLength { expected, actual } => {
+                write!(f, "row_ptr length {actual}, expected {expected}")
+            }
+            SparseError::RowPtrNotMonotonic { row } => {
+                write!(f, "row_ptr decreases at row {row}")
+            }
+            SparseError::RowPtrTailMismatch { tail, nnz } => {
+                write!(f, "row_ptr tail {tail} != nnz {nnz}")
+            }
+            SparseError::ColumnOutOfBounds { row, col, ncols } => {
+                write!(f, "column {col} out of bounds ({ncols}) in row {row}")
+            }
+            SparseError::ColumnsNotSorted { row } => {
+                write!(f, "columns not strictly increasing in row {row}")
+            }
+            SparseError::RowOutOfBounds { row, nrows } => {
+                write!(f, "row {row} out of bounds ({nrows})")
+            }
+            SparseError::LengthMismatch { values, indices } => {
+                write!(f, "values length {values} != indices length {indices}")
+            }
+            SparseError::IndexOverflow { ncols, max } => {
+                write!(f, "{ncols} columns do not fit in index type (max {max})")
+            }
+            SparseError::SegmentOutOfBounds { col, start, len, nrows } => {
+                write!(
+                    f,
+                    "segment [{start}, {start}+{len}) in column {col} exceeds {nrows} rows"
+                )
+            }
+            SparseError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}

@@ -1,0 +1,89 @@
+//! Column index abstraction.
+//!
+//! The paper observes (§V) that column indices account for `4 * nnz` bytes
+//! of memory traffic — a large share of the total — and proposes 16-bit
+//! indices as future work, noting the prostate cases (≈5000 columns) fit
+//! outright. Making the index type a parameter lets the ablation bench
+//! measure exactly that change.
+
+use crate::SparseError;
+
+/// An unsigned integer type usable as a column index.
+pub trait ColIndex:
+    Copy + Send + Sync + Ord + core::fmt::Debug + core::hash::Hash + 'static
+{
+    /// Stored size in bytes (what one index costs on the memory bus).
+    const BYTES: usize;
+    /// Largest representable index.
+    const MAX: usize;
+    /// Name used in experiment output.
+    const NAME: &'static str;
+
+    /// Converts from `usize`, failing if the value does not fit.
+    fn try_from_usize(v: usize) -> Option<Self>;
+
+    /// Converts to `usize`. Always lossless.
+    fn to_usize(self) -> usize;
+
+    /// Checks that every column of an `ncols`-wide matrix is addressable.
+    fn check_ncols(ncols: usize) -> Result<(), SparseError> {
+        // Indices go up to ncols - 1.
+        if ncols > 0 && ncols - 1 > Self::MAX {
+            Err(SparseError::IndexOverflow { ncols, max: Self::MAX })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+macro_rules! impl_col_index {
+    ($ty:ty, $name:literal) => {
+        impl ColIndex for $ty {
+            const BYTES: usize = core::mem::size_of::<$ty>();
+            const MAX: usize = <$ty>::MAX as usize;
+            const NAME: &'static str = $name;
+
+            #[inline]
+            fn try_from_usize(v: usize) -> Option<Self> {
+                <$ty>::try_from(v).ok()
+            }
+
+            #[inline]
+            fn to_usize(self) -> usize {
+                self as usize
+            }
+        }
+    };
+}
+
+impl_col_index!(u16, "u16");
+impl_col_index!(u32, "u32");
+impl_col_index!(u64, "u64");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u16_bounds() {
+        assert_eq!(<u16 as ColIndex>::try_from_usize(65535), Some(65535u16));
+        assert_eq!(<u16 as ColIndex>::try_from_usize(65536), None);
+        assert!(u16::check_ncols(65536).is_ok());
+        assert!(u16::check_ncols(65537).is_err());
+        assert!(u16::check_ncols(0).is_ok());
+    }
+
+    #[test]
+    fn u32_bounds() {
+        assert_eq!(<u32 as ColIndex>::BYTES, 4);
+        assert!(u32::check_ncols(1 << 20).is_ok());
+        assert_eq!(<u32 as ColIndex>::try_from_usize(1 << 20), Some(1u32 << 20));
+    }
+
+    #[test]
+    fn roundtrip() {
+        for v in [0usize, 1, 255, 65535] {
+            assert_eq!(<u16 as ColIndex>::try_from_usize(v).unwrap().to_usize(), v);
+        }
+    }
+}

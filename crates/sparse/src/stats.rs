@@ -1,0 +1,226 @@
+//! Row-length statistics of dose deposition matrices.
+//!
+//! These are the numbers the paper reports in Table I and Figure 2: matrix
+//! shape, non-zero ratio, size in GB, the cumulative row-length histogram,
+//! the fraction of empty rows (~70% in both beam-1 cases), the average
+//! non-zeros per non-empty row, and the fraction of non-empty rows shorter
+//! than a warp (32) — the rows for which the warp-per-row kernel wastes
+//! lanes.
+
+use crate::{ColIndex, Csr};
+use rt_f16::DoseScalar;
+
+/// Summary statistics over the stored row lengths of a matrix.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct RowStats {
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    /// Rows with no stored entries.
+    pub empty_rows: usize,
+    /// Longest row.
+    pub max_row_len: usize,
+    /// Mean stored entries over *non-empty* rows (Figure 2's "avg nnz per
+    /// row" is computed over non-empty rows; 70% of rows are empty).
+    pub avg_nnz_nonempty: f64,
+    /// Fraction of non-empty rows with fewer than 32 entries — the rows
+    /// that under-fill a warp (5.6% liver / 14.2% prostate in the paper).
+    pub frac_nonempty_below_warp: f64,
+    /// Sorted lengths of the non-empty rows (ascending), for quantiles and
+    /// the cumulative histogram.
+    sorted_nonempty: Vec<u32>,
+}
+
+impl RowStats {
+    /// Gathers statistics from a CSR matrix.
+    pub fn from_csr<V: DoseScalar, I: ColIndex>(m: &Csr<V, I>) -> Self {
+        let mut sorted_nonempty: Vec<u32> = (0..m.nrows())
+            .map(|r| m.row_len(r) as u32)
+            .filter(|&l| l > 0)
+            .collect();
+        sorted_nonempty.sort_unstable();
+        let empty_rows = m.nrows() - sorted_nonempty.len();
+        let max_row_len = sorted_nonempty.last().copied().unwrap_or(0) as usize;
+        let avg_nnz_nonempty = if sorted_nonempty.is_empty() {
+            0.0
+        } else {
+            m.nnz() as f64 / sorted_nonempty.len() as f64
+        };
+        let below = sorted_nonempty.partition_point(|&l| l < 32);
+        let frac_nonempty_below_warp = if sorted_nonempty.is_empty() {
+            0.0
+        } else {
+            below as f64 / sorted_nonempty.len() as f64
+        };
+        RowStats {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            empty_rows,
+            max_row_len,
+            avg_nnz_nonempty,
+            frac_nonempty_below_warp,
+            sorted_nonempty,
+        }
+    }
+
+    /// Fraction of all rows that are empty.
+    pub fn empty_fraction(&self) -> f64 {
+        if self.nrows == 0 {
+            0.0
+        } else {
+            self.empty_rows as f64 / self.nrows as f64
+        }
+    }
+
+    /// Stored-entry density, `nnz / (nrows * ncols)`.
+    pub fn density(&self) -> f64 {
+        if self.nrows == 0 || self.ncols == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / (self.nrows as f64 * self.ncols as f64)
+        }
+    }
+
+    /// Fraction of *non-empty* rows with length `< x` — one point of the
+    /// Figure 2 cumulative histogram (which excludes empty rows).
+    pub fn cumulative_at(&self, x: usize) -> f64 {
+        if self.sorted_nonempty.is_empty() {
+            return 0.0;
+        }
+        let below = self.sorted_nonempty.partition_point(|&l| (l as usize) < x);
+        below as f64 / self.sorted_nonempty.len() as f64
+    }
+
+    /// Samples the cumulative histogram at logarithmically spaced row
+    /// lengths up to the maximum — the Figure 2 curve.
+    pub fn cumulative_curve(&self, points: usize) -> Vec<(usize, f64)> {
+        if self.max_row_len == 0 || points == 0 {
+            return Vec::new();
+        }
+        let lo = 1.0f64;
+        let hi = (self.max_row_len + 1) as f64;
+        (0..points)
+            .map(|i| {
+                let t = i as f64 / (points - 1).max(1) as f64;
+                let x = (lo * (hi / lo).powf(t)).round() as usize;
+                (x, self.cumulative_at(x))
+            })
+            .collect()
+    }
+
+    /// q-th quantile (0..=1) of non-empty row lengths.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.sorted_nonempty.is_empty() {
+            return 0;
+        }
+        let idx = ((self.sorted_nonempty.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        self.sorted_nonempty[idx] as usize
+    }
+}
+
+/// One row of Table I: the shape summary of a named beam's matrix.
+#[derive(Clone, Debug, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct MatrixSummary {
+    pub name: String,
+    pub rows: usize,
+    pub cols: usize,
+    pub nnz: usize,
+    /// `nnz / (rows * cols)` as a percentage, the paper's "non-zero ratio".
+    pub nonzero_ratio_pct: f64,
+    /// CSR size with f16 values and u32 indices, in GB (Table I's "size").
+    pub size_gb: f64,
+}
+
+impl MatrixSummary {
+    pub fn from_csr<V: DoseScalar, I: ColIndex>(name: &str, m: &Csr<V, I>) -> Self {
+        // Table I sizes correspond to half values + 4-byte indices
+        // regardless of how the matrix is currently stored.
+        let bytes = 6 * m.nnz() + 4 * (m.nrows() + 1);
+        MatrixSummary {
+            name: name.to_string(),
+            rows: m.nrows(),
+            cols: m.ncols(),
+            nnz: m.nnz(),
+            nonzero_ratio_pct: m.density() * 100.0,
+            size_gb: bytes as f64 / 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed() -> Csr<f64, u32> {
+        // 10 rows: lengths 0,0,0,0,0,0,0 (7 empty), 2, 40, 100
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![vec![]; 10];
+        rows[7] = (0..2).map(|c| (c, 1.0)).collect();
+        rows[8] = (0..40).map(|c| (c, 1.0)).collect();
+        rows[9] = (0..100).map(|c| (c, 1.0)).collect();
+        Csr::from_rows(100, &rows).unwrap()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = RowStats::from_csr(&skewed());
+        assert_eq!(s.empty_rows, 7);
+        assert!((s.empty_fraction() - 0.7).abs() < 1e-12);
+        assert_eq!(s.max_row_len, 100);
+        assert_eq!(s.nnz, 142);
+        assert!((s.avg_nnz_nonempty - 142.0 / 3.0).abs() < 1e-12);
+        // One of three non-empty rows is below 32.
+        assert!((s.frac_nonempty_below_warp - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_excludes_empty_rows() {
+        let s = RowStats::from_csr(&skewed());
+        assert_eq!(s.cumulative_at(1), 0.0); // nothing shorter than 1
+        assert!((s.cumulative_at(3) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.cumulative_at(41) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.cumulative_at(101), 1.0);
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotonic() {
+        let s = RowStats::from_csr(&skewed());
+        let curve = s.cumulative_curve(20);
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 <= w[1].0);
+        }
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let s = RowStats::from_csr(&skewed());
+        assert_eq!(s.quantile(0.0), 2);
+        assert_eq!(s.quantile(1.0), 100);
+        assert_eq!(s.quantile(0.5), 40);
+    }
+
+    #[test]
+    fn summary_matches_paper_size_formula() {
+        let m = skewed();
+        let s = MatrixSummary::from_csr("test", &m);
+        assert_eq!(s.nnz, 142);
+        let expected_bytes = 6 * 142 + 4 * 11;
+        assert!((s.size_gb - expected_bytes as f64 / 1e9).abs() < 1e-18);
+        assert!((s.nonzero_ratio_pct - 14.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_stats() {
+        let m = Csr::<f64, u32>::from_rows(5, &[vec![], vec![]]).unwrap();
+        let s = RowStats::from_csr(&m);
+        assert_eq!(s.empty_fraction(), 1.0);
+        assert_eq!(s.avg_nnz_nonempty, 0.0);
+        assert_eq!(s.cumulative_at(10), 0.0);
+        assert!(s.cumulative_curve(5).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Monte Carlo vs analytic dose engines: simulates one proton spot with
+//! both engines and prints the depth-dose curve side by side — the Bragg
+//! peak, the MC statistical noise, and the noise-driven sparsity
+//! inflation the paper attributes its extra non-zeros to (§II-A).
+//!
+//! ```sh
+//! cargo run --release --example monte_carlo_dose
+//! ```
+
+use rtdose::dose::{
+    Beam, BeamAxis, DoseGrid, Material, MonteCarloEngine, PencilBeamEngine, Phantom, Spot,
+};
+use rtdose::dose::phantom::Ellipsoid;
+use rtdose::dose::beam::SpotGridConfig;
+
+fn main() {
+    // A water phantom with a deep-seated target.
+    let grid = DoseGrid::new(64, 24, 24, 2.5);
+    let mut phantom = Phantom::uniform(grid, Material::Water);
+    phantom.set_target(Ellipsoid { center: (32.0, 12.0, 12.0), radii: (8.0, 6.0, 6.0) });
+    let beam = Beam::covering_target(&phantom, BeamAxis::XPlus, SpotGridConfig::default());
+
+    // One 100 mm-range spot down the central axis.
+    let spot = Spot { u_mm: 30.0, v_mm: 30.0, range_mm: 100.0 };
+    println!(
+        "proton spot: range {:.0} mm ({:.1} MeV), surface sigma {:.1} mm\n",
+        spot.range_mm,
+        spot.energy_mev(),
+        beam.sigma0_mm
+    );
+
+    let analytic = PencilBeamEngine::default().spot_column(&phantom, &beam, &spot, 0);
+    let mc_engine = MonteCarloEngine { protons_per_spot: 5000, ..Default::default() };
+    let mc = mc_engine.spot_column(&phantom, &beam, &spot, 0);
+
+    // Integrate both columns over depth (x) for the depth-dose curve.
+    let depth_profile = |col: &[(usize, f64)]| {
+        let mut p = vec![0.0f64; grid.nx];
+        for &(v, w) in col {
+            p[grid.coords(v).0] += w;
+        }
+        p
+    };
+    let pa = depth_profile(&analytic);
+    let pm = depth_profile(&mc);
+    let norm = |p: &[f64]| {
+        let m = p.iter().cloned().fold(0.0, f64::max);
+        p.iter().map(|&x| x / m).collect::<Vec<_>>()
+    };
+    let (pa, pm) = (norm(&pa), norm(&pm));
+
+    println!("depth [mm]   analytic              Monte Carlo (5000 protons)");
+    for x in (0..grid.nx).step_by(2) {
+        let depth = (x as f64 + 0.5) * grid.voxel_mm;
+        if depth > spot.range_mm + 15.0 {
+            break;
+        }
+        let bar = |v: f64| "#".repeat((v * 24.0).round() as usize);
+        println!(
+            "{:>8.1}   {:<24}  {:<24}",
+            depth,
+            bar(pa[x]),
+            bar(pm[x]),
+        );
+    }
+
+    // The paper's nnz-inflation observation (§II-A): statistical noise
+    // keeps stray voxels above any fixed threshold, so the non-zero
+    // count *grows* with the number of simulated histories.
+    let nnz_at = |protons: usize| {
+        MonteCarloEngine { protons_per_spot: protons, ..Default::default() }
+            .spot_column(&phantom, &beam, &spot, 0)
+            .len()
+    };
+    let clean = PencilBeamEngine::default().spot_column(&phantom, &beam, &spot, 0).len();
+    let noisy = PencilBeamEngine::with_noise(Default::default())
+        .spot_column(&phantom, &beam, &spot, 0)
+        .len();
+    println!(
+        "\nnon-zero inflation (the paper's §II-A observation):\n\
+         analytic column            : {clean} entries\n\
+         analytic + MC noise model  : {noisy} entries\n\
+         Monte Carlo, 500 histories : {} entries\n\
+         Monte Carlo, 5000 histories: {} entries\n\
+         more histories visit more stray voxels, and any fixed threshold\n\
+         keeps them — noise artificially inflates the matrix.",
+        nnz_at(500),
+        nnz_at(5000),
+    );
+}

@@ -1,0 +1,82 @@
+//! Roofline analysis of the four kernels on the A100 — a programmatic
+//! version of the paper's Figure 3, including the §V analytic
+//! operational-intensity bound the paper validates its measurement
+//! against.
+//!
+//! ```sh
+//! cargo run --release --example roofline_analysis
+//! ```
+
+use rtdose::dose::cases::{liver_case, ScaleConfig};
+use rtdose::gpusim::{DeviceSpec, Precision};
+use rtdose::roofline::{CsrTrafficModel, Roofline};
+use rtdose::repro::context::PreparedCase;
+use rtdose::repro::runner;
+
+fn main() {
+    println!("generating liver beam 1 ...");
+    let case = liver_case(ScaleConfig { shrink: 12.0 }).remove(0);
+    let prepared = PreparedCase::new(case);
+    let dev = DeviceSpec::a100();
+
+    // The ceilings.
+    let roof64 = Roofline::for_device(&dev, Precision::Double);
+    let roof32 = Roofline::for_device(&dev, Precision::Single);
+    println!("\nA100 rooflines:");
+    println!(
+        "  fp64: {:.1} TFLOP/s ceiling, ridge at {:.2} flop/byte",
+        roof64.peak_flops / 1e12,
+        roof64.ridge()
+    );
+    println!(
+        "  fp32: {:.1} TFLOP/s ceiling, ridge at {:.2} flop/byte",
+        roof32.peak_flops / 1e12,
+        roof32.ridge()
+    );
+
+    // The paper's analytic OI bound (§V): 6*nnz + 12*nr + 8*nc bytes.
+    let (nnz, nr, nc) = (
+        prepared.case.matrix.nnz() as u64,
+        prepared.case.matrix.nrows() as u64,
+        prepared.case.matrix.ncols() as u64,
+    );
+    println!("\nanalytic OI upper bounds (infinite cache):");
+    for (name, model) in [
+        ("Half/double       ", CsrTrafficModel::half_double()),
+        ("Single            ", CsrTrafficModel::single()),
+        ("Half/double + u16 ", CsrTrafficModel::half_double_u16()),
+    ] {
+        println!(
+            "  {name}: {:.3} flop/byte (at paper dims: {:.3})",
+            model.oi_upper_bound(nnz, nr, nc),
+            model.oi_upper_bound(1_480_000_000, 2_970_000, 68_000),
+        );
+    }
+
+    // Measured points.
+    println!("\nmeasured kernels (OI from simulated DRAM counters):");
+    let runs = [
+        runner::run_half_double(&prepared, &dev, 512),
+        runner::run_single(&prepared, &dev, 512),
+        runner::run_cusparse(&prepared, &dev),
+        runner::run_ginkgo(&prepared, &dev),
+    ];
+    for m in &runs {
+        let roof = Roofline::for_device(&dev, m.profile.precision);
+        let attainable = roof.attainable(m.oi()) / 1e9;
+        println!(
+            "  {:<12} OI {:.3}  {:>6.1} GFLOP/s of {:>7.1} attainable ({:.0}% of the roof) — memory-bound: {}",
+            m.kernel,
+            m.oi(),
+            m.gflops(),
+            attainable,
+            100.0 * m.gflops() / attainable,
+            roof.is_memory_bound(m.oi()),
+        );
+    }
+    println!(
+        "\nevery kernel sits deep in the memory-bound region — the paper's\n\
+         core observation, and why shrinking bytes-per-nonzero (f16 values,\n\
+         and prospectively u16 indices) converts directly into speed."
+    );
+}

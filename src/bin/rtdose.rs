@@ -1,0 +1,310 @@
+//! `rtdose` — command-line front end: generate dose deposition matrices,
+//! inspect their structure, run the SpMV kernels on a simulated GPU, and
+//! optimize a plan. A thin shell over the library crates; argument
+//! parsing is hand-rolled to keep the dependency set at the workspace
+//! baseline.
+//!
+//! ```text
+//! rtdose info
+//! rtdose generate --case prostate --beam 0 --shrink 8 --out beam.rtdm
+//! rtdose stats    --matrix beam.rtdm
+//! rtdose spmv     --matrix beam.rtdm --device a100 --kernel half-double --tpb 512
+//! rtdose optimize --case prostate --shrink 16 --iters 30
+//! ```
+
+use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
+use rtdose::f16::F16;
+use rtdose::gpusim::{DeviceSpec, Gpu};
+use rtdose::kernels::{
+    profile_baseline, profile_half_double, profile_single, rs_baseline_gpu_spmv, vector_csr_spmv,
+    GpuCsrMatrix, GpuRsMatrix,
+};
+use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
+use rtdose::sparse::stats::{MatrixSummary, RowStats};
+use rtdose::sparse::{load_csr, save_csr, Csr, RsCompressed};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "rtdose — radiation-therapy dose calculation toolbox\n\
+         \n\
+         USAGE:\n\
+           rtdose info\n\
+           rtdose generate --case <liver|prostate> [--beam N] [--shrink S] --out FILE\n\
+           rtdose stats    --matrix FILE\n\
+           rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
+                           [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
+           rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
+         \n\
+         Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{name}");
+                usage();
+            }
+            flags.insert(name.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            eprintln!("unexpected argument: {a}");
+            usage();
+        }
+    }
+    flags
+}
+
+fn device(name: &str) -> DeviceSpec {
+    match name {
+        "a100" => DeviceSpec::a100(),
+        "v100" => DeviceSpec::v100(),
+        "p100" => DeviceSpec::p100(),
+        other => {
+            eprintln!("unknown device: {other} (expected a100, v100 or p100)");
+            usage();
+        }
+    }
+}
+
+fn generate_case(flags: &HashMap<String, String>) -> DoseCase {
+    let shrink: f64 = flags.get("shrink").map(|s| s.parse().expect("--shrink")).unwrap_or(8.0);
+    let beam: usize = flags.get("beam").map(|s| s.parse().expect("--beam")).unwrap_or(0);
+    let scale = ScaleConfig { shrink: shrink.max(1.0) };
+    let mut cases = match flags.get("case").map(String::as_str) {
+        Some("liver") => liver_case(scale),
+        Some("prostate") => prostate_case(scale),
+        _ => {
+            eprintln!("--case must be liver or prostate");
+            usage();
+        }
+    };
+    if beam >= cases.len() {
+        eprintln!("--beam {beam} out of range ({} beams)", cases.len());
+        std::process::exit(2);
+    }
+    cases.swap_remove(beam)
+}
+
+fn cmd_info() {
+    println!("devices:");
+    for d in [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()] {
+        println!(
+            "  {:<5} {:>3} SMs  {:>5.0} GB/s DRAM  {:>4.1} TF fp64  {:>3} MB L2",
+            d.name,
+            d.sm_count,
+            d.dram_bw / 1e9,
+            d.peak_f64 / 1e12,
+            d.l2_bytes >> 20,
+        );
+    }
+    println!("\ncases (at --shrink 1, the default experiment scale):");
+    println!("  liver    — 4 beams (gantry 270/0/90/180), Table I rows 1-4");
+    println!("  prostate — 2 parallel-opposed beams, Table I rows 5-6");
+    println!("\npaper artifacts: cargo run --release -p rt-bench --bin repro_all");
+}
+
+fn cmd_generate(flags: HashMap<String, String>) {
+    let Some(out) = flags.get("out") else {
+        eprintln!("generate requires --out FILE");
+        usage();
+    };
+    let t0 = std::time::Instant::now();
+    let case = generate_case(&flags);
+    let m16: Csr<F16, u32> = case.matrix.convert_values();
+    let mut file = std::fs::File::create(out).expect("create output file");
+    save_csr(&m16, &mut file).expect("write snapshot");
+    println!(
+        "{}: {} voxels x {} spots, {} non-zeros -> {} ({} bytes, {:.1?})",
+        case.name,
+        m16.nrows(),
+        m16.ncols(),
+        m16.nnz(),
+        out,
+        m16.size_bytes(),
+        t0.elapsed()
+    );
+}
+
+fn load_matrix(flags: &HashMap<String, String>) -> Csr<F16, u32> {
+    let Some(path) = flags.get("matrix") else {
+        eprintln!("missing --matrix FILE");
+        usage();
+    };
+    let mut f = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    load_csr(&mut f).unwrap_or_else(|e| {
+        eprintln!("cannot load {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_stats(flags: HashMap<String, String>) {
+    let m = load_matrix(&flags);
+    let summary = MatrixSummary::from_csr("matrix", &m);
+    let stats = RowStats::from_csr(&m);
+    println!("rows        : {}", summary.rows);
+    println!("cols        : {}", summary.cols);
+    println!("non-zeros   : {}", summary.nnz);
+    println!("density     : {:.3}%", summary.nonzero_ratio_pct);
+    println!("size (f16 + u32 CSR): {:.6} GB", summary.size_gb);
+    println!("empty rows  : {:.1}%", stats.empty_fraction() * 100.0);
+    println!("avg nnz per non-empty row: {:.1}", stats.avg_nnz_nonempty);
+    println!("non-empty rows < 32 nnz  : {:.1}%", stats.frac_nonempty_below_warp * 100.0);
+    println!("max row length           : {}", stats.max_row_len);
+    println!("\ncumulative row-length histogram (non-empty rows):");
+    for (x, frac) in stats.cumulative_curve(12) {
+        println!("  < {:>6}: {:>5.1}%  {}", x, frac * 100.0, "#".repeat((frac * 40.0) as usize));
+    }
+}
+
+fn cmd_spmv(flags: HashMap<String, String>) {
+    let m = load_matrix(&flags);
+    let dev = device(flags.get("device").map(String::as_str).unwrap_or("a100"));
+    let tpb: u32 = flags.get("tpb").map(|s| s.parse().expect("--tpb")).unwrap_or(512);
+    let repeat: usize = flags.get("repeat").map(|s| s.parse().expect("--repeat")).unwrap_or(2);
+    let kernel = flags.get("kernel").map(String::as_str).unwrap_or("half-double");
+
+    let weights = vec![1.0f64; m.ncols()];
+    let gpu = Gpu::new(dev.clone());
+    // Cold-cache measurement: a snapshot-sized matrix can fit in the
+    // full device L2, which a clinical matrix never would. Invalidate
+    // between repeats so the matrix streams like the real workload.
+    let t0 = std::time::Instant::now();
+    let (stats, profile) = match kernel {
+        "half-double" => {
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let x = gpu.upload(&weights);
+            let y = gpu.alloc_out::<f64>(m.nrows());
+            let mut s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            for _ in 1..repeat {
+                gpu.reset_cache();
+                s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            }
+            (s, profile_half_double())
+        }
+        "single" => {
+            let m32: Csr<f32, u32> = m.convert_values();
+            let gm = GpuCsrMatrix::upload(&gpu, &m32);
+            let w32: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
+            let x = gpu.upload(&w32);
+            let y = gpu.alloc_out::<f32>(m.nrows());
+            let mut s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            for _ in 1..repeat {
+                gpu.reset_cache();
+                s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            }
+            (s, profile_single())
+        }
+        "baseline" => {
+            let rs = RsCompressed::from_csr(&m);
+            let gm = GpuRsMatrix::upload(&gpu, &rs);
+            let x = gpu.upload(&weights);
+            let y = gpu.alloc_out::<f64>(m.nrows());
+            let mut s = rs_baseline_gpu_spmv(&gpu, &gm, &x, &y, tpb);
+            for _ in 1..repeat {
+                y.clear();
+                gpu.reset_cache();
+                s = rs_baseline_gpu_spmv(&gpu, &gm, &x, &y, tpb);
+            }
+            (s, profile_baseline())
+        }
+        other => {
+            eprintln!("unknown kernel: {other}");
+            usage();
+        }
+    };
+    let est = rtdose::gpusim::timing::estimate(&dev, &profile, &stats);
+
+    println!("kernel {kernel} on {} ({} threads/block), sim wall time {:.2?}", dev.name, tpb, t0.elapsed());
+    println!("  flops                : {}", stats.flops);
+    println!("  DRAM read / write    : {} / {} bytes", stats.dram_read_bytes, stats.dram_write_bytes);
+    println!("  L2 hit rate          : {:.1}%", stats.l2_hit_rate() * 100.0);
+    println!("  atomics              : {}", stats.atomic_ops);
+    println!("  operational intensity: {:.3} flop/byte", stats.operational_intensity());
+    println!("  modeled time         : {:.3} ms", est.seconds * 1e3);
+    println!("  modeled performance  : {:.1} GFLOP/s", est.gflops);
+    println!(
+        "  modeled bandwidth    : {:.0} GB/s ({:.0}% of {} peak)",
+        est.dram_bw_gbps,
+        est.frac_peak_bw * 100.0,
+        dev.name
+    );
+}
+
+fn cmd_optimize(flags: HashMap<String, String>) {
+    let iters: usize = flags.get("iters").map(|s| s.parse().expect("--iters")).unwrap_or(30);
+    let case = generate_case(&flags);
+    let matrix = case.matrix.clone();
+    let probe = {
+        let mut d = vec![0.0; matrix.nrows()];
+        matrix.spmv_ref(&vec![1.0; matrix.ncols()], &mut d).unwrap();
+        d
+    };
+    let peak = probe.iter().cloned().fold(0.0, f64::max);
+    let target: Vec<usize> = (0..probe.len()).filter(|&i| probe[i] > 0.5 * peak).collect();
+    println!(
+        "{}: {} voxels x {} spots, target {} voxels",
+        case.name,
+        matrix.nrows(),
+        matrix.ncols(),
+        target.len()
+    );
+
+    let objective = Objective::new(vec![ObjectiveTerm::UniformDose {
+        voxels: target,
+        prescribed: 0.7 * peak,
+        weight: 1.0,
+    }]);
+    let engine = GpuDoseEngine::with_scales(
+        DeviceSpec::a100(),
+        &matrix,
+        case.extrapolation(),
+        case.paper.rows / matrix.nrows() as f64,
+    );
+    let result = optimize(
+        &engine,
+        &objective,
+        &vec![0.2; matrix.ncols()],
+        &OptimizerConfig { max_iters: iters, ..Default::default() },
+    );
+    for log in result.history.iter().step_by((iters / 10).max(1)) {
+        println!(
+            "  iter {:>3}  objective {:.6}  |pg| {:.2e}",
+            log.iter, log.objective, log.projected_grad_norm
+        );
+    }
+    println!(
+        "done: objective {:.6} after {} dose calculations; modeled GPU kernel time {:.1} ms",
+        result.objective,
+        result.dose_evals,
+        result.modeled_dose_seconds * 1e3
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else { usage() };
+    match cmd.as_str() {
+        "info" => cmd_info(),
+        "generate" => cmd_generate(parse_flags(&args[1..])),
+        "stats" => cmd_stats(parse_flags(&args[1..])),
+        "spmv" => cmd_spmv(parse_flags(&args[1..])),
+        "optimize" => cmd_optimize(parse_flags(&args[1..])),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

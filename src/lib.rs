@@ -1,0 +1,55 @@
+//! # rtdose — radiation-therapy dose calculation with mixed-precision SpMV
+//!
+//! A full reproduction of *"Accelerating Radiation Therapy Dose
+//! Calculation with Nvidia GPUs"* (Liu, Jansson, Podobas, Fredriksson,
+//! Markidis, 2021) as a Rust workspace: the paper's warp-per-row
+//! mixed-precision CSR SpMV kernel, every substrate it needs (a software
+//! binary16 type, the sparse formats, a warp-synchronous GPU simulator
+//! with a memory-hierarchy model, a synthetic proton dose engine, a
+//! treatment-plan optimizer), and a harness that regenerates every table
+//! and figure of the paper's evaluation. See `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The facade re-exports the sub-crates under friendly names:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | `f16` | `rt-f16` | software binary16 / bfloat16 / fixed-point |
+//! | [`sparse`] | `rt-sparse` | CSR, COO, ELLPACK, SELL-C-σ, RayStation-compressed |
+//! | [`gpusim`] | `rt-gpusim` | the simulated GPU: devices, executor, counters, timing |
+//! | [`dose`] | `rt-dose` | phantoms, beams, Bragg curves, dose matrices |
+//! | [`kernels`] | `rt-core` | the paper's SpMV kernels + [`DoseCalculator`] |
+//! | [`roofline`] | `rt-roofline` | roofline model and OI bounds |
+//! | [`optim`] | `rt-optim` | plan objectives, projected gradient, robust scenarios |
+//! | [`repro`] | `rt-repro` | per-table/figure experiment generators |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rtdose::dose::cases::{prostate_case, ScaleConfig};
+//! use rtdose::gpusim::DeviceSpec;
+//! use rtdose::kernels::DoseCalculator;
+//!
+//! // Generate a (small) prostate dose deposition matrix...
+//! let case = prostate_case(ScaleConfig { shrink: 40.0 }).remove(0);
+//! // ...put it on a simulated A100 in the paper's Half/double setup...
+//! let calc = DoseCalculator::new(DeviceSpec::a100(), &case.matrix);
+//! // ...and compute a dose distribution from uniform spot weights.
+//! let result = calc.compute_dose(&vec![1.0; case.matrix.ncols()]);
+//! assert_eq!(result.dose.len(), case.matrix.nrows());
+//! assert!(result.estimate.gflops > 0.0);
+//! ```
+
+pub use rt_core as kernels;
+pub use rt_dose as dose;
+pub use rt_f16 as f16;
+pub use rt_gpusim as gpusim;
+pub use rt_optim as optim;
+pub use rt_repro as repro;
+pub use rt_roofline as roofline;
+pub use rt_sparse as sparse;
+
+pub use rt_core::{DoseCalculator, DoseResult};
+pub use rt_f16::F16;
+pub use rt_gpusim::DeviceSpec;
+pub use rt_sparse::Csr;

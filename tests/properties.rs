@@ -1,0 +1,163 @@
+//! Property-based tests over random matrices and values, spanning the
+//! format and kernel crates.
+
+use proptest::prelude::*;
+use rtdose::f16::{Bf16, DoseScalar, F16};
+use rtdose::gpusim::{DeviceSpec, Gpu};
+use rtdose::kernels::{vector_csr_spmv, GpuCsrMatrix, RsCpu};
+use rtdose::sparse::{Coo, Csr, Ell, RsCompressed, SellCSigma};
+use rtdose::sparse::stats::RowStats;
+
+/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
+fn matrix_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
+    (2usize..60, 2usize..40).prop_flat_map(|(nrows, ncols)| {
+        let triplet = (0..nrows, 0..ncols, 0.0f64..10.0);
+        (
+            Just(nrows),
+            Just(ncols),
+            proptest::collection::vec(triplet, 0..200),
+        )
+    })
+}
+
+fn build(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Csr<f64, u32> {
+    Coo::from_triplets(nrows, ncols, triplets.to_vec())
+        .unwrap()
+        .to_csr()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_formats_compute_the_same_spmv((nrows, ncols, triplets) in matrix_strategy(),
+                                         seed in 0u64..1000) {
+        let m = build(nrows, ncols, &triplets);
+        let x: Vec<f64> = (0..ncols).map(|i| ((i as u64 * 37 + seed) % 17) as f64 * 0.25).collect();
+        let mut want = vec![0.0; nrows];
+        m.spmv_ref(&x, &mut want).unwrap();
+
+        let mut got = vec![0.0; nrows];
+        Ell::from_csr(&m).spmv_ref(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+        }
+
+        SellCSigma::from_csr(&m, 8, 32).spmv_ref(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+        }
+
+        RsCompressed::from_csr(&m).spmv_ref(&x, &mut got).unwrap();
+        for (g, w) in got.iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gpu_kernel_matches_reference_on_random_matrices(
+        (nrows, ncols, triplets) in matrix_strategy()
+    ) {
+        let m64 = build(nrows, ncols, &triplets);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..ncols).map(|i| 1.0 + (i % 5) as f64).collect();
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f64>(nrows);
+        let stats = vector_csr_spmv(&gpu, &gm, &dx, &dy, 128);
+        prop_assert_eq!(stats.flops, 2 * m.nnz() as u64);
+
+        let mut want = vec![0.0; nrows];
+        m.spmv_ref(&x, &mut want).unwrap();
+        for (g, w) in dy.to_vec().iter().zip(want.iter()) {
+            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()), "{} vs {}", g, w);
+        }
+    }
+
+    #[test]
+    fn rs_cpu_agrees_with_reference_for_any_thread_count(
+        (nrows, ncols, triplets) in matrix_strategy(),
+        threads in 1usize..9
+    ) {
+        let m64 = build(nrows, ncols, &triplets);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let rs = RsCompressed::from_csr(&m);
+        let w: Vec<f64> = (0..ncols).map(|i| (i % 3) as f64).collect();
+        let mut want = vec![0.0; nrows];
+        m.spmv_ref(&w, &mut want).unwrap();
+        let mut got = vec![0.0; nrows];
+        RsCpu::with_threads(threads).spmv(&rs, &w, &mut got).unwrap();
+        for (g, wv) in got.iter().zip(want.iter()) {
+            prop_assert!((g - wv).abs() <= 1e-9 * (1.0 + wv.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution((nrows, ncols, triplets) in matrix_strategy()) {
+        let m = build(nrows, ncols, &triplets);
+        let tt = m.transpose().transpose();
+        // transpose() returns u32 indices; compare entry lists.
+        prop_assert_eq!(
+            m.iter().collect::<Vec<_>>(),
+            tt.iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn spmv_is_linear((nrows, ncols, triplets) in matrix_strategy(), a in 0.1f64..4.0) {
+        let m = build(nrows, ncols, &triplets);
+        let x: Vec<f64> = (0..ncols).map(|i| (i + 1) as f64 * 0.5).collect();
+        let ax: Vec<f64> = x.iter().map(|&v| a * v).collect();
+        let mut y1 = vec![0.0; nrows];
+        let mut y2 = vec![0.0; nrows];
+        m.spmv_ref(&x, &mut y1).unwrap();
+        m.spmv_ref(&ax, &mut y2).unwrap();
+        for (u, v) in y1.iter().zip(y2.iter()) {
+            prop_assert!((a * u - v).abs() <= 1e-9 * (1.0 + v.abs()));
+        }
+    }
+
+    #[test]
+    fn row_stats_invariants((nrows, ncols, triplets) in matrix_strategy()) {
+        let m = build(nrows, ncols, &triplets);
+        let s = RowStats::from_csr(&m);
+        prop_assert_eq!(s.nnz, m.nnz());
+        prop_assert!(s.empty_fraction() >= 0.0 && s.empty_fraction() <= 1.0);
+        prop_assert!(s.cumulative_at(s.max_row_len + 1) == 1.0 || m.nnz() == 0);
+        prop_assert!(s.frac_nonempty_below_warp >= 0.0 && s.frac_nonempty_below_warp <= 1.0);
+        // Quantiles are ordered.
+        prop_assert!(s.quantile(0.25) <= s.quantile(0.75));
+    }
+
+    #[test]
+    fn f16_conversion_is_monotone_and_bounded(x in -65000.0f64..65000.0, y in -65000.0f64..65000.0) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        let a = F16::from_f64(lo);
+        let b = F16::from_f64(hi);
+        prop_assert!(a.to_f64() <= b.to_f64());
+        // Relative error bound for normal-range values.
+        if lo.abs() > 1e-4 {
+            prop_assert!((a.to_f64() - lo).abs() <= lo.abs() * 2.0f64.powi(-11) * 1.0001);
+        }
+    }
+
+    #[test]
+    fn bf16_round_trip_is_idempotent(x in -1e30f64..1e30) {
+        let once = Bf16::from_f64(x);
+        let twice = Bf16::from_f64(once.to_f64());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    #[test]
+    fn pruning_never_increases_anything((nrows, ncols, triplets) in matrix_strategy(),
+                                        threshold in 0.0f64..5.0) {
+        let m = build(nrows, ncols, &triplets);
+        let p = m.prune(threshold);
+        prop_assert!(p.nnz() <= m.nnz());
+        prop_assert!(p.values().iter().all(|v| v.to_f64().abs() >= threshold));
+        prop_assert_eq!(p.nrows(), m.nrows());
+        prop_assert_eq!(p.ncols(), m.ncols());
+    }
+}
