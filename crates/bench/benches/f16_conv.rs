@@ -3,12 +3,14 @@
 //! 16-bit storage) and the kernels pay per element on the way up.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rt_f16::{Bf16, F16, Quantizer};
+use rt_f16::{Bf16, Quantizer, F16};
 
 const N: usize = 1 << 16;
 
 fn bench_conversions(c: &mut Criterion) {
-    let f64s: Vec<f64> = (0..N).map(|i| (i as f64 * 0.37).sin().abs() * 10.0).collect();
+    let f64s: Vec<f64> = (0..N)
+        .map(|i| (i as f64 * 0.37).sin().abs() * 10.0)
+        .collect();
     let f32s: Vec<f32> = f64s.iter().map(|&x| x as f32).collect();
     let halves: Vec<F16> = f64s.iter().map(|&x| F16::from_f64(x)).collect();
 

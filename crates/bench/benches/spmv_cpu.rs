@@ -14,7 +14,9 @@ fn bench_cpu_spmv(c: &mut Criterion) {
     let csr: Csr<F16, u32> = case.matrix.convert_values();
     let rs = RsCompressed::from_csr(&csr);
     let weights = vec![1.0f64; csr.ncols()];
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     let mut g = c.benchmark_group("cpu_spmv");
     g.throughput(Throughput::Elements(csr.nnz() as u64));

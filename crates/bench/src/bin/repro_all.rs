@@ -18,7 +18,10 @@ fn main() {
     let mut formats = String::new();
     let mut precision = String::new();
     for case in [ctx.liver1(), ctx.prostate1()] {
-        formats.push_str(&ablations::render_formats(case.name(), &ablations::formats(case)));
+        formats.push_str(&ablations::render_formats(
+            case.name(),
+            &ablations::formats(case),
+        ));
         formats.push('\n');
         precision.push_str(&ablations::render_value_encoding(
             case.name(),

@@ -1,0 +1,163 @@
+//! Simulator throughput tracker: times the `sim_kernels` workloads and
+//! emits machine-readable `BENCH_simspeed.json` so the perf trajectory is
+//! tracked across PRs.
+//!
+//! Reported per kernel: median wall-clock per launch, simulated non-zeros
+//! per second, simulated L2 sector transactions per second, and the
+//! speedup over the recorded pre-batching pipeline (the scalar
+//! per-sector path this repo shipped before the warp-granular rework) on
+//! the same workload.
+
+use rt_core::{rs_baseline_gpu_spmv, vector_csr_spmv, GpuCsrMatrix, GpuRsMatrix};
+use rt_dose::cases::{prostate_case, ScaleConfig};
+use rt_f16::F16;
+use rt_gpusim::{DeviceSpec, Gpu, KernelStats};
+use rt_sparse::{Csr, RsCompressed};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Medians recorded from the pre-batching pipeline (same workload, same
+/// harness, `ExecMode::Parallel`) immediately before the rework landed.
+const BASELINE_NS: &[(&str, f64)] = &[
+    ("vector_csr_half_double", 8_936_737.0),
+    ("baseline_segment_atomic", 8_906_043.0),
+];
+
+struct Measurement {
+    name: &'static str,
+    ns_per_iter: f64,
+    nnz: u64,
+    sectors_per_launch: u64,
+}
+
+/// Total simulated L2 sector transactions in one launch.
+fn sectors(s: &KernelStats) -> u64 {
+    s.l2_read_hits + s.l2_read_misses + s.l2_write_sectors + s.atomic_ops
+}
+
+fn median_ns(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn time_kernel(
+    name: &'static str,
+    nnz: u64,
+    mut launch: impl FnMut() -> KernelStats,
+) -> Measurement {
+    const WARMUP: usize = 3;
+    const SAMPLES: usize = 15;
+    let mut stats = KernelStats::default();
+    for _ in 0..WARMUP {
+        stats = launch();
+    }
+    let samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            stats = launch();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    Measurement {
+        name,
+        ns_per_iter: median_ns(samples),
+        nnz,
+        sectors_per_launch: sectors(&stats),
+    }
+}
+
+fn render_json(measurements: &[Measurement], workers: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    writeln!(out, "  \"bench\": \"sim_kernels\",").unwrap();
+    writeln!(out, "  \"mode\": \"parallel\",").unwrap();
+    writeln!(out, "  \"workers\": {workers},").unwrap();
+    out.push_str("  \"kernels\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        let per_sec = 1e9 / m.ns_per_iter;
+        let baseline = BASELINE_NS
+            .iter()
+            .find(|(n, _)| *n == m.name)
+            .map(|(_, ns)| *ns);
+        out.push_str("    {\n");
+        writeln!(out, "      \"name\": \"{}\",", m.name).unwrap();
+        writeln!(out, "      \"ns_per_iter\": {:.1},", m.ns_per_iter).unwrap();
+        writeln!(out, "      \"nnz\": {},", m.nnz).unwrap();
+        writeln!(
+            out,
+            "      \"nnz_per_sec\": {:.4e},",
+            m.nnz as f64 * per_sec
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"sectors_per_launch\": {},",
+            m.sectors_per_launch
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "      \"sectors_per_sec\": {:.4e},",
+            m.sectors_per_launch as f64 * per_sec
+        )
+        .unwrap();
+        match baseline {
+            Some(ns) => {
+                writeln!(out, "      \"baseline_ns_per_iter\": {ns:.1},").unwrap();
+                writeln!(
+                    out,
+                    "      \"speedup_vs_baseline\": {:.2}",
+                    ns / m.ns_per_iter
+                )
+                .unwrap();
+            }
+            None => writeln!(out, "      \"baseline_ns_per_iter\": null").unwrap(),
+        }
+        out.push_str(if i + 1 == measurements.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let case = prostate_case(ScaleConfig { shrink: 12.0 }).remove(0);
+    let csr: Csr<F16, u32> = case.matrix.convert_values();
+    let rs = RsCompressed::from_csr(&csr);
+    let weights = vec![1.0f64; csr.ncols()];
+    let nnz = csr.nnz() as u64;
+
+    let vector = {
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let m = GpuCsrMatrix::upload(&gpu, &csr);
+        let x = gpu.upload(&weights);
+        let y = gpu.alloc_out::<f64>(csr.nrows());
+        time_kernel("vector_csr_half_double", nnz, || {
+            vector_csr_spmv(&gpu, &m, &x, &y, 512)
+        })
+    };
+    let baseline = {
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let m = GpuRsMatrix::upload(&gpu, &rs);
+        let x = gpu.upload(&weights);
+        let y = gpu.alloc_out::<f64>(rs.nrows());
+        time_kernel("baseline_segment_atomic", nnz, || {
+            y.clear();
+            rs_baseline_gpu_spmv(&gpu, &m, &x, &y, 128)
+        })
+    };
+
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let json = render_json(&[vector, baseline], workers);
+    print!("{json}");
+    let path = "BENCH_simspeed.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("[saved {path}]"),
+        Err(e) => eprintln!("[could not save {path}: {e}]"),
+    }
+}

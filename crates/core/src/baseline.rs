@@ -163,15 +163,17 @@ mod tests {
         let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
             .map(|_| {
                 let len = rng.gen_range(0..12);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.1..1.0))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.1..1.0)))
+                    .collect()
             })
             .collect();
-        let csr: Csr<F16, u32> =
-            Csr::<f64, u32>::from_rows(ncols, &rows).unwrap().convert_values();
+        let csr: Csr<F16, u32> = Csr::<f64, u32>::from_rows(ncols, &rows)
+            .unwrap()
+            .convert_values();
         let rs = RsCompressed::from_csr(&csr);
         (csr, rs)
     }

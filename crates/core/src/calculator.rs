@@ -110,13 +110,23 @@ impl DoseCalculator {
     pub fn compute_dose(&self, weights: &[f64]) -> DoseResult {
         assert_eq!(weights.len(), self.ncols(), "one weight per spot");
         let dx: DeviceBuffer<f64> = self.gpu.upload(weights);
-        let stats = vector_csr_spmv(&self.gpu, &self.matrix, &dx, &self.y, self.threads_per_block);
+        let stats = vector_csr_spmv(
+            &self.gpu,
+            &self.matrix,
+            &dx,
+            &self.y,
+            self.threads_per_block,
+        );
         let mut scaled = stats.scale(self.scale);
         let row_factor = self.row_scale.unwrap_or(self.scale);
         scaled.warps = (stats.warps as f64 * row_factor).round() as u64;
         scaled.blocks = ((stats.blocks as f64 * row_factor).round() as u64).max(1);
         let estimate = rt_gpusim::timing::estimate(self.gpu.spec(), &self.profile, &scaled);
-        DoseResult { dose: self.y.to_vec(), stats, estimate }
+        DoseResult {
+            dose: self.y.to_vec(),
+            stats,
+            estimate,
+        }
     }
 
     /// Computes `g = A^T r` (the optimizer's gradient back-projection).
@@ -154,11 +164,12 @@ mod tests {
         let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
             .map(|_| {
                 let len = rng.gen_range(0..20);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.0..0.1))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..0.1)))
+                    .collect()
             })
             .collect();
         Csr::from_rows(ncols, &rows).unwrap()

@@ -22,7 +22,9 @@ pub struct RsCpu {
 impl Default for RsCpu {
     fn default() -> Self {
         RsCpu {
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
     }
 }
@@ -83,7 +85,10 @@ impl RsCpu {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("cpu worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("cpu worker panicked"))
+                .collect()
         });
 
         // Deterministic merge: fixed thread order.
@@ -108,11 +113,7 @@ impl RsCpu {
     ///   8 bytes per non-zero (4 read + 4 write); when everything fits,
     ///   the scatter is cache-resident and only the final merge pays;
     /// * the merge: read `threads` scratch arrays + write the result.
-    pub fn traffic_model_bytes<V: DoseScalar>(
-        &self,
-        m: &RsCompressed<V>,
-        llc_bytes: usize,
-    ) -> f64 {
+    pub fn traffic_model_bytes<V: DoseScalar>(&self, m: &RsCompressed<V>, llc_bytes: usize) -> f64 {
         let nnz = m.nnz() as f64;
         let nrows = m.nrows() as f64;
         let values = V::BYTES as f64 * nnz;
@@ -139,10 +140,16 @@ pub fn cpu_csr_spmv<V: DoseScalar, I: ColIndex>(
     threads: usize,
 ) -> Result<(), SparseError> {
     if x.len() != m.ncols() {
-        return Err(SparseError::DimensionMismatch { expected: m.ncols(), actual: x.len() });
+        return Err(SparseError::DimensionMismatch {
+            expected: m.ncols(),
+            actual: x.len(),
+        });
     }
     if y.len() != m.nrows() {
-        return Err(SparseError::DimensionMismatch { expected: m.nrows(), actual: y.len() });
+        return Err(SparseError::DimensionMismatch {
+            expected: m.nrows(),
+            actual: y.len(),
+        });
     }
     let threads = threads.max(1).min(m.nrows().max(1));
     let chunk = m.nrows().div_ceil(threads).max(1);
@@ -177,15 +184,17 @@ mod tests {
         let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
             .map(|_| {
                 let len = rng.gen_range(0..10);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.1..2.0))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.1..2.0)))
+                    .collect()
             })
             .collect();
-        let csr: Csr<F16, u32> =
-            Csr::<f64, u32>::from_rows(ncols, &rows).unwrap().convert_values();
+        let csr: Csr<F16, u32> = Csr::<f64, u32>::from_rows(ncols, &rows)
+            .unwrap()
+            .convert_values();
         let rs = RsCompressed::from_csr(&csr);
         (csr, rs)
     }

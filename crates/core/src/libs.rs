@@ -98,9 +98,7 @@ pub fn ginkgo_csr_spmv<V: DoseScalar, I: ColIndex, X: VecScalar>(
     })
 }
 
-fn ginkgo_subwarp_size_from_matrix<V: DoseScalar, I: ColIndex>(
-    m: &GpuCsrMatrix<V, I>,
-) -> usize {
+fn ginkgo_subwarp_size_from_matrix<V: DoseScalar, I: ColIndex>(m: &GpuCsrMatrix<V, I>) -> usize {
     let nnz = m.values().len();
     ginkgo_subwarp_size(nnz, m.nrows())
 }
@@ -118,14 +116,17 @@ mod tests {
         let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
             .map(|_| {
                 let len = rng.gen_range(0..=max_len);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.0..1.0))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..1.0)))
+                    .collect()
             })
             .collect();
-        Csr::<f64, u32>::from_rows(ncols, &rows).unwrap().convert_values()
+        Csr::<f64, u32>::from_rows(ncols, &rows)
+            .unwrap()
+            .convert_values()
     }
 
     #[test]
@@ -198,6 +199,11 @@ mod tests {
         let dx2 = gpu2.upload(&x);
         let dy2 = gpu2.alloc_out::<f32>(1000);
         let v = vector_csr_spmv(&gpu2, &gm2, &dx2, &dy2, 512);
-        assert!(g.warps < v.warps, "ginkgo {} vs vector {}", g.warps, v.warps);
+        assert!(
+            g.warps < v.warps,
+            "ginkgo {} vs vector {}",
+            g.warps,
+            v.warps
+        );
     }
 }

@@ -43,8 +43,7 @@ pub fn scalar_csr_spmv<V: DoseScalar, I: ColIndex, X: VecScalar>(
         }
 
         let mut acc = [X::default(); WARP_SIZE];
-        let mut active: Vec<usize> =
-            (0..lanes_active).filter(|&k| offs[k] < ends[k]).collect();
+        let mut active: Vec<usize> = (0..lanes_active).filter(|&k| offs[k] < ends[k]).collect();
         let mut idxs = [0usize; WARP_SIZE];
         let mut cols = [I::try_from_usize(0).unwrap(); WARP_SIZE];
         let mut vals = [V::zero(); WARP_SIZE];
@@ -93,14 +92,17 @@ mod tests {
         let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
             .map(|_| {
                 let len = rng.gen_range(0..60);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.0..1.0))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..1.0)))
+                    .collect()
             })
             .collect();
-        Csr::<f64, u32>::from_rows(ncols, &rows).unwrap().convert_values()
+        Csr::<f64, u32>::from_rows(ncols, &rows)
+            .unwrap()
+            .convert_values()
     }
 
     #[test]
@@ -171,9 +173,10 @@ mod tests {
     #[test]
     fn handles_trailing_partial_warp() {
         // 35 rows: the second warp has only 3 active lanes.
-        let rows: Vec<Vec<(usize, f64)>> =
-            (0..35).map(|r| vec![(r % 7, (r + 1) as f64)]).collect();
-        let m: Csr<F16, u32> = Csr::<f64, u32>::from_rows(7, &rows).unwrap().convert_values();
+        let rows: Vec<Vec<(usize, f64)>> = (0..35).map(|r| vec![(r % 7, (r + 1) as f64)]).collect();
+        let m: Csr<F16, u32> = Csr::<f64, u32>::from_rows(7, &rows)
+            .unwrap()
+            .convert_values();
         let x = vec![1.0f64; 7];
         let gpu = Gpu::new(DeviceSpec::a100());
         let gm = GpuCsrMatrix::upload(&gpu, &m);

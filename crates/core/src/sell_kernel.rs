@@ -42,7 +42,12 @@ impl<V: DoseScalar, I: ColIndex> GpuSellMatrix<V, I> {
             nrows: m.nrows(),
             ncols: m.ncols(),
             chunk_ptr: gpu.upload(&m.chunk_ptrs().iter().map(|&p| p as u64).collect::<Vec<_>>()),
-            chunk_width: gpu.upload(&m.chunk_widths().iter().map(|&w| w as u32).collect::<Vec<_>>()),
+            chunk_width: gpu.upload(
+                &m.chunk_widths()
+                    .iter()
+                    .map(|&w| w as u32)
+                    .collect::<Vec<_>>(),
+            ),
             perm: gpu.upload(m.perm()),
             col_idx: gpu.upload(m.col_idx_slab()),
             values: gpu.upload(m.values_slab()),
@@ -120,7 +125,7 @@ pub fn sell_spmv<V: DoseScalar, I: ColIndex, X: VecScalar>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use rt_f16::F16;
@@ -135,14 +140,17 @@ mod tests {
                     return Vec::new();
                 }
                 let len = rng.gen_range(1..=max_len);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
-                cols.into_iter().map(|c| (c, rng.gen_range(0.1..1.0))).collect()
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.1..1.0)))
+                    .collect()
             })
             .collect();
-        Csr::<f64, u32>::from_rows(ncols, &rows).unwrap().convert_values()
+        Csr::<f64, u32>::from_rows(ncols, &rows)
+            .unwrap()
+            .convert_values()
     }
 
     #[test]

@@ -18,11 +18,7 @@ use rt_sparse::{ColIndex, Csr};
 
 /// Scalar type usable for the input/output vectors and the accumulator.
 pub trait VecScalar:
-    DoseScalar
-    + OutScalar
-    + core::ops::Add<Output = Self>
-    + core::ops::Mul<Output = Self>
-    + Default
+    DoseScalar + OutScalar + core::ops::Add<Output = Self> + core::ops::Mul<Output = Self> + Default
 {
 }
 
@@ -188,8 +184,7 @@ mod tests {
                     return Vec::new(); // empty rows, like the real matrices
                 }
                 let len = rng.gen_range(1..=2 * avg_row);
-                let mut cols: Vec<usize> =
-                    (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
                 cols.sort_unstable();
                 cols.dedup();
                 cols.into_iter()
@@ -241,7 +236,11 @@ mod tests {
         let c = run(ExecMode::Sequential);
         let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
         assert_eq!(bits(&a), bits(&b), "parallel runs must agree bitwise");
-        assert_eq!(bits(&a), bits(&c), "parallel vs sequential must agree bitwise");
+        assert_eq!(
+            bits(&a),
+            bits(&c),
+            "parallel vs sequential must agree bitwise"
+        );
 
         // And they match the documented lane/tree arithmetic exactly.
         let want = vector_csr_reference(&m, &x);
@@ -294,10 +293,9 @@ mod tests {
 
     #[test]
     fn empty_rows_store_zero() {
-        let m: Csr<F16, u32> =
-            Csr::from_rows(4, &[vec![], vec![(0, 1.0)], vec![]])
-                .map(|m: Csr<f64, u32>| m.convert_values())
-                .unwrap();
+        let m: Csr<F16, u32> = Csr::from_rows(4, &[vec![], vec![(0, 1.0)], vec![]])
+            .map(|m: Csr<f64, u32>| m.convert_values())
+            .unwrap();
         let gpu = Gpu::new(DeviceSpec::a100());
         let gm = GpuCsrMatrix::upload(&gpu, &m);
         let dx = gpu.upload(&[2.0f64; 4]);
@@ -323,21 +321,28 @@ mod tests {
         vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
 
         let report = gpu.traffic_report();
-        let by = |name: &str| {
-            report.iter().find(|b| b.name == name).unwrap()
-        };
+        let by = |name: &str| report.iter().find(|b| b.name == name).unwrap();
         let nnz = m.nnz() as f64;
         let nr = m.nrows() as f64;
 
         // Values: 2 bytes per nnz, streamed from DRAM.
         let value_bytes = by("values").dram_read_bytes() as f64;
-        assert!((value_bytes / (2.0 * nnz) - 1.0).abs() < 0.25, "values {value_bytes}");
+        assert!(
+            (value_bytes / (2.0 * nnz) - 1.0).abs() < 0.25,
+            "values {value_bytes}"
+        );
         // Indices: 4 bytes per nnz.
         let idx_bytes = by("col_idx").dram_read_bytes() as f64;
-        assert!((idx_bytes / (4.0 * nnz) - 1.0).abs() < 0.25, "indices {idx_bytes}");
+        assert!(
+            (idx_bytes / (4.0 * nnz) - 1.0).abs() < 0.25,
+            "indices {idx_bytes}"
+        );
         // Row pointers: ~4 bytes per row.
         let ptr_bytes = by("row_ptr").dram_read_bytes() as f64;
-        assert!((ptr_bytes / (4.0 * nr) - 1.0).abs() < 0.5, "row_ptr {ptr_bytes}");
+        assert!(
+            (ptr_bytes / (4.0 * nr) - 1.0).abs() < 0.5,
+            "row_ptr {ptr_bytes}"
+        );
         // Output: one store transaction per row (the DRAM-side cost is
         // the write-back flush, counted globally: ~8 bytes per row after
         // four row-stores merge per 32-byte sector).

@@ -1,0 +1,203 @@
+//! Golden-value regression test for the simulated memory pipeline.
+//!
+//! Under `ExecMode::Sequential` the simulator's traffic counters are a
+//! pure function of the kernel and its inputs: sector sequences, L2
+//! hit/miss split, writebacks and per-buffer attribution must all be
+//! bit-identical run to run *and commit to commit*. The constants below
+//! were recorded from the pre-batching scalar pipeline (one L2 probe
+//! and one region lookup per sector); the warp-granular batched
+//! pipeline must reproduce them exactly.
+//!
+//! Each workload runs twice, on the full A100 L2 (40 MiB: everything
+//! fits, misses are all cold) and on a 1/8192-scaled L2 (capacity
+//! evictions and dirty writebacks exercised).
+//!
+//! To regenerate after an *intentional* traffic-model change:
+//! `GOLDEN_PRINT=1 cargo test -p rt-core --test golden_traffic -- --nocapture`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_core::{scalar_csr_spmv, sell_spmv, vector_csr_spmv, GpuCsrMatrix, GpuSellMatrix};
+use rt_f16::F16;
+use rt_gpusim::{DeviceSpec, ExecMode, Gpu, KernelStats};
+use rt_sparse::{Csr, SellCSigma};
+use std::fmt::Write as _;
+
+fn random_csr(nrows: usize, ncols: usize, avg_row: usize, seed: u64) -> Csr<f64, u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                return Vec::new();
+            }
+            let len = rng.gen_range(1..=2 * avg_row);
+            let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols.into_iter()
+                .map(|c| (c, rng.gen_range(0.0..2.0)))
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(ncols, &rows).unwrap()
+}
+
+fn record(out: &mut String, label: &str, gpu: &Gpu, stats: &KernelStats) {
+    writeln!(
+        out,
+        "{label}: flops={} req={} hit={} miss={} wr={} wb={} atom={} warps={}",
+        stats.flops,
+        stats.requested_bytes,
+        stats.l2_read_hits,
+        stats.l2_read_misses,
+        stats.l2_write_sectors,
+        stats.dram_writeback_sectors,
+        stats.atomic_ops,
+        stats.warps,
+    )
+    .unwrap();
+    for t in gpu.traffic_report() {
+        writeln!(
+            out,
+            "{label}.{}: rd={} dram={} wr={}",
+            t.name, t.read_sectors, t.dram_read_sectors, t.write_sectors
+        )
+        .unwrap();
+    }
+}
+
+/// Runs all three kernels sequentially on one device config and returns
+/// the counter transcript.
+fn transcript(spec: DeviceSpec, tag: &str) -> String {
+    let mut out = String::new();
+
+    // Vector CSR, Half/double: the paper's headline kernel.
+    {
+        let m: Csr<F16, u32> = random_csr(700, 160, 90, 11).convert_values();
+        let x: Vec<f64> = (0..160)
+            .map(|i| ((i * 13 + 5) % 23) as f64 * 0.125)
+            .collect();
+        let gpu = Gpu::with_mode(spec.clone(), ExecMode::Sequential);
+        let gm = GpuCsrMatrix::upload_named(&gpu, &m);
+        let dx = gpu.upload_named("x", &x);
+        let dy = gpu.alloc_out_named::<f64>("y", 700);
+        let stats = vector_csr_spmv(&gpu, &gm, &dx, &dy, 512);
+        record(&mut out, &format!("{tag}/vector"), &gpu, &stats);
+    }
+
+    // Scalar CSR: thread-per-row, the uncoalesced strawman.
+    {
+        let m: Csr<F16, u32> = random_csr(500, 120, 40, 22).convert_values();
+        let x: Vec<f64> = (0..120).map(|i| 1.0 + (i % 7) as f64 * 0.5).collect();
+        let gpu = Gpu::with_mode(spec.clone(), ExecMode::Sequential);
+        let gm = GpuCsrMatrix::upload_named(&gpu, &m);
+        let dx = gpu.upload_named("x", &x);
+        let dy = gpu.alloc_out_named::<f64>("y", 500);
+        let stats = scalar_csr_spmv(&gpu, &gm, &dx, &dy, 256);
+        record(&mut out, &format!("{tag}/scalar"), &gpu, &stats);
+    }
+
+    // SELL-C-32: chunked ELL with row permutation.
+    {
+        let m: Csr<F16, u32> = random_csr(640, 140, 60, 33).convert_values();
+        let sell = SellCSigma::from_csr(&m, 32, 256);
+        let x: Vec<f64> = (0..140).map(|i| ((i * 7 + 3) % 11) as f64 * 0.25).collect();
+        let gpu = Gpu::with_mode(spec, ExecMode::Sequential);
+        let gm = GpuSellMatrix::upload(&gpu, &sell);
+        let dx = gpu.upload_named("x", &x);
+        let dy = gpu.alloc_out_named::<f64>("y", 640);
+        let stats = sell_spmv(&gpu, &gm, &dx, &dy, 512);
+        record(&mut out, &format!("{tag}/sell"), &gpu, &stats);
+    }
+
+    out
+}
+
+fn full_transcript() -> String {
+    let mut out = transcript(DeviceSpec::a100(), "a100");
+    // 1/8192 of 40 MiB = 5 KiB: far smaller than the matrix working
+    // sets, so streaming traffic evicts the reused buffers between
+    // touches, exercising victim selection and dirty writebacks.
+    out.push_str(&transcript(DeviceSpec::a100().scaled_l2(8192.0), "smallL2"));
+    out
+}
+
+#[test]
+fn sequential_counters_match_golden() {
+    let got = full_transcript();
+    if std::env::var_os("GOLDEN_PRINT").is_some() {
+        println!("--- golden transcript begin ---");
+        print!("{got}");
+        println!("--- golden transcript end ---");
+    }
+    assert_eq!(
+        got, GOLDEN,
+        "Sequential traffic counters diverged from the recorded golden \
+         values; if the traffic model changed intentionally, regenerate \
+         with GOLDEN_PRINT=1 (see module docs)"
+    );
+}
+
+/// Recorded from the pre-batching pipeline; see module docs.
+const GOLDEN: &str = "\
+a100/vector: flops=61270 req=440090 hit=18727 miss=5873 wr=700 wb=175 atom=0 warps=704
+\
+a100/vector.row_ptr: rd=1400 dram=88 wr=0
+\
+a100/vector.col_idx: rd=4862 dram=3830 wr=0
+\
+a100/vector.values: rd=3031 dram=1915 wr=0
+\
+a100/vector.x: rd=15307 dram=40 wr=0
+\
+a100/vector.y: rd=0 dram=0 wr=700
+\
+a100/scalar: flops=21594 req=157222 hit=25950 miss=2118 wr=125 wb=125 atom=0 warps=16
+\
+a100/scalar.row_ptr: rd=78 dram=63 wr=0
+\
+a100/scalar.col_idx: rd=10753 dram=1350 wr=0
+\
+a100/scalar.values: rd=10625 dram=675 wr=0
+\
+a100/scalar.x: rd=6612 dram=30 wr=0
+\
+a100/scalar.y: rd=0 dram=0 wr=125
+\
+a100/sell: flops=50432 req=360944 hit=6509 miss=4851 wr=640 wb=160 atom=0 warps=32
+\
+a100/sell.x: rd=6512 dram=35 wr=0
+\
+a100/sell.y: rd=0 dram=0 wr=640
+\
+smallL2/vector: flops=61270 req=440090 hit=18727 miss=5873 wr=700 wb=175 atom=0 warps=704
+\
+smallL2/vector.row_ptr: rd=1400 dram=88 wr=0
+\
+smallL2/vector.col_idx: rd=4862 dram=3830 wr=0
+\
+smallL2/vector.values: rd=3031 dram=1915 wr=0
+\
+smallL2/vector.x: rd=15307 dram=40 wr=0
+\
+smallL2/vector.y: rd=0 dram=0 wr=700
+\
+smallL2/scalar: flops=21594 req=157222 hit=25947 miss=2121 wr=125 wb=125 atom=0 warps=16
+\
+smallL2/scalar.row_ptr: rd=78 dram=63 wr=0
+\
+smallL2/scalar.col_idx: rd=10753 dram=1350 wr=0
+\
+smallL2/scalar.values: rd=10625 dram=675 wr=0
+\
+smallL2/scalar.x: rd=6612 dram=33 wr=0
+\
+smallL2/scalar.y: rd=0 dram=0 wr=125
+\
+smallL2/sell: flops=50432 req=360944 hit=6177 miss=5183 wr=640 wb=374 atom=0 warps=32
+\
+smallL2/sell.x: rd=6512 dram=348 wr=0
+\
+smallL2/sell.y: rd=0 dram=0 wr=640
+\
+";

@@ -9,8 +9,7 @@ use crate::physics;
 /// directions, the prostate case the two opposed ±x ones) — sufficient
 /// for reproducing matrix structure, and it keeps water-equivalent depth
 /// integration exact.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum BeamAxis {
     /// Travelling toward +x (enters at x = 0).
     XPlus,
@@ -36,8 +35,7 @@ impl BeamAxis {
 
 /// One pencil-beam spot: a lateral position in the beam's eye view plus a
 /// beam energy (equivalently, an energy-layer range).
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Spot {
     /// First lateral coordinate in mm (y for x-beams, x for y-beams).
     pub u_mm: f64,
@@ -97,7 +95,9 @@ impl Beam {
     ///
     /// Panics if the phantom has no target contour.
     pub fn covering_target(phantom: &Phantom, axis: BeamAxis, cfg: SpotGridConfig) -> Beam {
-        let target = phantom.target().expect("phantom must have a target contour");
+        let target = phantom
+            .target()
+            .expect("phantom must have a target contour");
         let grid = phantom.grid();
         let vox = grid.voxel_mm;
 
@@ -171,7 +171,11 @@ impl Beam {
             range -= cfg.layer_spacing_mm;
         }
 
-        Beam { axis, spots, sigma0_mm: cfg.sigma0_mm }
+        Beam {
+            axis,
+            spots,
+            sigma0_mm: cfg.sigma0_mm,
+        }
     }
 
     /// Number of spots — the matrix column count contributed by this beam.
@@ -189,7 +193,10 @@ mod tests {
     fn phantom() -> Phantom {
         let grid = DoseGrid::new(40, 40, 40, 2.5); // 10 cm cube
         let mut p = Phantom::uniform(grid, Material::SoftTissue);
-        p.set_target(Ellipsoid { center: (20.0, 20.0, 20.0), radii: (6.0, 5.0, 4.0) });
+        p.set_target(Ellipsoid {
+            center: (20.0, 20.0, 20.0),
+            radii: (6.0, 5.0, 4.0),
+        });
         p
     }
 
@@ -232,7 +239,10 @@ mod tests {
         let grid = DoseGrid::new(60, 40, 40, 2.5);
         let mut p = Phantom::uniform(grid, Material::SoftTissue);
         // Off-center target in x.
-        p.set_target(Ellipsoid { center: (40.0, 20.0, 20.0), radii: (5.0, 5.0, 4.0) });
+        p.set_target(Ellipsoid {
+            center: (40.0, 20.0, 20.0),
+            radii: (5.0, 5.0, 4.0),
+        });
         let b = Beam::covering_target(&p, BeamAxis::YPlus, SpotGridConfig::default());
         // u is now the x coordinate: spots center near 100 mm.
         let mean_u: f64 = b.spots.iter().map(|s| s.u_mm).sum::<f64>() / b.num_spots() as f64;
@@ -241,7 +251,11 @@ mod tests {
 
     #[test]
     fn spot_energy_is_consistent_with_range() {
-        let s = Spot { u_mm: 0.0, v_mm: 0.0, range_mm: 100.0 };
+        let s = Spot {
+            u_mm: 0.0,
+            v_mm: 0.0,
+            range_mm: 100.0,
+        };
         let e = s.energy_mev();
         assert!((physics::range_from_energy(e) - 100.0).abs() < 1e-9);
     }
@@ -252,12 +266,18 @@ mod tests {
         let coarse = Beam::covering_target(
             &p,
             BeamAxis::XPlus,
-            SpotGridConfig { layer_spacing_mm: 12.0, ..Default::default() },
+            SpotGridConfig {
+                layer_spacing_mm: 12.0,
+                ..Default::default()
+            },
         );
         let fine = Beam::covering_target(
             &p,
             BeamAxis::XPlus,
-            SpotGridConfig { layer_spacing_mm: 3.0, ..Default::default() },
+            SpotGridConfig {
+                layer_spacing_mm: 3.0,
+                ..Default::default()
+            },
         );
         assert!(fine.num_spots() > 2 * coarse.num_spots());
     }

@@ -28,8 +28,7 @@ use crate::phantom::{Ellipsoid, Material, Phantom};
 use rt_sparse::Csr;
 
 /// Reference row of the paper's Table I.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct PaperRow {
     pub rows: f64,
     pub cols: f64,
@@ -40,12 +39,66 @@ pub struct PaperRow {
 
 /// Table I, verbatim.
 pub const PAPER_TABLE1: [(&str, PaperRow); 6] = [
-    ("Liver 1", PaperRow { rows: 2.97e6, cols: 6.80e4, nnz: 1.48e9, nonzero_ratio_pct: 0.73, size_gb: 8.880 }),
-    ("Liver 2", PaperRow { rows: 2.97e6, cols: 6.77e4, nnz: 1.28e9, nonzero_ratio_pct: 0.64, size_gb: 7.672 }),
-    ("Liver 3", PaperRow { rows: 2.97e6, cols: 6.99e4, nnz: 1.39e9, nonzero_ratio_pct: 0.67, size_gb: 8.368 }),
-    ("Liver 4", PaperRow { rows: 2.97e6, cols: 6.32e4, nnz: 1.84e9, nonzero_ratio_pct: 0.98, size_gb: 11.04 }),
-    ("Prostate 1", PaperRow { rows: 1.03e6, cols: 5.09e3, nnz: 9.50e7, nonzero_ratio_pct: 1.81, size_gb: 0.5744 }),
-    ("Prostate 2", PaperRow { rows: 1.03e6, cols: 4.96e3, nnz: 9.51e7, nonzero_ratio_pct: 1.86, size_gb: 0.5747 }),
+    (
+        "Liver 1",
+        PaperRow {
+            rows: 2.97e6,
+            cols: 6.80e4,
+            nnz: 1.48e9,
+            nonzero_ratio_pct: 0.73,
+            size_gb: 8.880,
+        },
+    ),
+    (
+        "Liver 2",
+        PaperRow {
+            rows: 2.97e6,
+            cols: 6.77e4,
+            nnz: 1.28e9,
+            nonzero_ratio_pct: 0.64,
+            size_gb: 7.672,
+        },
+    ),
+    (
+        "Liver 3",
+        PaperRow {
+            rows: 2.97e6,
+            cols: 6.99e4,
+            nnz: 1.39e9,
+            nonzero_ratio_pct: 0.67,
+            size_gb: 8.368,
+        },
+    ),
+    (
+        "Liver 4",
+        PaperRow {
+            rows: 2.97e6,
+            cols: 6.32e4,
+            nnz: 1.84e9,
+            nonzero_ratio_pct: 0.98,
+            size_gb: 11.04,
+        },
+    ),
+    (
+        "Prostate 1",
+        PaperRow {
+            rows: 1.03e6,
+            cols: 5.09e3,
+            nnz: 9.50e7,
+            nonzero_ratio_pct: 1.81,
+            size_gb: 0.5744,
+        },
+    ),
+    (
+        "Prostate 2",
+        PaperRow {
+            rows: 1.03e6,
+            cols: 4.96e3,
+            nnz: 9.51e7,
+            nonzero_ratio_pct: 1.86,
+            size_gb: 0.5747,
+        },
+    ),
 ];
 
 /// How much to shrink the generated cases relative to the default
@@ -123,7 +176,10 @@ fn build_case(spec: &CaseSpec, table_offset: usize, noise: Option<McNoiseModel>)
     phantom.paint_ellipsoid(spec.target, spec.organ);
     phantom.set_target(spec.target);
 
-    let engine = PencilBeamEngine { rel_threshold: 1e-3, noise };
+    let engine = PencilBeamEngine {
+        rel_threshold: 1e-3,
+        noise,
+    };
     let builder = DoseMatrixBuilder::new(EngineKind::Pencil(engine));
 
     spec.beams
@@ -133,7 +189,12 @@ fn build_case(spec: &CaseSpec, table_offset: usize, noise: Option<McNoiseModel>)
             let beam = Beam::covering_target(&phantom, axis, spec.spot_cfg);
             let matrix = builder.build(&phantom, &beam);
             let (name, paper) = PAPER_TABLE1[table_offset + i];
-            DoseCase { name: name.to_string(), matrix, grid: spec.grid, paper }
+            DoseCase {
+                name: name.to_string(),
+                matrix,
+                grid: spec.grid,
+                paper,
+            }
         })
         .collect()
 }
@@ -151,8 +212,17 @@ pub fn liver_spot_config(scale: ScaleConfig) -> SpotGridConfig {
 
 /// The liver case's phantom (with target contour) at a given scale.
 pub fn liver_phantom(scale: ScaleConfig) -> Phantom {
-    let grid = DoseGrid::new(scale.dim(56), scale.dim(40), scale.dim(40), 4.0 * scale.shrink.cbrt());
-    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let grid = DoseGrid::new(
+        scale.dim(56),
+        scale.dim(40),
+        scale.dim(40),
+        4.0 * scale.shrink.cbrt(),
+    );
+    let c = (
+        grid.nx as f64 / 2.0,
+        grid.ny as f64 / 2.0,
+        grid.nz as f64 / 2.0,
+    );
     let target = Ellipsoid {
         center: (c.0 * 1.05, c.1 * 0.95, c.2),
         radii: (
@@ -170,8 +240,17 @@ pub fn liver_phantom(scale: ScaleConfig) -> Phantom {
 /// The liver case: four beams from different gantry angles (Table I rows
 /// "Liver 1"–"Liver 4").
 pub fn liver_case(scale: ScaleConfig) -> Vec<DoseCase> {
-    let grid = DoseGrid::new(scale.dim(56), scale.dim(40), scale.dim(40), 4.0 * scale.shrink.cbrt());
-    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let grid = DoseGrid::new(
+        scale.dim(56),
+        scale.dim(40),
+        scale.dim(40),
+        4.0 * scale.shrink.cbrt(),
+    );
+    let c = (
+        grid.nx as f64 / 2.0,
+        grid.ny as f64 / 2.0,
+        grid.nz as f64 / 2.0,
+    );
     let spec = CaseSpec {
         name: "liver",
         grid,
@@ -185,7 +264,12 @@ pub fn liver_case(scale: ScaleConfig) -> Vec<DoseCase> {
             ),
         },
         organ: Material::Liver,
-        beams: vec![BeamAxis::XPlus, BeamAxis::YPlus, BeamAxis::XMinus, BeamAxis::YMinus],
+        beams: vec![
+            BeamAxis::XPlus,
+            BeamAxis::YPlus,
+            BeamAxis::XMinus,
+            BeamAxis::YMinus,
+        ],
         spot_cfg: SpotGridConfig {
             lateral_spacing_mm: scale.spacing(2.8),
             layer_spacing_mm: scale.spacing(4.0),
@@ -199,8 +283,17 @@ pub fn liver_case(scale: ScaleConfig) -> Vec<DoseCase> {
 /// The prostate case: two parallel-opposed lateral beams (Table I rows
 /// "Prostate 1"–"Prostate 2").
 pub fn prostate_case(scale: ScaleConfig) -> Vec<DoseCase> {
-    let grid = DoseGrid::new(scale.dim(40), scale.dim(29), scale.dim(29), 4.0 * scale.shrink.cbrt());
-    let c = (grid.nx as f64 / 2.0, grid.ny as f64 / 2.0, grid.nz as f64 / 2.0);
+    let grid = DoseGrid::new(
+        scale.dim(40),
+        scale.dim(29),
+        scale.dim(29),
+        4.0 * scale.shrink.cbrt(),
+    );
+    let c = (
+        grid.nx as f64 / 2.0,
+        grid.ny as f64 / 2.0,
+        grid.nz as f64 / 2.0,
+    );
     let spec = CaseSpec {
         name: "prostate",
         grid,

@@ -7,8 +7,7 @@
 /// fastest-varying axis, so a beam travelling along ±x deposits dose in
 /// runs of consecutive indices (which is what makes the RayStation-style
 /// segment format compact).
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct DoseGrid {
     pub nx: usize,
     pub ny: usize,
@@ -21,7 +20,12 @@ impl DoseGrid {
     pub fn new(nx: usize, ny: usize, nz: usize, voxel_mm: f64) -> Self {
         assert!(nx > 0 && ny > 0 && nz > 0, "grid must be non-empty");
         assert!(voxel_mm > 0.0, "voxel size must be positive");
-        DoseGrid { nx, ny, nz, voxel_mm }
+        DoseGrid {
+            nx,
+            ny,
+            nz,
+            voxel_mm,
+        }
     }
 
     /// Total voxel count — the number of matrix rows.

@@ -14,12 +14,7 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    fn spot_column(
-        &self,
-        phantom: &Phantom,
-        beam: &Beam,
-        spot_index: usize,
-    ) -> Vec<(usize, f64)> {
+    fn spot_column(&self, phantom: &Phantom, beam: &Beam, spot_index: usize) -> Vec<(usize, f64)> {
         let spot = &beam.spots[spot_index];
         match self {
             EngineKind::Pencil(e) => e.spot_column(phantom, beam, spot, spot_index),
@@ -48,7 +43,9 @@ impl DoseMatrixBuilder {
     pub fn build(&self, phantom: &Phantom, beam: &Beam) -> Csr<f64, u32> {
         let nspots = beam.spots.len();
         let workers = if self.workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.workers
         }
@@ -98,7 +95,10 @@ mod tests {
     fn setup() -> (Phantom, Beam) {
         let grid = DoseGrid::new(24, 16, 16, 3.0);
         let mut p = Phantom::uniform(grid, Material::Water);
-        p.set_target(Ellipsoid { center: (12.0, 8.0, 8.0), radii: (4.0, 4.0, 4.0) });
+        p.set_target(Ellipsoid {
+            center: (12.0, 8.0, 8.0),
+            radii: (4.0, 4.0, 4.0),
+        });
         let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
         (p, b)
     }
@@ -106,8 +106,8 @@ mod tests {
     #[test]
     fn matrix_has_one_column_per_spot() {
         let (p, b) = setup();
-        let m = DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default()))
-            .build(&p, &b);
+        let m =
+            DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default())).build(&p, &b);
         assert_eq!(m.ncols(), b.num_spots());
         assert_eq!(m.nrows(), p.grid().len());
         assert!(m.nnz() > 0);
@@ -117,18 +117,31 @@ mod tests {
     fn parallel_and_sequential_builds_agree() {
         let (p, b) = setup();
         let eng = EngineKind::Pencil(PencilBeamEngine::default());
-        let m1 = DoseMatrixBuilder { engine: eng.clone(), workers: 1 }.build(&p, &b);
-        let m4 = DoseMatrixBuilder { engine: eng, workers: 4 }.build(&p, &b);
+        let m1 = DoseMatrixBuilder {
+            engine: eng.clone(),
+            workers: 1,
+        }
+        .build(&p, &b);
+        let m4 = DoseMatrixBuilder {
+            engine: eng,
+            workers: 4,
+        }
+        .build(&p, &b);
         assert_eq!(m1, m4);
     }
 
     #[test]
     fn matrix_is_sparse_and_skewed() {
         let (p, b) = setup();
-        let m = DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default()))
-            .build(&p, &b);
+        let m =
+            DoseMatrixBuilder::new(EngineKind::Pencil(PencilBeamEngine::default())).build(&p, &b);
         assert!(m.density() < 0.25, "density {}", m.density());
-        assert!(m.nrows() > m.ncols(), "{} rows x {} cols", m.nrows(), m.ncols());
+        assert!(
+            m.nrows() > m.ncols(),
+            "{} rows x {} cols",
+            m.nrows(),
+            m.ncols()
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct MonteCarloEngine {
 
 impl Default for MonteCarloEngine {
     fn default() -> Self {
-        MonteCarloEngine { protons_per_spot: 2000, rel_threshold: 1e-3, seed: 0xBEA3 }
+        MonteCarloEngine {
+            protons_per_spot: 2000,
+            rel_threshold: 1e-3,
+            seed: 0xBEA3,
+        }
     }
 }
 
@@ -123,7 +127,10 @@ mod tests {
     fn setup() -> (Phantom, Beam) {
         let grid = DoseGrid::new(32, 16, 16, 2.5);
         let mut p = Phantom::uniform(grid, Material::Water);
-        p.set_target(Ellipsoid { center: (16.0, 8.0, 8.0), radii: (5.0, 4.0, 4.0) });
+        p.set_target(Ellipsoid {
+            center: (16.0, 8.0, 8.0),
+            radii: (5.0, 4.0, 4.0),
+        });
         let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
         (p, b)
     }
@@ -131,7 +138,10 @@ mod tests {
     #[test]
     fn column_is_sorted_and_deterministic() {
         let (p, b) = setup();
-        let eng = MonteCarloEngine { protons_per_spot: 300, ..Default::default() };
+        let eng = MonteCarloEngine {
+            protons_per_spot: 300,
+            ..Default::default()
+        };
         let c1 = eng.spot_column(&p, &b, &b.spots[0], 3);
         let c2 = eng.spot_column(&p, &b, &b.spots[0], 3);
         assert_eq!(c1, c2);
@@ -142,8 +152,15 @@ mod tests {
     #[test]
     fn mc_peak_depth_matches_analytic_engine() {
         let (p, b) = setup();
-        let spot = Spot { u_mm: 20.0, v_mm: 20.0, range_mm: 50.0 };
-        let mc = MonteCarloEngine { protons_per_spot: 3000, ..Default::default() };
+        let spot = Spot {
+            u_mm: 20.0,
+            v_mm: 20.0,
+            range_mm: 50.0,
+        };
+        let mc = MonteCarloEngine {
+            protons_per_spot: 3000,
+            ..Default::default()
+        };
         let pb = PencilBeamEngine::default();
         let grid = p.grid();
 
@@ -172,14 +189,24 @@ mod tests {
     #[test]
     fn more_protons_reduce_noise() {
         let (p, b) = setup();
-        let spot = Spot { u_mm: 20.0, v_mm: 20.0, range_mm: 45.0 };
-        let pb = PencilBeamEngine { rel_threshold: 1e-3, noise: None };
+        let spot = Spot {
+            u_mm: 20.0,
+            v_mm: 20.0,
+            range_mm: 45.0,
+        };
+        let pb = PencilBeamEngine {
+            rel_threshold: 1e-3,
+            noise: None,
+        };
         let reference = pb.spot_column(&p, &b, &spot, 0);
         let ref_map: std::collections::HashMap<usize, f64> = reference.iter().cloned().collect();
         let total_ref: f64 = reference.iter().map(|&(_, w)| w).sum();
 
         let rel_err = |n: usize| {
-            let mc = MonteCarloEngine { protons_per_spot: n, ..Default::default() };
+            let mc = MonteCarloEngine {
+                protons_per_spot: n,
+                ..Default::default()
+            };
             let col = mc.spot_column(&p, &b, &spot, 0);
             let total_mc: f64 = col.iter().map(|&(_, w)| w).sum();
             // Compare normalized overlap on the reference support.
@@ -198,8 +225,15 @@ mod tests {
     #[test]
     fn lateral_scatter_widens_deep_layers() {
         let (p, b) = setup();
-        let spot = Spot { u_mm: 20.0, v_mm: 20.0, range_mm: 60.0 };
-        let mc = MonteCarloEngine { protons_per_spot: 4000, ..Default::default() };
+        let spot = Spot {
+            u_mm: 20.0,
+            v_mm: 20.0,
+            range_mm: 60.0,
+        };
+        let mc = MonteCarloEngine {
+            protons_per_spot: 4000,
+            ..Default::default()
+        };
         let col = mc.spot_column(&p, &b, &spot, 0);
         let grid = p.grid();
         let lateral_spread_at = |x_target: usize| {

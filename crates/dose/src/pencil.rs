@@ -31,7 +31,12 @@ impl AxisView {
             BeamAxis::XPlus | BeamAxis::XMinus => (grid.nx, grid.ny),
             BeamAxis::YPlus | BeamAxis::YMinus => (grid.ny, grid.nx),
         };
-        AxisView { axis, depth_len, u_len, v_len: grid.nz }
+        AxisView {
+            axis,
+            depth_len,
+            u_len,
+            v_len: grid.nz,
+        }
     }
 
     /// Grid coordinates of (depth step, u, v).
@@ -83,13 +88,19 @@ pub struct PencilBeamEngine {
 
 impl Default for PencilBeamEngine {
     fn default() -> Self {
-        PencilBeamEngine { rel_threshold: 1e-3, noise: None }
+        PencilBeamEngine {
+            rel_threshold: 1e-3,
+            noise: None,
+        }
     }
 }
 
 impl PencilBeamEngine {
     pub fn with_noise(noise: McNoiseModel) -> Self {
-        PencilBeamEngine { rel_threshold: 1e-3, noise: Some(noise) }
+        PencilBeamEngine {
+            rel_threshold: 1e-3,
+            noise: Some(noise),
+        }
     }
 
     /// Computes one spot's dose column: `(flattened voxel, dose)` pairs
@@ -190,7 +201,9 @@ impl PencilBeamEngine {
         if peak <= 0.0 || entries.is_empty() {
             return;
         }
-        let mut rng = StdRng::seed_from_u64(noise.seed ^ (spot_index as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = StdRng::seed_from_u64(
+            noise.seed ^ (spot_index as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
 
         // Poisson-style multiplicative perturbation.
         for (_, w) in entries.iter_mut() {
@@ -209,7 +222,10 @@ impl PencilBeamEngine {
             if rng.gen_bool(noise.halo_probability) {
                 let neighbor = idx + 1;
                 if neighbor < grid.len() {
-                    halo.push((neighbor, peak * noise.halo_rel_dose * rng.gen_range(0.2..1.0)));
+                    halo.push((
+                        neighbor,
+                        peak * noise.halo_rel_dose * rng.gen_range(0.2..1.0),
+                    ));
                 }
             }
         }
@@ -227,7 +243,10 @@ mod tests {
     fn setup() -> (Phantom, Beam) {
         let grid = DoseGrid::new(40, 24, 24, 2.5);
         let mut p = Phantom::uniform(grid, Material::Water);
-        p.set_target(Ellipsoid { center: (20.0, 12.0, 12.0), radii: (6.0, 5.0, 5.0) });
+        p.set_target(Ellipsoid {
+            center: (20.0, 12.0, 12.0),
+            radii: (6.0, 5.0, 5.0),
+        });
         let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
         (p, b)
     }
@@ -271,24 +290,29 @@ mod tests {
         let (p, b) = setup();
         let eng = PencilBeamEngine::default();
         let col = eng.spot_column(&p, &b, &b.spots[0], 0);
-        let runs = col
-            .windows(2)
-            .filter(|w| w[1].0 != w[0].0 + 1)
-            .count()
-            + 1;
+        let runs = col.windows(2).filter(|w| w[1].0 != w[0].0 + 1).count() + 1;
         let avg_run = col.len() as f64 / runs as f64;
-        assert!(avg_run > 2.0, "avg run {avg_run} from {} entries", col.len());
+        assert!(
+            avg_run > 2.0,
+            "avg run {avg_run} from {} entries",
+            col.len()
+        );
     }
 
     #[test]
     fn threshold_controls_sparsity() {
         let (p, b) = setup();
-        let loose = PencilBeamEngine { rel_threshold: 1e-4, noise: None };
-        let tight = PencilBeamEngine { rel_threshold: 1e-1, noise: None };
+        let loose = PencilBeamEngine {
+            rel_threshold: 1e-4,
+            noise: None,
+        };
+        let tight = PencilBeamEngine {
+            rel_threshold: 1e-1,
+            noise: None,
+        };
         let spot = b.spots[0];
         assert!(
-            loose.spot_column(&p, &b, &spot, 0).len()
-                > tight.spot_column(&p, &b, &spot, 0).len()
+            loose.spot_column(&p, &b, &spot, 0).len() > tight.spot_column(&p, &b, &spot, 0).len()
         );
     }
 
@@ -301,7 +325,12 @@ mod tests {
         let c = clean.spot_column(&p, &b, &spot, 7);
         let n1 = noisy.spot_column(&p, &b, &spot, 7);
         let n2 = noisy.spot_column(&p, &b, &spot, 7);
-        assert!(n1.len() > c.len(), "noise should add entries: {} vs {}", n1.len(), c.len());
+        assert!(
+            n1.len() > c.len(),
+            "noise should add entries: {} vs {}",
+            n1.len(),
+            c.len()
+        );
         assert_eq!(n1, n2, "noise must be deterministic per spot");
         // Different spot index -> different noise.
         let n3 = noisy.spot_column(&p, &b, &spot, 8);
@@ -312,11 +341,21 @@ mod tests {
     fn denser_material_shortens_penetration() {
         let grid = DoseGrid::new(60, 16, 16, 2.5);
         let mut water = Phantom::uniform(grid, Material::Water);
-        water.set_target(Ellipsoid { center: (30.0, 8.0, 8.0), radii: (5.0, 4.0, 4.0) });
+        water.set_target(Ellipsoid {
+            center: (30.0, 8.0, 8.0),
+            radii: (5.0, 4.0, 4.0),
+        });
         let mut bone = Phantom::uniform(grid, Material::Bone);
-        bone.set_target(Ellipsoid { center: (30.0, 8.0, 8.0), radii: (5.0, 4.0, 4.0) });
+        bone.set_target(Ellipsoid {
+            center: (30.0, 8.0, 8.0),
+            radii: (5.0, 4.0, 4.0),
+        });
         let beam = Beam::covering_target(&water, BeamAxis::XPlus, SpotGridConfig::default());
-        let spot = Spot { u_mm: 20.0, v_mm: 20.0, range_mm: 80.0 };
+        let spot = Spot {
+            u_mm: 20.0,
+            v_mm: 20.0,
+            range_mm: 80.0,
+        };
         let eng = PencilBeamEngine::default();
         let deepest = |phantom: &Phantom| {
             eng.spot_column(phantom, &beam, &spot, 0)
@@ -338,7 +377,10 @@ mod tests {
         use crate::beam::BeamAxis::*;
         let grid = DoseGrid::new(30, 30, 24, 3.0);
         let mut p = Phantom::uniform(grid, Material::SoftTissue);
-        let target = Ellipsoid { center: (15.0, 15.0, 12.0), radii: (5.0, 5.0, 4.0) };
+        let target = Ellipsoid {
+            center: (15.0, 15.0, 12.0),
+            radii: (5.0, 5.0, 4.0),
+        };
         p.set_target(target);
         let eng = PencilBeamEngine::default();
         for axis in [XPlus, XMinus, YPlus, YMinus] {
@@ -363,7 +405,11 @@ mod tests {
         let bplus = Beam::covering_target(&p, BeamAxis::XPlus, cfg);
         let bminus = Beam::covering_target(&p, BeamAxis::XMinus, cfg);
         let eng = PencilBeamEngine::default();
-        let shallow = Spot { u_mm: 30.0, v_mm: 30.0, range_mm: 25.0 };
+        let shallow = Spot {
+            u_mm: 30.0,
+            v_mm: 30.0,
+            range_mm: 25.0,
+        };
         let cp = eng.spot_column(&p, &bplus, &shallow, 0);
         let cm = eng.spot_column(&p, &bminus, &shallow, 0);
         let max_x_plus = cp.iter().map(|&(v, _)| p.grid().coords(v).0).max().unwrap();

@@ -3,8 +3,7 @@
 use crate::grid::DoseGrid;
 
 /// Tissue materials with relative (water = 1.0) stopping densities.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum Material {
     Air,
     Lung,
@@ -32,8 +31,7 @@ impl Material {
 
 /// An axis-aligned ellipsoid in voxel coordinates, used both for anatomy
 /// and to delineate targets / organs-at-risk.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Ellipsoid {
     pub center: (f64, f64, f64),
     pub radii: (f64, f64, f64),
@@ -147,7 +145,10 @@ mod tests {
     fn painted_ellipsoid_changes_density() {
         let grid = DoseGrid::new(10, 10, 10, 1.0);
         let mut p = Phantom::water_box(grid);
-        let e = Ellipsoid { center: (5.0, 5.0, 5.0), radii: (2.0, 2.0, 2.0) };
+        let e = Ellipsoid {
+            center: (5.0, 5.0, 5.0),
+            radii: (2.0, 2.0, 2.0),
+        };
         p.paint_ellipsoid(e, Material::Bone);
         assert_eq!(p.density_at(5, 5, 5), Material::Bone.density());
         assert_eq!(p.density_at(0, 0, 0), 1.0);
@@ -157,7 +158,10 @@ mod tests {
     fn target_voxels_inside_contour() {
         let grid = DoseGrid::new(10, 10, 10, 1.0);
         let mut p = Phantom::water_box(grid);
-        let e = Ellipsoid { center: (5.0, 5.0, 5.0), radii: (2.5, 2.5, 2.5) };
+        let e = Ellipsoid {
+            center: (5.0, 5.0, 5.0),
+            radii: (2.5, 2.5, 2.5),
+        };
         p.set_target(e);
         let tv = p.target_voxels();
         assert!(!tv.is_empty());

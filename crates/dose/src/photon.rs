@@ -52,7 +52,9 @@ pub struct PhotonBeamletEngine {
 
 impl Default for PhotonBeamletEngine {
     fn default() -> Self {
-        PhotonBeamletEngine { rel_threshold: 1e-3 }
+        PhotonBeamletEngine {
+            rel_threshold: 1e-3,
+        }
     }
 }
 
@@ -138,7 +140,10 @@ mod tests {
     fn setup() -> (Phantom, Beam) {
         let grid = DoseGrid::new(48, 20, 20, 3.0);
         let mut p = Phantom::uniform(grid, Material::Water);
-        p.set_target(Ellipsoid { center: (24.0, 10.0, 10.0), radii: (6.0, 5.0, 5.0) });
+        p.set_target(Ellipsoid {
+            center: (24.0, 10.0, 10.0),
+            radii: (6.0, 5.0, 5.0),
+        });
         let b = Beam::covering_target(&p, BeamAxis::XPlus, SpotGridConfig::default());
         (p, b)
     }
@@ -163,17 +168,24 @@ mod tests {
         // The §II-A modality contrast: no Bragg stop means the photon
         // beamlet deposits along the full depth.
         let (p, b) = setup();
-        let spot = Spot { u_mm: 30.0, v_mm: 30.0, range_mm: 70.0 };
+        let spot = Spot {
+            u_mm: 30.0,
+            v_mm: 30.0,
+            range_mm: 70.0,
+        };
         let photon = PhotonBeamletEngine::default().beamlet_column(&p, &b, &spot);
         let proton = PencilBeamEngine::default().spot_column(&p, &b, &spot, 0);
         let grid = p.grid();
-        let max_depth = |col: &[(usize, f64)]| {
-            col.iter().map(|&(v, _)| grid.coords(v).0).max().unwrap()
-        };
+        let max_depth =
+            |col: &[(usize, f64)]| col.iter().map(|&(v, _)| grid.coords(v).0).max().unwrap();
         assert!(!photon.is_empty() && !proton.is_empty());
         // The proton column stops at its range (~70 mm = voxel 23); the
         // photon column reaches the far side of the phantom.
-        assert!(max_depth(&proton) < 30, "proton depth {}", max_depth(&proton));
+        assert!(
+            max_depth(&proton) < 30,
+            "proton depth {}",
+            max_depth(&proton)
+        );
         assert_eq!(max_depth(&photon), grid.nx - 1);
         assert!(photon.len() > proton.len());
     }

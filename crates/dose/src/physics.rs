@@ -132,7 +132,10 @@ mod tests {
             .max_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         // Peak within a few straggling widths of the nominal range.
-        assert!((peak_d - r).abs() < 4.0 * range_straggling(r), "peak at {peak_d}");
+        assert!(
+            (peak_d - r).abs() < 4.0 * range_straggling(r),
+            "peak at {peak_d}"
+        );
         // Entrance plateau well below the peak (peak-to-plateau ratio of a
         // pristine-ish peak is ~3-5).
         let entrance = bragg_dose(1.0, r);

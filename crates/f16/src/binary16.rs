@@ -102,7 +102,7 @@ impl F16 {
                 return F16(sign);
             }
             let m = man | 0x80_0000; // make the implicit leading 1 explicit
-            // v = m * 2^(unbiased-23); result = round(v / 2^-24) = m >> shift.
+                                     // v = m * 2^(unbiased-23); result = round(v / 2^-24) = m >> shift.
             let shift = (-unbiased - 1) as u32; // in 14..=24
             let result = (m >> shift) as u16;
             let rem = m & ((1u32 << shift) - 1);
@@ -423,10 +423,7 @@ mod tests {
         // The subnormal boundary: largest subnormal and smallest normal.
         let largest_subnormal = F16::from_bits(0x03ff);
         assert!(largest_subnormal.is_subnormal());
-        assert_eq!(
-            F16::from_f32(largest_subnormal.to_f32()).to_bits(),
-            0x03ff
-        );
+        assert_eq!(F16::from_f32(largest_subnormal.to_f32()).to_bits(), 0x03ff);
     }
 
     #[test]
@@ -481,10 +478,7 @@ mod tests {
         assert!((F16::NAN + F16::ONE).is_nan());
         assert!((F16::NAN * F16::ZERO).is_nan());
         // NaN compares unequal to itself.
-        assert_ne!(
-            F16::NAN.partial_cmp(&F16::NAN),
-            Some(Ordering::Equal)
-        );
+        assert_ne!(F16::NAN.partial_cmp(&F16::NAN), Some(Ordering::Equal));
     }
 
     #[test]
@@ -536,9 +530,13 @@ mod tests {
     fn monotonic_over_random_pairs() {
         let mut state = 42u64;
         for _ in 0..20_000 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = f32::from_bits((state >> 33) as u32 & 0x7fff_ffff); // positive finite-ish
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let b = f32::from_bits((state >> 33) as u32 & 0x7fff_ffff);
             if !a.is_finite() || !b.is_finite() {
                 continue;

@@ -11,9 +11,7 @@ use core::fmt;
 /// traffic model — it is the number of bytes one matrix entry moves across
 /// the DRAM bus, which is what separates the Half/Double kernel's
 /// operational intensity (6 bytes/nnz) from the Single kernel's (8).
-pub trait DoseScalar:
-    Copy + Send + Sync + PartialEq + fmt::Debug + Default + 'static
-{
+pub trait DoseScalar: Copy + Send + Sync + PartialEq + fmt::Debug + Default + 'static {
     /// Size of the stored representation in bytes.
     const BYTES: usize;
     /// Human-readable name used in experiment output ("half", "single", ...).
@@ -151,7 +149,12 @@ mod tests {
 
     #[test]
     fn names_are_distinct() {
-        let names = [F16::NAME, Bf16::NAME, <f32 as DoseScalar>::NAME, <f64 as DoseScalar>::NAME];
+        let names = [
+            F16::NAME,
+            Bf16::NAME,
+            <f32 as DoseScalar>::NAME,
+            <f64 as DoseScalar>::NAME,
+        ];
         for (i, a) in names.iter().enumerate() {
             for b in &names[i + 1..] {
                 assert_ne!(a, b);

@@ -5,7 +5,38 @@
 //! them into a [`KernelStats`] snapshot, the simulator's equivalent of an
 //! Nsight Compute section.
 
+use crate::mem::RegionMeta;
 use std::cell::Cell;
+use std::sync::Arc;
+
+/// Worker-local per-region traffic tallies: plain `Cell`s, no shared
+/// atomics. Indices parallel the region snapshot in [`RegionAttr`].
+#[derive(Debug, Default)]
+pub(crate) struct RegionCounts {
+    pub read_sectors: Cell<u64>,
+    pub dram_read_sectors: Cell<u64>,
+    pub write_sectors: Cell<u64>,
+}
+
+/// Worker-local region-attribution state, populated by
+/// `MemSystem::local_counters`. A `LocalCounters::default()` has no
+/// snapshot (`meta: None`): the memory system then falls back to
+/// attributing directly into the shared per-region atomics, which keeps
+/// detached counters (unit tests, ad-hoc probes) fully functional.
+#[derive(Debug, Default)]
+pub(crate) struct RegionAttr {
+    /// Immutable snapshot of the named regions at worker start, sorted
+    /// by start address (the allocator is monotonic, the region list
+    /// append-only).
+    pub meta: Option<Arc<Vec<RegionMeta>>>,
+    /// One tally per snapshot entry; flushed to the shared totals once
+    /// per block by `MemSystem::flush_region_counts`.
+    pub counts: Vec<RegionCounts>,
+    /// Index of the region that served the previous lookup — warp
+    /// accesses stream through one buffer at a time, so this cache hits
+    /// almost always and skips the binary search.
+    pub last: Cell<usize>,
+}
 
 /// Per-worker counter block. All fields are extensive (sum-mergeable).
 #[derive(Debug, Default)]
@@ -28,6 +59,8 @@ pub struct LocalCounters {
     pub atomic_ops: Cell<u64>,
     /// Warps that executed.
     pub warps: Cell<u64>,
+    /// Per-region attribution state (empty for detached counters).
+    pub(crate) attr: RegionAttr,
 }
 
 impl LocalCounters {
@@ -44,8 +77,7 @@ impl LocalCounters {
 
 /// Merged, immutable counter snapshot of one kernel launch, with derived
 /// metrics. This is what the roofline and timing models consume.
-#[derive(Clone, Debug, Default, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KernelStats {
     pub flops: u64,
     pub requested_bytes: u64,

@@ -26,8 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const WARP_SIZE: usize = 32;
 
 /// A launch grid: number of thread blocks and threads per block.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Grid {
     pub blocks: u64,
     pub threads_per_block: u32,
@@ -41,7 +40,10 @@ impl Grid {
             (32..=1024).contains(&threads_per_block) && threads_per_block.is_multiple_of(32),
             "threads_per_block must be a multiple of 32 in 32..=1024, got {threads_per_block}"
         );
-        Grid { blocks, threads_per_block }
+        Grid {
+            blocks,
+            threads_per_block,
+        }
     }
 
     /// The paper's configuration: one warp per item (matrix row), i.e.
@@ -75,6 +77,24 @@ impl Grid {
     }
 }
 
+/// Worker-thread count for [`ExecMode::Parallel`]: the `RTDOSE_SIM_THREADS`
+/// environment variable if set to a positive integer (clamped to the
+/// machine's available parallelism), otherwise all available cores.
+/// Unparseable or zero values fall back to the default. Read at every
+/// launch, so tests can vary it without process restarts.
+fn parallel_workers() -> usize {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    match std::env::var("RTDOSE_SIM_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(avail),
+            _ => avail,
+        },
+        Err(_) => avail,
+    }
+}
+
 /// How the executor schedules blocks onto host threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum ExecMode {
@@ -97,7 +117,11 @@ impl Gpu {
     /// Creates a GPU with a cold cache, defaulting to parallel execution.
     pub fn new(spec: DeviceSpec) -> Self {
         let mem = MemSystem::new(&spec);
-        Gpu { spec, mem, mode: ExecMode::default() }
+        Gpu {
+            spec,
+            mem,
+            mode: ExecMode::default(),
+        }
     }
 
     pub fn with_mode(spec: DeviceSpec, mode: ExecMode) -> Self {
@@ -165,10 +189,7 @@ impl Gpu {
     {
         let workers = match self.mode {
             ExecMode::Sequential => 1,
-            ExecMode::Parallel => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(16),
+            ExecMode::Parallel => parallel_workers(),
         };
 
         let next_block = AtomicU64::new(0);
@@ -176,7 +197,7 @@ impl Gpu {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(|| {
-                        let counters = LocalCounters::default();
+                        let counters = self.mem.local_counters();
                         loop {
                             let b = next_block.fetch_add(1, Ordering::Relaxed);
                             if b >= grid.blocks {
@@ -184,8 +205,7 @@ impl Gpu {
                             }
                             for w in 0..grid.warps_per_block() {
                                 let mut ctx = WarpCtx {
-                                    warp_id: (b * grid.warps_per_block() as u64
-                                        + w as u64)
+                                    warp_id: (b * grid.warps_per_block() as u64 + w as u64)
                                         as usize,
                                     block_id: b,
                                     warp_in_block: w,
@@ -196,12 +216,19 @@ impl Gpu {
                                 counters.add(&counters.warps, 1);
                                 kernel(&mut ctx);
                             }
+                            // Publish per-region tallies once per block so
+                            // traffic_report() converges promptly without
+                            // per-access shared-memory traffic.
+                            self.mem.flush_region_counts(&counters);
                         }
                         counters
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         // Account outstanding dirty data as written back at kernel end.
@@ -274,19 +301,15 @@ impl WarpCtx<'_> {
         range: core::ops::Range<usize>,
     ) -> &'b [T] {
         let bytes = (range.len() * core::mem::size_of::<T>()) as u64;
-        self.mem.read_contiguous(buf.addr_of(range.start), bytes, self.counters);
+        self.mem
+            .read_contiguous(buf.addr_of(range.start), bytes, self.counters);
         &buf.as_slice()[range]
     }
 
     /// Gather load: lane `k` reads element `idxs[k]`. Lanes landing in the
     /// same 32-byte sector are coalesced into one transaction. At most 32
     /// active lanes. Results are appended to `out`.
-    pub fn load_gather<T: Copy>(
-        &self,
-        buf: &DeviceBuffer<T>,
-        idxs: &[usize],
-        out: &mut [T],
-    ) {
+    pub fn load_gather<T: Copy>(&self, buf: &DeviceBuffer<T>, idxs: &[usize], out: &mut [T]) {
         assert!(idxs.len() <= WARP_SIZE, "a warp has at most 32 lanes");
         assert!(out.len() >= idxs.len());
         let mut addrs = [0u64; WARP_SIZE];
@@ -315,18 +338,14 @@ impl WarpCtx<'_> {
 
     /// Coalesced vector store: consecutive lanes store `vals` to the
     /// consecutive elements starting at `start`. Callers own the range.
-    pub fn store_span<T: OutScalar>(
-        &self,
-        buf: &DeviceOutBuffer<T>,
-        start: usize,
-        vals: &[T],
-    ) {
+    pub fn store_span<T: OutScalar>(&self, buf: &DeviceOutBuffer<T>, start: usize, vals: &[T]) {
         debug_assert!(vals.len() <= WARP_SIZE);
         if vals.is_empty() {
             return;
         }
         let bytes = std::mem::size_of_val(vals) as u64;
-        self.mem.write_contiguous(buf.addr_of(start), bytes, self.counters);
+        self.mem
+            .write_contiguous(buf.addr_of(start), bytes, self.counters);
         for (k, &v) in vals.iter().enumerate() {
             buf.raw_store(start + k, v);
         }
@@ -336,8 +355,11 @@ impl WarpCtx<'_> {
     /// under parallel execution — deliberately, see the module docs.
     #[inline]
     pub fn atomic_add<T: OutScalar>(&self, buf: &DeviceOutBuffer<T>, idx: usize, v: T) {
-        self.mem
-            .atomic_rmw(buf.addr_of(idx), core::mem::size_of::<T>() as u64, self.counters);
+        self.mem.atomic_rmw(
+            buf.addr_of(idx),
+            core::mem::size_of::<T>() as u64,
+            self.counters,
+        );
         buf.raw_fetch_add(idx, v);
     }
 
@@ -362,6 +384,35 @@ impl WarpCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn worker_count_honors_env_var() {
+        // Serialized in this one test: nothing else reads the variable.
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        std::env::set_var("RTDOSE_SIM_THREADS", "1");
+        assert_eq!(parallel_workers(), 1);
+        // Clamped to available parallelism, never above.
+        std::env::set_var("RTDOSE_SIM_THREADS", "4096");
+        assert_eq!(parallel_workers(), avail);
+        // Garbage and zero fall back to the default.
+        std::env::set_var("RTDOSE_SIM_THREADS", "lots");
+        assert_eq!(parallel_workers(), avail);
+        std::env::set_var("RTDOSE_SIM_THREADS", "0");
+        assert_eq!(parallel_workers(), avail);
+        std::env::remove_var("RTDOSE_SIM_THREADS");
+        assert_eq!(parallel_workers(), avail);
+        // A launch with the variable set still works end to end.
+        std::env::set_var("RTDOSE_SIM_THREADS", "2");
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Parallel);
+        let out = gpu.alloc_out::<f64>(64);
+        let stats = gpu.launch(Grid::new(4, 256), |w| {
+            w.store_scalar(&out, w.warp_id(), 1.0);
+        });
+        assert_eq!(stats.warps, 32);
+        std::env::remove_var("RTDOSE_SIM_THREADS");
+    }
 
     #[test]
     fn grid_geometry() {
@@ -513,7 +564,11 @@ mod tests {
             }
         });
         let expected = (n * 4) as u64;
-        assert!(stats.dram_read_bytes >= expected, "read {}", stats.dram_read_bytes);
+        assert!(
+            stats.dram_read_bytes >= expected,
+            "read {}",
+            stats.dram_read_bytes
+        );
         // No gratuitous amplification for a fully coalesced stream.
         assert!(stats.dram_read_bytes < expected + expected / 8);
         // Output written back: n/32 * 4 bytes.

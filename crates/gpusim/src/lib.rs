@@ -55,7 +55,7 @@ pub mod timing;
 
 pub use buffer::{DeviceBuffer, DeviceOutBuffer};
 pub use counters::KernelStats;
-pub use mem::BufferTraffic;
 pub use device::DeviceSpec;
 pub use exec::{ExecMode, Gpu, Grid, WarpCtx, WARP_SIZE};
+pub use mem::BufferTraffic;
 pub use timing::{CpuSpec, KernelProfile, Precision, TimeEstimate};

@@ -1,11 +1,25 @@
 //! The simulated global-memory system: address allocation plus traced
 //! access paths that drive the L2 model and the counters.
+//!
+//! Traffic is accounted at **warp-access granularity**. Each access
+//! method models one warp-collective transaction list: the L2 is probed
+//! with the whole ordered sector batch ([`L2Cache::access_batch`]) and
+//! region attribution is resolved **once per access**, not once per
+//! sector — every access targets a single buffer (the kernel API hands
+//! one buffer per load/store), and allocations are 128-byte aligned, so
+//! all touched sector bases fall inside the same region. Workers carry a
+//! region snapshot and worker-local tallies in their [`LocalCounters`]
+//! (see `local_counters`/`flush_region_counts`); in steady state no
+//! shared lock or atomic is touched on the attribution path. Detached
+//! counters (`LocalCounters::default()`) fall back to attributing into
+//! the shared per-region atomics directly.
 
 use crate::cache::{L2Cache, SECTOR_BYTES};
 use crate::counters::LocalCounters;
 use crate::device::DeviceSpec;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-named-buffer traffic attribution (Nsight's per-array view): lets
 /// experiments decompose a kernel's traffic into its matrix-value,
@@ -28,22 +42,53 @@ impl BufferTraffic {
     }
 }
 
+/// Address range of one named region — the immutable part, shared with
+/// worker-local snapshots.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RegionMeta {
+    pub(crate) start: u64,
+    pub(crate) end: u64,
+}
+
 struct Region {
-    start: u64,
-    end: u64,
+    meta: RegionMeta,
     name: String,
     read_sectors: AtomicU64,
     dram_read_sectors: AtomicU64,
     write_sectors: AtomicU64,
 }
 
+/// Locates the region containing `addr` in a start-sorted meta slice,
+/// consulting the caller's last-hit cache first.
+#[inline]
+fn locate(meta: &[RegionMeta], last: &std::cell::Cell<usize>, addr: u64) -> Option<usize> {
+    if let Some(m) = meta.get(last.get()) {
+        if addr >= m.start && addr < m.end {
+            return Some(last.get());
+        }
+    }
+    let idx = meta.partition_point(|r| r.start <= addr);
+    if idx == 0 {
+        return None;
+    }
+    if addr < meta[idx - 1].end {
+        last.set(idx - 1);
+        Some(idx - 1)
+    } else {
+        None
+    }
+}
+
 /// Global memory: an address allocator and the shared L2 model.
 pub struct MemSystem {
     l2: L2Cache,
     next_addr: AtomicU64,
-    /// Named address ranges, sorted by start (the allocator is
-    /// monotonic). Only named buffers are attributed.
+    /// Named address ranges, sorted by start (the allocator is monotonic,
+    /// the list append-only). Holds the shared totals.
     regions: RwLock<Vec<Region>>,
+    /// Current metadata snapshot handed to workers; rebuilt on
+    /// `alloc_named`, cloned (one `Arc` bump) per worker.
+    snapshot: RwLock<Arc<Vec<RegionMeta>>>,
 }
 
 impl MemSystem {
@@ -53,6 +98,7 @@ impl MemSystem {
             // Leave address 0 unused (null-ish); start aligned.
             next_addr: AtomicU64::new(4096),
             regions: RwLock::new(Vec::new()),
+            snapshot: RwLock::new(Arc::new(Vec::new())),
         }
     }
 
@@ -68,40 +114,93 @@ impl MemSystem {
     /// traffic attribution under `name`.
     pub fn alloc_named(&self, bytes: usize, name: &str) -> u64 {
         let base = self.alloc(bytes);
-        self.regions.write().push(Region {
-            start: base,
-            end: base + bytes.max(1) as u64,
+        let mut regions = self.regions.write();
+        regions.push(Region {
+            meta: RegionMeta {
+                start: base,
+                end: base + bytes.max(1) as u64,
+            },
             name: name.to_string(),
             read_sectors: AtomicU64::new(0),
             dram_read_sectors: AtomicU64::new(0),
             write_sectors: AtomicU64::new(0),
         });
+        *self.snapshot.write() = Arc::new(regions.iter().map(|r| r.meta).collect());
         base
     }
 
-    /// Attributes one sector access to its region, if named.
-    #[inline]
-    fn attribute(&self, addr: u64, write: bool, dram_fetch: bool) {
+    /// Builds a worker's counter block: the usual zeroed tallies plus a
+    /// snapshot of the current regions for lock-free attribution. Flush
+    /// with [`MemSystem::flush_region_counts`] (the executor does, once
+    /// per block).
+    pub(crate) fn local_counters(&self) -> LocalCounters {
+        let meta = Arc::clone(&self.snapshot.read());
+        LocalCounters {
+            attr: crate::counters::RegionAttr {
+                counts: (0..meta.len()).map(|_| Default::default()).collect(),
+                meta: Some(meta),
+                last: Default::default(),
+            },
+            ..Default::default()
+        }
+    }
+
+    /// Folds a worker's region tallies into the shared totals and zeroes
+    /// them. Cheap when nothing accumulated; commutative adds, so worker
+    /// interleaving cannot change the final totals.
+    pub(crate) fn flush_region_counts(&self, c: &LocalCounters) {
+        let Some(meta) = &c.attr.meta else { return };
+        if meta.is_empty() {
+            return;
+        }
         let regions = self.regions.read();
-        if regions.is_empty() {
+        for (i, rc) in c.attr.counts.iter().enumerate() {
+            let (r, d, w) = (
+                rc.read_sectors.take(),
+                rc.dram_read_sectors.take(),
+                rc.write_sectors.take(),
+            );
+            if r | d | w != 0 {
+                let reg = &regions[i];
+                reg.read_sectors.fetch_add(r, Ordering::Relaxed);
+                reg.dram_read_sectors.fetch_add(d, Ordering::Relaxed);
+                reg.write_sectors.fetch_add(w, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Attributes one warp access — `sectors` sector transactions of
+    /// which `dram` missed to DRAM, all inside the buffer containing
+    /// `addr` — to its region, if named.
+    #[inline]
+    fn attribute_access(&self, c: &LocalCounters, addr: u64, write: bool, sectors: u64, dram: u64) {
+        if sectors == 0 {
             return;
         }
-        // Regions are sorted by start (monotonic allocator): binary
-        // search for the last region starting at or before addr.
-        let idx = regions.partition_point(|r| r.start <= addr);
-        if idx == 0 {
-            return;
-        }
-        let r = &regions[idx - 1];
-        if addr >= r.end {
-            return;
-        }
-        if write {
-            r.write_sectors.fetch_add(1, Ordering::Relaxed);
+        if let Some(meta) = &c.attr.meta {
+            // Fast path: worker-local tallies, no shared state.
+            if let Some(i) = locate(meta, &c.attr.last, addr) {
+                let rc = &c.attr.counts[i];
+                if write {
+                    rc.write_sectors.set(rc.write_sectors.get() + sectors);
+                } else {
+                    rc.read_sectors.set(rc.read_sectors.get() + sectors);
+                    rc.dram_read_sectors.set(rc.dram_read_sectors.get() + dram);
+                }
+            }
         } else {
-            r.read_sectors.fetch_add(1, Ordering::Relaxed);
-            if dram_fetch {
-                r.dram_read_sectors.fetch_add(1, Ordering::Relaxed);
+            // Detached counters: attribute straight into the totals.
+            let regions = self.regions.read();
+            let metas: Vec<RegionMeta> = regions.iter().map(|r| r.meta).collect();
+            let last = std::cell::Cell::new(usize::MAX);
+            if let Some(i) = locate(&metas, &last, addr) {
+                let reg = &regions[i];
+                if write {
+                    reg.write_sectors.fetch_add(sectors, Ordering::Relaxed);
+                } else {
+                    reg.read_sectors.fetch_add(sectors, Ordering::Relaxed);
+                    reg.dram_read_sectors.fetch_add(dram, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -132,7 +231,7 @@ impl MemSystem {
 
     /// Traced contiguous read of `bytes` starting at `addr`: one sector
     /// transaction per touched 32-byte sector (a fully coalesced warp
-    /// access).
+    /// access). The range must lie within one buffer.
     pub fn read_contiguous(&self, addr: u64, bytes: u64, c: &LocalCounters) {
         if bytes == 0 {
             return;
@@ -140,22 +239,24 @@ impl MemSystem {
         c.add(&c.requested_bytes, bytes);
         let first = addr / SECTOR_BYTES;
         let last = (addr + bytes - 1) / SECTOR_BYTES;
-        for s in first..=last {
-            let r = self.l2.access(s * SECTOR_BYTES, false);
+        let (mut hits, mut misses, mut wbs) = (0, 0, 0);
+        self.l2.access_batch(first..=last, false, |r| {
             if r.hit {
-                c.add(&c.l2_read_hits, 1);
+                hits += 1;
             } else {
-                c.add(&c.l2_read_misses, 1);
+                misses += 1;
             }
-            if r.writeback {
-                c.add(&c.dram_writeback_sectors, 1);
-            }
-            self.attribute(s * SECTOR_BYTES, false, !r.hit);
-        }
+            wbs += r.writeback as u64;
+        });
+        c.add(&c.l2_read_hits, hits);
+        c.add(&c.l2_read_misses, misses);
+        c.add(&c.dram_writeback_sectors, wbs);
+        self.attribute_access(c, addr, false, hits + misses, misses);
     }
 
     /// Traced contiguous write (write-allocate, no fetch-on-write-miss:
-    /// GPU L2 streams full-sector stores without reading DRAM).
+    /// GPU L2 streams full-sector stores without reading DRAM). The
+    /// range must lie within one buffer.
     pub fn write_contiguous(&self, addr: u64, bytes: u64, c: &LocalCounters) {
         if bytes == 0 {
             return;
@@ -163,20 +264,20 @@ impl MemSystem {
         c.add(&c.requested_bytes, bytes);
         let first = addr / SECTOR_BYTES;
         let last = (addr + bytes - 1) / SECTOR_BYTES;
-        for s in first..=last {
-            let r = self.l2.access(s * SECTOR_BYTES, true);
-            c.add(&c.l2_write_sectors, 1);
-            if r.writeback {
-                c.add(&c.dram_writeback_sectors, 1);
-            }
-            self.attribute(s * SECTOR_BYTES, true, false);
-        }
+        let mut wbs = 0;
+        self.l2.access_batch(first..=last, true, |r| {
+            wbs += r.writeback as u64;
+        });
+        c.add(&c.l2_write_sectors, last - first + 1);
+        c.add(&c.dram_writeback_sectors, wbs);
+        self.attribute_access(c, addr, true, last - first + 1, 0);
     }
 
-    /// Traced gather: one element address per active lane. The memory
-    /// coalescer merges lanes that fall in the same sector, so the cost is
-    /// the number of *distinct* sectors — this is where the baseline
-    /// kernel's column-strided access pattern pays its 16x amplification.
+    /// Traced gather: one element address per active lane, all within
+    /// one buffer. The memory coalescer merges lanes that fall in the
+    /// same sector, so the cost is the number of *distinct* sectors —
+    /// this is where the baseline kernel's column-strided access pattern
+    /// pays its 16x amplification.
     pub fn read_gather(&self, addrs: &[u64], elem_bytes: u64, c: &LocalCounters) {
         c.add(&c.requested_bytes, addrs.len() as u64 * elem_bytes);
         // Collect distinct sectors touched by the warp (an element may
@@ -194,18 +295,23 @@ impl MemSystem {
                 }
             }
         }
-        for &s in &sectors[..n] {
-            let r = self.l2.access(s * SECTOR_BYTES, false);
-            if r.hit {
-                c.add(&c.l2_read_hits, 1);
-            } else {
-                c.add(&c.l2_read_misses, 1);
-            }
-            if r.writeback {
-                c.add(&c.dram_writeback_sectors, 1);
-            }
-            self.attribute(s * SECTOR_BYTES, false, !r.hit);
+        if n == 0 {
+            return;
         }
+        let (mut hits, mut misses, mut wbs) = (0, 0, 0);
+        self.l2
+            .access_batch(sectors[..n].iter().copied(), false, |r| {
+                if r.hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                wbs += r.writeback as u64;
+            });
+        c.add(&c.l2_read_hits, hits);
+        c.add(&c.l2_read_misses, misses);
+        c.add(&c.dram_writeback_sectors, wbs);
+        self.attribute_access(c, addrs[0], false, hits + misses, misses);
     }
 
     /// Traced atomic read-modify-write on one element: the sector must be
@@ -222,7 +328,7 @@ impl MemSystem {
         if r.writeback {
             c.add(&c.dram_writeback_sectors, 1);
         }
-        self.attribute(addr, true, !r.hit);
+        self.attribute_access(c, addr, true, 1, 0);
     }
 
     /// End-of-launch flush: dirty sectors cost their DRAM write-back now.
@@ -231,7 +337,7 @@ impl MemSystem {
         c.add(&c.dram_writeback_sectors, n);
     }
 
-    /// Cold-cache reset.
+    /// Cold-cache reset — O(shard count) via cache generation stamps.
     pub fn invalidate_cache(&self) {
         self.l2.invalidate();
     }
@@ -413,7 +519,10 @@ mod attribution_tests {
         m.read_contiguous(a, 64, &c);
         m.reset_traffic();
         let r = &m.traffic_report()[0];
-        assert_eq!((r.read_sectors, r.write_sectors, r.dram_read_sectors), (0, 0, 0));
+        assert_eq!(
+            (r.read_sectors, r.write_sectors, r.dram_read_sectors),
+            (0, 0, 0)
+        );
         m.read_contiguous(a, 32, &c);
         assert_eq!(m.traffic_report()[0].read_sectors, 1);
     }
@@ -430,5 +539,39 @@ mod attribution_tests {
         let report = m.traffic_report();
         assert_eq!(report[0].read_sectors, 8);
         assert_eq!(report[1].write_sectors, 1);
+    }
+
+    #[test]
+    fn snapshot_counters_attribute_after_flush() {
+        // The worker path: counters built from the snapshot accumulate
+        // locally and only reach the report after a flush.
+        let m = MemSystem::new(&DeviceSpec::a100());
+        let a = m.alloc_named(1024, "values");
+        let c = m.local_counters();
+        m.read_contiguous(a, 256, &c); // 8 sectors
+        assert_eq!(m.traffic_report()[0].read_sectors, 0, "not yet flushed");
+        m.flush_region_counts(&c);
+        let r = &m.traffic_report()[0];
+        assert_eq!(r.read_sectors, 8);
+        assert_eq!(r.dram_read_sectors, 8);
+        // Flushing again must not double-count.
+        m.flush_region_counts(&c);
+        assert_eq!(m.traffic_report()[0].read_sectors, 8);
+    }
+
+    #[test]
+    fn snapshot_excludes_regions_allocated_later() {
+        let m = MemSystem::new(&DeviceSpec::a100());
+        let a = m.alloc_named(1024, "early");
+        let c = m.local_counters();
+        let b = m.alloc_named(1024, "late");
+        let c2 = m.local_counters();
+        m.read_contiguous(a, 32, &c);
+        m.read_contiguous(b, 32, &c2);
+        m.flush_region_counts(&c);
+        m.flush_region_counts(&c2);
+        let report = m.traffic_report();
+        assert_eq!(report[0].read_sectors, 1);
+        assert_eq!(report[1].read_sectors, 1);
     }
 }

@@ -31,8 +31,7 @@ use crate::device::DeviceSpec;
 pub use crate::device::Precision;
 
 /// Per-kernel-family calibration.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct KernelProfile {
     /// Display name ("Half/double", "GPU Baseline", ...).
     pub name: String,
@@ -69,8 +68,7 @@ impl KernelProfile {
 }
 
 /// What bound a kernel's estimated time.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum Bound {
     Dram,
     L2,
@@ -81,8 +79,7 @@ pub enum Bound {
 }
 
 /// Modeled execution time and derived rates.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct TimeEstimate {
     pub seconds: f64,
     /// Useful GFLOP/s (`flops / seconds / 1e9`) — the bars of Figs. 4–7.
@@ -138,11 +135,9 @@ pub fn estimate(spec: &DeviceSpec, profile: &KernelProfile, stats: &KernelStats)
     // granularity factor applies here too (bursty issue from few large
     // resident blocks lowers sustained RMW throughput — why the paper's
     // baseline prefers 64-128-thread blocks).
-    let t_atomic =
-        stats.atomic_ops as f64 / (spec.atomic_ops_per_s * sched * util.max(1e-9));
+    let t_atomic = stats.atomic_ops as f64 / (spec.atomic_ops_per_s * sched * util.max(1e-9));
 
-    let warp_throughput =
-        spec.sm_count as f64 * spec.warp_schedulers as f64 * spec.clock_hz;
+    let warp_throughput = spec.sm_count as f64 * spec.warp_schedulers as f64 * spec.clock_hz;
     let t_warp = stats.warps as f64 * profile.warp_cycles / warp_throughput;
 
     let t_dispatch =
@@ -160,7 +155,11 @@ pub fn estimate(spec: &DeviceSpec, profile: &KernelProfile, stats: &KernelStats)
 
     let overheads = spec.launch_overhead_s + t_warp + t_dispatch;
     let seconds = t_body + overheads;
-    let bound = if overheads > t_body { Bound::Overhead } else { bound };
+    let bound = if overheads > t_body {
+        Bound::Overhead
+    } else {
+        bound
+    };
 
     TimeEstimate {
         seconds,
@@ -172,8 +171,7 @@ pub fn estimate(spec: &DeviceSpec, profile: &KernelProfile, stats: &KernelStats)
 }
 
 /// Host CPU description for the RayStation clinical-baseline row.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CpuSpec {
     pub name: &'static str,
     pub cores: u32,
@@ -215,7 +213,11 @@ impl CpuSpec {
             gflops: flops / seconds / 1e9,
             dram_bw_gbps: traffic_bytes / seconds / 1e9,
             frac_peak_bw: traffic_bytes / seconds / self.dram_bw,
-            bound: if t_mem >= t_compute { Bound::Dram } else { Bound::Compute },
+            bound: if t_mem >= t_compute {
+                Bound::Dram
+            } else {
+                Bound::Compute
+            },
         }
     }
 }
@@ -262,8 +264,16 @@ mod tests {
         // Prostate-like: 9.5e7 nnz over 1.03e6 rows (short rows).
         let spec = DeviceSpec::a100();
         let profile = KernelProfile::new("Half/double", Precision::Double);
-        let liver = estimate(&spec, &profile, &streaming_stats(1_480_000_000, 2_970_000, 6, 512));
-        let prostate = estimate(&spec, &profile, &streaming_stats(95_000_000, 1_030_000, 6, 512));
+        let liver = estimate(
+            &spec,
+            &profile,
+            &streaming_stats(1_480_000_000, 2_970_000, 6, 512),
+        );
+        let prostate = estimate(
+            &spec,
+            &profile,
+            &streaming_stats(95_000_000, 1_030_000, 6, 512),
+        );
         assert!(
             prostate.frac_peak_bw < liver.frac_peak_bw - 0.05,
             "prostate {} vs liver {}",
@@ -277,7 +287,12 @@ mod tests {
         let spec = DeviceSpec::a100();
         let profile = KernelProfile::new("Half/double", Precision::Double);
         let perf = |tpb: u32| {
-            estimate(&spec, &profile, &streaming_stats(1_480_000_000, 2_970_000, 6, tpb)).gflops
+            estimate(
+                &spec,
+                &profile,
+                &streaming_stats(1_480_000_000, 2_970_000, 6, tpb),
+            )
+            .gflops
         };
         let g32 = perf(32);
         let g128 = perf(128);

@@ -47,7 +47,9 @@ impl DoseEngine for CpuDoseEngine {
 
     fn dose(&self, weights: &[f64]) -> Vec<f64> {
         let mut d = vec![0.0; self.matrix.nrows()];
-        self.matrix.spmv_ref(weights, &mut d).expect("dimension checked");
+        self.matrix
+            .spmv_ref(weights, &mut d)
+            .expect("dimension checked");
         d
     }
 

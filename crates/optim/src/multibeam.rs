@@ -31,7 +31,11 @@ impl<E: DoseEngine> MultiBeamEngine<E> {
         for b in &beams {
             offsets.push(offsets.last().unwrap() + b.nspots());
         }
-        MultiBeamEngine { beams, offsets, nvoxels }
+        MultiBeamEngine {
+            beams,
+            offsets,
+            nvoxels,
+        }
     }
 
     /// Number of beams in the plan.
@@ -160,9 +164,7 @@ mod tests {
     #[should_panic(expected = "share the dose grid")]
     fn rejects_mismatched_grids() {
         let a = beam(&[vec![(0, 1.0)], vec![], vec![]]);
-        let b = CpuDoseEngine::new(
-            Csr::from_rows(2, &[vec![(0, 1.0)], vec![]]).unwrap(),
-        );
+        let b = CpuDoseEngine::new(Csr::from_rows(2, &[vec![(0, 1.0)], vec![]]).unwrap());
         let _ = MultiBeamEngine::new(vec![a, b]);
     }
 }

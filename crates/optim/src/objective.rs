@@ -5,27 +5,53 @@
 #[derive(Clone, Debug, PartialEq)]
 pub enum ObjectiveTerm {
     /// Target uniformity: `weight / |V| * sum_i (d_i - prescribed)^2`.
-    UniformDose { voxels: Vec<usize>, prescribed: f64, weight: f64 },
+    UniformDose {
+        voxels: Vec<usize>,
+        prescribed: f64,
+        weight: f64,
+    },
     /// Organ-at-risk ceiling: `weight / |V| * sum_i max(0, d_i - limit)^2`.
-    MaxDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    MaxDose {
+        voxels: Vec<usize>,
+        limit: f64,
+        weight: f64,
+    },
     /// Target floor: `weight / |V| * sum_i max(0, limit - d_i)^2`.
-    MinDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    MinDose {
+        voxels: Vec<usize>,
+        limit: f64,
+        weight: f64,
+    },
     /// Mean-dose ceiling: `weight * max(0, mean(d) - limit)^2`.
-    MeanDose { voxels: Vec<usize>, limit: f64, weight: f64 },
+    MeanDose {
+        voxels: Vec<usize>,
+        limit: f64,
+        weight: f64,
+    },
     /// Dose-volume constraint "at most `volume_fraction` of the
     /// structure may exceed `dose_level`" as the standard quadratic DVH
     /// penalty (Wu & Mohan style): voxels above the level that are *not*
     /// within the allowed hottest fraction are penalized toward the
     /// level. Piecewise smooth; the optimizer treats the active set as
     /// fixed per evaluation.
-    DvhMax { voxels: Vec<usize>, dose_level: f64, volume_fraction: f64, weight: f64 },
+    DvhMax {
+        voxels: Vec<usize>,
+        dose_level: f64,
+        volume_fraction: f64,
+        weight: f64,
+    },
 }
 
 impl ObjectiveTerm {
     /// For `DvhMax`: indices (into `voxels`) of the currently penalized
     /// voxels — those exceeding the level but not protected by the
     /// allowed hottest fraction.
-    fn dvh_active(voxels: &[usize], d: &[f64], dose_level: f64, volume_fraction: f64) -> Vec<usize> {
+    fn dvh_active(
+        voxels: &[usize],
+        d: &[f64],
+        dose_level: f64,
+        volume_fraction: f64,
+    ) -> Vec<usize> {
         let allowed = ((voxels.len() as f64) * volume_fraction.clamp(0.0, 1.0)).floor() as usize;
         let mut over: Vec<usize> = (0..voxels.len())
             .filter(|&k| d[voxels[k]] > dose_level)
@@ -46,32 +72,53 @@ impl ObjectiveTerm {
     /// Term value for dose vector `d`.
     pub fn value(&self, d: &[f64]) -> f64 {
         match self {
-            ObjectiveTerm::UniformDose { voxels, prescribed, weight } => {
+            ObjectiveTerm::UniformDose {
+                voxels,
+                prescribed,
+                weight,
+            } => {
                 let s: f64 = voxels.iter().map(|&i| (d[i] - prescribed).powi(2)).sum();
                 weight * s / voxels.len().max(1) as f64
             }
-            ObjectiveTerm::MaxDose { voxels, limit, weight } => {
+            ObjectiveTerm::MaxDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 let s: f64 = voxels
                     .iter()
                     .map(|&i| (d[i] - limit).max(0.0).powi(2))
                     .sum();
                 weight * s / voxels.len().max(1) as f64
             }
-            ObjectiveTerm::MinDose { voxels, limit, weight } => {
+            ObjectiveTerm::MinDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 let s: f64 = voxels
                     .iter()
                     .map(|&i| (limit - d[i]).max(0.0).powi(2))
                     .sum();
                 weight * s / voxels.len().max(1) as f64
             }
-            ObjectiveTerm::MeanDose { voxels, limit, weight } => {
+            ObjectiveTerm::MeanDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 if voxels.is_empty() {
                     return 0.0;
                 }
                 let mean: f64 = voxels.iter().map(|&i| d[i]).sum::<f64>() / voxels.len() as f64;
                 weight * (mean - limit).max(0.0).powi(2)
             }
-            ObjectiveTerm::DvhMax { voxels, dose_level, volume_fraction, weight } => {
+            ObjectiveTerm::DvhMax {
+                voxels,
+                dose_level,
+                volume_fraction,
+                weight,
+            } => {
                 if voxels.is_empty() {
                     return 0.0;
                 }
@@ -88,13 +135,21 @@ impl ObjectiveTerm {
     /// Accumulates `∂(term)/∂d` into `grad`.
     pub fn accumulate_dose_gradient(&self, d: &[f64], grad: &mut [f64]) {
         match self {
-            ObjectiveTerm::UniformDose { voxels, prescribed, weight } => {
+            ObjectiveTerm::UniformDose {
+                voxels,
+                prescribed,
+                weight,
+            } => {
                 let c = 2.0 * weight / voxels.len().max(1) as f64;
                 for &i in voxels {
                     grad[i] += c * (d[i] - prescribed);
                 }
             }
-            ObjectiveTerm::MaxDose { voxels, limit, weight } => {
+            ObjectiveTerm::MaxDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 let c = 2.0 * weight / voxels.len().max(1) as f64;
                 for &i in voxels {
                     let over = d[i] - limit;
@@ -103,7 +158,11 @@ impl ObjectiveTerm {
                     }
                 }
             }
-            ObjectiveTerm::MinDose { voxels, limit, weight } => {
+            ObjectiveTerm::MinDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 let c = 2.0 * weight / voxels.len().max(1) as f64;
                 for &i in voxels {
                     let under = limit - d[i];
@@ -112,7 +171,11 @@ impl ObjectiveTerm {
                     }
                 }
             }
-            ObjectiveTerm::MeanDose { voxels, limit, weight } => {
+            ObjectiveTerm::MeanDose {
+                voxels,
+                limit,
+                weight,
+            } => {
                 if voxels.is_empty() {
                     return;
                 }
@@ -126,7 +189,12 @@ impl ObjectiveTerm {
                     }
                 }
             }
-            ObjectiveTerm::DvhMax { voxels, dose_level, volume_fraction, weight } => {
+            ObjectiveTerm::DvhMax {
+                voxels,
+                dose_level,
+                volume_fraction,
+                weight,
+            } => {
                 if voxels.is_empty() {
                     return;
                 }
@@ -190,28 +258,44 @@ mod tests {
 
     #[test]
     fn uniform_dose_zero_at_prescription() {
-        let t = ObjectiveTerm::UniformDose { voxels: vec![0, 1], prescribed: 2.0, weight: 1.0 };
+        let t = ObjectiveTerm::UniformDose {
+            voxels: vec![0, 1],
+            prescribed: 2.0,
+            weight: 1.0,
+        };
         assert_eq!(t.value(&[2.0, 2.0, 5.0]), 0.0);
         assert!(t.value(&[2.5, 2.0, 5.0]) > 0.0);
     }
 
     #[test]
     fn max_dose_only_penalizes_overdose() {
-        let t = ObjectiveTerm::MaxDose { voxels: vec![0, 1], limit: 1.0, weight: 1.0 };
+        let t = ObjectiveTerm::MaxDose {
+            voxels: vec![0, 1],
+            limit: 1.0,
+            weight: 1.0,
+        };
         assert_eq!(t.value(&[0.5, 1.0]), 0.0);
         assert!((t.value(&[2.0, 1.0]) - 0.5).abs() < 1e-12);
     }
 
     #[test]
     fn min_dose_only_penalizes_underdose() {
-        let t = ObjectiveTerm::MinDose { voxels: vec![0], limit: 1.0, weight: 2.0 };
+        let t = ObjectiveTerm::MinDose {
+            voxels: vec![0],
+            limit: 1.0,
+            weight: 2.0,
+        };
         assert_eq!(t.value(&[1.5]), 0.0);
         assert!((t.value(&[0.5]) - 2.0 * 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn mean_dose_uses_structure_mean() {
-        let t = ObjectiveTerm::MeanDose { voxels: vec![0, 1], limit: 1.0, weight: 1.0 };
+        let t = ObjectiveTerm::MeanDose {
+            voxels: vec![0, 1],
+            limit: 1.0,
+            weight: 1.0,
+        };
         assert_eq!(t.value(&[0.5, 1.5]), 0.0); // mean exactly at limit
         assert!((t.value(&[1.0, 2.0]) - 0.25).abs() < 1e-12);
     }
@@ -219,10 +303,26 @@ mod tests {
     #[test]
     fn gradients_match_finite_differences() {
         let obj = Objective::new(vec![
-            ObjectiveTerm::UniformDose { voxels: vec![0, 1, 2], prescribed: 1.0, weight: 3.0 },
-            ObjectiveTerm::MaxDose { voxels: vec![3, 4], limit: 0.5, weight: 2.0 },
-            ObjectiveTerm::MinDose { voxels: vec![0, 1], limit: 0.9, weight: 1.5 },
-            ObjectiveTerm::MeanDose { voxels: vec![2, 3, 4], limit: 0.4, weight: 4.0 },
+            ObjectiveTerm::UniformDose {
+                voxels: vec![0, 1, 2],
+                prescribed: 1.0,
+                weight: 3.0,
+            },
+            ObjectiveTerm::MaxDose {
+                voxels: vec![3, 4],
+                limit: 0.5,
+                weight: 2.0,
+            },
+            ObjectiveTerm::MinDose {
+                voxels: vec![0, 1],
+                limit: 0.9,
+                weight: 1.5,
+            },
+            ObjectiveTerm::MeanDose {
+                voxels: vec![2, 3, 4],
+                limit: 0.4,
+                weight: 4.0,
+            },
         ]);
         fd_check(&obj, &[0.8, 1.1, 0.6, 0.9, 0.2]);
         fd_check(&obj, &[0.0, 0.0, 0.0, 0.0, 0.0]);
@@ -268,13 +368,22 @@ mod tests {
         // 4 voxels each fed by its own spot.
         let m = rt_sparse::Csr::<f64, u32>::from_rows(
             4,
-            &[vec![(0, 1.0)], vec![(1, 1.0)], vec![(2, 1.0)], vec![(3, 1.0)]],
+            &[
+                vec![(0, 1.0)],
+                vec![(1, 1.0)],
+                vec![(2, 1.0)],
+                vec![(3, 1.0)],
+            ],
         )
         .unwrap();
         let e = CpuDoseEngine::new(m);
         let obj = Objective::new(vec![
             // Keep overall dose up...
-            ObjectiveTerm::MinDose { voxels: vec![0, 1, 2, 3], limit: 1.0, weight: 1.0 },
+            ObjectiveTerm::MinDose {
+                voxels: vec![0, 1, 2, 3],
+                limit: 1.0,
+                weight: 1.0,
+            },
             // ...but at most one voxel may exceed 1.2.
             ObjectiveTerm::DvhMax {
                 voxels: vec![0, 1, 2, 3],
@@ -291,8 +400,16 @@ mod tests {
     #[test]
     fn empty_structures_are_harmless() {
         let obj = Objective::new(vec![
-            ObjectiveTerm::MeanDose { voxels: vec![], limit: 1.0, weight: 1.0 },
-            ObjectiveTerm::UniformDose { voxels: vec![], prescribed: 1.0, weight: 1.0 },
+            ObjectiveTerm::MeanDose {
+                voxels: vec![],
+                limit: 1.0,
+                weight: 1.0,
+            },
+            ObjectiveTerm::UniformDose {
+                voxels: vec![],
+                prescribed: 1.0,
+                weight: 1.0,
+            },
         ]);
         assert_eq!(obj.value(&[1.0, 2.0]), 0.0);
         assert_eq!(obj.dose_gradient(&[1.0, 2.0]), vec![0.0, 0.0]);

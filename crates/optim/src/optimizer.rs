@@ -180,7 +180,12 @@ mod tests {
         CpuDoseEngine::new(
             Csr::from_rows(
                 2,
-                &[vec![(0, 1.0)], vec![(0, 0.8)], vec![(1, 1.0)], vec![(1, 1.2)]],
+                &[
+                    vec![(0, 1.0)],
+                    vec![(0, 0.8)],
+                    vec![(1, 1.0)],
+                    vec![(1, 1.2)],
+                ],
             )
             .unwrap(),
         )
@@ -197,16 +202,32 @@ mod tests {
         let r = optimize(&e, &obj, &[0.1, 0.1], &OptimizerConfig::default());
         assert!(r.converged, "history: {:?}", r.history.last());
         // Least-squares optima: w0 = (1 + 0.8)/(1 + 0.64), w1 = 2.2/2.44.
-        assert!((r.weights[0] - 1.8 / 1.64).abs() < 1e-3, "w0 {}", r.weights[0]);
-        assert!((r.weights[1] - 2.2 / 2.44).abs() < 1e-3, "w1 {}", r.weights[1]);
+        assert!(
+            (r.weights[0] - 1.8 / 1.64).abs() < 1e-3,
+            "w0 {}",
+            r.weights[0]
+        );
+        assert!(
+            (r.weights[1] - 2.2 / 2.44).abs() < 1e-3,
+            "w1 {}",
+            r.weights[1]
+        );
     }
 
     #[test]
     fn objective_is_monotone_nonincreasing() {
         let e = engine();
         let obj = Objective::new(vec![
-            ObjectiveTerm::UniformDose { voxels: vec![0, 1], prescribed: 2.0, weight: 1.0 },
-            ObjectiveTerm::MaxDose { voxels: vec![2, 3], limit: 0.3, weight: 5.0 },
+            ObjectiveTerm::UniformDose {
+                voxels: vec![0, 1],
+                prescribed: 2.0,
+                weight: 1.0,
+            },
+            ObjectiveTerm::MaxDose {
+                voxels: vec![2, 3],
+                limit: 0.3,
+                weight: 5.0,
+            },
         ]);
         let r = optimize(&e, &obj, &[1.0, 1.0], &OptimizerConfig::default());
         for w in r.history.windows(2) {
@@ -248,7 +269,10 @@ mod tests {
             prescribed: 1.0,
             weight: 1.0,
         }]);
-        let cfg = OptimizerConfig { max_iters: 0, ..Default::default() };
+        let cfg = OptimizerConfig {
+            max_iters: 0,
+            ..Default::default()
+        };
         let r = optimize(&e, &obj, &[0.5, 0.5], &cfg);
         assert_eq!(r.weights, vec![0.5, 0.5]);
         assert_eq!(r.dose_evals, 1);

@@ -34,9 +34,7 @@ pub struct RobustProblem<E: DoseEngine> {
 pub fn robust_objective_value<E: DoseEngine>(p: &RobustProblem<E>, w: &[f64]) -> f64 {
     let vals = p.scenarios.iter().map(|e| p.objective.value(&e.dose(w)));
     match p.mode {
-        RobustMode::Expectation => {
-            vals.sum::<f64>() / p.scenarios.len().max(1) as f64
-        }
+        RobustMode::Expectation => vals.sum::<f64>() / p.scenarios.len().max(1) as f64,
         RobustMode::WorstCase => vals.fold(0.0, f64::max),
     }
 }
@@ -55,7 +53,11 @@ impl<E: DoseEngine> RobustProblem<E> {
             scenarios.iter().all(|s| s.nspots() == spots),
             "all scenarios must share the spot set"
         );
-        RobustProblem { scenarios, objective, mode }
+        RobustProblem {
+            scenarios,
+            objective,
+            mode,
+        }
     }
 
     /// Solves the robust problem with projected gradient descent.
@@ -112,7 +114,11 @@ impl<E: DoseEngine> DoseEngine for CompositeEngine<'_, E> {
     }
 
     fn modeled_seconds(&self) -> f64 {
-        self.problem.scenarios.iter().map(|s| s.modeled_seconds()).sum()
+        self.problem
+            .scenarios
+            .iter()
+            .map(|s| s.modeled_seconds())
+            .sum()
     }
 }
 
@@ -126,8 +132,10 @@ struct StackedObjective<'a> {
 
 impl StackedObjective<'_> {
     fn value(&self, stacked: &[f64]) -> f64 {
-        let vals = (0..self.nscen)
-            .map(|k| self.inner.value(&stacked[k * self.nvox..(k + 1) * self.nvox]));
+        let vals = (0..self.nscen).map(|k| {
+            self.inner
+                .value(&stacked[k * self.nvox..(k + 1) * self.nvox])
+        });
         match self.mode {
             RobustMode::Expectation => vals.sum::<f64>() / self.nscen as f64,
             RobustMode::WorstCase => vals.fold(0.0, f64::max),
@@ -155,7 +163,9 @@ impl StackedObjective<'_> {
                         self.inner
                             .value(&stacked[a * self.nvox..(a + 1) * self.nvox])
                             .total_cmp(
-                                &self.inner.value(&stacked[b * self.nvox..(b + 1) * self.nvox]),
+                                &self
+                                    .inner
+                                    .value(&stacked[b * self.nvox..(b + 1) * self.nvox]),
                             )
                     })
                     .unwrap_or(0);
@@ -312,10 +322,14 @@ mod tests {
         };
         let p = RobustProblem::new(make(), objective(), RobustMode::WorstCase);
         let w0 = [0.1, 0.1];
-        let r = p.solve(&w0, &OptimizerConfig { max_iters: 200, ..Default::default() });
-        assert!(
-            robust_objective_value(&p, &r.weights) < robust_objective_value(&p, &w0)
+        let r = p.solve(
+            &w0,
+            &OptimizerConfig {
+                max_iters: 200,
+                ..Default::default()
+            },
         );
+        assert!(robust_objective_value(&p, &r.weights) < robust_objective_value(&p, &w0));
     }
 
     #[test]

@@ -7,8 +7,22 @@ fn main() {
     let ctx = Context::generate(ScaleConfig::tiny());
     let dev = DeviceSpec::a100();
     for c in [ctx.liver1(), ctx.prostate1()] {
-        println!("== {} rows {} cols {} nnz {} extrap {:.1}", c.name(), c.f16.nrows(), c.f16.ncols(), c.f16.nnz(), c.case.extrapolation());
-        for m in [run_half_double(c, &dev, 512), run_single(c, &dev, 512), run_baseline(c, &dev, 128), run_scalar(c, &dev, 512), run_cusparse(c, &dev), run_ginkgo(c, &dev)] {
+        println!(
+            "== {} rows {} cols {} nnz {} extrap {:.1}",
+            c.name(),
+            c.f16.nrows(),
+            c.f16.ncols(),
+            c.f16.nnz(),
+            c.case.extrapolation()
+        );
+        for m in [
+            run_half_double(c, &dev, 512),
+            run_single(c, &dev, 512),
+            run_baseline(c, &dev, 128),
+            run_scalar(c, &dev, 512),
+            run_cusparse(c, &dev),
+            run_ginkgo(c, &dev),
+        ] {
             println!("{:<14} gflops {:>8.1} bw {:>7.1} frac {:.2} bound {:?} | raw dram {:>10} oi {:.3} warps_raw {:>7} warps_scaled {:>10} atomics {}",
                 m.kernel, m.gflops(), m.bandwidth_gbps(), m.estimate.frac_peak_bw, m.estimate.bound,
                 m.raw.dram_total_bytes(), m.oi(), m.raw.warps, m.scaled.warps, m.raw.atomic_ops);

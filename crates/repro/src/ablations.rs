@@ -15,10 +15,10 @@
 use crate::context::{Context, PreparedCase};
 use crate::render::{f1, sci, TextTable};
 use crate::runner::{run_baseline, run_half_double, run_scalar};
-use rt_f16::{Bf16, F16};
-use rt_gpusim::{DeviceSpec, Gpu};
 use rt_core::{profile_sell, sell_spmv, vector_csr_spmv, GpuCsrMatrix, GpuSellMatrix};
+use rt_f16::{Bf16, F16};
 use rt_gpusim::timing::estimate;
+use rt_gpusim::{DeviceSpec, Gpu};
 use rt_sparse::{Csr, Ell, QuantizedCsr, RsCompressed, SellCSigma};
 
 /// 16-bit vs 32-bit column indices: DRAM traffic and OI.
@@ -73,7 +73,9 @@ pub fn render_index_width(rows: &[IndexWidthRow]) -> String {
             r.case.clone(),
             r.fits_u16.to_string(),
             sci(r.dram_bytes_u32 as f64),
-            r.dram_bytes_u16.map(|b| sci(b as f64)).unwrap_or("-".into()),
+            r.dram_bytes_u16
+                .map(|b| sci(b as f64))
+                .unwrap_or("-".into()),
             format!("{:.3}", r.oi_u32),
             r.oi_u16.map(|o| format!("{o:.3}")).unwrap_or("-".into()),
             r.dram_bytes_u16
@@ -106,7 +108,11 @@ pub fn formats(case: &PreparedCase) -> Vec<FormatRow> {
     let sell = SellCSigma::from_csr(csr, 32, 1024);
     let rs = RsCompressed::from_csr(csr);
     let mut rows = vec![
-        FormatRow { format: "CSR f16/u32".into(), bytes: csr.size_bytes(), padding_factor: 1.0 },
+        FormatRow {
+            format: "CSR f16/u32".into(),
+            bytes: csr.size_bytes(),
+            padding_factor: 1.0,
+        },
         FormatRow {
             format: "ELLPACK f16/u32".into(),
             bytes: ell.size_bytes(),
@@ -126,7 +132,11 @@ pub fn formats(case: &PreparedCase) -> Vec<FormatRow> {
     if csr_u16_bytes > 0 {
         rows.insert(
             1,
-            FormatRow { format: "CSR f16/u16".into(), bytes: csr_u16_bytes, padding_factor: 1.0 },
+            FormatRow {
+                format: "CSR f16/u16".into(),
+                bytes: csr_u16_bytes,
+                padding_factor: 1.0,
+            },
         );
     }
     rows
@@ -323,17 +333,29 @@ pub fn value_encoding(case: &PreparedCase) -> Vec<EncodingRow> {
     let mut d = vec![0.0; exact.len()];
     case.f16.spmv_ref(&case.weights, &mut d).unwrap();
     let (max_rel, rms) = errors(&d);
-    rows.push(EncodingRow { encoding: "binary16".into(), max_rel_error: max_rel, rms_rel_error: rms });
+    rows.push(EncodingRow {
+        encoding: "binary16".into(),
+        max_rel_error: max_rel,
+        rms_rel_error: rms,
+    });
 
     let bf: Csr<Bf16, u32> = case.case.matrix.convert_values();
     bf.spmv_ref(&case.weights, &mut d).unwrap();
     let (max_rel, rms) = errors(&d);
-    rows.push(EncodingRow { encoding: "bfloat16".into(), max_rel_error: max_rel, rms_rel_error: rms });
+    rows.push(EncodingRow {
+        encoding: "bfloat16".into(),
+        max_rel_error: max_rel,
+        rms_rel_error: rms,
+    });
 
     let q = QuantizedCsr::from_csr(&case.case.matrix).expect("non-zero matrix");
     q.spmv_ref(&case.weights, &mut d).unwrap();
     let (max_rel, rms) = errors(&d);
-    rows.push(EncodingRow { encoding: "fixed16".into(), max_rel_error: max_rel, rms_rel_error: rms });
+    rows.push(EncodingRow {
+        encoding: "fixed16".into(),
+        max_rel_error: max_rel,
+        rms_rel_error: rms,
+    });
 
     rows
 }
@@ -486,7 +508,12 @@ mod tests {
         assert!(get("binary16").rms_rel_error < get("bfloat16").rms_rel_error);
         // All encodings stay under 5% max relative error on real doses.
         for r in &rows {
-            assert!(r.max_rel_error < 0.05, "{}: {}", r.encoding, r.max_rel_error);
+            assert!(
+                r.max_rel_error < 0.05,
+                "{}: {}",
+                r.encoding,
+                r.max_rel_error
+            );
         }
         let _ = render_value_encoding("Prostate 1", &rows);
     }
@@ -497,7 +524,12 @@ mod tests {
         let rows = sell_vs_csr(&ctx);
         for r in &rows {
             // Padding is modest thanks to sigma sorting...
-            assert!(r.sell_padding < 1.6, "{}: padding {}", r.case, r.sell_padding);
+            assert!(
+                r.sell_padding < 1.6,
+                "{}: padding {}",
+                r.case,
+                r.sell_padding
+            );
             // ...and the kernel lands within 2x of CSR either way.
             let ratio = r.sell_gflops / r.csr_gflops;
             assert!((0.5..2.5).contains(&ratio), "{}: ratio {ratio}", r.case);

@@ -25,7 +25,13 @@ impl PreparedCase {
         let f32: Csr<f32, u32> = case.matrix.convert_values();
         let rs = RsCompressed::from_csr(&f16);
         let weights = vec![1.0; case.matrix.ncols()];
-        PreparedCase { case, f16, f32, rs, weights }
+        PreparedCase {
+            case,
+            f16,
+            f32,
+            rs,
+            weights,
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -47,7 +53,10 @@ impl Context {
     /// Generates at the given scale (`ScaleConfig::default()` for the
     /// reported experiments, `ScaleConfig::tiny()` for tests).
     pub fn generate(scale: ScaleConfig) -> Self {
-        let cases = all_cases(scale).into_iter().map(PreparedCase::new).collect();
+        let cases = all_cases(scale)
+            .into_iter()
+            .map(PreparedCase::new)
+            .collect();
         Context { cases, scale }
     }
 

@@ -41,10 +41,14 @@ pub fn generate(ctx: &Context) -> Fig1 {
     // Canvas in beam's-eye-view coordinates (u horizontal, v vertical).
     let (u_lo, u_hi) = layer_spots
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), s| (lo.min(s.0), hi.max(s.0)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), s| {
+            (lo.min(s.0), hi.max(s.0))
+        });
     let (v_lo, v_hi) = layer_spots
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), s| (lo.min(s.1), hi.max(s.1)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), s| {
+            (lo.min(s.1), hi.max(s.1))
+        });
     let margin = 6.0;
     let width = 64usize;
     let height = 24usize;

@@ -27,7 +27,11 @@ pub fn generate(ctx: &Context) -> Fig2 {
         .map(|c| {
             let stats = RowStats::from_csr(&c.case.matrix);
             let curve = stats.cumulative_curve(24);
-            Fig2Series { case: c.name().to_string(), stats, curve }
+            Fig2Series {
+                case: c.name().to_string(),
+                stats,
+                curve,
+            }
         })
         .collect();
     Fig2 { series }

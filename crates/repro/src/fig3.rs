@@ -43,7 +43,10 @@ pub fn generate(ctx: &Context) -> Fig3 {
             case.case.paper.cols as u64,
         );
         let runs = [
-            (run_half_double(case, &dev, 512), CsrTrafficModel::half_double()),
+            (
+                run_half_double(case, &dev, 512),
+                CsrTrafficModel::half_double(),
+            ),
             (run_single(case, &dev, 512), CsrTrafficModel::single()),
             (run_cusparse(case, &dev), CsrTrafficModel::single()),
             (run_ginkgo(case, &dev), CsrTrafficModel::single()),
@@ -132,7 +135,11 @@ mod tests {
         }
         // The paper-dimension Half/double bound reproduces the quoted
         // 0.332 for liver beam 1.
-        assert!((hd.oi_bound_paper - 0.332).abs() < 0.003, "paper bound {}", hd.oi_bound_paper);
+        assert!(
+            (hd.oi_bound_paper - 0.332).abs() < 0.003,
+            "paper bound {}",
+            hd.oi_bound_paper
+        );
         // Measured OI approaches the infinite-cache bound at matching
         // dimensions (the paper's own validation, done at our scale).
         for p in &f.points {

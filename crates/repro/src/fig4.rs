@@ -21,15 +21,24 @@ pub fn generate(ctx: &Context) -> Fig4 {
     let series = vec![
         (
             "Half/double".to_string(),
-            TPB_SWEEP.iter().map(|&tpb| run_half_double(case, &dev, tpb)).collect(),
+            TPB_SWEEP
+                .iter()
+                .map(|&tpb| run_half_double(case, &dev, tpb))
+                .collect(),
         ),
         (
             "Single".to_string(),
-            TPB_SWEEP.iter().map(|&tpb| run_single(case, &dev, tpb)).collect(),
+            TPB_SWEEP
+                .iter()
+                .map(|&tpb| run_single(case, &dev, tpb))
+                .collect(),
         ),
         (
             "GPU Baseline".to_string(),
-            TPB_SWEEP.iter().map(|&tpb| run_baseline(case, &dev, tpb)).collect(),
+            TPB_SWEEP
+                .iter()
+                .map(|&tpb| run_baseline(case, &dev, tpb))
+                .collect(),
         ),
     ];
     Fig4 { series }

@@ -115,7 +115,14 @@ pub fn run_half_double(case: &PreparedCase, device: &DeviceSpec, tpb: u32) -> Me
     let y = gpu.alloc_out::<f64>(case.f16.nrows());
     vector_csr_spmv(&gpu, &m, &x, &y, tpb); // warm-up
     let raw = vector_csr_spmv(&gpu, &m, &x, &y, tpb);
-    Measured::build("Half/double", case, device, profile_half_double(), raw, WorkScale::Rows)
+    Measured::build(
+        "Half/double",
+        case,
+        device,
+        profile_half_double(),
+        raw,
+        WorkScale::Rows,
+    )
 }
 
 /// The Single kernel (pure f32).
@@ -127,7 +134,14 @@ pub fn run_single(case: &PreparedCase, device: &DeviceSpec, tpb: u32) -> Measure
     let y = gpu.alloc_out::<f32>(case.f32.nrows());
     vector_csr_spmv(&gpu, &m, &x, &y, tpb);
     let raw = vector_csr_spmv(&gpu, &m, &x, &y, tpb);
-    Measured::build("Single", case, device, profile_single(), raw, WorkScale::Rows)
+    Measured::build(
+        "Single",
+        case,
+        device,
+        profile_single(),
+        raw,
+        WorkScale::Rows,
+    )
 }
 
 /// The GPU Baseline (RayStation port with atomics, segment-parallel).
@@ -139,7 +153,14 @@ pub fn run_baseline(case: &PreparedCase, device: &DeviceSpec, tpb: u32) -> Measu
     rs_baseline_gpu_spmv(&gpu, &m, &x, &y, tpb);
     y.clear();
     let raw = rs_baseline_gpu_spmv(&gpu, &m, &x, &y, tpb);
-    Measured::build("GPU Baseline", case, device, profile_baseline(), raw, WorkScale::Nnz)
+    Measured::build(
+        "GPU Baseline",
+        case,
+        device,
+        profile_baseline(),
+        raw,
+        WorkScale::Nnz,
+    )
 }
 
 /// The scalar (thread-per-row) ablation kernel.
@@ -150,7 +171,14 @@ pub fn run_scalar(case: &PreparedCase, device: &DeviceSpec, tpb: u32) -> Measure
     let y = gpu.alloc_out::<f64>(case.f16.nrows());
     scalar_csr_spmv(&gpu, &m, &x, &y, tpb);
     let raw = scalar_csr_spmv(&gpu, &m, &x, &y, tpb);
-    Measured::build("Scalar CSR", case, device, profile_scalar(), raw, WorkScale::Rows)
+    Measured::build(
+        "Scalar CSR",
+        case,
+        device,
+        profile_scalar(),
+        raw,
+        WorkScale::Rows,
+    )
 }
 
 /// cuSPARSE stand-in (single precision).
@@ -162,7 +190,14 @@ pub fn run_cusparse(case: &PreparedCase, device: &DeviceSpec) -> Measured {
     let y = gpu.alloc_out::<f32>(case.f32.nrows());
     cusparse_csr_spmv(&gpu, &m, &x, &y);
     let raw = cusparse_csr_spmv(&gpu, &m, &x, &y);
-    Measured::build("cuSPARSE", case, device, profile_cusparse(), raw, WorkScale::Rows)
+    Measured::build(
+        "cuSPARSE",
+        case,
+        device,
+        profile_cusparse(),
+        raw,
+        WorkScale::Rows,
+    )
 }
 
 /// Ginkgo stand-in (single precision, classical kernel).
@@ -174,7 +209,14 @@ pub fn run_ginkgo(case: &PreparedCase, device: &DeviceSpec) -> Measured {
     let y = gpu.alloc_out::<f32>(case.f32.nrows());
     ginkgo_csr_spmv(&gpu, &m, &x, &y);
     let raw = ginkgo_csr_spmv(&gpu, &m, &x, &y);
-    Measured::build("Ginkgo", case, device, profile_ginkgo(), raw, WorkScale::Rows)
+    Measured::build(
+        "Ginkgo",
+        case,
+        device,
+        profile_ginkgo(),
+        raw,
+        WorkScale::Rows,
+    )
 }
 
 /// The RayStation CPU row (analytic traffic model on the i9-7940X).
@@ -234,7 +276,11 @@ mod tests {
         // Row-parallel: scaled warps ~ clinical row count.
         let rows_paper = c.case.paper.rows;
         let ratio = hd.scaled.warps as f64 / rows_paper;
-        assert!((0.9..1.2).contains(&ratio), "warps {} vs rows {rows_paper}", hd.scaled.warps);
+        assert!(
+            (0.9..1.2).contains(&ratio),
+            "warps {} vs rows {rows_paper}",
+            hd.scaled.warps
+        );
     }
 
     #[test]
@@ -244,7 +290,14 @@ mod tests {
         let c = ctx.liver1();
         let gpu = sim_gpu(c, &dev);
         let vectors = 8 * (c.case.matrix.ncols() + c.case.matrix.nrows());
-        assert!(gpu.spec().l2_bytes >= vectors, "L2 {} vs vectors {vectors}", gpu.spec().l2_bytes);
-        assert!(gpu.spec().l2_bytes < 6 * c.case.matrix.nnz(), "matrix must stream");
+        assert!(
+            gpu.spec().l2_bytes >= vectors,
+            "L2 {} vs vectors {vectors}",
+            gpu.spec().l2_bytes
+        );
+        assert!(
+            gpu.spec().l2_bytes < 6 * c.case.matrix.nnz(),
+            "matrix must stream"
+        );
     }
 }

@@ -55,7 +55,10 @@ impl Speedups {
     }
 
     pub fn max_hd_vs_baseline(&self) -> f64 {
-        self.rows.iter().map(|r| r.hd_vs_baseline).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.hd_vs_baseline)
+            .fold(0.0, f64::max)
     }
 
     pub fn avg_baseline_vs_cpu(&self) -> f64 {
@@ -67,7 +70,10 @@ impl Speedups {
     }
 
     pub fn peak_gflops(&self) -> f64 {
-        self.rows.iter().map(|r| r.half_double_gflops).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.half_double_gflops)
+            .fold(0.0, f64::max)
     }
 
     pub fn render(&self) -> String {

@@ -109,8 +109,16 @@ mod tests {
             let nnz = c.nnz as f64;
             let values = by("values").dram_read_bytes() as f64;
             let idx = by("col_idx").dram_read_bytes() as f64;
-            assert!((values / (2.0 * nnz) - 1.0).abs() < 0.35, "{}: values {values}", c.case);
-            assert!((idx / (4.0 * nnz) - 1.0).abs() < 0.35, "{}: idx {idx}", c.case);
+            assert!(
+                (values / (2.0 * nnz) - 1.0).abs() < 0.35,
+                "{}: values {values}",
+                c.case
+            );
+            assert!(
+                (idx / (4.0 * nnz) - 1.0).abs() < 0.35,
+                "{}: idx {idx}",
+                c.case
+            );
             // Indices cost ~2x the values — the paper's future-work
             // motivation for 16-bit indices.
             assert!(idx > 1.5 * values, "{}: {idx} vs {values}", c.case);

@@ -22,8 +22,7 @@
 use rt_gpusim::{DeviceSpec, KernelProfile, KernelStats, Precision, TimeEstimate};
 
 /// Byte cost per matrix element of a CSR SpMV configuration.
-#[derive(Clone, Copy, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CsrTrafficModel {
     /// Bytes per non-zero for the stored value.
     pub value_bytes: usize,
@@ -39,18 +38,33 @@ impl CsrTrafficModel {
     /// The paper's Half/double configuration: f16 values, u32 indices,
     /// f64 vectors.
     pub fn half_double() -> Self {
-        CsrTrafficModel { value_bytes: 2, index_bytes: 4, x_bytes: 8, y_bytes: 8 }
+        CsrTrafficModel {
+            value_bytes: 2,
+            index_bytes: 4,
+            x_bytes: 8,
+            y_bytes: 8,
+        }
     }
 
     /// Pure single precision (the library-comparison configuration).
     pub fn single() -> Self {
-        CsrTrafficModel { value_bytes: 4, index_bytes: 4, x_bytes: 4, y_bytes: 4 }
+        CsrTrafficModel {
+            value_bytes: 4,
+            index_bytes: 4,
+            x_bytes: 4,
+            y_bytes: 4,
+        }
     }
 
     /// Half values with 16-bit column indices — the paper's future-work
     /// proposal (§V).
     pub fn half_double_u16() -> Self {
-        CsrTrafficModel { value_bytes: 2, index_bytes: 2, x_bytes: 8, y_bytes: 8 }
+        CsrTrafficModel {
+            value_bytes: 2,
+            index_bytes: 2,
+            x_bytes: 8,
+            y_bytes: 8,
+        }
     }
 
     /// Minimum DRAM traffic in bytes for an `nr x nc` matrix with `nnz`
@@ -71,8 +85,7 @@ impl CsrTrafficModel {
 }
 
 /// The roofline: a compute ceiling and a memory ceiling.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Roofline {
     pub peak_flops: f64,
     pub peak_bw: f64,
@@ -121,8 +134,7 @@ impl Roofline {
 }
 
 /// One kernel's position on the roofline plot.
-#[derive(Clone, Debug)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct RooflinePoint {
     pub kernel: String,
     pub case: String,
@@ -179,11 +191,7 @@ mod tests {
     fn paper_oi_bound_for_liver_beam_1() {
         // Table I: liver 1 = 2.97e6 rows, 6.80e4 cols, 1.48e9 nnz.
         // §V computes an OI upper bound of 0.332 for Half/double.
-        let oi = CsrTrafficModel::half_double().oi_upper_bound(
-            1_480_000_000,
-            2_970_000,
-            68_000,
-        );
+        let oi = CsrTrafficModel::half_double().oi_upper_bound(1_480_000_000, 2_970_000, 68_000);
         assert!((oi - 0.332).abs() < 0.002, "OI bound {oi}");
     }
 
@@ -244,7 +252,11 @@ mod tests {
         };
         let p = analyze("test", "case", &spec, &profile, &stats);
         assert!(p.oi > 0.0);
-        assert!(p.efficiency > 0.0 && p.efficiency <= 1.05, "eff {}", p.efficiency);
+        assert!(
+            p.efficiency > 0.0 && p.efficiency <= 1.05,
+            "eff {}",
+            p.efficiency
+        );
         assert!(p.gflops <= p.attainable_gflops * 1.05);
     }
 }

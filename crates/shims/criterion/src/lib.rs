@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API subset the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::default()`,
+//! `sample_size`, `benchmark_group`, `throughput`, `bench_function`,
+//! `BenchmarkId` — as a real (if simple) wall-clock harness:
+//!
+//! * per bench: a warm-up phase sizes the iteration batch so one sample
+//!   takes ≥ ~2 ms, then `sample_size` samples are timed;
+//! * the reported figure is the **median** sample (robust to scheduler
+//!   noise), printed as ns/iter plus derived throughput;
+//! * results are also recorded in a process-global list so binaries can
+//!   post-process them (see [`take_results`]).
+//!
+//! No statistical regression analysis, no plots, no saved baselines —
+//! for those, swap the real criterion back in when network access
+//! allows; the bench sources compile against either.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One finished measurement, for programmatic consumers.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub group: String,
+    pub name: String,
+    pub ns_per_iter: f64,
+    pub throughput: Option<Throughput>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains every result recorded so far (in execution order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut RESULTS.lock().unwrap())
+}
+
+/// Work-unit annotation used to derive a rate from the time per
+/// iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Harness configuration + entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per bench (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("benchmark group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+}
+
+/// Two-part bench identifier (`BenchmarkId::new("f", param)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a bench name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            sample_size: self.criterion.sample_size,
+            ns_per_iter: 0.0,
+        };
+        f(&mut b);
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("{:>10.3e} elem/s", n as f64 / (b.ns_per_iter * 1e-9))
+            }
+            Throughput::Bytes(n) => format!("{:>10.3e} B/s", n as f64 / (b.ns_per_iter * 1e-9)),
+        });
+        eprintln!(
+            "  {:<44} {:>14.1} ns/iter  {}",
+            id,
+            b.ns_per_iter,
+            rate.unwrap_or_default()
+        );
+        RESULTS.lock().unwrap().push(BenchResult {
+            group: self.name.clone(),
+            name: id,
+            ns_per_iter: b.ns_per_iter,
+            throughput: self.throughput,
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; [`Bencher::iter`] runs the measurement.
+pub struct Bencher {
+    sample_size: usize,
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: find a batch size where one sample costs >= ~2 ms
+        // (keeps timer quantization under 0.1%), capped so tiny bodies
+        // don't spin forever.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(2) || batch >= 1 << 24 {
+                break;
+            }
+            // Aim directly for the target based on the observed rate.
+            let per = (el.as_nanos() as u64 / batch).max(1);
+            batch = (2_000_000 / per + 1).clamp(batch * 2, 1 << 24);
+        }
+
+        let mut samples: Vec<f64> = (0..self.sample_size)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / batch as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// Mirrors criterion's two `criterion_group!` forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_function(BenchmarkId::new("sum", 64), |b| {
+            b.iter(|| (0..64u64).sum::<u64>())
+        });
+        g.finish();
+        let results = take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].group, "g");
+        assert_eq!(results[0].name, "sum");
+        assert_eq!(results[1].name, "sum/64");
+        assert!(results.iter().all(|r| r.ns_per_iter > 0.0));
+    }
+
+    #[test]
+    fn group_macro_compiles() {
+        fn target(c: &mut Criterion) {
+            c.benchmark_group("m")
+                .bench_function("noop", |b| b.iter(|| 1u64));
+        }
+        criterion_group!(benches, target);
+        benches();
+        assert!(!take_results().is_empty());
+    }
+}

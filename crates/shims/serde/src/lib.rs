@@ -1,0 +1,218 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so
+//! downstream consumers *could* serialize them, but no code path in this
+//! repository ever drives a serializer (all experiment output is
+//! hand-rendered text/JSON). With no network access to fetch real serde,
+//! this shim supplies just enough trait surface for those derives and
+//! the few manual impls (`F16`, `Bf16`, `Fixed16`) to compile.
+//!
+//! Design choices, deliberately minimal:
+//!
+//! * [`Serializer`] exposes the primitive sinks the manual impls call
+//!   (`serialize_u64` & friends) plus `serialize_unit`, which the derive
+//!   macro lowers every struct/enum to — fidelity is irrelevant since
+//!   nothing instantiates a serializer;
+//! * [`Deserializer`] carries only an error type; derived and primitive
+//!   `deserialize` impls return [`de::Error::unsupported`]. Attempting
+//!   to deserialize through the shim is a runtime error, not UB.
+//!
+//! If real serialization is ever needed, replace this crate with the
+//! real serde in `[workspace.dependencies]` — call sites are already
+//! written against the genuine API shape.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be serialized (shim surface).
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization sink (shim surface).
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+macro_rules! serialize_as {
+    ($method:ident as $via:ty : $($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.$method(*self as $via)
+            }
+        }
+    )*};
+}
+
+serialize_as!(serialize_u64 as u64: u8, u16, u32, u64, usize);
+serialize_as!(serialize_i64 as i64: i8, i16, i32, i64, isize);
+serialize_as!(serialize_f64 as f64: f32, f64);
+
+impl Serialize for bool {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+
+impl Serialize for str {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    #[inline]
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+pub mod de {
+    /// Error construction hook for deserialization failures.
+    pub trait Error: Sized {
+        fn unsupported(what: &str) -> Self;
+    }
+}
+
+/// A deserialization source (shim surface). No data-access methods: the
+/// shim cannot deserialize, only report that it cannot.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+}
+
+/// Types constructible from a deserializer (shim surface).
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+macro_rules! deserialize_unsupported {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                Err(<D::Error as de::Error>::unsupported(stringify!($t)))
+            }
+        }
+    )*};
+}
+
+deserialize_unsupported!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    // The derive macros emit `serde::`-prefixed paths; alias the crate
+    // under that name so they resolve inside the shim itself.
+    use crate as serde;
+
+    /// A toy serializer proving the trait surface is coherent.
+    struct Debugger;
+
+    impl Serializer for Debugger {
+        type Ok = String;
+        type Error = ();
+
+        fn serialize_unit(self) -> Result<String, ()> {
+            Ok("()".into())
+        }
+        fn serialize_bool(self, v: bool) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+        fn serialize_i64(self, v: i64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+        fn serialize_u64(self, v: u64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+        fn serialize_f64(self, v: f64) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+        fn serialize_str(self, v: &str) -> Result<String, ()> {
+            Ok(v.to_string())
+        }
+    }
+
+    #[test]
+    fn primitives_serialize() {
+        assert_eq!(42u16.serialize(Debugger), Ok("42".into()));
+        assert_eq!((-3i32).serialize(Debugger), Ok("-3".into()));
+        assert_eq!(1.5f64.serialize(Debugger), Ok("1.5".into()));
+        assert_eq!("hi".serialize(Debugger), Ok("hi".into()));
+        assert_eq!(true.serialize(Debugger), Ok("true".into()));
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)] // derive target only
+    struct Plain {
+        a: u64,
+        b: f64,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    #[allow(dead_code)] // derive target only
+    struct Generic<V, I = u32> {
+        v: Vec<V>,
+        i: Vec<I>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        A,
+        B,
+    }
+
+    struct NotSerializable;
+
+    #[test]
+    fn derive_compiles_for_structs_generics_and_enums() {
+        let p = Plain { a: 1, b: 2.0 };
+        assert_eq!(p.serialize(Debugger), Ok("()".into()));
+        // Derived impls are unconditional: no Serialize bound on params.
+        let g = Generic::<NotSerializable, u32> {
+            v: vec![],
+            i: vec![],
+        };
+        assert_eq!(g.serialize(Debugger), Ok("()".into()));
+        assert_eq!(Kind::A.serialize(Debugger), Ok("()".into()));
+        let _ = Kind::B;
+    }
+
+    struct NoData;
+    #[derive(Debug, PartialEq)]
+    struct Unsupported(String);
+
+    impl de::Error for Unsupported {
+        fn unsupported(what: &str) -> Self {
+            Unsupported(what.to_string())
+        }
+    }
+
+    impl<'de> Deserializer<'de> for NoData {
+        type Error = Unsupported;
+    }
+
+    #[test]
+    fn deserialize_reports_unsupported() {
+        assert_eq!(u16::deserialize(NoData), Err(Unsupported("u16".into())));
+        assert!(Plain::deserialize(NoData).is_err());
+        assert!(Generic::<f64, u32>::deserialize(NoData).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits trivially-valid `Serialize`/`Deserialize` impls against the
+//! shim `serde` crate: serialization lowers to `serialize_unit()`,
+//! deserialization to an `unsupported` error. No `syn`/`quote` — the
+//! only facts needed from the item are its name and the list of generic
+//! parameter names, which a hand parser over `proc_macro::TokenTree`
+//! extracts (handling lifetimes, bounds, defaults, and const params).
+//!
+//! Emitted impls put **no bounds** on type parameters: the bodies never
+//! touch the fields, so `Csr<NotSerializable>` still gets an impl. This
+//! is strictly more permissive than real serde, which is fine for a
+//! compile-surface shim.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Name + generic parameter names of a struct/enum definition.
+struct Item {
+    name: String,
+    /// Parameter names as written at use-sites (`'a`, `T`, `N`).
+    params: Vec<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip doc comments/attributes (`#[...]`) and visibility to find the
+    // `struct` / `enum` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let id = id.to_string();
+                if id == "struct" || id == "enum" {
+                    break;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i += 1; // past the keyword
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("shim derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            let mut expecting = true; // at a parameter boundary
+            while i < tokens.len() && depth > 0 {
+                match &tokens[i] {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => expecting = true,
+                        '\'' if expecting && depth == 1 => {
+                            // Lifetime parameter: quote + ident.
+                            if let Some(TokenTree::Ident(id)) = tokens.get(i + 1) {
+                                params.push(format!("'{id}"));
+                                i += 1;
+                            }
+                            expecting = false;
+                        }
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if expecting && depth == 1 => {
+                        if id.to_string() == "const" {
+                            // `const N: usize` — the next ident names it.
+                            if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                                params.push(n.to_string());
+                                i += 1;
+                            }
+                        } else {
+                            params.push(id.to_string());
+                        }
+                        // Bounds/defaults up to the next `,` are skipped
+                        // by `expecting` staying false.
+                        expecting = false;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+
+    Item { name, params }
+}
+
+fn generics_lists(item: &Item, extra_first: Option<&str>) -> (String, String) {
+    // (impl parameter list, type argument list) — both including angle
+    // brackets, or empty strings when there is nothing to write.
+    let mut impl_params: Vec<String> = Vec::new();
+    if let Some(e) = extra_first {
+        impl_params.push(e.to_string());
+    }
+    impl_params.extend(item.params.iter().cloned());
+    let impl_list = if impl_params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", impl_params.join(", "))
+    };
+    let args = if item.params.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.params.join(", "))
+    };
+    (impl_list, args)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_list, args) = generics_lists(&item, None);
+    format!(
+        "impl{impl_list} serde::Serialize for {name}{args} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __s: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 serde::Serializer::serialize_unit(__s)\n\
+             }}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("shim derive: emitted invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let (impl_list, args) = generics_lists(&item, Some("'de"));
+    format!(
+        "impl{impl_list} serde::Deserialize<'de> for {name}{args} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(_d: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(\n\
+                     <__D::Error as serde::de::Error>::unsupported(\"{name}\"))\n\
+             }}\n\
+         }}",
+        name = item.name,
+    )
+    .parse()
+    .expect("shim derive: emitted invalid Deserialize impl")
+}

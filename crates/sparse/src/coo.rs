@@ -9,8 +9,7 @@ use crate::{Csr, SparseError};
 use rt_f16::DoseScalar;
 
 /// A sparse matrix as a list of `(row, col, value)` triplets.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Coo<V> {
     nrows: usize,
     ncols: usize,
@@ -20,7 +19,11 @@ pub struct Coo<V> {
 impl<V: DoseScalar> Coo<V> {
     /// Creates an empty matrix with the given shape.
     pub fn new(nrows: usize, ncols: usize) -> Self {
-        Coo { nrows, ncols, triplets: Vec::new() }
+        Coo {
+            nrows,
+            ncols,
+            triplets: Vec::new(),
+        }
     }
 
     /// Wraps triplets after bounds-checking them. Order is arbitrary and
@@ -35,10 +38,18 @@ impl<V: DoseScalar> Coo<V> {
                 return Err(SparseError::RowOutOfBounds { row: r, nrows });
             }
             if c >= ncols {
-                return Err(SparseError::ColumnOutOfBounds { row: r, col: c, ncols });
+                return Err(SparseError::ColumnOutOfBounds {
+                    row: r,
+                    col: c,
+                    ncols,
+                });
             }
         }
-        Ok(Coo { nrows, ncols, triplets })
+        Ok(Coo {
+            nrows,
+            ncols,
+            triplets,
+        })
     }
 
     /// Wraps triplets known to be sorted, in-bounds and duplicate-free
@@ -52,7 +63,11 @@ impl<V: DoseScalar> Coo<V> {
             .windows(2)
             .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
         debug_assert!(triplets.iter().all(|&(r, c, _)| r < nrows && c < ncols));
-        Coo { nrows, ncols, triplets }
+        Coo {
+            nrows,
+            ncols,
+            triplets,
+        }
     }
 
     /// Appends one entry. Panics on out-of-bounds coordinates.
@@ -113,10 +128,10 @@ impl<V: DoseScalar> Coo<V> {
                 i += 1;
             }
             rows.push(r);
-            col_idx.push(
-                I::try_from_usize(c)
-                    .ok_or(SparseError::IndexOverflow { ncols: self.ncols, max: I::MAX })?,
-            );
+            col_idx.push(I::try_from_usize(c).ok_or(SparseError::IndexOverflow {
+                ncols: self.ncols,
+                max: I::MAX,
+            })?);
             values.push(V::from_f64(acc));
         }
 
@@ -181,11 +196,9 @@ mod tests {
 
     #[test]
     fn csr_coo_roundtrip() {
-        let csr = Csr::<f64, u32>::from_rows(
-            3,
-            &[vec![(0, 1.0)], vec![(1, 2.0), (2, 3.0)], vec![]],
-        )
-        .unwrap();
+        let csr =
+            Csr::<f64, u32>::from_rows(3, &[vec![(0, 1.0)], vec![(1, 2.0), (2, 3.0)], vec![]])
+                .unwrap();
         let back: Csr<f64, u32> = csr.to_coo().to_csr().unwrap();
         assert_eq!(csr, back);
     }

@@ -15,8 +15,7 @@ use rt_f16::DoseScalar;
 ///   `row_ptr[nrows] == nnz`.
 /// * `values.len() == col_idx.len() == nnz`.
 /// * Column indices within each row are strictly increasing and `< ncols`.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Csr<V, I = u32> {
     nrows: usize,
     ncols: usize,
@@ -67,7 +66,11 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
             for &c in &col_idx[lo..hi] {
                 let c = c.to_usize();
                 if c >= ncols {
-                    return Err(SparseError::ColumnOutOfBounds { row: r, col: c, ncols });
+                    return Err(SparseError::ColumnOutOfBounds {
+                        row: r,
+                        col: c,
+                        ncols,
+                    });
                 }
                 if let Some(p) = prev {
                     if c <= p {
@@ -77,15 +80,18 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
                 prev = Some(c);
             }
         }
-        Ok(Csr { nrows, ncols, row_ptr, col_idx, values })
+        Ok(Csr {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Builds from per-row `(column, value)` lists. Each row's entries must
     /// be strictly increasing in column.
-    pub fn from_rows(
-        ncols: usize,
-        rows: &[Vec<(usize, V)>],
-    ) -> Result<Self, SparseError> {
+    pub fn from_rows(ncols: usize, rows: &[Vec<(usize, V)>]) -> Result<Self, SparseError> {
         let nrows = rows.len();
         let nnz: usize = rows.iter().map(Vec::len).sum();
         let mut row_ptr = Vec::with_capacity(nrows + 1);
@@ -189,10 +195,16 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
     #[allow(clippy::needless_range_loop)] // row index drives three arrays
     pub fn spmv_ref(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
         if x.len() != self.ncols {
-            return Err(SparseError::DimensionMismatch { expected: self.ncols, actual: x.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                actual: x.len(),
+            });
         }
         if y.len() != self.nrows {
-            return Err(SparseError::DimensionMismatch { expected: self.nrows, actual: y.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                actual: y.len(),
+            });
         }
         for r in 0..self.nrows {
             let (cols, vals) = self.row(r);
@@ -210,10 +222,16 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
     #[allow(clippy::needless_range_loop)] // row index drives three arrays
     pub fn spmv_transpose_ref(&self, y: &[f64], z: &mut [f64]) -> Result<(), SparseError> {
         if y.len() != self.nrows {
-            return Err(SparseError::DimensionMismatch { expected: self.nrows, actual: y.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                actual: y.len(),
+            });
         }
         if z.len() != self.ncols {
-            return Err(SparseError::DimensionMismatch { expected: self.ncols, actual: z.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                actual: z.len(),
+            });
         }
         z.fill(0.0);
         for r in 0..self.nrows {
@@ -270,7 +288,11 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
             ncols: self.ncols,
             row_ptr: self.row_ptr.clone(),
             col_idx: self.col_idx.clone(),
-            values: self.values.iter().map(|v| W::from_f64(v.to_f64())).collect(),
+            values: self
+                .values
+                .iter()
+                .map(|v| W::from_f64(v.to_f64()))
+                .collect(),
         }
     }
 
@@ -282,8 +304,10 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
             .col_idx
             .iter()
             .map(|c| {
-                J::try_from_usize(c.to_usize())
-                    .ok_or(SparseError::IndexOverflow { ncols: self.ncols, max: J::MAX })
+                J::try_from_usize(c.to_usize()).ok_or(SparseError::IndexOverflow {
+                    ncols: self.ncols,
+                    max: J::MAX,
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Csr {
@@ -297,11 +321,7 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
 
     /// Converts to coordinate form.
     pub fn to_coo(&self) -> Coo<V> {
-        Coo::from_sorted_triplets(
-            self.nrows,
-            self.ncols,
-            self.iter().collect::<Vec<_>>(),
-        )
+        Coo::from_sorted_triplets(self.nrows, self.ncols, self.iter().collect::<Vec<_>>())
     }
 
     /// Removes stored entries with `|value| < threshold`, returning the new
@@ -321,7 +341,13 @@ impl<V: DoseScalar, I: ColIndex> Csr<V, I> {
             }
             row_ptr.push(col_idx.len() as u32);
         }
-        Csr { nrows: self.nrows, ncols: self.ncols, row_ptr, col_idx, values }
+        Csr {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 }
 
@@ -454,8 +480,9 @@ mod tests {
 
     #[test]
     fn value_conversion_rounds_once() {
-        let m = Csr::<f64, u32>::from_rows(1, &[vec![(0, 1.0 + 2.0f64.powi(-11) + 2.0f64.powi(-25))]])
-            .unwrap();
+        let m =
+            Csr::<f64, u32>::from_rows(1, &[vec![(0, 1.0 + 2.0f64.powi(-11) + 2.0f64.powi(-25))]])
+                .unwrap();
         let h: Csr<F16, u32> = m.convert_values();
         // Single-step rounding: see rt-f16's double-rounding test.
         assert_eq!(h.values()[0].to_f32(), 1.0 + 2.0f32.powi(-10));
@@ -494,12 +521,8 @@ mod tests {
 
     #[test]
     fn triplets_sum_duplicates() {
-        let m = Csr::<f64, u32>::from_triplets(
-            2,
-            2,
-            &[(0, 1, 2.0), (1, 0, 3.0), (0, 1, 4.0)],
-        )
-        .unwrap();
+        let m =
+            Csr::<f64, u32>::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 3.0), (0, 1, 4.0)]).unwrap();
         assert_eq!(m.nnz(), 2);
         let (cols, vals) = m.row(0);
         assert_eq!(cols, &[1u32]);

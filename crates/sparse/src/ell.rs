@@ -12,8 +12,7 @@ use crate::{ColIndex, Csr, SparseError};
 use rt_f16::DoseScalar;
 
 /// An ELLPACK matrix: `nrows x width` dense slabs, column-major.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Ell<V, I = u32> {
     nrows: usize,
     ncols: usize,
@@ -51,7 +50,14 @@ impl<V: DoseScalar, I: ColIndex> Ell<V, I> {
                 }
             }
         }
-        Ell { nrows, ncols: csr.ncols(), nnz: csr.nnz(), width, col_idx, values }
+        Ell {
+            nrows,
+            ncols: csr.ncols(),
+            nnz: csr.nnz(),
+            width,
+            col_idx,
+            values,
+        }
     }
 
     #[inline]
@@ -106,10 +112,16 @@ impl<V: DoseScalar, I: ColIndex> Ell<V, I> {
     #[allow(clippy::needless_range_loop)] // slab addressing is index math
     pub fn spmv_ref(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
         if x.len() != self.ncols {
-            return Err(SparseError::DimensionMismatch { expected: self.ncols, actual: x.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                actual: x.len(),
+            });
         }
         if y.len() != self.nrows {
-            return Err(SparseError::DimensionMismatch { expected: self.nrows, actual: y.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                actual: y.len(),
+            });
         }
         for r in 0..self.nrows {
             let mut acc = 0.0f64;

@@ -12,7 +12,11 @@ pub enum SparseError {
     /// The final `row_ptr` entry must equal the number of stored values.
     RowPtrTailMismatch { tail: usize, nnz: usize },
     /// A column index is out of bounds.
-    ColumnOutOfBounds { row: usize, col: usize, ncols: usize },
+    ColumnOutOfBounds {
+        row: usize,
+        col: usize,
+        ncols: usize,
+    },
     /// Column indices within a row must be strictly increasing (sorted and
     /// duplicate-free), which the coalescing-friendly kernels rely on.
     ColumnsNotSorted { row: usize },
@@ -23,7 +27,12 @@ pub enum SparseError {
     /// The column count does not fit in the requested index type.
     IndexOverflow { ncols: usize, max: usize },
     /// A segment extends past the end of the matrix rows.
-    SegmentOutOfBounds { col: usize, start: usize, len: usize, nrows: usize },
+    SegmentOutOfBounds {
+        col: usize,
+        start: usize,
+        len: usize,
+        nrows: usize,
+    },
     /// Dimension mismatch in an operation (e.g. SpMV with a wrong-length
     /// input vector).
     DimensionMismatch { expected: usize, actual: usize },
@@ -56,7 +65,12 @@ impl fmt::Display for SparseError {
             SparseError::IndexOverflow { ncols, max } => {
                 write!(f, "{ncols} columns do not fit in index type (max {max})")
             }
-            SparseError::SegmentOutOfBounds { col, start, len, nrows } => {
+            SparseError::SegmentOutOfBounds {
+                col,
+                start,
+                len,
+                nrows,
+            } => {
                 write!(
                     f,
                     "segment [{start}, {start}+{len}) in column {col} exceeds {nrows} rows"

@@ -29,7 +29,10 @@ pub trait ColIndex:
     fn check_ncols(ncols: usize) -> Result<(), SparseError> {
         // Indices go up to ncols - 1.
         if ncols > 0 && ncols - 1 > Self::MAX {
-            Err(SparseError::IndexOverflow { ncols, max: Self::MAX })
+            Err(SparseError::IndexOverflow {
+                ncols,
+                max: Self::MAX,
+            })
         } else {
             Ok(())
         }

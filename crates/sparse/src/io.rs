@@ -87,7 +87,10 @@ pub enum SnapshotError {
     BadMagic,
     UnsupportedVersion(u32),
     /// The file's scalar tags do not match the requested types.
-    TypeMismatch { expected: (u32, u32), found: (u32, u32) },
+    TypeMismatch {
+        expected: (u32, u32),
+        found: (u32, u32),
+    },
     Truncated,
     Structure(SparseError),
 }
@@ -99,7 +102,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not an RTDM snapshot"),
             SnapshotError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             SnapshotError::TypeMismatch { expected, found } => {
-                write!(f, "scalar type mismatch: expected {expected:?}, found {found:?}")
+                write!(
+                    f,
+                    "scalar type mismatch: expected {expected:?}, found {found:?}"
+                )
             }
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::Structure(e) => write!(f, "invalid matrix structure: {e}"),
@@ -122,9 +128,8 @@ where
     I: ColIndex + Storable,
     W: Write,
 {
-    let mut buf = Vec::with_capacity(
-        4 + 4 * 3 + 8 * 3 + 4 * (m.nrows() + 1) + (V::SIZE + I::SIZE) * m.nnz(),
-    );
+    let mut buf =
+        Vec::with_capacity(4 + 4 * 3 + 8 * 3 + 4 * (m.nrows() + 1) + (V::SIZE + I::SIZE) * m.nnz());
     buf.extend_from_slice(MAGIC);
     buf.extend_from_slice(&VERSION.to_le_bytes());
     buf.extend_from_slice(&<V as Storable>::TAG.to_le_bytes());

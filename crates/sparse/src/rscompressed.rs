@@ -19,8 +19,7 @@ use crate::{Csr, SparseError};
 use rt_f16::{DoseScalar, F16};
 
 /// One run of consecutive-row entries within a column.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Segment {
     /// First row (voxel) of the run.
     pub start_row: u32,
@@ -31,8 +30,7 @@ pub struct Segment {
 }
 
 /// Column-major run-length-segmented sparse storage with 16-bit values.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RsCompressed<V = F16> {
     nrows: usize,
     ncols: usize,
@@ -70,7 +68,13 @@ impl<V: DoseScalar> RsCompressed<V> {
             }
             col_ptr.push(segments.len());
         }
-        RsCompressed { nrows: csr.nrows(), ncols: csr.ncols(), col_ptr, segments, values }
+        RsCompressed {
+            nrows: csr.nrows(),
+            ncols: csr.ncols(),
+            col_ptr,
+            segments,
+            values,
+        }
     }
 
     /// Validates and wraps raw parts (used by the dose-matrix builder,
@@ -83,7 +87,10 @@ impl<V: DoseScalar> RsCompressed<V> {
         values: Vec<V>,
     ) -> Result<Self, SparseError> {
         if col_ptr.len() != ncols + 1 {
-            return Err(SparseError::RowPtrLength { expected: ncols + 1, actual: col_ptr.len() });
+            return Err(SparseError::RowPtrLength {
+                expected: ncols + 1,
+                actual: col_ptr.len(),
+            });
         }
         let mut expected_offset = 0usize;
         for c in 0..ncols {
@@ -124,7 +131,13 @@ impl<V: DoseScalar> RsCompressed<V> {
                 indices: expected_offset,
             });
         }
-        Ok(RsCompressed { nrows, ncols, col_ptr, segments, values })
+        Ok(RsCompressed {
+            nrows,
+            ncols,
+            col_ptr,
+            segments,
+            values,
+        })
     }
 
     #[inline]
@@ -191,7 +204,10 @@ impl<V: DoseScalar> RsCompressed<V> {
             });
         }
         if dose.len() != self.nrows {
-            return Err(SparseError::DimensionMismatch { expected: self.nrows, actual: dose.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                actual: dose.len(),
+            });
         }
         dose.fill(0.0);
         for c in 0..self.ncols {
@@ -294,8 +310,16 @@ mod tests {
             1,
             vec![0, 2],
             vec![
-                Segment { start_row: 0, len: 3, value_offset: 0 },
-                Segment { start_row: 2, len: 2, value_offset: 3 },
+                Segment {
+                    start_row: 0,
+                    len: 3,
+                    value_offset: 0,
+                },
+                Segment {
+                    start_row: 2,
+                    len: 2,
+                    value_offset: 3,
+                },
             ],
             vec![1.0; 5],
         );
@@ -308,7 +332,11 @@ mod tests {
             4,
             1,
             vec![0, 1],
-            vec![Segment { start_row: 3, len: 2, value_offset: 0 }],
+            vec![Segment {
+                start_row: 3,
+                len: 2,
+                value_offset: 0,
+            }],
             vec![1.0; 2],
         );
         assert!(matches!(bad, Err(SparseError::SegmentOutOfBounds { .. })));
@@ -320,7 +348,11 @@ mod tests {
             4,
             1,
             vec![0, 1],
-            vec![Segment { start_row: 0, len: 0, value_offset: 0 }],
+            vec![Segment {
+                start_row: 0,
+                len: 0,
+                value_offset: 0,
+            }],
             vec![],
         );
         assert!(bad.is_err());

@@ -11,8 +11,7 @@ use crate::{ColIndex, Csr, SparseError};
 use rt_f16::DoseScalar;
 
 /// A SELL-C-σ matrix.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SellCSigma<V, I = u32> {
     nrows: usize,
     ncols: usize,
@@ -183,10 +182,16 @@ impl<V: DoseScalar, I: ColIndex> SellCSigma<V, I> {
     /// Sequential reference SpMV. Output lands in *original* row order.
     pub fn spmv_ref(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
         if x.len() != self.ncols {
-            return Err(SparseError::DimensionMismatch { expected: self.ncols, actual: x.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.ncols,
+                actual: x.len(),
+            });
         }
         if y.len() != self.nrows {
-            return Err(SparseError::DimensionMismatch { expected: self.nrows, actual: y.len() });
+            return Err(SparseError::DimensionMismatch {
+                expected: self.nrows,
+                actual: y.len(),
+            });
         }
         let nchunks = self.chunk_width.len();
         for k in 0..nchunks {

@@ -11,8 +11,7 @@ use crate::{ColIndex, Csr};
 use rt_f16::DoseScalar;
 
 /// Summary statistics over the stored row lengths of a matrix.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RowStats {
     pub nrows: usize,
     pub ncols: usize,
@@ -121,8 +120,7 @@ impl RowStats {
 }
 
 /// One row of Table I: the shape summary of a named beam's matrix.
-#[derive(Clone, Debug, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MatrixSummary {
     pub name: String,
     pub rows: usize,

@@ -33,7 +33,10 @@ fn main() {
         m64.ncols(),
         m64.nnz()
     );
-    println!("{:<28} {:>12} {:>9} {:>12}", "format", "bytes", "vs f16CSR", "max rel err");
+    println!(
+        "{:<28} {:>12} {:>9} {:>12}",
+        "format", "bytes", "vs f16CSR", "max rel err"
+    );
     let base = m16.size_bytes() as f64;
     let peak = reference.iter().cloned().fold(0.0, f64::max);
     let report = |name: &str, bytes: usize, dose: &[f64]| {

@@ -7,21 +7,28 @@
 //! cargo run --release --example monte_carlo_dose
 //! ```
 
+use rtdose::dose::beam::SpotGridConfig;
+use rtdose::dose::phantom::Ellipsoid;
 use rtdose::dose::{
     Beam, BeamAxis, DoseGrid, Material, MonteCarloEngine, PencilBeamEngine, Phantom, Spot,
 };
-use rtdose::dose::phantom::Ellipsoid;
-use rtdose::dose::beam::SpotGridConfig;
 
 fn main() {
     // A water phantom with a deep-seated target.
     let grid = DoseGrid::new(64, 24, 24, 2.5);
     let mut phantom = Phantom::uniform(grid, Material::Water);
-    phantom.set_target(Ellipsoid { center: (32.0, 12.0, 12.0), radii: (8.0, 6.0, 6.0) });
+    phantom.set_target(Ellipsoid {
+        center: (32.0, 12.0, 12.0),
+        radii: (8.0, 6.0, 6.0),
+    });
     let beam = Beam::covering_target(&phantom, BeamAxis::XPlus, SpotGridConfig::default());
 
     // One 100 mm-range spot down the central axis.
-    let spot = Spot { u_mm: 30.0, v_mm: 30.0, range_mm: 100.0 };
+    let spot = Spot {
+        u_mm: 30.0,
+        v_mm: 30.0,
+        range_mm: 100.0,
+    };
     println!(
         "proton spot: range {:.0} mm ({:.1} MeV), surface sigma {:.1} mm\n",
         spot.range_mm,
@@ -30,7 +37,10 @@ fn main() {
     );
 
     let analytic = PencilBeamEngine::default().spot_column(&phantom, &beam, &spot, 0);
-    let mc_engine = MonteCarloEngine { protons_per_spot: 5000, ..Default::default() };
+    let mc_engine = MonteCarloEngine {
+        protons_per_spot: 5000,
+        ..Default::default()
+    };
     let mc = mc_engine.spot_column(&phantom, &beam, &spot, 0);
 
     // Integrate both columns over depth (x) for the depth-dose curve.
@@ -56,23 +66,23 @@ fn main() {
             break;
         }
         let bar = |v: f64| "#".repeat((v * 24.0).round() as usize);
-        println!(
-            "{:>8.1}   {:<24}  {:<24}",
-            depth,
-            bar(pa[x]),
-            bar(pm[x]),
-        );
+        println!("{:>8.1}   {:<24}  {:<24}", depth, bar(pa[x]), bar(pm[x]),);
     }
 
     // The paper's nnz-inflation observation (§II-A): statistical noise
     // keeps stray voxels above any fixed threshold, so the non-zero
     // count *grows* with the number of simulated histories.
     let nnz_at = |protons: usize| {
-        MonteCarloEngine { protons_per_spot: protons, ..Default::default() }
-            .spot_column(&phantom, &beam, &spot, 0)
-            .len()
+        MonteCarloEngine {
+            protons_per_spot: protons,
+            ..Default::default()
+        }
+        .spot_column(&phantom, &beam, &spot, 0)
+        .len()
     };
-    let clean = PencilBeamEngine::default().spot_column(&phantom, &beam, &spot, 0).len();
+    let clean = PencilBeamEngine::default()
+        .spot_column(&phantom, &beam, &spot, 0)
+        .len();
     let noisy = PencilBeamEngine::with_noise(Default::default())
         .spot_column(&phantom, &beam, &spot, 0)
         .len();

@@ -34,20 +34,36 @@ fn main() {
         d
     };
     let peak = probe.iter().cloned().fold(0.0, f64::max);
-    let target: Vec<usize> =
-        (0..probe.len()).filter(|&i| probe[i] > 0.5 * peak).collect();
+    let target: Vec<usize> = (0..probe.len())
+        .filter(|&i| probe[i] > 0.5 * peak)
+        .collect();
     let healthy: Vec<usize> = (0..probe.len())
         .filter(|&i| probe[i] > 0.01 * peak && probe[i] <= 0.5 * peak)
         .collect();
-    println!("  target: {} voxels, spared tissue: {} voxels", target.len(), healthy.len());
+    println!(
+        "  target: {} voxels, spared tissue: {} voxels",
+        target.len(),
+        healthy.len()
+    );
 
     let prescribed = peak * 0.6;
     let objective = Objective::new(vec![
-        ObjectiveTerm::UniformDose { voxels: target.clone(), prescribed, weight: 100.0 },
-        ObjectiveTerm::MaxDose { voxels: healthy.clone(), limit: prescribed * 0.5, weight: 10.0 },
+        ObjectiveTerm::UniformDose {
+            voxels: target.clone(),
+            prescribed,
+            weight: 100.0,
+        },
+        ObjectiveTerm::MaxDose {
+            voxels: healthy.clone(),
+            limit: prescribed * 0.5,
+            weight: 10.0,
+        },
     ]);
 
-    let cfg = OptimizerConfig { max_iters: 40, ..Default::default() };
+    let cfg = OptimizerConfig {
+        max_iters: 40,
+        ..Default::default()
+    };
     let w0 = vec![0.5; matrix.ncols()];
 
     // Optimize with the simulated-GPU Half/double engine.
@@ -61,7 +77,11 @@ fn main() {
     let gpu_result = optimize(&gpu_engine, &objective, &w0, &cfg);
     println!(
         "  objective {:.4} -> {:.4} in {} iterations ({} dose calculations)",
-        gpu_result.history.first().map(|h| h.objective).unwrap_or(f64::NAN),
+        gpu_result
+            .history
+            .first()
+            .map(|h| h.objective)
+            .unwrap_or(f64::NAN),
         gpu_result.objective,
         gpu_result.history.len(),
         gpu_result.dose_evals,
@@ -92,7 +112,10 @@ fn main() {
         .filter(|&&i| dose[i] > prescribed * 0.5 * 1.05)
         .count();
     println!("\nplan summary:");
-    println!("  mean target dose     : {:.3} (prescribed {:.3})", mean, prescribed);
+    println!(
+        "  mean target dose     : {:.3} (prescribed {:.3})",
+        mean, prescribed
+    );
     println!(
         "  healthy voxels >5% over limit: {} of {}",
         over_limit,

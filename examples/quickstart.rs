@@ -37,16 +37,31 @@ fn main() {
     let result = calc.compute_dose(&weights);
 
     let peak = result.dose.iter().cloned().fold(0.0, f64::max);
-    println!("\ndose computed: peak voxel dose {:.3} (arbitrary units)", peak);
+    println!(
+        "\ndose computed: peak voxel dose {:.3} (arbitrary units)",
+        peak
+    );
     println!("simulator counters (at simulation scale):");
     println!("  flops                : {}", result.stats.flops);
     println!("  DRAM read bytes      : {}", result.stats.dram_read_bytes);
     println!("  DRAM write bytes     : {}", result.stats.dram_write_bytes);
-    println!("  L2 hit rate          : {:.1}%", result.stats.l2_hit_rate() * 100.0);
-    println!("  operational intensity: {:.3} flop/byte", result.stats.operational_intensity());
+    println!(
+        "  L2 hit rate          : {:.1}%",
+        result.stats.l2_hit_rate() * 100.0
+    );
+    println!(
+        "  operational intensity: {:.3} flop/byte",
+        result.stats.operational_intensity()
+    );
     println!("\nmodeled at clinical scale on the A100:");
-    println!("  kernel time          : {:.3} ms", result.estimate.seconds * 1e3);
-    println!("  performance          : {:.0} GFLOP/s", result.estimate.gflops);
+    println!(
+        "  kernel time          : {:.3} ms",
+        result.estimate.seconds * 1e3
+    );
+    println!(
+        "  performance          : {:.0} GFLOP/s",
+        result.estimate.gflops
+    );
     println!(
         "  DRAM bandwidth       : {:.0} GB/s ({:.0}% of peak)",
         result.estimate.dram_bw_gbps,
@@ -56,7 +71,11 @@ fn main() {
     // 4. The reproducibility guarantee (§II-D): same inputs, same bits.
     let again = calc.compute_dose(&weights);
     assert!(
-        result.dose.iter().zip(again.dose.iter()).all(|(a, b)| a.to_bits() == b.to_bits()),
+        result
+            .dose
+            .iter()
+            .zip(again.dose.iter())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
         "dose calculation must be bitwise reproducible"
     );
     println!("\nbitwise reproducibility check passed.");

@@ -12,9 +12,8 @@
 use rtdose::dose::cases::{prostate_case, ScaleConfig};
 use rtdose::optim::robust::shifted_scenario;
 use rtdose::optim::{
-    DoseEngine,
-    robust_objective_value, CpuDoseEngine, Dvh, Objective, ObjectiveTerm, OptimizerConfig,
-    RobustMode, RobustProblem, optimize,
+    optimize, robust_objective_value, CpuDoseEngine, DoseEngine, Dvh, Objective, ObjectiveTerm,
+    OptimizerConfig, RobustMode, RobustProblem,
 };
 
 fn main() {
@@ -61,7 +60,10 @@ fn main() {
             .map(|&s| CpuDoseEngine::new(shifted_scenario(&matrix, s, nx)))
             .collect::<Vec<_>>()
     };
-    let cfg = OptimizerConfig { max_iters: 60, ..Default::default() };
+    let cfg = OptimizerConfig {
+        max_iters: 60,
+        ..Default::default()
+    };
     let w0 = vec![0.3; matrix.ncols()];
 
     // 1. Nominal plan: optimize only the unshifted scenario.
@@ -71,20 +73,37 @@ fn main() {
 
     // 2. Robust plan: minimize the worst case over all three scenarios.
     println!("robust optimization (3 scenarios, 6 SpMVs per iteration) ...");
-    let robust = RobustProblem::new(scenarios(&[-1, 0, 1]), objective.clone(), RobustMode::WorstCase);
+    let robust = RobustProblem::new(
+        scenarios(&[-1, 0, 1]),
+        objective.clone(),
+        RobustMode::WorstCase,
+    );
     let robust_result = robust.solve(&w0, &cfg);
 
     // Evaluate both plans under the worst case.
-    let eval = RobustProblem::new(scenarios(&[-1, 0, 1]), objective.clone(), RobustMode::WorstCase);
+    let eval = RobustProblem::new(
+        scenarios(&[-1, 0, 1]),
+        objective.clone(),
+        RobustMode::WorstCase,
+    );
     let nominal_wc = robust_objective_value(&eval, &nominal.weights);
     let robust_wc = robust_objective_value(&eval, &robust_result.weights);
     let nominal_nom = objective.value(&nominal_engine.dose(&nominal.weights));
     let robust_nom = objective.value(&nominal_engine.dose(&robust_result.weights));
 
-    println!("\n{:<22} {:>14} {:>14}", "plan", "nominal obj", "worst-case obj");
+    println!(
+        "\n{:<22} {:>14} {:>14}",
+        "plan", "nominal obj", "worst-case obj"
+    );
     println!("{:-<52}", "");
-    println!("{:<22} {:>14.5} {:>14.5}", "nominal-optimized", nominal_nom, nominal_wc);
-    println!("{:<22} {:>14.5} {:>14.5}", "robust-optimized", robust_nom, robust_wc);
+    println!(
+        "{:<22} {:>14.5} {:>14.5}",
+        "nominal-optimized", nominal_nom, nominal_wc
+    );
+    println!(
+        "{:<22} {:>14.5} {:>14.5}",
+        "robust-optimized", robust_nom, robust_wc
+    );
     println!(
         "\nthe robust plan gives up {:.1}% nominal quality to cut the\n\
          worst-case objective by {:.1}%.",

@@ -9,9 +9,9 @@
 
 use rtdose::dose::cases::{liver_case, ScaleConfig};
 use rtdose::gpusim::{DeviceSpec, Precision};
-use rtdose::roofline::{CsrTrafficModel, Roofline};
 use rtdose::repro::context::PreparedCase;
 use rtdose::repro::runner;
+use rtdose::roofline::{CsrTrafficModel, Roofline};
 
 fn main() {
     println!("generating liver beam 1 ...");

@@ -75,9 +75,17 @@ fn device(name: &str) -> DeviceSpec {
 }
 
 fn generate_case(flags: &HashMap<String, String>) -> DoseCase {
-    let shrink: f64 = flags.get("shrink").map(|s| s.parse().expect("--shrink")).unwrap_or(8.0);
-    let beam: usize = flags.get("beam").map(|s| s.parse().expect("--beam")).unwrap_or(0);
-    let scale = ScaleConfig { shrink: shrink.max(1.0) };
+    let shrink: f64 = flags
+        .get("shrink")
+        .map(|s| s.parse().expect("--shrink"))
+        .unwrap_or(8.0);
+    let beam: usize = flags
+        .get("beam")
+        .map(|s| s.parse().expect("--beam"))
+        .unwrap_or(0);
+    let scale = ScaleConfig {
+        shrink: shrink.max(1.0),
+    };
     let mut cases = match flags.get("case").map(String::as_str) {
         Some("liver") => liver_case(scale),
         Some("prostate") => prostate_case(scale),
@@ -159,20 +167,37 @@ fn cmd_stats(flags: HashMap<String, String>) {
     println!("size (f16 + u32 CSR): {:.6} GB", summary.size_gb);
     println!("empty rows  : {:.1}%", stats.empty_fraction() * 100.0);
     println!("avg nnz per non-empty row: {:.1}", stats.avg_nnz_nonempty);
-    println!("non-empty rows < 32 nnz  : {:.1}%", stats.frac_nonempty_below_warp * 100.0);
+    println!(
+        "non-empty rows < 32 nnz  : {:.1}%",
+        stats.frac_nonempty_below_warp * 100.0
+    );
     println!("max row length           : {}", stats.max_row_len);
     println!("\ncumulative row-length histogram (non-empty rows):");
     for (x, frac) in stats.cumulative_curve(12) {
-        println!("  < {:>6}: {:>5.1}%  {}", x, frac * 100.0, "#".repeat((frac * 40.0) as usize));
+        println!(
+            "  < {:>6}: {:>5.1}%  {}",
+            x,
+            frac * 100.0,
+            "#".repeat((frac * 40.0) as usize)
+        );
     }
 }
 
 fn cmd_spmv(flags: HashMap<String, String>) {
     let m = load_matrix(&flags);
     let dev = device(flags.get("device").map(String::as_str).unwrap_or("a100"));
-    let tpb: u32 = flags.get("tpb").map(|s| s.parse().expect("--tpb")).unwrap_or(512);
-    let repeat: usize = flags.get("repeat").map(|s| s.parse().expect("--repeat")).unwrap_or(2);
-    let kernel = flags.get("kernel").map(String::as_str).unwrap_or("half-double");
+    let tpb: u32 = flags
+        .get("tpb")
+        .map(|s| s.parse().expect("--tpb"))
+        .unwrap_or(512);
+    let repeat: usize = flags
+        .get("repeat")
+        .map(|s| s.parse().expect("--repeat"))
+        .unwrap_or(2);
+    let kernel = flags
+        .get("kernel")
+        .map(String::as_str)
+        .unwrap_or("half-double");
 
     let weights = vec![1.0f64; m.ncols()];
     let gpu = Gpu::new(dev.clone());
@@ -225,12 +250,26 @@ fn cmd_spmv(flags: HashMap<String, String>) {
     };
     let est = rtdose::gpusim::timing::estimate(&dev, &profile, &stats);
 
-    println!("kernel {kernel} on {} ({} threads/block), sim wall time {:.2?}", dev.name, tpb, t0.elapsed());
+    println!(
+        "kernel {kernel} on {} ({} threads/block), sim wall time {:.2?}",
+        dev.name,
+        tpb,
+        t0.elapsed()
+    );
     println!("  flops                : {}", stats.flops);
-    println!("  DRAM read / write    : {} / {} bytes", stats.dram_read_bytes, stats.dram_write_bytes);
-    println!("  L2 hit rate          : {:.1}%", stats.l2_hit_rate() * 100.0);
+    println!(
+        "  DRAM read / write    : {} / {} bytes",
+        stats.dram_read_bytes, stats.dram_write_bytes
+    );
+    println!(
+        "  L2 hit rate          : {:.1}%",
+        stats.l2_hit_rate() * 100.0
+    );
     println!("  atomics              : {}", stats.atomic_ops);
-    println!("  operational intensity: {:.3} flop/byte", stats.operational_intensity());
+    println!(
+        "  operational intensity: {:.3} flop/byte",
+        stats.operational_intensity()
+    );
     println!("  modeled time         : {:.3} ms", est.seconds * 1e3);
     println!("  modeled performance  : {:.1} GFLOP/s", est.gflops);
     println!(
@@ -242,7 +281,10 @@ fn cmd_spmv(flags: HashMap<String, String>) {
 }
 
 fn cmd_optimize(flags: HashMap<String, String>) {
-    let iters: usize = flags.get("iters").map(|s| s.parse().expect("--iters")).unwrap_or(30);
+    let iters: usize = flags
+        .get("iters")
+        .map(|s| s.parse().expect("--iters"))
+        .unwrap_or(30);
     let case = generate_case(&flags);
     let matrix = case.matrix.clone();
     let probe = {
@@ -251,7 +293,9 @@ fn cmd_optimize(flags: HashMap<String, String>) {
         d
     };
     let peak = probe.iter().cloned().fold(0.0, f64::max);
-    let target: Vec<usize> = (0..probe.len()).filter(|&i| probe[i] > 0.5 * peak).collect();
+    let target: Vec<usize> = (0..probe.len())
+        .filter(|&i| probe[i] > 0.5 * peak)
+        .collect();
     println!(
         "{}: {} voxels x {} spots, target {} voxels",
         case.name,
@@ -275,7 +319,10 @@ fn cmd_optimize(flags: HashMap<String, String>) {
         &engine,
         &objective,
         &vec![0.2; matrix.ncols()],
-        &OptimizerConfig { max_iters: iters, ..Default::default() },
+        &OptimizerConfig {
+            max_iters: iters,
+            ..Default::default()
+        },
     );
     for log in result.history.iter().step_by((iters / 10).max(1)) {
         println!(

@@ -5,8 +5,8 @@ use rtdose::dose::cases::{prostate_case, ScaleConfig};
 use rtdose::f16::F16;
 use rtdose::gpusim::{DeviceSpec, Gpu};
 use rtdose::kernels::{
-    cpu_csr_spmv, rs_baseline_gpu_spmv, vector_csr_spmv, DoseCalculator, GpuCsrMatrix,
-    GpuRsMatrix, RsCpu,
+    cpu_csr_spmv, rs_baseline_gpu_spmv, vector_csr_spmv, DoseCalculator, GpuCsrMatrix, GpuRsMatrix,
+    RsCpu,
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::{Csr, RsCompressed};
@@ -20,7 +20,9 @@ fn every_implementation_computes_the_same_dose() {
     let m64 = tiny_case();
     let m16: Csr<F16, u32> = m64.convert_values();
     let rs = RsCompressed::from_csr(&m16);
-    let weights: Vec<f64> = (0..m64.ncols()).map(|i| 0.5 + (i % 4) as f64 * 0.25).collect();
+    let weights: Vec<f64> = (0..m64.ncols())
+        .map(|i| 0.5 + (i % 4) as f64 * 0.25)
+        .collect();
 
     // Ground truth from the f16-rounded matrix (all fast paths store f16).
     let mut reference = vec![0.0; m64.nrows()];
@@ -51,7 +53,9 @@ fn every_implementation_computes_the_same_dose() {
 
     // The clinical CPU algorithm.
     let mut cpu_dose = vec![0.0; rs.nrows()];
-    RsCpu::with_threads(4).spmv(&rs, &weights, &mut cpu_dose).unwrap();
+    RsCpu::with_threads(4)
+        .spmv(&rs, &weights, &mut cpu_dose)
+        .unwrap();
     close(&cpu_dose, "RsCpu");
 
     // Row-parallel CPU CSR.
@@ -73,7 +77,9 @@ fn optimizer_improves_a_real_plan_on_the_gpu_engine() {
         d
     };
     let peak = probe.iter().cloned().fold(0.0, f64::max);
-    let target: Vec<usize> = (0..probe.len()).filter(|&i| probe[i] > 0.5 * peak).collect();
+    let target: Vec<usize> = (0..probe.len())
+        .filter(|&i| probe[i] > 0.5 * peak)
+        .collect();
     assert!(!target.is_empty());
 
     let objective = Objective::new(vec![ObjectiveTerm::UniformDose {
@@ -87,7 +93,10 @@ fn optimizer_improves_a_real_plan_on_the_gpu_engine() {
         &engine,
         &objective,
         &w0,
-        &OptimizerConfig { max_iters: 25, ..Default::default() },
+        &OptimizerConfig {
+            max_iters: 25,
+            ..Default::default()
+        },
     );
 
     let first = result.history.first().unwrap().objective;

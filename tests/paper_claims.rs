@@ -66,7 +66,11 @@ fn headline_speedups_match_paper_bands() {
         s.avg_hd_vs_cpu()
     );
     // "420 GFLOP/s" peak.
-    assert!((350.0..480.0).contains(&s.peak_gflops()), "peak {}", s.peak_gflops());
+    assert!(
+        (350.0..480.0).contains(&s.peak_gflops()),
+        "peak {}",
+        s.peak_gflops()
+    );
 }
 
 #[test]
@@ -75,8 +79,16 @@ fn fig4_best_execution_configuration() {
     let best = f.best();
     // Paper: 512 best for Half/double and Single (we allow 256 too —
     // the paper itself calls 128-512 "similar" for Single).
-    assert!([256, 512].contains(&best[0].1), "Half/double best {}", best[0].1);
-    assert!([128, 256, 512].contains(&best[1].1), "Single best {}", best[1].1);
+    assert!(
+        [256, 512].contains(&best[0].1),
+        "Half/double best {}",
+        best[0].1
+    );
+    assert!(
+        [128, 256, 512].contains(&best[1].1),
+        "Single best {}",
+        best[1].1
+    );
     // Paper: smaller blocks (64-128) best for the baseline; at minimum
     // the baseline must not prefer 1024.
     assert!(best[2].1 <= 512, "Baseline best {}", best[2].1);

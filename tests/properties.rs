@@ -1,23 +1,48 @@
 //! Property-based tests over random matrices and values, spanning the
 //! format and kernel crates.
+//!
+//! Written as seeded-RNG case loops (48 cases per property, mirroring
+//! the old `ProptestConfig::with_cases(48)`) so they need no external
+//! property-testing framework. Failures report the offending case seed.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 use rtdose::f16::{Bf16, DoseScalar, F16};
 use rtdose::gpusim::{DeviceSpec, Gpu};
 use rtdose::kernels::{vector_csr_spmv, GpuCsrMatrix, RsCpu};
-use rtdose::sparse::{Coo, Csr, Ell, RsCompressed, SellCSigma};
 use rtdose::sparse::stats::RowStats;
+use rtdose::sparse::{Coo, Csr, Ell, RsCompressed, SellCSigma};
 
-/// Strategy: a random sparse matrix as (nrows, ncols, triplets).
-fn matrix_strategy() -> impl Strategy<Value = (usize, usize, Vec<(usize, usize, f64)>)> {
-    (2usize..60, 2usize..40).prop_flat_map(|(nrows, ncols)| {
-        let triplet = (0..nrows, 0..ncols, 0.0f64..10.0);
-        (
-            Just(nrows),
-            Just(ncols),
-            proptest::collection::vec(triplet, 0..200),
-        )
-    })
+const CASES: u64 = 48;
+
+/// Runs `body` for `CASES` deterministic cases, labelling panics with
+/// the case number so a failure is reproducible in isolation.
+fn for_each_case(property: &str, body: impl Fn(&mut StdRng)) {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x5eed_0000 + case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!("property `{property}` failed at case {case}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// A random sparse matrix shape: (nrows, ncols, triplets), matching the
+/// old proptest strategy (2..60 rows, 2..40 cols, up to 200 triplets).
+fn random_matrix(rng: &mut StdRng) -> (usize, usize, Vec<(usize, usize, f64)>) {
+    let nrows = rng.gen_range(2usize..60);
+    let ncols = rng.gen_range(2usize..40);
+    let ntrip = rng.gen_range(0usize..200);
+    let triplets = (0..ntrip)
+        .map(|_| {
+            (
+                rng.gen_range(0..nrows),
+                rng.gen_range(0..ncols),
+                rng.gen_range(0.0f64..10.0),
+            )
+        })
+        .collect();
+    (nrows, ncols, triplets)
 }
 
 fn build(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Csr<f64, u32> {
@@ -27,38 +52,42 @@ fn build(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Csr<f6
         .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn all_formats_compute_the_same_spmv((nrows, ncols, triplets) in matrix_strategy(),
-                                         seed in 0u64..1000) {
+#[test]
+fn all_formats_compute_the_same_spmv() {
+    for_each_case("all_formats_compute_the_same_spmv", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
+        let seed = rng.gen_range(0u64..1000);
         let m = build(nrows, ncols, &triplets);
-        let x: Vec<f64> = (0..ncols).map(|i| ((i as u64 * 37 + seed) % 17) as f64 * 0.25).collect();
+        let x: Vec<f64> = (0..ncols)
+            .map(|i| ((i as u64 * 37 + seed) % 17) as f64 * 0.25)
+            .collect();
         let mut want = vec![0.0; nrows];
         m.spmv_ref(&x, &mut want).unwrap();
 
         let mut got = vec![0.0; nrows];
         Ell::from_csr(&m).spmv_ref(&x, &mut got).unwrap();
         for (g, w) in got.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
         }
 
-        SellCSigma::from_csr(&m, 8, 32).spmv_ref(&x, &mut got).unwrap();
+        SellCSigma::from_csr(&m, 8, 32)
+            .spmv_ref(&x, &mut got)
+            .unwrap();
         for (g, w) in got.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
         }
 
         RsCompressed::from_csr(&m).spmv_ref(&x, &mut got).unwrap();
         for (g, w) in got.iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
+            assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn gpu_kernel_matches_reference_on_random_matrices(
-        (nrows, ncols, triplets) in matrix_strategy()
-    ) {
+#[test]
+fn gpu_kernel_matches_reference_on_random_matrices() {
+    for_each_case("gpu_kernel_matches_reference_on_random_matrices", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
         let m64 = build(nrows, ncols, &triplets);
         let m: Csr<F16, u32> = m64.convert_values();
         let x: Vec<f64> = (0..ncols).map(|i| 1.0 + (i % 5) as f64).collect();
@@ -67,20 +96,21 @@ proptest! {
         let dx = gpu.upload(&x);
         let dy = gpu.alloc_out::<f64>(nrows);
         let stats = vector_csr_spmv(&gpu, &gm, &dx, &dy, 128);
-        prop_assert_eq!(stats.flops, 2 * m.nnz() as u64);
+        assert_eq!(stats.flops, 2 * m.nnz() as u64);
 
         let mut want = vec![0.0; nrows];
         m.spmv_ref(&x, &mut want).unwrap();
         for (g, w) in dy.to_vec().iter().zip(want.iter()) {
-            prop_assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()), "{} vs {}", g, w);
+            assert!((g - w).abs() <= 1e-9 * (1.0 + w.abs()), "{} vs {}", g, w);
         }
-    }
+    });
+}
 
-    #[test]
-    fn rs_cpu_agrees_with_reference_for_any_thread_count(
-        (nrows, ncols, triplets) in matrix_strategy(),
-        threads in 1usize..9
-    ) {
+#[test]
+fn rs_cpu_agrees_with_reference_for_any_thread_count() {
+    for_each_case("rs_cpu_agrees_with_reference_for_any_thread_count", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
+        let threads = rng.gen_range(1usize..9);
         let m64 = build(nrows, ncols, &triplets);
         let m: Csr<F16, u32> = m64.convert_values();
         let rs = RsCompressed::from_csr(&m);
@@ -88,25 +118,31 @@ proptest! {
         let mut want = vec![0.0; nrows];
         m.spmv_ref(&w, &mut want).unwrap();
         let mut got = vec![0.0; nrows];
-        RsCpu::with_threads(threads).spmv(&rs, &w, &mut got).unwrap();
+        RsCpu::with_threads(threads)
+            .spmv(&rs, &w, &mut got)
+            .unwrap();
         for (g, wv) in got.iter().zip(want.iter()) {
-            prop_assert!((g - wv).abs() <= 1e-9 * (1.0 + wv.abs()));
+            assert!((g - wv).abs() <= 1e-9 * (1.0 + wv.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn transpose_is_an_involution((nrows, ncols, triplets) in matrix_strategy()) {
+#[test]
+fn transpose_is_an_involution() {
+    for_each_case("transpose_is_an_involution", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
         let m = build(nrows, ncols, &triplets);
         let tt = m.transpose().transpose();
         // transpose() returns u32 indices; compare entry lists.
-        prop_assert_eq!(
-            m.iter().collect::<Vec<_>>(),
-            tt.iter().collect::<Vec<_>>()
-        );
-    }
+        assert_eq!(m.iter().collect::<Vec<_>>(), tt.iter().collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn spmv_is_linear((nrows, ncols, triplets) in matrix_strategy(), a in 0.1f64..4.0) {
+#[test]
+fn spmv_is_linear() {
+    for_each_case("spmv_is_linear", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
+        let a = rng.gen_range(0.1f64..4.0);
         let m = build(nrows, ncols, &triplets);
         let x: Vec<f64> = (0..ncols).map(|i| (i + 1) as f64 * 0.5).collect();
         let ax: Vec<f64> = x.iter().map(|&v| a * v).collect();
@@ -115,49 +151,62 @@ proptest! {
         m.spmv_ref(&x, &mut y1).unwrap();
         m.spmv_ref(&ax, &mut y2).unwrap();
         for (u, v) in y1.iter().zip(y2.iter()) {
-            prop_assert!((a * u - v).abs() <= 1e-9 * (1.0 + v.abs()));
+            assert!((a * u - v).abs() <= 1e-9 * (1.0 + v.abs()));
         }
-    }
+    });
+}
 
-    #[test]
-    fn row_stats_invariants((nrows, ncols, triplets) in matrix_strategy()) {
+#[test]
+fn row_stats_invariants() {
+    for_each_case("row_stats_invariants", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
         let m = build(nrows, ncols, &triplets);
         let s = RowStats::from_csr(&m);
-        prop_assert_eq!(s.nnz, m.nnz());
-        prop_assert!(s.empty_fraction() >= 0.0 && s.empty_fraction() <= 1.0);
-        prop_assert!(s.cumulative_at(s.max_row_len + 1) == 1.0 || m.nnz() == 0);
-        prop_assert!(s.frac_nonempty_below_warp >= 0.0 && s.frac_nonempty_below_warp <= 1.0);
+        assert_eq!(s.nnz, m.nnz());
+        assert!(s.empty_fraction() >= 0.0 && s.empty_fraction() <= 1.0);
+        assert!(s.cumulative_at(s.max_row_len + 1) == 1.0 || m.nnz() == 0);
+        assert!(s.frac_nonempty_below_warp >= 0.0 && s.frac_nonempty_below_warp <= 1.0);
         // Quantiles are ordered.
-        prop_assert!(s.quantile(0.25) <= s.quantile(0.75));
-    }
+        assert!(s.quantile(0.25) <= s.quantile(0.75));
+    });
+}
 
-    #[test]
-    fn f16_conversion_is_monotone_and_bounded(x in -65000.0f64..65000.0, y in -65000.0f64..65000.0) {
+#[test]
+fn f16_conversion_is_monotone_and_bounded() {
+    for_each_case("f16_conversion_is_monotone_and_bounded", |rng| {
+        let x = rng.gen_range(-65000.0f64..65000.0);
+        let y = rng.gen_range(-65000.0f64..65000.0);
         let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
         let a = F16::from_f64(lo);
         let b = F16::from_f64(hi);
-        prop_assert!(a.to_f64() <= b.to_f64());
+        assert!(a.to_f64() <= b.to_f64());
         // Relative error bound for normal-range values.
         if lo.abs() > 1e-4 {
-            prop_assert!((a.to_f64() - lo).abs() <= lo.abs() * 2.0f64.powi(-11) * 1.0001);
+            assert!((a.to_f64() - lo).abs() <= lo.abs() * 2.0f64.powi(-11) * 1.0001);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bf16_round_trip_is_idempotent(x in -1e30f64..1e30) {
+#[test]
+fn bf16_round_trip_is_idempotent() {
+    for_each_case("bf16_round_trip_is_idempotent", |rng| {
+        let x = rng.gen_range(-1e30f64..1e30);
         let once = Bf16::from_f64(x);
         let twice = Bf16::from_f64(once.to_f64());
-        prop_assert_eq!(once.to_bits(), twice.to_bits());
-    }
+        assert_eq!(once.to_bits(), twice.to_bits());
+    });
+}
 
-    #[test]
-    fn pruning_never_increases_anything((nrows, ncols, triplets) in matrix_strategy(),
-                                        threshold in 0.0f64..5.0) {
+#[test]
+fn pruning_never_increases_anything() {
+    for_each_case("pruning_never_increases_anything", |rng| {
+        let (nrows, ncols, triplets) = random_matrix(rng);
+        let threshold = rng.gen_range(0.0f64..5.0);
         let m = build(nrows, ncols, &triplets);
         let p = m.prune(threshold);
-        prop_assert!(p.nnz() <= m.nnz());
-        prop_assert!(p.values().iter().all(|v| v.to_f64().abs() >= threshold));
-        prop_assert_eq!(p.nrows(), m.nrows());
-        prop_assert_eq!(p.ncols(), m.ncols());
-    }
+        assert!(p.nnz() <= m.nnz());
+        assert!(p.values().iter().all(|v| v.to_f64().abs() >= threshold));
+        assert_eq!(p.nrows(), m.nrows());
+        assert_eq!(p.ncols(), m.ncols());
+    });
 }

@@ -12,7 +12,9 @@ fn setup() -> (Csr<F16, u32>, RsCompressed<F16>, Vec<f64>) {
     let m64 = prostate_case(ScaleConfig::tiny()).remove(0).matrix;
     let m16: Csr<F16, u32> = m64.convert_values();
     let rs = RsCompressed::from_csr(&m16);
-    let w: Vec<f64> = (0..m16.ncols()).map(|i| 0.3 + (i as f64 * 0.7).sin().abs()).collect();
+    let w: Vec<f64> = (0..m16.ncols())
+        .map(|i| 0.3 + (i as f64 * 0.7).sin().abs())
+        .collect();
     (m16, rs, w)
 }
 
