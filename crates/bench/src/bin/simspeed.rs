@@ -8,10 +8,13 @@
 //! per-sector path this repo shipped before the warp-granular rework) on
 //! the same workload.
 
-use rt_core::{rs_baseline_gpu_spmv, vector_csr_spmv, GpuCsrMatrix, GpuRsMatrix};
+use rt_core::{
+    profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv, GpuCsrMatrix,
+    GpuRsMatrix,
+};
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
-use rt_gpusim::{DeviceSpec, Gpu, KernelStats};
+use rt_gpusim::{timing, DeviceSpec, Gpu, KernelProfile, KernelStats, LaunchReport};
 use rt_sparse::{Csr, RsCompressed};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -28,6 +31,9 @@ struct Measurement {
     ns_per_iter: f64,
     nnz: u64,
     sectors_per_launch: u64,
+    /// Unified per-launch record (counters + modeled time) in the same
+    /// shape the serving engine and the calculator emit.
+    report: LaunchReport,
 }
 
 /// Total simulated L2 sector transactions in one launch.
@@ -43,6 +49,8 @@ fn median_ns(mut samples: Vec<f64>) -> f64 {
 fn time_kernel(
     name: &'static str,
     nnz: u64,
+    device: &DeviceSpec,
+    profile: &KernelProfile,
     mut launch: impl FnMut() -> KernelStats,
 ) -> Measurement {
     const WARMUP: usize = 3;
@@ -58,11 +66,13 @@ fn time_kernel(
             t.elapsed().as_nanos() as f64
         })
         .collect();
+    let estimate = timing::estimate(device, profile, &stats);
     Measurement {
         name,
         ns_per_iter: median_ns(samples),
         nnz,
         sectors_per_launch: sectors(&stats),
+        report: LaunchReport::new(profile.name.clone(), device.name, stats, estimate),
     }
 }
 
@@ -106,13 +116,16 @@ fn render_json(measurements: &[Measurement], workers: usize) -> String {
                 writeln!(out, "      \"baseline_ns_per_iter\": {ns:.1},").unwrap();
                 writeln!(
                     out,
-                    "      \"speedup_vs_baseline\": {:.2}",
+                    "      \"speedup_vs_baseline\": {:.2},",
                     ns / m.ns_per_iter
                 )
                 .unwrap();
             }
-            None => writeln!(out, "      \"baseline_ns_per_iter\": null").unwrap(),
+            None => writeln!(out, "      \"baseline_ns_per_iter\": null,").unwrap(),
         }
+        // The unified LaunchReport shape (same as the serving engine's
+        // per-response reports and DoseCalculator results).
+        writeln!(out, "      \"report\": {}", m.report.to_json_indented(6)).unwrap();
         out.push_str(if i + 1 == measurements.len() {
             "    }\n"
         } else {
@@ -130,24 +143,35 @@ fn main() {
     let weights = vec![1.0f64; csr.ncols()];
     let nnz = csr.nnz() as u64;
 
+    let device = DeviceSpec::a100();
     let vector = {
-        let gpu = Gpu::new(DeviceSpec::a100());
+        let gpu = Gpu::new(device.clone());
         let m = GpuCsrMatrix::upload(&gpu, &csr);
         let x = gpu.upload(&weights);
         let y = gpu.alloc_out::<f64>(csr.nrows());
-        time_kernel("vector_csr_half_double", nnz, || {
-            vector_csr_spmv(&gpu, &m, &x, &y, 512)
-        })
+        time_kernel(
+            "vector_csr_half_double",
+            nnz,
+            &device,
+            &profile_half_double(),
+            || vector_csr_spmv(&gpu, &m, &x, &y, 512),
+        )
     };
     let baseline = {
-        let gpu = Gpu::new(DeviceSpec::a100());
+        let gpu = Gpu::new(device.clone());
         let m = GpuRsMatrix::upload(&gpu, &rs);
         let x = gpu.upload(&weights);
         let y = gpu.alloc_out::<f64>(rs.nrows());
-        time_kernel("baseline_segment_atomic", nnz, || {
-            y.clear();
-            rs_baseline_gpu_spmv(&gpu, &m, &x, &y, 128)
-        })
+        time_kernel(
+            "baseline_segment_atomic",
+            nnz,
+            &device,
+            &profile_baseline(),
+            || {
+                y.clear();
+                rs_baseline_gpu_spmv(&gpu, &m, &x, &y, 128)
+            },
+        )
     };
 
     let workers = std::thread::available_parallelism()

@@ -1,21 +1,183 @@
 //! High-level dose calculation API — what the treatment-plan optimizer
-//! calls every iteration.
+//! and the serving engine call every iteration.
+//!
+//! Construction is builder-first and fallible: [`DoseCalculator::builder`]
+//! validates the configuration and returns `Result<_, RtError>` instead
+//! of panicking, so untrusted inputs (a serving engine's requests, a
+//! CLI-loaded snapshot) surface as typed errors. The positional
+//! [`DoseCalculator::new`] constructor survives as a deprecated shim.
 
-use crate::vector_csr::{vector_csr_spmv, GpuCsrMatrix};
+use crate::error::RtError;
+use crate::vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, MAX_SPMM_BATCH};
 use crate::{profile_half_double, profile_single};
 use rt_f16::F16;
-use rt_gpusim::{DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, KernelStats, TimeEstimate};
+use rt_gpusim::{
+    DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, KernelStats, LaunchReport, TimeEstimate,
+};
 use rt_sparse::Csr;
+
+/// Which calibrated report profile the timing model uses (the arithmetic
+/// is always the Half/double kernel's; see [`crate::profile_single`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PrecisionProfile {
+    /// Matrix in binary16, vectors in binary64 — the paper's production
+    /// configuration.
+    #[default]
+    HalfDouble,
+    /// The Single report profile used by the library-comparison
+    /// experiments.
+    Single,
+}
 
 /// Result of one dose calculation.
 #[derive(Clone, Debug)]
 pub struct DoseResult {
     /// Dose per voxel (Gray per unit weight), `nrows` long.
     pub dose: Vec<f64>,
-    /// Simulator traffic counters of the launch.
-    pub stats: KernelStats,
-    /// Modeled execution time on the configured device.
-    pub estimate: TimeEstimate,
+    /// Unified launch report: traffic counters, modeled time, and (when
+    /// named buffers are used) per-buffer traffic.
+    pub report: LaunchReport,
+}
+
+impl DoseResult {
+    /// Traffic counters of the launch (convenience accessor).
+    #[inline]
+    pub fn stats(&self) -> &KernelStats {
+        &self.report.stats
+    }
+
+    /// Modeled execution time (convenience accessor).
+    #[inline]
+    pub fn estimate(&self) -> &TimeEstimate {
+        &self.report.estimate
+    }
+}
+
+/// Result of one batched (multi-vector) calculation: one output per
+/// request, one merged launch report for the whole batch.
+#[derive(Clone, Debug)]
+pub struct BatchDoseResult {
+    /// One output vector per input vector, in submission order.
+    pub outputs: Vec<Vec<f64>>,
+    /// Merged report over the batch's launches (chunked by
+    /// [`MAX_SPMM_BATCH`]).
+    pub report: LaunchReport,
+}
+
+/// Validated configuration for a [`DoseCalculator`]. Obtained from
+/// [`DoseCalculator::builder`]; all setters are chainable and
+/// [`DoseCalculatorBuilder::build`] performs the upload.
+#[derive(Clone, Debug)]
+pub struct DoseCalculatorBuilder<'m> {
+    matrix: &'m Csr<f64, u32>,
+    device: DeviceSpec,
+    threads_per_block: u32,
+    scale: f64,
+    row_scale: Option<f64>,
+    transpose: bool,
+    profile: PrecisionProfile,
+}
+
+impl<'m> DoseCalculatorBuilder<'m> {
+    fn new(matrix: &'m Csr<f64, u32>) -> Self {
+        DoseCalculatorBuilder {
+            matrix,
+            device: DeviceSpec::a100(),
+            threads_per_block: 512,
+            scale: 1.0,
+            row_scale: None,
+            transpose: false,
+            profile: PrecisionProfile::HalfDouble,
+        }
+    }
+
+    /// Target device (defaults to the A100, the paper's primary system).
+    pub fn device(mut self, device: DeviceSpec) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Execution configuration (Figure 4 parameter; default 512).
+    pub fn threads_per_block(mut self, tpb: u32) -> Self {
+        self.threads_per_block = tpb;
+        self
+    }
+
+    /// Counter extrapolation factor (see `rt_dose::DoseCase::extrapolation`).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Separate extrapolation factor for warp/block counts (the kernel is
+    /// warp-per-row, so this is the clinical-to-simulated *row* ratio
+    /// when traffic scales by the nnz ratio).
+    pub fn row_scale(mut self, row_scale: f64) -> Self {
+        self.row_scale = Some(row_scale);
+        self
+    }
+
+    /// Also upload the transpose so gradient back-projections are
+    /// available (costs a second copy of the matrix, as on real GPUs).
+    pub fn with_transpose(mut self) -> Self {
+        self.transpose = true;
+        self
+    }
+
+    /// Report profile for the timing model (default Half/double).
+    pub fn profile(mut self, profile: PrecisionProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Validates the configuration, converts the matrix to binary16 and
+    /// uploads it (plus the transpose if requested) to a fresh simulated
+    /// device.
+    pub fn build(self) -> Result<DoseCalculator, RtError> {
+        let m = self.matrix;
+        if m.nrows() == 0 || m.ncols() == 0 {
+            return Err(RtError::EmptyMatrix {
+                nrows: m.nrows(),
+                ncols: m.ncols(),
+            });
+        }
+        let tpb = self.threads_per_block;
+        if !(32..=1024).contains(&tpb) || !tpb.is_multiple_of(32) {
+            return Err(RtError::InvalidThreadsPerBlock(tpb));
+        }
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(RtError::InvalidScale(self.scale));
+        }
+        if let Some(rs) = self.row_scale {
+            if !(rs.is_finite() && rs > 0.0) {
+                return Err(RtError::InvalidScale(rs));
+            }
+        }
+
+        let gpu = Gpu::new(self.device);
+        let m16: Csr<F16, u32> = m.convert_values();
+        let gm = GpuCsrMatrix::upload(&gpu, &m16);
+        let transpose = if self.transpose {
+            let t16: Csr<F16, u32> = m.transpose().convert_values();
+            Some(GpuCsrMatrix::upload(&gpu, &t16))
+        } else {
+            None
+        };
+        let y = gpu.alloc_out::<f64>(m.nrows());
+        Ok(DoseCalculator {
+            gpu,
+            matrix: gm,
+            transpose,
+            y,
+            profile: match self.profile {
+                PrecisionProfile::HalfDouble => profile_half_double(),
+                PrecisionProfile::Single => profile_single(),
+            },
+            threads_per_block: tpb,
+            scale: self.scale,
+            row_scale: self.row_scale,
+        })
+    }
 }
 
 /// A dose calculator holding one beam's dose deposition matrix on the
@@ -25,7 +187,7 @@ pub struct DoseResult {
 ///
 /// Guarantee: [`DoseCalculator::compute_dose`] is bitwise reproducible —
 /// same weights, same matrix, same result, regardless of host thread
-/// scheduling (§II-D requirement).
+/// scheduling, batching, or device assignment (§II-D requirement).
 pub struct DoseCalculator {
     gpu: Gpu,
     matrix: GpuCsrMatrix<F16, u32>,
@@ -41,54 +203,45 @@ pub struct DoseCalculator {
     row_scale: Option<f64>,
 }
 
+impl std::fmt::Debug for DoseCalculator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DoseCalculator")
+            .field("device", &self.gpu.spec().name)
+            .field("nrows", &self.nrows())
+            .field("ncols", &self.ncols())
+            .field("transpose", &self.transpose.is_some())
+            .field("threads_per_block", &self.threads_per_block)
+            .finish()
+    }
+}
+
 impl DoseCalculator {
+    /// Starts a builder for `matrix` (`voxels x spots`, full precision).
+    pub fn builder(matrix: &Csr<f64, u32>) -> DoseCalculatorBuilder<'_> {
+        DoseCalculatorBuilder::new(matrix)
+    }
+
     /// Uploads `matrix` (converted once to binary16) to a simulated
-    /// `device`. `matrix` is `voxels x spots`, full precision.
+    /// `device`.
+    #[deprecated(note = "use DoseCalculator::builder(matrix).device(device).build()")]
     pub fn new(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
-        let gpu = Gpu::new(device);
-        let m16: Csr<F16, u32> = matrix.convert_values();
-        let gm = GpuCsrMatrix::upload(&gpu, &m16);
-        let y = gpu.alloc_out::<f64>(matrix.nrows());
-        DoseCalculator {
-            gpu,
-            matrix: gm,
-            transpose: None,
-            y,
-            profile: profile_half_double(),
-            threads_per_block: 512,
-            scale: 1.0,
-            row_scale: None,
-        }
+        DoseCalculator::builder(matrix)
+            .device(device)
+            .build()
+            .expect("valid matrix and default configuration")
     }
 
     /// Also uploads the transpose so [`DoseCalculator::compute_gradient_term`]
-    /// is available (costs a second copy of the matrix, as on real GPUs).
+    /// is available.
+    #[deprecated(
+        note = "use DoseCalculator::builder(matrix).device(device).with_transpose().build()"
+    )]
     pub fn with_transpose(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
-        let mut c = DoseCalculator::new(device, matrix);
-        let t16: Csr<F16, u32> = matrix.transpose().convert_values();
-        c.transpose = Some(GpuCsrMatrix::upload(&c.gpu, &t16));
-        c
-    }
-
-    /// Sets the execution configuration (Figure 4 parameter).
-    pub fn with_threads_per_block(mut self, tpb: u32) -> Self {
-        self.threads_per_block = tpb;
-        self
-    }
-
-    /// Sets the counter extrapolation factor (see
-    /// `rt_dose::DoseCase::extrapolation`).
-    pub fn with_scale(mut self, scale: f64) -> Self {
-        self.scale = scale;
-        self
-    }
-
-    /// Sets a separate extrapolation factor for warp/block counts (the
-    /// kernel is warp-per-row, so this is the clinical-to-simulated
-    /// *row* ratio when traffic scales by the nnz ratio).
-    pub fn with_row_scale(mut self, row_scale: f64) -> Self {
-        self.row_scale = Some(row_scale);
-        self
+        DoseCalculator::builder(matrix)
+            .device(device)
+            .with_transpose()
+            .build()
+            .expect("valid matrix and default configuration")
     }
 
     #[inline]
@@ -106,9 +259,37 @@ impl DoseCalculator {
         self.gpu.spec()
     }
 
+    /// Whether gradients are available (built `with_transpose`).
+    #[inline]
+    pub fn has_transpose(&self) -> bool {
+        self.transpose.is_some()
+    }
+
+    /// Scales counters and builds the launch report for one (possibly
+    /// accumulated) launch's stats.
+    fn report_for(&self, stats: &KernelStats) -> LaunchReport {
+        let mut scaled = stats.scale(self.scale);
+        let row_factor = self.row_scale.unwrap_or(self.scale);
+        scaled.warps = (stats.warps as f64 * row_factor).round() as u64;
+        scaled.blocks = ((stats.blocks as f64 * row_factor).round() as u64).max(1);
+        let estimate = rt_gpusim::timing::estimate(self.gpu.spec(), &self.profile, &scaled);
+        LaunchReport::new(
+            self.profile.name.clone(),
+            self.gpu.spec().name,
+            stats.clone(),
+            estimate,
+        )
+    }
+
     /// Computes `dose = A w` with the Half/double kernel.
-    pub fn compute_dose(&self, weights: &[f64]) -> DoseResult {
-        assert_eq!(weights.len(), self.ncols(), "one weight per spot");
+    pub fn compute_dose(&self, weights: &[f64]) -> Result<DoseResult, RtError> {
+        if weights.len() != self.ncols() {
+            return Err(RtError::DimensionMismatch {
+                what: "weights",
+                expected: self.ncols(),
+                actual: weights.len(),
+            });
+        }
         let dx: DeviceBuffer<f64> = self.gpu.upload(weights);
         let stats = vector_csr_spmv(
             &self.gpu,
@@ -117,39 +298,101 @@ impl DoseCalculator {
             &self.y,
             self.threads_per_block,
         );
-        let mut scaled = stats.scale(self.scale);
-        let row_factor = self.row_scale.unwrap_or(self.scale);
-        scaled.warps = (stats.warps as f64 * row_factor).round() as u64;
-        scaled.blocks = ((stats.blocks as f64 * row_factor).round() as u64).max(1);
-        let estimate = rt_gpusim::timing::estimate(self.gpu.spec(), &self.profile, &scaled);
-        DoseResult {
+        Ok(DoseResult {
             dose: self.y.to_vec(),
-            stats,
-            estimate,
+            report: self.report_for(&stats),
+        })
+    }
+
+    /// Computes `dose_v = A w_v` for every weight vector in one batched
+    /// (multi-vector) launch sequence — the serving engine's path for
+    /// compatible concurrent requests. Chunks of up to [`MAX_SPMM_BATCH`]
+    /// vectors share each launch's matrix traffic; the merged counters
+    /// are reported as one [`LaunchReport`].
+    ///
+    /// Every output is bitwise identical to the corresponding
+    /// [`DoseCalculator::compute_dose`] call (see
+    /// [`vector_csr_spmm`]'s determinism contract).
+    pub fn compute_dose_batch(&self, weights: &[&[f64]]) -> Result<BatchDoseResult, RtError> {
+        for w in weights {
+            if w.len() != self.ncols() {
+                return Err(RtError::DimensionMismatch {
+                    what: "weights",
+                    expected: self.ncols(),
+                    actual: w.len(),
+                });
+            }
         }
+        self.batched_spmm(&self.matrix, self.nrows(), weights)
     }
 
     /// Computes `g = A^T r` (the optimizer's gradient back-projection).
-    /// Requires construction via [`DoseCalculator::with_transpose`].
-    pub fn compute_gradient_term(&self, residual: &[f64]) -> Vec<f64> {
+    /// Requires construction via
+    /// [`DoseCalculatorBuilder::with_transpose`].
+    pub fn compute_gradient_term(&self, residual: &[f64]) -> Result<Vec<f64>, RtError> {
         let t = self
             .transpose
             .as_ref()
-            .expect("build with with_transpose() to enable gradient computation");
-        assert_eq!(residual.len(), self.nrows(), "one residual per voxel");
+            .ok_or(RtError::TransposeUnavailable)?;
+        if residual.len() != self.nrows() {
+            return Err(RtError::DimensionMismatch {
+                what: "residual",
+                expected: self.nrows(),
+                actual: residual.len(),
+            });
+        }
         let dr: DeviceBuffer<f64> = self.gpu.upload(residual);
         let g = self.gpu.alloc_out::<f64>(self.ncols());
         vector_csr_spmv(&self.gpu, t, &dr, &g, self.threads_per_block);
-        g.to_vec()
+        Ok(g.to_vec())
     }
 
-    /// Switches the report profile to the Single configuration (used by
-    /// the library-comparison experiments; the arithmetic stays
-    /// Half/double — use the free kernels for real single-precision
-    /// runs).
-    pub fn profile_as_single(mut self) -> Self {
-        self.profile = profile_single();
-        self
+    /// Computes `g_v = A^T r_v` for every residual in one batched launch
+    /// sequence, with a merged [`LaunchReport`] (the gradient counterpart
+    /// of [`DoseCalculator::compute_dose_batch`]).
+    pub fn compute_gradient_batch(&self, residuals: &[&[f64]]) -> Result<BatchDoseResult, RtError> {
+        let t = self
+            .transpose
+            .as_ref()
+            .ok_or(RtError::TransposeUnavailable)?;
+        for r in residuals {
+            if r.len() != self.nrows() {
+                return Err(RtError::DimensionMismatch {
+                    what: "residual",
+                    expected: self.nrows(),
+                    actual: r.len(),
+                });
+            }
+        }
+        self.batched_spmm(t, self.ncols(), residuals)
+    }
+
+    /// Shared batched-launch path: runs `inputs` through `matrix` in
+    /// [`MAX_SPMM_BATCH`]-sized chunks and merges the counters.
+    fn batched_spmm(
+        &self,
+        matrix: &GpuCsrMatrix<F16, u32>,
+        out_len: usize,
+        inputs: &[&[f64]],
+    ) -> Result<BatchDoseResult, RtError> {
+        let mut outputs = Vec::with_capacity(inputs.len());
+        let mut merged = KernelStats::default();
+        for chunk in inputs.chunks(MAX_SPMM_BATCH) {
+            let dxs: Vec<DeviceBuffer<f64>> = chunk.iter().map(|x| self.gpu.upload(x)).collect();
+            let dys: Vec<DeviceOutBuffer<f64>> = chunk
+                .iter()
+                .map(|_| self.gpu.alloc_out::<f64>(out_len))
+                .collect();
+            let xr: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
+            let yr: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
+            let stats = vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block);
+            merged.accumulate(&stats);
+            outputs.extend(dys.iter().map(|y| y.to_vec()));
+        }
+        Ok(BatchDoseResult {
+            outputs,
+            report: self.report_for(&merged),
+        })
     }
 }
 
@@ -178,12 +421,14 @@ mod tests {
     #[test]
     fn end_to_end_dose_calculation() {
         let m = random_matrix(51, 600, 40);
-        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        let calc = DoseCalculator::builder(&m).build().unwrap();
         let w = vec![1.0; 40];
-        let r = calc.compute_dose(&w);
+        let r = calc.compute_dose(&w).unwrap();
         assert_eq!(r.dose.len(), 600);
-        assert!(r.estimate.seconds > 0.0);
-        assert!(r.stats.flops > 0);
+        assert!(r.estimate().seconds > 0.0);
+        assert!(r.stats().flops > 0);
+        assert_eq!(r.report.device, "A100");
+        assert_eq!(r.report.kernel, "Half/double");
 
         // Against the f16-rounded reference.
         let m16: Csr<rt_f16::F16, u32> = m.convert_values();
@@ -197,10 +442,10 @@ mod tests {
     #[test]
     fn repeated_calls_are_bitwise_identical() {
         let m = random_matrix(52, 400, 30);
-        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        let calc = DoseCalculator::builder(&m).build().unwrap();
         let w: Vec<f64> = (0..30).map(|i| (i as f64 * 0.11).sin().abs()).collect();
-        let a = calc.compute_dose(&w).dose;
-        let b = calc.compute_dose(&w).dose;
+        let a = calc.compute_dose(&w).unwrap().dose;
+        let b = calc.compute_dose(&w).unwrap().dose;
         assert_eq!(
             a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
@@ -208,11 +453,39 @@ mod tests {
     }
 
     #[test]
+    fn batch_matches_single_bitwise_and_merges_counters() {
+        let m = random_matrix(56, 350, 28);
+        let calc = DoseCalculator::builder(&m).build().unwrap();
+        let vectors: Vec<Vec<f64>> = (0..11)
+            .map(|v| (0..28).map(|i| ((v + i) as f64 * 0.07).cos()).collect())
+            .collect();
+        let refs: Vec<&[f64]> = vectors.iter().map(|v| v.as_slice()).collect();
+        let batch = calc.compute_dose_batch(&refs).unwrap();
+        assert_eq!(batch.outputs.len(), 11);
+        // 11 vectors chunk into 8 + 3; merged flops = 2 * nnz * 11.
+        assert_eq!(batch.report.stats.flops, 2 * m.nnz() as u64 * 11);
+        for (v, x) in vectors.iter().enumerate() {
+            let single = calc.compute_dose(x).unwrap().dose;
+            assert_eq!(
+                batch.outputs[v]
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect::<Vec<_>>(),
+                single.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "vector {v}"
+            );
+        }
+    }
+
+    #[test]
     fn gradient_term_matches_transpose_reference() {
         let m = random_matrix(53, 300, 25);
-        let calc = DoseCalculator::with_transpose(DeviceSpec::a100(), &m);
+        let calc = DoseCalculator::builder(&m)
+            .with_transpose()
+            .build()
+            .unwrap();
         let r: Vec<f64> = (0..300).map(|i| (i % 3) as f64).collect();
-        let g = calc.compute_gradient_term(&r);
+        let g = calc.compute_gradient_term(&r).unwrap();
 
         let m16: Csr<rt_f16::F16, u32> = m.convert_values();
         let mut want = vec![0.0; 25];
@@ -220,25 +493,121 @@ mod tests {
         for (a, b) in g.iter().zip(want.iter()) {
             assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
         }
+
+        // The batched gradient path agrees bitwise with the single path's
+        // arithmetic contract.
+        let batch = calc.compute_gradient_batch(&[&r]).unwrap();
+        assert_eq!(
+            batch.outputs[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            g.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "with_transpose")]
     fn gradient_requires_transpose() {
         let m = random_matrix(54, 50, 5);
-        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
-        let _ = calc.compute_gradient_term(&vec![0.0; 50]);
+        let calc = DoseCalculator::builder(&m).build().unwrap();
+        assert_eq!(
+            calc.compute_gradient_term(&vec![0.0; 50]).unwrap_err(),
+            RtError::TransposeUnavailable
+        );
+        assert_eq!(
+            calc.compute_gradient_batch(&[&vec![0.0; 50]]).unwrap_err(),
+            RtError::TransposeUnavailable
+        );
+    }
+
+    #[test]
+    fn dimension_mismatches_are_typed_errors() {
+        let m = random_matrix(57, 60, 9);
+        let calc = DoseCalculator::builder(&m)
+            .with_transpose()
+            .build()
+            .unwrap();
+        assert_eq!(
+            calc.compute_dose(&[0.0; 8]).unwrap_err(),
+            RtError::DimensionMismatch {
+                what: "weights",
+                expected: 9,
+                actual: 8
+            }
+        );
+        assert_eq!(
+            calc.compute_gradient_term(&vec![0.0; 61]).unwrap_err(),
+            RtError::DimensionMismatch {
+                what: "residual",
+                expected: 60,
+                actual: 61
+            }
+        );
+        let short = vec![0.0; 3];
+        assert!(matches!(
+            calc.compute_dose_batch(&[&[0.0; 9], &short])
+                .unwrap_err(),
+            RtError::DimensionMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        let m = random_matrix(58, 40, 6);
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .threads_per_block(48)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidThreadsPerBlock(48)
+        );
+        assert_eq!(
+            DoseCalculator::builder(&m).scale(-2.0).build().unwrap_err(),
+            RtError::InvalidScale(-2.0)
+        );
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .row_scale(f64::NAN)
+                .build()
+                .err()
+                .map(|e| e.kind()),
+            Some("invalid_scale")
+        );
+        let empty: Csr<f64, u32> = Csr::from_rows(0, &[]).unwrap();
+        assert_eq!(
+            DoseCalculator::builder(&empty).build().unwrap_err(),
+            RtError::EmptyMatrix { nrows: 0, ncols: 0 }
+        );
     }
 
     #[test]
     fn scale_affects_estimate_not_dose() {
         let m = random_matrix(55, 500, 40);
         let w = vec![1.0; 40];
-        let small = DoseCalculator::new(DeviceSpec::a100(), &m).compute_dose(&w);
-        let big = DoseCalculator::new(DeviceSpec::a100(), &m)
-            .with_scale(100.0)
-            .compute_dose(&w);
+        let small = DoseCalculator::builder(&m)
+            .build()
+            .unwrap()
+            .compute_dose(&w)
+            .unwrap();
+        let big = DoseCalculator::builder(&m)
+            .scale(100.0)
+            .build()
+            .unwrap()
+            .compute_dose(&w)
+            .unwrap();
         assert_eq!(small.dose, big.dose);
-        assert!(big.estimate.seconds > small.estimate.seconds);
+        assert!(big.estimate().seconds > small.estimate().seconds);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let m = random_matrix(59, 80, 10);
+        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
+        assert_eq!(calc.nrows(), 80);
+        assert!(!calc.has_transpose());
+        let calc = DoseCalculator::with_transpose(DeviceSpec::v100(), &m);
+        assert!(calc.has_transpose());
+        assert_eq!(calc.device().name, "V100");
     }
 }

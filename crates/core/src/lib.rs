@@ -20,18 +20,22 @@
 pub mod baseline;
 pub mod calculator;
 pub mod cpu;
+pub mod error;
 pub mod libs;
 pub mod scalar_csr;
 pub mod sell_kernel;
 pub mod vector_csr;
 
 pub use baseline::{rs_baseline_gpu_spmv, GpuRsMatrix};
-pub use calculator::{DoseCalculator, DoseResult};
+pub use calculator::{
+    BatchDoseResult, DoseCalculator, DoseCalculatorBuilder, DoseResult, PrecisionProfile,
+};
 pub use cpu::{cpu_csr_spmv, RsCpu};
+pub use error::RtError;
 pub use libs::{cusparse_csr_spmv, ginkgo_csr_spmv};
 pub use scalar_csr::scalar_csr_spmv;
 pub use sell_kernel::{sell_spmv, GpuSellMatrix};
-pub use vector_csr::{vector_csr_spmv, GpuCsrMatrix, VecScalar};
+pub use vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, VecScalar, MAX_SPMM_BATCH};
 
 use rt_gpusim::{KernelProfile, Precision};
 

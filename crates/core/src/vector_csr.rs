@@ -140,6 +140,87 @@ pub fn vector_csr_spmv<V: DoseScalar, I: ColIndex, X: VecScalar>(
     })
 }
 
+/// Maximum input vectors fused into one [`vector_csr_spmm`] launch (the
+/// per-warp accumulator state is `MAX_SPMM_BATCH * 32` scalars on the
+/// simulated register file, like a real multi-vector kernel's unroll
+/// factor).
+pub const MAX_SPMM_BATCH: usize = 8;
+
+/// Launches the multi-vector (SpMM-style) variant of the vector CSR
+/// kernel: `ys[v] = A xs[v]` for every `v`, one warp per matrix row,
+/// all vectors in a single launch.
+///
+/// The matrix arrays (`row_ptr`, `col_idx`, `values`) are loaded **once
+/// per row** and reused across the `k` vectors — the traffic saving that
+/// makes batching compatible requests worthwhile (the matrix dominates
+/// SpMV traffic at ~6 bytes/nnz, so a k-batch approaches a k-fold
+/// reduction of the dominant term).
+///
+/// Per-vector arithmetic is **identical** to [`vector_csr_spmv`]: the
+/// same lane partitioning and the same fixed shuffle-down reduction tree
+/// per vector, so each output is bitwise identical to an unbatched
+/// launch — batching can never change a plan's dose (§II-D holds
+/// regardless of how a serving engine groups requests).
+///
+/// Internal invariants (callers validate at the API boundary): at most
+/// [`MAX_SPMM_BATCH`] vectors, `xs.len() == ys.len()`, every `xs[v]` of
+/// length `ncols`, every `ys[v]` of length `nrows`.
+pub fn vector_csr_spmm<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    m: &GpuCsrMatrix<V, I>,
+    xs: &[&DeviceBuffer<X>],
+    ys: &[&DeviceOutBuffer<X>],
+    threads_per_block: u32,
+) -> KernelStats {
+    assert!(!xs.is_empty() && xs.len() <= MAX_SPMM_BATCH, "batch size");
+    assert_eq!(xs.len(), ys.len(), "one output per input vector");
+    for x in xs {
+        assert_eq!(x.len(), m.ncols, "input vector length mismatch");
+    }
+    for y in ys {
+        assert_eq!(y.len(), m.nrows, "output vector length mismatch");
+    }
+    let k = xs.len();
+    let grid = Grid::warp_per_item(m.nrows, threads_per_block);
+    let nrows = m.nrows;
+
+    gpu.launch(grid, |w| {
+        let row = w.warp_id();
+        if row >= nrows {
+            return;
+        }
+        let start = w.load_scalar(&m.row_ptr, row) as usize;
+        let end = w.load_scalar(&m.row_ptr, row + 1) as usize;
+
+        let mut lanes = [[X::default(); WARP_SIZE]; MAX_SPMM_BATCH];
+        let mut idxs = [0usize; WARP_SIZE];
+        let mut gathered = [X::default(); WARP_SIZE];
+
+        let mut j = start;
+        while j < end {
+            let n = (end - j).min(WARP_SIZE);
+            let cols = w.load_span(&m.col_idx, j..j + n);
+            let vals = w.load_span(&m.values, j..j + n);
+            for kk in 0..n {
+                idxs[kk] = cols[kk].to_usize();
+            }
+            for (v, x) in xs.iter().enumerate() {
+                w.load_gather(x, &idxs[..n], &mut gathered);
+                for kk in 0..n {
+                    lanes[v][kk] = lanes[v][kk] + X::from_f64(vals[kk].to_f64()) * gathered[kk];
+                }
+            }
+            w.add_flops(2 * n as u64 * k as u64);
+            j += n;
+        }
+
+        for (v, y) in ys.iter().enumerate() {
+            let sum = w.reduce_sum(&mut lanes[v]);
+            w.store_scalar(y, row, sum);
+        }
+    })
+}
+
 /// Host-side reference of the exact arithmetic the kernel performs —
 /// same lane partitioning, same reduction tree — used by the
 /// bitwise-reproducibility tests.
@@ -289,6 +370,79 @@ mod tests {
         assert!(stats16.dram_read_bytes < stats32.dram_read_bytes);
         // Same numeric results.
         assert_eq!(dy.to_vec(), dy2.to_vec());
+    }
+
+    #[test]
+    fn spmm_batch_matches_single_vector_bitwise() {
+        let m64 = random_csr(250, 96, 50, 9);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let vectors: Vec<Vec<f64>> = (0..5)
+            .map(|v| {
+                (0..96)
+                    .map(|i| ((v * 96 + i) as f64 * 0.21).sin())
+                    .collect()
+            })
+            .collect();
+
+        // Batched launch.
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dxs: Vec<_> = vectors.iter().map(|x| gpu.upload(x)).collect();
+        let dys: Vec<_> = (0..5).map(|_| gpu.alloc_out::<f64>(250)).collect();
+        let xrefs: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
+        let yrefs: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
+        let stats = vector_csr_spmm(&gpu, &gm, &xrefs, &yrefs, 512);
+        assert_eq!(stats.flops, 2 * m.nnz() as u64 * 5);
+
+        // Each output must be bitwise identical to an unbatched launch.
+        for (v, x) in vectors.iter().enumerate() {
+            let gpu1 = Gpu::new(DeviceSpec::a100());
+            let gm1 = GpuCsrMatrix::upload(&gpu1, &m);
+            let dx = gpu1.upload(x);
+            let dy = gpu1.alloc_out::<f64>(250);
+            vector_csr_spmv(&gpu1, &gm1, &dx, &dy, 512);
+            let single = dy.to_vec();
+            let batched = dys[v].to_vec();
+            assert_eq!(
+                batched.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                single.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                "vector {v} must not depend on batching"
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_saves_matrix_traffic() {
+        // A batch of k vectors must move far fewer matrix bytes than k
+        // single launches: the spans are loaded once per row.
+        let m64 = random_csr(2000, 200, 120, 10);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = vec![1.0; 200];
+
+        let single = {
+            let gpu = Gpu::with_mode(DeviceSpec::a100().scaled_l2(1000.0), ExecMode::Sequential);
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(2000);
+            vector_csr_spmv(&gpu, &gm, &dx, &dy, 512)
+        };
+        let batched = {
+            let gpu = Gpu::with_mode(DeviceSpec::a100().scaled_l2(1000.0), ExecMode::Sequential);
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dxs: Vec<_> = (0..4).map(|_| gpu.upload(&x)).collect();
+            let dys: Vec<_> = (0..4).map(|_| gpu.alloc_out::<f64>(2000)).collect();
+            let xr: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
+            let yr: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
+            vector_csr_spmm(&gpu, &gm, &xr, &yr, 512)
+        };
+        // 4 single launches would read ~4x the matrix; the batch must
+        // stay well under 2x one launch's DRAM reads.
+        assert!(
+            batched.dram_read_bytes < single.dram_read_bytes * 2,
+            "batched {} vs single {}",
+            batched.dram_read_bytes,
+            single.dram_read_bytes
+        );
     }
 
     #[test]

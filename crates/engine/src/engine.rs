@@ -1,0 +1,799 @@
+//! The serving engine: device pool, worker threads, batching dispatch.
+//!
+//! # Architecture
+//!
+//! One worker thread per simulated device, all popping from one bounded
+//! FIFO ([`BoundedQueue`]). A worker that pops a request immediately
+//! gathers up to `max_batch - 1` queued *compatible* requests (same plan,
+//! same operation) and executes them as one multi-vector launch sequence
+//! ([`DoseCalculator::compute_dose_batch`]), so concurrent traffic for
+//! the same matrix shares its bytes.
+//!
+//! Exactly one worker drives each device, and each worker owns that
+//! device's calculators exclusively — launches for one device never
+//! interleave, matching the one-stream-per-GPU execution model.
+//!
+//! # Determinism (§II-D)
+//!
+//! Scheduling is nondeterministic: which worker pops a request, which
+//! requests share its batch, and which device executes them all vary run
+//! to run. The *dose does not*: the batched kernel performs per-vector
+//! arithmetic identical to the single-vector kernel (fixed reduction
+//! tree, fixed traversal order), and no functional result depends on the
+//! `DeviceSpec`. The integration tests assert bitwise-identical doses
+//! across pool sizes 1/4/8 and shuffled submission orders.
+//!
+//! [`BoundedQueue`]: crate::queue::BoundedQueue
+//! [`DoseCalculator::compute_dose_batch`]: rt_core::DoseCalculator::compute_dose_batch
+
+use crate::metrics::{BatchSample, EngineReport, Metrics};
+use crate::queue::BoundedQueue;
+use rt_core::{DoseCalculator, RtError, MAX_SPMM_BATCH};
+use rt_gpusim::{DeviceSpec, LaunchReport};
+use rt_sparse::Csr;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which operation a request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `dose = A w` — payload is a spot-weight vector (`ncols` long).
+    Dose,
+    /// `g = A^T r` — payload is a voxel residual (`nrows` long).
+    Gradient,
+}
+
+/// A completed request: the output vector plus the launch report of the
+/// batch that computed it.
+#[derive(Clone, Debug)]
+pub struct EngineResponse {
+    /// Output vector: dose per voxel ([`RequestKind::Dose`]) or gradient
+    /// per spot ([`RequestKind::Gradient`]).
+    pub output: Vec<f64>,
+    /// Merged launch report of the batch this request rode in (shared by
+    /// every request of the batch).
+    pub report: LaunchReport,
+    /// Device that executed the batch.
+    pub device: String,
+    /// How many requests shared the batch (1 = no batching win).
+    pub batch_size: usize,
+    /// Milliseconds this request waited in the queue before dispatch.
+    pub queue_ms: f64,
+}
+
+/// One request's reply slot: filled exactly once by a worker, awaited by
+/// [`Ticket::wait`].
+struct ReplySlot {
+    state: Mutex<Option<Result<EngineResponse, RtError>>>,
+    cv: Condvar,
+}
+
+impl ReplySlot {
+    fn new() -> Arc<Self> {
+        Arc::new(ReplySlot {
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, outcome: Result<EngineResponse, RtError>) {
+        *self.state.lock().unwrap() = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<EngineResponse, RtError> {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if let Some(outcome) = g.take() {
+                return outcome;
+            }
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+}
+
+/// Handle to an in-flight request.
+pub struct Ticket {
+    slot: Arc<ReplySlot>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.slot.state.lock().unwrap();
+        f.debug_struct("Ticket")
+            .field("completed", &state.is_some())
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Blocks until a worker completes (or sheds) the request.
+    pub fn wait(self) -> Result<EngineResponse, RtError> {
+        self.slot.wait()
+    }
+}
+
+struct EngineRequest {
+    plan: usize,
+    kind: RequestKind,
+    payload: Vec<f64>,
+    submitted: Instant,
+    /// Queue-wait budget; the request is shed at dispatch if exceeded.
+    budget_ms: Option<f64>,
+    slot: Arc<ReplySlot>,
+}
+
+/// Worker start gate: an engine built with `start_paused` holds its
+/// workers here until [`EngineClient::resume`] (or serve teardown), which
+/// makes admission-control behavior deterministic to test.
+struct Gate {
+    paused: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(paused: bool) -> Self {
+        Gate {
+            paused: Mutex::new(paused),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait_open(&self) {
+        let mut g = self.paused.lock().unwrap();
+        while *g {
+            g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        *self.paused.lock().unwrap() = false;
+        self.cv.notify_all();
+    }
+}
+
+struct ServeState {
+    queue: BoundedQueue<EngineRequest>,
+    gate: Gate,
+    metrics: Metrics,
+}
+
+struct Plan {
+    name: String,
+    nrows: usize,
+    ncols: usize,
+    /// One calculator per pool device (`calcs[i]` lives on `devices[i]`),
+    /// each holding the matrix and its transpose.
+    calcs: Vec<DoseCalculator>,
+}
+
+/// Configures an [`Engine`]; obtained from [`Engine::builder`].
+#[derive(Clone, Debug)]
+pub struct EngineBuilder {
+    devices: Vec<DeviceSpec>,
+    queue_capacity: usize,
+    max_batch: usize,
+    threads_per_block: u32,
+    default_deadline_ms: Option<f64>,
+    max_request_len: Option<usize>,
+    start_paused: bool,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            devices: Vec::new(),
+            queue_capacity: 64,
+            max_batch: MAX_SPMM_BATCH,
+            threads_per_block: 512,
+            default_deadline_ms: None,
+            max_request_len: None,
+            start_paused: false,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Adds one device to the pool (one worker thread each).
+    pub fn device(mut self, spec: DeviceSpec) -> Self {
+        self.devices.push(spec);
+        self
+    }
+
+    /// Adds several devices at once.
+    pub fn devices(mut self, specs: impl IntoIterator<Item = DeviceSpec>) -> Self {
+        self.devices.extend(specs);
+        self
+    }
+
+    /// Bounded request-queue capacity (default 64; minimum 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Most requests a worker may merge into one launch sequence
+    /// (default [`MAX_SPMM_BATCH`]; minimum 1).
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch.max(1);
+        self
+    }
+
+    /// Execution configuration for every plan's kernels (default 512).
+    pub fn threads_per_block(mut self, tpb: u32) -> Self {
+        self.threads_per_block = tpb;
+        self
+    }
+
+    /// Queue-wait budget applied to requests submitted without an
+    /// explicit deadline.
+    pub fn default_deadline_ms(mut self, budget_ms: f64) -> Self {
+        self.default_deadline_ms = Some(budget_ms);
+        self
+    }
+
+    /// Rejects payloads longer than `max` at admission
+    /// ([`RtError::RequestTooLarge`]).
+    pub fn max_request_len(mut self, max: usize) -> Self {
+        self.max_request_len = Some(max);
+        self
+    }
+
+    /// Holds workers at serve start until [`EngineClient::resume`] —
+    /// lets tests fill the queue deterministically.
+    pub fn start_paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn build(self) -> Result<Engine, RtError> {
+        if self.devices.is_empty() {
+            return Err(RtError::EmptyDevicePool);
+        }
+        let tpb = self.threads_per_block;
+        if !(32..=1024).contains(&tpb) || !tpb.is_multiple_of(32) {
+            return Err(RtError::InvalidThreadsPerBlock(tpb));
+        }
+        Ok(Engine {
+            devices: self.devices,
+            plans: Vec::new(),
+            queue_capacity: self.queue_capacity,
+            max_batch: self.max_batch,
+            threads_per_block: tpb,
+            default_deadline_ms: self.default_deadline_ms,
+            max_request_len: self.max_request_len,
+            start_paused: self.start_paused,
+        })
+    }
+}
+
+/// A multi-plan dose-calculation serving engine over a pool of simulated
+/// devices.
+///
+/// ```
+/// use rt_engine::{Engine, RequestKind};
+/// use rt_gpusim::DeviceSpec;
+/// use rt_sparse::Csr;
+///
+/// let m = Csr::from_rows(2, &[vec![(0, 1.0)], vec![(1, 0.5)]]).unwrap();
+/// let mut engine = Engine::builder()
+///     .device(DeviceSpec::a100())
+///     .device(DeviceSpec::v100())
+///     .build()
+///     .unwrap();
+/// engine.register_plan("demo", &m).unwrap();
+/// let (dose, report) = engine.serve(|client| {
+///     client
+///         .call("demo", RequestKind::Dose, vec![1.0, 1.0])
+///         .unwrap()
+///         .output
+/// });
+/// assert_eq!(dose.len(), 2);
+/// assert_eq!(report.completed, 1);
+/// ```
+pub struct Engine {
+    devices: Vec<DeviceSpec>,
+    plans: Vec<Plan>,
+    queue_capacity: usize,
+    max_batch: usize,
+    threads_per_block: u32,
+    default_deadline_ms: Option<f64>,
+    max_request_len: Option<usize>,
+    start_paused: bool,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field(
+                "devices",
+                &self.devices.iter().map(|d| d.name).collect::<Vec<_>>(),
+            )
+            .field("plans", &self.plan_names())
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_batch", &self.max_batch)
+            .finish()
+    }
+}
+
+impl Engine {
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Devices in the pool, in worker order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// Registered plan names, in registration order.
+    pub fn plan_names(&self) -> Vec<&str> {
+        self.plans.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// `(nvoxels, nspots)` of a registered plan.
+    pub fn plan_dims(&self, name: &str) -> Option<(usize, usize)> {
+        self.plan(name).map(|p| (p.nrows, p.ncols))
+    }
+
+    fn plan(&self, name: &str) -> Option<&Plan> {
+        self.plans.iter().find(|p| p.name == name)
+    }
+
+    /// Uploads `matrix` (and its transpose, for gradients) to every
+    /// device in the pool under the plan name `name`.
+    pub fn register_plan(&mut self, name: &str, matrix: &Csr<f64, u32>) -> Result<(), RtError> {
+        if self.plan(name).is_some() {
+            return Err(RtError::DuplicatePlan(name.to_string()));
+        }
+        let calcs = self
+            .devices
+            .iter()
+            .map(|d| {
+                DoseCalculator::builder(matrix)
+                    .device(d.clone())
+                    .threads_per_block(self.threads_per_block)
+                    .with_transpose()
+                    .build()
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.plans.push(Plan {
+            name: name.to_string(),
+            nrows: matrix.nrows(),
+            ncols: matrix.ncols(),
+            calcs,
+        });
+        Ok(())
+    }
+
+    /// Loads an RTDM snapshot from disk and registers it
+    /// ([`RtError::Snapshot`] / [`RtError::Sparse`] on malformed files).
+    pub fn register_plan_snapshot(
+        &mut self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(), RtError> {
+        let path = path.as_ref();
+        let mut file = std::fs::File::open(path)
+            .map_err(|e| RtError::Snapshot(format!("{}: {e}", path.display())))?;
+        let matrix: Csr<f64, u32> = rt_sparse::io::load_csr(&mut file)?;
+        self.register_plan(name, &matrix)
+    }
+
+    /// Runs a serve session: spawns one worker per device, hands the
+    /// closure an [`EngineClient`], and on closure return drains the
+    /// queue, joins the workers and snapshots the [`EngineReport`].
+    pub fn serve<R>(&self, f: impl FnOnce(&EngineClient<'_>) -> R) -> (R, EngineReport) {
+        let names: Vec<&str> = self.devices.iter().map(|d| d.name).collect();
+        let state = ServeState {
+            queue: BoundedQueue::new(self.queue_capacity),
+            gate: Gate::new(self.start_paused),
+            metrics: Metrics::new(&names),
+        };
+        let out = std::thread::scope(|s| {
+            for dev in 0..self.devices.len() {
+                let state = &state;
+                s.spawn(move || self.worker(dev, state));
+            }
+            let client = EngineClient {
+                engine: self,
+                state: &state,
+            };
+            let r = f(&client);
+            // End of session: no more submissions; wake paused workers so
+            // they drain what remains and exit.
+            state.queue.close();
+            state.gate.open();
+            r
+        });
+        let report = state
+            .metrics
+            .report(self.queue_capacity, state.queue.max_depth());
+        (out, report)
+    }
+
+    /// One device's worker loop: pop, gather batch mates, shed expired,
+    /// execute, reply.
+    fn worker(&self, dev: usize, state: &ServeState) {
+        loop {
+            state.gate.wait_open();
+            let Some(first) = state.queue.pop() else {
+                return;
+            };
+            let (plan_idx, kind) = (first.plan, first.kind);
+            let mut batch = vec![first];
+            if self.max_batch > 1 {
+                batch.extend(
+                    state.queue.drain_matching(self.max_batch - 1, |r| {
+                        r.plan == plan_idx && r.kind == kind
+                    }),
+                );
+            }
+
+            let dispatch = Instant::now();
+            let mut sample = BatchSample {
+                device: dev,
+                completed: 0,
+                shed_deadline: 0,
+                failed: 0,
+                launches: 0,
+                batch_size: 0,
+                modeled_seconds: 0.0,
+                timings: Vec::new(),
+            };
+            let mut live = Vec::with_capacity(batch.len());
+            for req in batch {
+                let waited_ms = ms(dispatch - req.submitted);
+                match req.budget_ms {
+                    Some(budget) if waited_ms > budget => {
+                        sample.shed_deadline += 1;
+                        req.slot.complete(Err(RtError::DeadlineExceeded {
+                            budget_ms: budget,
+                            waited_ms,
+                        }));
+                    }
+                    _ => live.push((req, waited_ms)),
+                }
+            }
+
+            if !live.is_empty() {
+                let plan = &self.plans[plan_idx];
+                let calc = &plan.calcs[dev];
+                let inputs: Vec<&[f64]> = live.iter().map(|(r, _)| r.payload.as_slice()).collect();
+                let result = match kind {
+                    RequestKind::Dose => calc.compute_dose_batch(&inputs),
+                    RequestKind::Gradient => calc.compute_gradient_batch(&inputs),
+                };
+                match result {
+                    Ok(batch_result) => {
+                        sample.launches = 1;
+                        sample.batch_size = live.len() as u64;
+                        sample.completed = live.len() as u64;
+                        sample.modeled_seconds = batch_result.report.estimate.seconds;
+                        let report = batch_result.report;
+                        for ((req, waited_ms), output) in live.into_iter().zip(batch_result.outputs)
+                        {
+                            sample
+                                .timings
+                                .push((waited_ms, ms(req.submitted.elapsed())));
+                            req.slot.complete(Ok(EngineResponse {
+                                output,
+                                report: report.clone(),
+                                device: self.devices[dev].name.to_string(),
+                                batch_size: sample.batch_size as usize,
+                                queue_ms: waited_ms,
+                            }));
+                        }
+                    }
+                    Err(e) => {
+                        // Unreachable through validated admission, but a
+                        // worker must never panic: fail the whole batch.
+                        sample.failed = live.len() as u64;
+                        for (req, _) in live {
+                            req.slot.complete(Err(e.clone()));
+                        }
+                    }
+                }
+            }
+            state.metrics.record_batch(sample);
+        }
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Submission handle passed to the [`Engine::serve`] closure. Cheap to
+/// share by reference across submitter threads.
+pub struct EngineClient<'a> {
+    engine: &'a Engine,
+    state: &'a ServeState,
+}
+
+impl EngineClient<'_> {
+    /// Validates a submission and builds the queue entry.
+    fn prepare(
+        &self,
+        plan: &str,
+        kind: RequestKind,
+        payload: Vec<f64>,
+        budget_ms: Option<f64>,
+    ) -> Result<EngineRequest, RtError> {
+        let (idx, p) = self
+            .engine
+            .plans
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.name == plan)
+            .ok_or_else(|| RtError::UnknownPlan(plan.to_string()))?;
+        if let Some(max) = self.engine.max_request_len {
+            if payload.len() > max {
+                return Err(RtError::RequestTooLarge {
+                    len: payload.len(),
+                    max,
+                });
+            }
+        }
+        let (what, expected) = match kind {
+            RequestKind::Dose => ("weights", p.ncols),
+            RequestKind::Gradient => ("residual", p.nrows),
+        };
+        if payload.len() != expected {
+            return Err(RtError::DimensionMismatch {
+                what,
+                expected,
+                actual: payload.len(),
+            });
+        }
+        Ok(EngineRequest {
+            plan: idx,
+            kind,
+            payload,
+            submitted: Instant::now(),
+            budget_ms: budget_ms.or(self.engine.default_deadline_ms),
+            slot: ReplySlot::new(),
+        })
+    }
+
+    fn enqueue(&self, req: EngineRequest, blocking: bool) -> Result<Ticket, RtError> {
+        let ticket = Ticket {
+            slot: Arc::clone(&req.slot),
+        };
+        let pushed = if blocking {
+            self.state.queue.push(req)
+        } else {
+            self.state.queue.try_push(req)
+        };
+        match pushed {
+            Ok(()) => {
+                self.state.metrics.note_submitted();
+                Ok(ticket)
+            }
+            Err(e) => {
+                if matches!(e, RtError::QueueFull { .. }) {
+                    self.state.metrics.note_rejected_full();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits a request, blocking while the queue is full
+    /// (backpressure).
+    pub fn submit(
+        &self,
+        plan: &str,
+        kind: RequestKind,
+        payload: Vec<f64>,
+    ) -> Result<Ticket, RtError> {
+        let req = self.prepare(plan, kind, payload, None)?;
+        self.enqueue(req, true)
+    }
+
+    /// Like [`EngineClient::submit`] with an explicit queue-wait budget:
+    /// the request is shed with [`RtError::DeadlineExceeded`] if no
+    /// worker dispatches it within `budget_ms`.
+    pub fn submit_with_deadline(
+        &self,
+        plan: &str,
+        kind: RequestKind,
+        payload: Vec<f64>,
+        budget_ms: f64,
+    ) -> Result<Ticket, RtError> {
+        let req = self.prepare(plan, kind, payload, Some(budget_ms))?;
+        self.enqueue(req, true)
+    }
+
+    /// Non-blocking submit: sheds with [`RtError::QueueFull`] instead of
+    /// waiting for queue space.
+    pub fn try_submit(
+        &self,
+        plan: &str,
+        kind: RequestKind,
+        payload: Vec<f64>,
+    ) -> Result<Ticket, RtError> {
+        let req = self.prepare(plan, kind, payload, None)?;
+        self.enqueue(req, false)
+    }
+
+    /// Synchronous round trip: submit and wait for the response.
+    pub fn call(
+        &self,
+        plan: &str,
+        kind: RequestKind,
+        payload: Vec<f64>,
+    ) -> Result<EngineResponse, RtError> {
+        self.submit(plan, kind, payload)?.wait()
+    }
+
+    /// Releases workers held by [`EngineBuilder::start_paused`].
+    pub fn resume(&self) {
+        self.state.gate.open();
+    }
+
+    /// Stops admission: subsequent submissions fail with
+    /// [`RtError::EngineShutdown`]; already-queued requests still drain.
+    pub fn shutdown(&self) {
+        self.state.queue.close();
+        self.state.gate.open();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_matrix() -> Csr<f64, u32> {
+        Csr::from_rows(
+            3,
+            &[
+                vec![(0, 1.0), (2, 2.0)],
+                vec![(1, 0.5)],
+                vec![(0, 0.25), (1, 1.5), (2, 0.125)],
+                vec![(2, 3.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn engine_one_device() -> Engine {
+        let mut e = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        e.register_plan("demo", &small_matrix()).unwrap();
+        e
+    }
+
+    #[test]
+    fn builder_requires_devices() {
+        assert_eq!(
+            Engine::builder().build().unwrap_err(),
+            RtError::EmptyDevicePool
+        );
+        assert_eq!(
+            Engine::builder()
+                .device(DeviceSpec::a100())
+                .threads_per_block(100)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidThreadsPerBlock(100)
+        );
+    }
+
+    #[test]
+    fn duplicate_and_unknown_plans() {
+        let mut e = engine_one_device();
+        assert_eq!(
+            e.register_plan("demo", &small_matrix()).unwrap_err(),
+            RtError::DuplicatePlan("demo".to_string())
+        );
+        assert_eq!(e.plan_names(), vec!["demo"]);
+        assert_eq!(e.plan_dims("demo"), Some((4, 3)));
+        assert_eq!(e.plan_dims("nope"), None);
+        let (err, _) = e.serve(|c| c.call("nope", RequestKind::Dose, vec![1.0; 3]).unwrap_err());
+        assert_eq!(err, RtError::UnknownPlan("nope".to_string()));
+    }
+
+    #[test]
+    fn dose_and_gradient_round_trip() {
+        let e = engine_one_device();
+        let ((dose, grad), report) = e.serve(|c| {
+            let d = c
+                .call("demo", RequestKind::Dose, vec![1.0, 1.0, 1.0])
+                .unwrap();
+            let g = c
+                .call("demo", RequestKind::Gradient, vec![1.0, 0.0, 1.0, 0.0])
+                .unwrap();
+            assert_eq!(d.device, "A100");
+            assert!(d.report.estimate.seconds > 0.0);
+            assert!(d.queue_ms >= 0.0);
+            (d.output, g.output)
+        });
+        assert_eq!(dose.len(), 4);
+        assert_eq!(grad.len(), 3);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.submitted, 2);
+        assert!(report.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn dimension_and_size_validation() {
+        let mut e = Engine::builder()
+            .device(DeviceSpec::a100())
+            .max_request_len(3)
+            .build()
+            .unwrap();
+        e.register_plan("demo", &small_matrix()).unwrap();
+        let _ = e.serve(|c| {
+            assert_eq!(
+                c.submit("demo", RequestKind::Dose, vec![0.0; 2])
+                    .unwrap_err(),
+                RtError::DimensionMismatch {
+                    what: "weights",
+                    expected: 3,
+                    actual: 2
+                }
+            );
+            // The gradient payload is 4 long, over the 3-element limit.
+            assert_eq!(
+                c.submit("demo", RequestKind::Gradient, vec![0.0; 4])
+                    .unwrap_err(),
+                RtError::RequestTooLarge { len: 4, max: 3 }
+            );
+        });
+    }
+
+    #[test]
+    fn shutdown_stops_admission_but_drains() {
+        let e = engine_one_device();
+        let (outcome, report) = e.serve(|c| {
+            let t = c.submit("demo", RequestKind::Dose, vec![1.0; 3]).unwrap();
+            c.shutdown();
+            assert_eq!(
+                c.submit("demo", RequestKind::Dose, vec![1.0; 3])
+                    .unwrap_err(),
+                RtError::EngineShutdown
+            );
+            t.wait()
+        });
+        assert!(outcome.is_ok());
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.submitted, 1);
+    }
+
+    #[test]
+    fn paused_engine_batches_deterministically() {
+        let mut e = Engine::builder()
+            .device(DeviceSpec::a100())
+            .max_batch(8)
+            .start_paused()
+            .build()
+            .unwrap();
+        e.register_plan("demo", &small_matrix()).unwrap();
+        let (outputs, report) = e.serve(|c| {
+            let tickets: Vec<Ticket> = (0..8)
+                .map(|i| {
+                    c.submit("demo", RequestKind::Dose, vec![i as f64 * 0.1; 3])
+                        .unwrap()
+                })
+                .collect();
+            c.resume();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<_>>()
+        });
+        // All 8 queued before any worker ran: one launch, batch of 8.
+        assert_eq!(report.launches, 1);
+        assert_eq!(report.max_batch, 8);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.queue_max_depth, 8);
+        assert!((report.avg_batch() - 8.0).abs() < 1e-12);
+        for r in &outputs {
+            assert_eq!(r.batch_size, 8);
+        }
+    }
+}

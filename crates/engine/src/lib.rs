@@ -1,0 +1,49 @@
+//! `rt-engine` — a multi-plan dose-calculation serving engine.
+//!
+//! A clinic runs many optimizations at once: several planners iterating
+//! on different patients, each issuing a forward dose SpMV and a gradient
+//! back-projection per iteration. This crate serves that traffic on a
+//! pool of simulated GPUs:
+//!
+//! * **Device pool** — one worker thread per [`DeviceSpec`]
+//!   (e.g. 2×A100 + 1×V100), each owning exclusive per-plan
+//!   [`DoseCalculator`]s for its device.
+//! * **Multi-plan registry** — [`Engine::register_plan`] uploads a dose
+//!   deposition matrix (and its transpose) to every device; requests name
+//!   their plan.
+//! * **Request batching** — a worker that dequeues a request gathers
+//!   queued compatible requests (same plan, same operation) into one
+//!   multi-vector launch, sharing the matrix bytes
+//!   ([`rt_core::vector_csr_spmm`]).
+//! * **Admission control** — a bounded queue: [`EngineClient::submit`]
+//!   blocks when full (backpressure), [`EngineClient::try_submit`] sheds
+//!   with [`RtError::QueueFull`]; per-request deadlines shed stale work
+//!   at dispatch with [`RtError::DeadlineExceeded`].
+//! * **Observability** — every response carries a [`LaunchReport`]
+//!   (counters + modeled time); each serve session produces an
+//!   [`EngineReport`] (throughput, latency, queue depth) exportable as
+//!   JSON.
+//!
+//! **Determinism (§II-D):** per-plan doses are bitwise identical
+//! regardless of worker count, request interleaving, batch composition,
+//! or device assignment — the property that makes serving clinically
+//! acceptable at all. See `tests/determinism.rs`.
+//!
+//! Everything is `std`: scoped threads, `Mutex` + `Condvar`. No async
+//! runtime, no extra dependencies.
+//!
+//! [`DeviceSpec`]: rt_gpusim::DeviceSpec
+//! [`DoseCalculator`]: rt_core::DoseCalculator
+//! [`LaunchReport`]: rt_gpusim::LaunchReport
+//! [`RtError::QueueFull`]: rt_core::RtError::QueueFull
+//! [`RtError::DeadlineExceeded`]: rt_core::RtError::DeadlineExceeded
+
+mod engine;
+mod metrics;
+mod optim;
+mod queue;
+
+pub use engine::{Engine, EngineBuilder, EngineClient, EngineResponse, RequestKind, Ticket};
+pub use metrics::{DeviceReport, EngineReport};
+pub use optim::ServedDoseEngine;
+pub use rt_core::RtError;

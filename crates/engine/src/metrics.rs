@@ -1,0 +1,309 @@
+//! Engine-level serving counters and the exportable JSON report.
+//!
+//! Workers and clients record into a shared [`Metrics`] (one mutex, one
+//! batched update per launch — not per request); [`Metrics::report`]
+//! snapshots it into the public [`EngineReport`], whose hand-rolled
+//! [`EngineReport::to_json`] matches the `LaunchReport` house style
+//! (stable keys, two-space indent).
+
+use rt_gpusim::report::json_string;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-device tallies (one worker thread serves one device).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DeviceReport {
+    pub name: String,
+    /// Requests completed successfully on this device.
+    pub requests: u64,
+    /// Batched kernel-launch sequences executed.
+    pub launches: u64,
+    /// Modeled GPU seconds accumulated from launch reports.
+    pub modeled_seconds: f64,
+}
+
+/// Snapshot of one [`Engine::serve`] session, exportable as JSON.
+///
+/// [`Engine::serve`]: crate::Engine::serve
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineReport {
+    /// Wall-clock duration of the serve session in milliseconds.
+    pub elapsed_ms: f64,
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests shed at admission ([`RtError::QueueFull`]).
+    ///
+    /// [`RtError::QueueFull`]: rt_core::RtError::QueueFull
+    pub rejected_queue_full: u64,
+    /// Requests shed at dispatch because their deadline had expired.
+    pub shed_deadline: u64,
+    /// Requests that failed in execution with some other error.
+    pub failed: u64,
+    /// Batched launch sequences executed across all devices.
+    pub launches: u64,
+    /// Largest batch observed (requests per launch).
+    pub max_batch: u64,
+    /// Bounded-queue capacity.
+    pub queue_capacity: usize,
+    /// High-water mark of the queue depth.
+    pub queue_max_depth: usize,
+    /// Mean/max milliseconds requests waited in the queue.
+    pub wait_ms_mean: f64,
+    pub wait_ms_max: f64,
+    /// Mean/max submit-to-completion latency in milliseconds.
+    pub latency_ms_mean: f64,
+    pub latency_ms_max: f64,
+    /// Modeled GPU seconds across all devices.
+    pub modeled_gpu_seconds: f64,
+    /// Per-device breakdown, in pool order.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl EngineReport {
+    /// Completed requests per wall-clock second.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_ms <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.elapsed_ms / 1e3)
+        }
+    }
+
+    /// Mean requests per launch (the batching win; 1.0 = no batching).
+    pub fn avg_batch(&self) -> f64 {
+        if self.launches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.launches as f64
+        }
+    }
+
+    /// Stable JSON encoding (same house style as
+    /// [`rt_gpusim::LaunchReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"elapsed_ms\": {:.3},\n", self.elapsed_ms));
+        out.push_str(&format!(
+            "  \"throughput_rps\": {:.2},\n",
+            self.throughput_rps()
+        ));
+        out.push_str(&format!("  \"submitted\": {},\n", self.submitted));
+        out.push_str(&format!("  \"completed\": {},\n", self.completed));
+        out.push_str(&format!(
+            "  \"rejected_queue_full\": {},\n",
+            self.rejected_queue_full
+        ));
+        out.push_str(&format!("  \"shed_deadline\": {},\n", self.shed_deadline));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed));
+        out.push_str(&format!("  \"launches\": {},\n", self.launches));
+        out.push_str(&format!("  \"avg_batch\": {:.2},\n", self.avg_batch()));
+        out.push_str(&format!("  \"max_batch\": {},\n", self.max_batch));
+        out.push_str(&format!(
+            "  \"queue\": {{\"capacity\": {}, \"max_depth\": {}}},\n",
+            self.queue_capacity, self.queue_max_depth
+        ));
+        out.push_str(&format!(
+            "  \"wait_ms\": {{\"mean\": {:.3}, \"max\": {:.3}}},\n",
+            self.wait_ms_mean, self.wait_ms_max
+        ));
+        out.push_str(&format!(
+            "  \"latency_ms\": {{\"mean\": {:.3}, \"max\": {:.3}}},\n",
+            self.latency_ms_mean, self.latency_ms_max
+        ));
+        out.push_str(&format!(
+            "  \"modeled_gpu_seconds\": {:.6e},\n",
+            self.modeled_gpu_seconds
+        ));
+        out.push_str("  \"devices\": [");
+        for (i, d) in self.devices.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"requests\": {}, \"launches\": {}, \"modeled_seconds\": {:.6e}}}",
+                json_string(&d.name),
+                d.requests,
+                d.launches,
+                d.modeled_seconds
+            ));
+        }
+        if !self.devices.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    submitted: u64,
+    completed: u64,
+    rejected_queue_full: u64,
+    shed_deadline: u64,
+    failed: u64,
+    launches: u64,
+    max_batch: u64,
+    wait_ms_sum: f64,
+    wait_ms_max: f64,
+    latency_ms_sum: f64,
+    latency_ms_max: f64,
+    latency_samples: u64,
+    devices: Vec<DeviceReport>,
+}
+
+/// Shared counter block for one serve session.
+pub(crate) struct Metrics {
+    inner: Mutex<Inner>,
+    started: Instant,
+}
+
+/// One worker's deltas for one executed batch, merged under a single
+/// lock acquisition.
+pub(crate) struct BatchSample {
+    pub device: usize,
+    pub completed: u64,
+    pub shed_deadline: u64,
+    pub failed: u64,
+    /// 0 when the whole batch was shed before launch.
+    pub launches: u64,
+    pub batch_size: u64,
+    pub modeled_seconds: f64,
+    /// (wait_ms, latency_ms) per completed request.
+    pub timings: Vec<(f64, f64)>,
+}
+
+impl Metrics {
+    pub fn new(device_names: &[&str]) -> Self {
+        Metrics {
+            inner: Mutex::new(Inner {
+                devices: device_names
+                    .iter()
+                    .map(|n| DeviceReport {
+                        name: n.to_string(),
+                        ..Default::default()
+                    })
+                    .collect(),
+                ..Default::default()
+            }),
+            started: Instant::now(),
+        }
+    }
+
+    pub fn note_submitted(&self) {
+        self.inner.lock().unwrap().submitted += 1;
+    }
+
+    pub fn note_rejected_full(&self) {
+        self.inner.lock().unwrap().rejected_queue_full += 1;
+    }
+
+    pub fn record_batch(&self, s: BatchSample) {
+        let mut g = self.inner.lock().unwrap();
+        g.completed += s.completed;
+        g.shed_deadline += s.shed_deadline;
+        g.failed += s.failed;
+        g.launches += s.launches;
+        g.max_batch = g.max_batch.max(s.batch_size);
+        for (wait, latency) in &s.timings {
+            g.wait_ms_sum += wait;
+            g.wait_ms_max = g.wait_ms_max.max(*wait);
+            g.latency_ms_sum += latency;
+            g.latency_ms_max = g.latency_ms_max.max(*latency);
+            g.latency_samples += 1;
+        }
+        let d = &mut g.devices[s.device];
+        d.requests += s.completed;
+        d.launches += s.launches;
+        d.modeled_seconds += s.modeled_seconds;
+    }
+
+    pub fn report(&self, queue_capacity: usize, queue_max_depth: usize) -> EngineReport {
+        let g = self.inner.lock().unwrap();
+        let n = g.latency_samples.max(1) as f64;
+        EngineReport {
+            elapsed_ms: self.started.elapsed().as_secs_f64() * 1e3,
+            submitted: g.submitted,
+            completed: g.completed,
+            rejected_queue_full: g.rejected_queue_full,
+            shed_deadline: g.shed_deadline,
+            failed: g.failed,
+            launches: g.launches,
+            max_batch: g.max_batch,
+            queue_capacity,
+            queue_max_depth,
+            wait_ms_mean: g.wait_ms_sum / n,
+            wait_ms_max: g.wait_ms_max,
+            latency_ms_mean: g.latency_ms_sum / n,
+            latency_ms_max: g.latency_ms_max,
+            modeled_gpu_seconds: g.devices.iter().map(|d| d.modeled_seconds).sum(),
+            devices: g.devices.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_aggregates_batches() {
+        let m = Metrics::new(&["A100", "V100"]);
+        m.note_submitted();
+        m.note_submitted();
+        m.note_submitted();
+        m.note_rejected_full();
+        m.record_batch(BatchSample {
+            device: 0,
+            completed: 2,
+            shed_deadline: 1,
+            failed: 0,
+            launches: 1,
+            batch_size: 2,
+            modeled_seconds: 0.5,
+            timings: vec![(1.0, 3.0), (2.0, 5.0)],
+        });
+        let r = m.report(8, 3);
+        assert_eq!(r.submitted, 3);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.rejected_queue_full, 1);
+        assert_eq!(r.shed_deadline, 1);
+        assert_eq!(r.launches, 1);
+        assert_eq!(r.max_batch, 2);
+        assert_eq!(r.queue_capacity, 8);
+        assert_eq!(r.queue_max_depth, 3);
+        assert!((r.wait_ms_mean - 1.5).abs() < 1e-12);
+        assert!((r.latency_ms_max - 5.0).abs() < 1e-12);
+        assert!((r.modeled_gpu_seconds - 0.5).abs() < 1e-12);
+        assert_eq!(r.devices[0].requests, 2);
+        assert_eq!(r.devices[1].requests, 0);
+        assert!((r.avg_batch() - 2.0).abs() < 1e-12);
+        assert!(r.throughput_rps() >= 0.0);
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let m = Metrics::new(&["A100"]);
+        let j = m.report(4, 0).to_json();
+        for key in [
+            "\"elapsed_ms\"",
+            "\"throughput_rps\"",
+            "\"submitted\"",
+            "\"completed\"",
+            "\"rejected_queue_full\"",
+            "\"shed_deadline\"",
+            "\"launches\"",
+            "\"avg_batch\"",
+            "\"queue\"",
+            "\"wait_ms\"",
+            "\"latency_ms\"",
+            "\"modeled_gpu_seconds\"",
+            "\"devices\"",
+            "\"A100\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+}

@@ -1,0 +1,221 @@
+//! Bounded MPMC request queue with blocking and non-blocking admission.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` (the workspace's `parking_lot`
+//! shim has no condvar). Two admission paths implement the engine's two
+//! load-control policies:
+//!
+//! * [`BoundedQueue::push`] **blocks** the submitter while the queue is
+//!   full — backpressure propagates to the client.
+//! * [`BoundedQueue::try_push`] **fails fast** with
+//!   [`RtError::QueueFull`] — load is shed at admission.
+//!
+//! Closing the queue wakes everyone: pending pushes fail with
+//! [`RtError::EngineShutdown`], pops drain the remaining items and then
+//! return `None`.
+
+use rt_core::RtError;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    /// High-water mark of the queue depth (an engine-report gauge).
+    max_depth: usize,
+}
+
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+                max_depth: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues, blocking while the queue is at capacity (backpressure).
+    pub fn push(&self, item: T) -> Result<(), RtError> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if g.closed {
+                return Err(RtError::EngineShutdown);
+            }
+            if g.items.len() < self.capacity {
+                break;
+            }
+            g = self.not_full.wait(g).unwrap();
+        }
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Enqueues or fails immediately — [`RtError::QueueFull`] at
+    /// capacity, [`RtError::EngineShutdown`] after close.
+    pub fn try_push(&self, item: T) -> Result<(), RtError> {
+        let mut g = self.inner.lock().unwrap();
+        if g.closed {
+            return Err(RtError::EngineShutdown);
+        }
+        if g.items.len() >= self.capacity {
+            return Err(RtError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        g.items.push_back(item);
+        g.max_depth = g.max_depth.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                drop(g);
+                self.not_full.notify_all();
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Removes up to `max` queued items matching `pred`, preserving FIFO
+    /// order among both the taken and the remaining items. Non-blocking —
+    /// this is how a worker gathers batch mates for the request it just
+    /// popped.
+    pub fn drain_matching(&self, max: usize, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        let mut g = self.inner.lock().unwrap();
+        let mut taken = Vec::new();
+        let mut i = 0;
+        while i < g.items.len() && taken.len() < max {
+            if pred(&g.items[i]) {
+                taken.push(g.items.remove(i).unwrap());
+            } else {
+                i += 1;
+            }
+        }
+        drop(g);
+        if !taken.is_empty() {
+            self.not_full.notify_all();
+        }
+        taken
+    }
+
+    /// Closes the queue: pending and future pushes fail, pops drain what
+    /// remains and then return `None`.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    pub fn max_depth(&self) -> usize {
+        self.inner.lock().unwrap().max_depth
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn try_push_sheds_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(
+            q.try_push(3).unwrap_err(),
+            RtError::QueueFull { capacity: 2 }
+        );
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BoundedQueue::new(4);
+        q.push(10).unwrap();
+        q.push(11).unwrap();
+        q.close();
+        assert_eq!(q.push(12).unwrap_err(), RtError::EngineShutdown);
+        assert_eq!(q.try_push(12).unwrap_err(), RtError::EngineShutdown);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn push_blocks_until_space() {
+        let q = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the main thread pops.
+                q.push(2).unwrap();
+            });
+            thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1));
+            // The blocked push completes and the item arrives.
+            assert_eq!(q.pop(), Some(2));
+        });
+    }
+
+    #[test]
+    fn pop_blocks_until_item_or_close() {
+        let q = BoundedQueue::new(4);
+        thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.push(7).unwrap();
+            assert_eq!(h.join().unwrap(), Some(7));
+            let h = s.spawn(|| q.pop());
+            thread::sleep(Duration::from_millis(20));
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn drain_matching_preserves_order() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.push(v).unwrap();
+        }
+        let even = q.drain_matching(2, |v| v % 2 == 0);
+        assert_eq!(even, vec![2, 4]);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(5));
+        assert_eq!(q.pop(), Some(6));
+    }
+}

@@ -1,0 +1,211 @@
+//! §II-D at serving scale: per-plan outputs must be bitwise identical
+//! regardless of worker count, device mix, submission order, submitter
+//! concurrency, or how requests happen to be batched.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rt_engine::{Engine, RequestKind};
+use rt_gpusim::DeviceSpec;
+use rt_sparse::Csr;
+
+/// Random dose-deposition-shaped matrix: `nrows` voxels, `ncols` spots,
+/// row lengths up to `max_row`.
+fn random_matrix(seed: u64, nrows: usize, ncols: usize, max_row: usize) -> Csr<f64, u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+        .map(|_| {
+            let len = rng.gen_range(0..max_row);
+            let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols.into_iter()
+                .map(|c| (c, rng.gen_range(0.0..0.1)))
+                .collect()
+        })
+        .collect();
+    Csr::from_rows(ncols, &rows).unwrap()
+}
+
+struct Workload {
+    plan: &'static str,
+    kind: RequestKind,
+    payload: Vec<f64>,
+}
+
+/// Deterministic mixed workload over two plans, keyed by request id.
+fn workload(liver_dims: (usize, usize), prostate_dims: (usize, usize)) -> Vec<Workload> {
+    (0..48)
+        .map(|i| {
+            let (plan, dims) = if i % 3 == 0 {
+                ("prostate", prostate_dims)
+            } else {
+                ("liver", liver_dims)
+            };
+            let kind = if i % 4 == 2 {
+                RequestKind::Gradient
+            } else {
+                RequestKind::Dose
+            };
+            let len = match kind {
+                RequestKind::Dose => dims.1,
+                RequestKind::Gradient => dims.0,
+            };
+            let payload = (0..len)
+                .map(|j| ((i * 131 + j * 17) as f64 * 0.013).sin().abs())
+                .collect();
+            Workload {
+                plan,
+                kind,
+                payload,
+            }
+        })
+        .collect()
+}
+
+/// Runs the whole workload through a pool, submitting in `order` from
+/// `submitters` concurrent threads; returns outputs indexed by request id
+/// as raw bits.
+fn run_pool(
+    devices: Vec<DeviceSpec>,
+    order: &[usize],
+    submitters: usize,
+    liver: &Csr<f64, u32>,
+    prostate: &Csr<f64, u32>,
+) -> Vec<Vec<u64>> {
+    let work = workload(
+        (liver.nrows(), liver.ncols()),
+        (prostate.nrows(), prostate.ncols()),
+    );
+    let mut engine = Engine::builder().devices(devices).build().unwrap();
+    engine.register_plan("liver", liver).unwrap();
+    engine.register_plan("prostate", prostate).unwrap();
+
+    let (outputs, report) = engine.serve(|client| {
+        let results: Vec<std::sync::Mutex<Option<Vec<f64>>>> =
+            work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for chunk in order.chunks(order.len().div_ceil(submitters)) {
+                let results = &results;
+                let work = &work;
+                s.spawn(move || {
+                    for &id in chunk {
+                        let w = &work[id];
+                        let r = client
+                            .call(w.plan, w.kind, w.payload.clone())
+                            .expect("request served");
+                        *results[id].lock().unwrap() = Some(r.output);
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().unwrap())
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(report.completed, order.len() as u64);
+    assert_eq!(report.failed, 0);
+    outputs
+        .into_iter()
+        .map(|v| v.into_iter().map(f64::to_bits).collect())
+        .collect()
+}
+
+fn shuffled(seed: u64, n: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..i + 1));
+    }
+    order
+}
+
+#[test]
+fn doses_identical_across_pool_sizes_and_interleavings() {
+    let liver = random_matrix(1, 900, 60, 40); // long rows
+    let prostate = random_matrix(2, 700, 80, 8); // short rows
+    let n = 48;
+
+    let baseline = run_pool(
+        vec![DeviceSpec::a100()],
+        &(0..n).collect::<Vec<_>>(),
+        1,
+        &liver,
+        &prostate,
+    );
+
+    // 4 homogeneous workers, shuffled submission, 4 submitter threads.
+    let four = run_pool(
+        vec![DeviceSpec::a100(); 4],
+        &shuffled(77, n),
+        4,
+        &liver,
+        &prostate,
+    );
+    assert_eq!(baseline, four, "4-worker pool changed some dose bytes");
+
+    // 8 heterogeneous workers (mixed device generations), another order.
+    let mut pool = vec![
+        DeviceSpec::a100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+        DeviceSpec::p100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+    ];
+    pool.truncate(8);
+    let eight = run_pool(pool, &shuffled(991, n), 8, &liver, &prostate);
+    assert_eq!(
+        baseline, eight,
+        "8-worker mixed pool changed some dose bytes"
+    );
+}
+
+#[test]
+fn batched_and_unbatched_serving_agree() {
+    let liver = random_matrix(3, 500, 40, 30);
+    let prostate = random_matrix(4, 400, 50, 6);
+    let n = 48;
+    let order: Vec<usize> = (0..n).collect();
+
+    // max_batch(1) disables batching entirely; the default batches up to
+    // MAX_SPMM_BATCH requests per launch. Doses must not care.
+    let run = |max_batch: usize| {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .device(DeviceSpec::v100())
+            .max_batch(max_batch)
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        engine.register_plan("prostate", &prostate).unwrap();
+        let work = workload(
+            (liver.nrows(), liver.ncols()),
+            (prostate.nrows(), prostate.ncols()),
+        );
+        let (out, _) = engine.serve(|client| {
+            let tickets: Vec<_> = order
+                .iter()
+                .map(|&id| {
+                    let w = &work[id];
+                    client.submit(w.plan, w.kind, w.payload.clone()).unwrap()
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| {
+                    t.wait()
+                        .unwrap()
+                        .output
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        out
+    };
+    assert_eq!(run(1), run(rt_core::MAX_SPMM_BATCH));
+}

@@ -120,6 +120,28 @@ impl KernelStats {
         s
     }
 
+    /// Adds another launch's extensive counters into this snapshot —
+    /// used when one logical operation (a batched request chunked over
+    /// several launches) should be reported as a single record. Grid
+    /// geometry accumulates block counts; `threads_per_block` keeps the
+    /// first launch's value (chunks share an execution configuration).
+    pub fn accumulate(&mut self, other: &KernelStats) {
+        self.flops += other.flops;
+        self.requested_bytes += other.requested_bytes;
+        self.l2_read_hits += other.l2_read_hits;
+        self.l2_read_misses += other.l2_read_misses;
+        self.l2_write_sectors += other.l2_write_sectors;
+        self.dram_writeback_sectors += other.dram_writeback_sectors;
+        self.atomic_ops += other.atomic_ops;
+        self.warps += other.warps;
+        self.blocks += other.blocks;
+        if self.threads_per_block == 0 {
+            self.threads_per_block = other.threads_per_block;
+        }
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+    }
+
     /// Total DRAM traffic in bytes — Nsight's `dram_bytes`.
     pub fn dram_total_bytes(&self) -> u64 {
         self.dram_read_bytes + self.dram_write_bytes

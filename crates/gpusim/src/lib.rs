@@ -51,6 +51,7 @@ pub mod counters;
 pub mod device;
 pub mod exec;
 pub mod mem;
+pub mod report;
 pub mod timing;
 
 pub use buffer::{DeviceBuffer, DeviceOutBuffer};
@@ -58,4 +59,5 @@ pub use counters::KernelStats;
 pub use device::DeviceSpec;
 pub use exec::{ExecMode, Gpu, Grid, WarpCtx, WARP_SIZE};
 pub use mem::BufferTraffic;
+pub use report::LaunchReport;
 pub use timing::{CpuSpec, KernelProfile, Precision, TimeEstimate};

@@ -25,7 +25,7 @@ use std::sync::Arc;
 /// experiments decompose a kernel's traffic into its matrix-value,
 /// index, input-vector and output-vector components — the terms of the
 /// paper's `6*nnz + 12*nr + 8*nc` model.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct BufferTraffic {
     pub name: String,
     /// Sectors read (hits + misses).

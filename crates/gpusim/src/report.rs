@@ -1,0 +1,250 @@
+//! The unified launch report: one serializable record per kernel launch.
+//!
+//! Before this module, every consumer assembled its own triple of
+//! [`KernelStats`], [`TimeEstimate`] and per-buffer [`BufferTraffic`] and
+//! rendered its own JSON. [`LaunchReport`] is the single shape they all
+//! share — the calculator returns it, the serving engine attaches it to
+//! every response, and the benchmark binaries emit it verbatim — so any
+//! tool that parses one source parses them all.
+//!
+//! The JSON encoding is hand-rolled ([`LaunchReport::to_json`]): the
+//! workspace's `serde` is an offline shim without a real serializer, and
+//! a stable, diff-friendly shape matters more here than generality.
+
+use crate::counters::KernelStats;
+use crate::mem::BufferTraffic;
+use crate::timing::{Bound, TimeEstimate};
+
+/// Everything measured and modeled about one kernel launch (or one batch
+/// of launches accumulated with [`KernelStats::accumulate`]).
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LaunchReport {
+    /// Kernel family name ("Half/double", "Single", ...).
+    pub kernel: String,
+    /// Device the launch was modeled on ("A100", ...).
+    pub device: String,
+    /// Merged traffic counters of the launch.
+    pub stats: KernelStats,
+    /// Modeled execution time derived from `stats`.
+    pub estimate: TimeEstimate,
+    /// Optional per-named-buffer traffic decomposition (empty when the
+    /// launch used unnamed buffers).
+    pub buffers: Vec<BufferTraffic>,
+}
+
+impl LaunchReport {
+    pub fn new(
+        kernel: impl Into<String>,
+        device: impl Into<String>,
+        stats: KernelStats,
+        estimate: TimeEstimate,
+    ) -> Self {
+        LaunchReport {
+            kernel: kernel.into(),
+            device: device.into(),
+            stats,
+            estimate,
+            buffers: Vec::new(),
+        }
+    }
+
+    /// Attaches a per-buffer traffic decomposition.
+    pub fn with_buffers(mut self, buffers: Vec<BufferTraffic>) -> Self {
+        self.buffers = buffers;
+        self
+    }
+
+    /// Stable JSON encoding shared by `simspeed`, the figure binaries and
+    /// the serving engine. Two-space indent, keys in declaration order.
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// Like [`LaunchReport::to_json`], shifted right by `indent` spaces on
+    /// every line after the first (for embedding in a larger document).
+    pub fn to_json_indented(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "{pad}  \"kernel\": {},\n",
+            json_string(&self.kernel)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"device\": {},\n",
+            json_string(&self.device)
+        ));
+        out.push_str(&format!("{pad}  \"stats\": {{\n"));
+        let s = &self.stats;
+        out.push_str(&format!("{pad}    \"flops\": {},\n", s.flops));
+        out.push_str(&format!("{pad}    \"warps\": {},\n", s.warps));
+        out.push_str(&format!("{pad}    \"blocks\": {},\n", s.blocks));
+        out.push_str(&format!(
+            "{pad}    \"threads_per_block\": {},\n",
+            s.threads_per_block
+        ));
+        out.push_str(&format!(
+            "{pad}    \"requested_bytes\": {},\n",
+            s.requested_bytes
+        ));
+        out.push_str(&format!("{pad}    \"l2_read_hits\": {},\n", s.l2_read_hits));
+        out.push_str(&format!(
+            "{pad}    \"l2_read_misses\": {},\n",
+            s.l2_read_misses
+        ));
+        out.push_str(&format!(
+            "{pad}    \"l2_write_sectors\": {},\n",
+            s.l2_write_sectors
+        ));
+        out.push_str(&format!("{pad}    \"atomic_ops\": {},\n", s.atomic_ops));
+        out.push_str(&format!(
+            "{pad}    \"dram_read_bytes\": {},\n",
+            s.dram_read_bytes
+        ));
+        out.push_str(&format!(
+            "{pad}    \"dram_write_bytes\": {},\n",
+            s.dram_write_bytes
+        ));
+        out.push_str(&format!(
+            "{pad}    \"l2_hit_rate\": {:.4},\n",
+            s.l2_hit_rate()
+        ));
+        out.push_str(&format!(
+            "{pad}    \"operational_intensity\": {:.4}\n",
+            s.operational_intensity()
+        ));
+        out.push_str(&format!("{pad}  }},\n"));
+        let e = &self.estimate;
+        out.push_str(&format!("{pad}  \"estimate\": {{\n"));
+        out.push_str(&format!("{pad}    \"seconds\": {:.6e},\n", e.seconds));
+        out.push_str(&format!("{pad}    \"gflops\": {:.2},\n", e.gflops));
+        out.push_str(&format!(
+            "{pad}    \"dram_bw_gbps\": {:.2},\n",
+            e.dram_bw_gbps
+        ));
+        out.push_str(&format!(
+            "{pad}    \"frac_peak_bw\": {:.4},\n",
+            e.frac_peak_bw
+        ));
+        out.push_str(&format!(
+            "{pad}    \"bound\": {}\n",
+            json_string(bound_name(e.bound))
+        ));
+        out.push_str(&format!("{pad}  }},\n"));
+        out.push_str(&format!("{pad}  \"buffers\": ["));
+        for (i, b) in self.buffers.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "{pad}    {{\"name\": {}, \"read_sectors\": {}, \"dram_read_sectors\": {}, \"write_sectors\": {}}}",
+                json_string(&b.name),
+                b.read_sectors,
+                b.dram_read_sectors,
+                b.write_sectors
+            ));
+        }
+        if !self.buffers.is_empty() {
+            out.push_str(&format!("\n{pad}  "));
+        }
+        out.push_str("]\n");
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+fn bound_name(b: Bound) -> &'static str {
+    match b {
+        Bound::Dram => "dram",
+        Bound::L2 => "l2",
+        Bound::Compute => "compute",
+        Bound::Atomic => "atomic",
+        Bound::Overhead => "overhead",
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceSpec;
+    use crate::timing::{estimate, KernelProfile, Precision};
+
+    fn sample() -> LaunchReport {
+        let stats = KernelStats {
+            flops: 1000,
+            warps: 10,
+            blocks: 2,
+            threads_per_block: 512,
+            requested_bytes: 4096,
+            l2_read_hits: 32,
+            l2_read_misses: 96,
+            l2_write_sectors: 8,
+            dram_writeback_sectors: 8,
+            dram_read_bytes: 96 * 32,
+            dram_write_bytes: 8 * 32,
+            atomic_ops: 0,
+        };
+        let est = estimate(
+            &DeviceSpec::a100(),
+            &KernelProfile::new("Half/double", Precision::Double),
+            &stats,
+        );
+        LaunchReport::new("Half/double", "A100", stats, est)
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let j = sample().to_json();
+        for key in [
+            "\"kernel\"",
+            "\"device\"",
+            "\"stats\"",
+            "\"estimate\"",
+            "\"buffers\"",
+            "\"flops\"",
+            "\"dram_read_bytes\"",
+            "\"seconds\"",
+            "\"gflops\"",
+            "\"bound\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn json_includes_buffers_when_attached() {
+        let r = sample().with_buffers(vec![BufferTraffic {
+            name: "values".into(),
+            read_sectors: 100,
+            dram_read_sectors: 90,
+            write_sectors: 0,
+        }]);
+        let j = r.to_json();
+        assert!(j.contains("\"values\""));
+        assert!(j.contains("\"dram_read_sectors\": 90"));
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("plain"), "\"plain\"");
+    }
+}

@@ -72,11 +72,17 @@ pub struct GpuDoseEngine {
 
 impl GpuDoseEngine {
     /// Uploads the matrix (and its transpose, for gradients).
-    pub fn new(device: rt_gpusim::DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
-        GpuDoseEngine {
-            calc: DoseCalculator::with_transpose(device, matrix),
+    pub fn new(
+        device: rt_gpusim::DeviceSpec,
+        matrix: &Csr<f64, u32>,
+    ) -> Result<Self, rt_core::RtError> {
+        Ok(GpuDoseEngine {
+            calc: DoseCalculator::builder(matrix)
+                .device(device)
+                .with_transpose()
+                .build()?,
             seconds: std::cell::Cell::new(0.0),
-        }
+        })
     }
 
     /// Like [`GpuDoseEngine::new`] with counter extrapolation: traffic
@@ -87,13 +93,16 @@ impl GpuDoseEngine {
         matrix: &Csr<f64, u32>,
         nnz_scale: f64,
         row_scale: f64,
-    ) -> Self {
-        GpuDoseEngine {
-            calc: DoseCalculator::with_transpose(device, matrix)
-                .with_scale(nnz_scale)
-                .with_row_scale(row_scale),
+    ) -> Result<Self, rt_core::RtError> {
+        Ok(GpuDoseEngine {
+            calc: DoseCalculator::builder(matrix)
+                .device(device)
+                .with_transpose()
+                .scale(nnz_scale)
+                .row_scale(row_scale)
+                .build()?,
             seconds: std::cell::Cell::new(0.0),
-        }
+        })
     }
 }
 
@@ -107,8 +116,13 @@ impl DoseEngine for GpuDoseEngine {
     }
 
     fn dose(&self, weights: &[f64]) -> Vec<f64> {
-        let r = self.calc.compute_dose(weights);
-        self.seconds.set(self.seconds.get() + r.estimate.seconds);
+        // Dimensions were validated at construction; the optimizer always
+        // passes `nspots`-length weights, so this cannot fail.
+        let r = self
+            .calc
+            .compute_dose(weights)
+            .expect("validated dimensions");
+        self.seconds.set(self.seconds.get() + r.estimate().seconds);
         r.dose
     }
 
@@ -118,7 +132,9 @@ impl DoseEngine for GpuDoseEngine {
         // accounting at the call site is avoided — instead we track only
         // forward kernels and note in EXPERIMENTS.md that a full
         // iteration costs ~2x one SpMV.
-        self.calc.compute_gradient_term(residual)
+        self.calc
+            .compute_gradient_term(residual)
+            .expect("transpose uploaded at construction")
     }
 
     fn modeled_seconds(&self) -> f64 {
@@ -159,7 +175,7 @@ mod tests {
     fn gpu_engine_matches_cpu_within_f16_rounding() {
         let m = matrix();
         let cpu = CpuDoseEngine::new(m.clone());
-        let gpu = GpuDoseEngine::new(DeviceSpec::a100(), &m);
+        let gpu = GpuDoseEngine::new(DeviceSpec::a100(), &m).unwrap();
         let w = [0.7, 1.3, 0.4];
         let dc = cpu.dose(&w);
         let dg = gpu.dose(&w);

@@ -73,7 +73,8 @@ fn main() {
         &matrix,
         case.extrapolation(),
         case.paper.rows / matrix.nrows() as f64,
-    );
+    )
+    .expect("valid case matrix");
     let gpu_result = optimize(&gpu_engine, &objective, &w0, &cfg);
     println!(
         "  objective {:.4} -> {:.4} in {} iterations ({} dose calculations)",

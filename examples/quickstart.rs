@@ -28,13 +28,16 @@ fn main() {
 
     // 2. Upload to a simulated A100 in the clinical configuration:
     //    matrix in binary16, vectors in binary64, warp-per-row kernel.
-    let calc = DoseCalculator::new(DeviceSpec::a100(), &case.matrix)
-        .with_scale(case.extrapolation())
-        .with_row_scale(case.paper.rows / case.matrix.nrows() as f64);
+    let calc = DoseCalculator::builder(&case.matrix)
+        .device(DeviceSpec::a100())
+        .scale(case.extrapolation())
+        .row_scale(case.paper.rows / case.matrix.nrows() as f64)
+        .build()
+        .expect("valid case matrix");
 
     // 3. Compute the dose for uniform spot weights.
     let weights = vec![1.0; case.matrix.ncols()];
-    let result = calc.compute_dose(&weights);
+    let result = calc.compute_dose(&weights).expect("weights match ncols");
 
     let peak = result.dose.iter().cloned().fold(0.0, f64::max);
     println!(
@@ -42,34 +45,43 @@ fn main() {
         peak
     );
     println!("simulator counters (at simulation scale):");
-    println!("  flops                : {}", result.stats.flops);
-    println!("  DRAM read bytes      : {}", result.stats.dram_read_bytes);
-    println!("  DRAM write bytes     : {}", result.stats.dram_write_bytes);
+    println!("  flops                : {}", result.stats().flops);
+    println!(
+        "  DRAM read bytes      : {}",
+        result.stats().dram_read_bytes
+    );
+    println!(
+        "  DRAM write bytes     : {}",
+        result.stats().dram_write_bytes
+    );
     println!(
         "  L2 hit rate          : {:.1}%",
-        result.stats.l2_hit_rate() * 100.0
+        result.stats().l2_hit_rate() * 100.0
     );
     println!(
         "  operational intensity: {:.3} flop/byte",
-        result.stats.operational_intensity()
+        result.stats().operational_intensity()
     );
     println!("\nmodeled at clinical scale on the A100:");
     println!(
         "  kernel time          : {:.3} ms",
-        result.estimate.seconds * 1e3
+        result.estimate().seconds * 1e3
     );
     println!(
         "  performance          : {:.0} GFLOP/s",
-        result.estimate.gflops
+        result.estimate().gflops
     );
     println!(
         "  DRAM bandwidth       : {:.0} GB/s ({:.0}% of peak)",
-        result.estimate.dram_bw_gbps,
-        result.estimate.frac_peak_bw * 100.0
+        result.estimate().dram_bw_gbps,
+        result.estimate().frac_peak_bw * 100.0
     );
 
+    // The same record, as the unified LaunchReport JSON every tool emits.
+    println!("\nlaunch report JSON:\n{}", result.report.to_json());
+
     // 4. The reproducibility guarantee (§II-D): same inputs, same bits.
-    let again = calc.compute_dose(&weights);
+    let again = calc.compute_dose(&weights).expect("weights match ncols");
     assert!(
         result
             .dose

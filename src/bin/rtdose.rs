@@ -10,9 +10,11 @@
 //! rtdose stats    --matrix beam.rtdm
 //! rtdose spmv     --matrix beam.rtdm --device a100 --kernel half-double --tpb 512
 //! rtdose optimize --case prostate --shrink 16 --iters 30
+//! rtdose serve-demo --requests 120 --shrink 24
 //! ```
 
 use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
+use rtdose::engine::{Engine, RequestKind};
 use rtdose::f16::F16;
 use rtdose::gpusim::{DeviceSpec, Gpu};
 use rtdose::kernels::{
@@ -36,6 +38,7 @@ fn usage() -> ! {
            rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
                            [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
            rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
+           rtdose serve-demo [--requests N] [--shrink S] [--submitters N]\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -314,7 +317,11 @@ fn cmd_optimize(flags: HashMap<String, String>) {
         &matrix,
         case.extrapolation(),
         case.paper.rows / matrix.nrows() as f64,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot build dose engine: {e}");
+        std::process::exit(1);
+    });
     let result = optimize(
         &engine,
         &objective,
@@ -338,6 +345,104 @@ fn cmd_optimize(flags: HashMap<String, String>) {
     );
 }
 
+/// A mixed-clinic serving demo: many concurrent dose and gradient
+/// requests for two plans (one liver beam, one prostate beam) served by
+/// a 2×A100 + 1×V100 pool, ending with the engine's JSON report.
+fn cmd_serve_demo(flags: HashMap<String, String>) {
+    let requests: usize = flags
+        .get("requests")
+        .map(|s| s.parse().expect("--requests"))
+        .unwrap_or(120);
+    let shrink: f64 = flags
+        .get("shrink")
+        .map(|s| s.parse().expect("--shrink"))
+        .unwrap_or(24.0);
+    let submitters: usize = flags
+        .get("submitters")
+        .map(|s| s.parse().expect("--submitters"))
+        .unwrap_or(4)
+        .max(1);
+
+    println!("generating plans (shrink {shrink}) ...");
+    let scale = ScaleConfig {
+        shrink: shrink.max(1.0),
+    };
+    let liver = liver_case(scale).swap_remove(0).matrix;
+    let prostate = prostate_case(scale).swap_remove(0).matrix;
+
+    let mut engine = Engine::builder()
+        .device(DeviceSpec::a100())
+        .device(DeviceSpec::a100())
+        .device(DeviceSpec::v100())
+        .queue_capacity(32)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build engine: {e}");
+            std::process::exit(1);
+        });
+    for (name, m) in [("liver", &liver), ("prostate", &prostate)] {
+        engine.register_plan(name, m).unwrap_or_else(|e| {
+            eprintln!("cannot register plan {name}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "  registered {:<8} {} voxels x {} spots, {} non-zeros",
+            name,
+            m.nrows(),
+            m.ncols(),
+            m.nnz()
+        );
+    }
+    println!(
+        "pool: {}  |  {} requests from {} submitter threads",
+        engine
+            .devices()
+            .iter()
+            .map(|d| d.name)
+            .collect::<Vec<_>>()
+            .join(" + "),
+        requests,
+        submitters
+    );
+
+    let liver_dims = (liver.nrows(), liver.ncols());
+    let prostate_dims = (prostate.nrows(), prostate.ncols());
+    let (ok, report) = engine.serve(|client| {
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for t in 0..submitters {
+                let done = &done;
+                s.spawn(move || {
+                    let mut i = t;
+                    while i < requests {
+                        let (plan, dims) = if i % 3 == 0 {
+                            ("prostate", prostate_dims)
+                        } else {
+                            ("liver", liver_dims)
+                        };
+                        let (kind, len) = if i % 4 == 2 {
+                            (RequestKind::Gradient, dims.0)
+                        } else {
+                            (RequestKind::Dose, dims.1)
+                        };
+                        let payload: Vec<f64> = (0..len)
+                            .map(|j| ((i * 37 + j) as f64 * 0.01).sin().abs())
+                            .collect();
+                        if client.call(plan, kind, payload).is_ok() {
+                            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        i += submitters;
+                    }
+                });
+            }
+        });
+        done.load(std::sync::atomic::Ordering::Relaxed)
+    });
+
+    println!("\n{} of {} requests served; engine report:", ok, requests);
+    println!("{}", report.to_json());
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
@@ -347,6 +452,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(parse_flags(&args[1..])),
         "spmv" => cmd_spmv(parse_flags(&args[1..])),
         "optimize" => cmd_optimize(parse_flags(&args[1..])),
+        "serve-demo" => cmd_serve_demo(parse_flags(&args[1..])),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown command: {other}");

@@ -22,26 +22,51 @@
 //! | [`roofline`] | `rt-roofline` | roofline model and OI bounds |
 //! | [`optim`] | `rt-optim` | plan objectives, projected gradient, robust scenarios |
 //! | [`repro`] | `rt-repro` | per-table/figure experiment generators |
+//! | [`engine`] | `rt-engine` | multi-plan serving engine: device pool, batching, deadlines |
 //!
 //! # Quickstart
 //!
 //! ```
 //! use rtdose::dose::cases::{prostate_case, ScaleConfig};
-//! use rtdose::gpusim::DeviceSpec;
 //! use rtdose::kernels::DoseCalculator;
 //!
 //! // Generate a (small) prostate dose deposition matrix...
 //! let case = prostate_case(ScaleConfig { shrink: 40.0 }).remove(0);
 //! // ...put it on a simulated A100 in the paper's Half/double setup...
-//! let calc = DoseCalculator::new(DeviceSpec::a100(), &case.matrix);
+//! let calc = DoseCalculator::builder(&case.matrix).build().unwrap();
 //! // ...and compute a dose distribution from uniform spot weights.
-//! let result = calc.compute_dose(&vec![1.0; case.matrix.ncols()]);
+//! let result = calc.compute_dose(&vec![1.0; case.matrix.ncols()]).unwrap();
 //! assert_eq!(result.dose.len(), case.matrix.nrows());
-//! assert!(result.estimate.gflops > 0.0);
+//! assert!(result.estimate().gflops > 0.0);
 //! ```
+//!
+//! # Serving many plans at once
+//!
+//! ```
+//! use rtdose::engine::{Engine, RequestKind};
+//! use rtdose::gpusim::DeviceSpec;
+//! use rtdose::Csr;
+//!
+//! let m = Csr::from_rows(2, &[vec![(0, 1.0)], vec![(1, 0.5)]]).unwrap();
+//! let mut engine = Engine::builder()
+//!     .device(DeviceSpec::a100())
+//!     .device(DeviceSpec::v100())
+//!     .build()
+//!     .unwrap();
+//! engine.register_plan("demo", &m).unwrap();
+//! let (response, report) = engine.serve(|client| {
+//!     client.call("demo", RequestKind::Dose, vec![1.0, 1.0]).unwrap()
+//! });
+//! assert_eq!(response.output.len(), 2);
+//! assert_eq!(report.completed, 1);
+//! ```
+//!
+//! Or from the CLI: `rtdose serve-demo` runs a mixed liver + prostate
+//! workload against a 2×A100 + 1×V100 pool and prints the JSON report.
 
 pub use rt_core as kernels;
 pub use rt_dose as dose;
+pub use rt_engine as engine;
 pub use rt_f16 as f16;
 pub use rt_gpusim as gpusim;
 pub use rt_optim as optim;
@@ -49,7 +74,8 @@ pub use rt_repro as repro;
 pub use rt_roofline as roofline;
 pub use rt_sparse as sparse;
 
-pub use rt_core::{DoseCalculator, DoseResult};
+pub use rt_core::{DoseCalculator, DoseCalculatorBuilder, DoseResult, RtError};
+pub use rt_engine::{Engine, EngineReport};
 pub use rt_f16::F16;
-pub use rt_gpusim::DeviceSpec;
+pub use rt_gpusim::{DeviceSpec, LaunchReport};
 pub use rt_sparse::Csr;

@@ -64,8 +64,8 @@ fn every_implementation_computes_the_same_dose() {
     close(&csr_dose, "cpu_csr_spmv");
 
     // High-level calculator.
-    let calc = DoseCalculator::new(DeviceSpec::a100(), &m64);
-    close(&calc.compute_dose(&weights).dose, "DoseCalculator");
+    let calc = DoseCalculator::builder(&m64).build().unwrap();
+    close(&calc.compute_dose(&weights).unwrap().dose, "DoseCalculator");
 }
 
 #[test]
@@ -87,7 +87,7 @@ fn optimizer_improves_a_real_plan_on_the_gpu_engine() {
         prescribed: peak * 0.7,
         weight: 1.0,
     }]);
-    let engine = GpuDoseEngine::new(DeviceSpec::a100(), &m);
+    let engine = GpuDoseEngine::new(DeviceSpec::a100(), &m).unwrap();
     let w0 = vec![0.1; m.ncols()];
     let result = optimize(
         &engine,
