@@ -2,19 +2,35 @@
 //! emits machine-readable `BENCH_simspeed.json` so the perf trajectory is
 //! tracked across PRs.
 //!
+//! Two suites:
+//!
+//! * the prostate case (paper workload) timing the warp-per-row vector
+//!   kernel against the recorded pre-batching baseline, and
+//! * a deterministic short-row demo matrix (avg nnz per non-empty row
+//!   ≈ 4.5) timing every sub-warp tile width plus the autotuned pick
+//!   against fixed warp-per-row — the shape the row-adaptive tiles
+//!   exist for.
+//!
 //! Reported per kernel: median wall-clock per launch, simulated non-zeros
-//! per second, simulated L2 sector transactions per second, and the
-//! speedup over the recorded pre-batching pipeline (the scalar
-//! per-sector path this repo shipped before the warp-granular rework) on
-//! the same workload.
+//! per second, simulated L2 sector transactions per second, and (for the
+//! short-row suite) `tile_width`, `lanes_active_frac`, host
+//! `speedup_vs_warp32` and modeled `sim_speedup_vs_warp32`.
+//!
+//! `--quick` runs a trimmed smoke check (warp-per-row vs the autotuned
+//! pick only, no file write) and exits non-zero if the autotuned kernel's
+//! simulated estimate is slower than warp-per-row — the CI gate for the
+//! autotuner.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rt_core::{
-    profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv, GpuCsrMatrix,
-    GpuRsMatrix,
+    profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv,
+    vector_csr_spmv_tiled, GpuCsrMatrix, GpuRsMatrix, KernelChoice, KernelSelect, TILE_WIDTHS,
 };
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
 use rt_gpusim::{timing, DeviceSpec, Gpu, KernelProfile, KernelStats, LaunchReport};
+use rt_sparse::stats::RowStats;
 use rt_sparse::{Csr, RsCompressed};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,6 +47,15 @@ struct Measurement {
     ns_per_iter: f64,
     nnz: u64,
     sectors_per_launch: u64,
+    /// Short-row suite only: the tile width this entry ran at.
+    tile_width: Option<u32>,
+    /// Short-row suite only: fraction of lane slots carrying a stored
+    /// entry at this width ([`RowStats::lanes_active_frac`](rt_sparse::stats::RowStats::lanes_active_frac)).
+    lanes_active_frac: Option<f64>,
+    /// Host wall-clock speedup over the fixed warp-per-row entry.
+    speedup_vs_warp32: Option<f64>,
+    /// Modeled-time speedup over the fixed warp-per-row entry.
+    sim_speedup_vs_warp32: Option<f64>,
     /// Unified per-launch record (counters + modeled time) in the same
     /// shape the serving engine and the calculator emit.
     report: LaunchReport,
@@ -51,15 +76,15 @@ fn time_kernel(
     nnz: u64,
     device: &DeviceSpec,
     profile: &KernelProfile,
+    warmup: usize,
+    samples: usize,
     mut launch: impl FnMut() -> KernelStats,
 ) -> Measurement {
-    const WARMUP: usize = 3;
-    const SAMPLES: usize = 15;
     let mut stats = KernelStats::default();
-    for _ in 0..WARMUP {
+    for _ in 0..warmup {
         stats = launch();
     }
-    let samples: Vec<f64> = (0..SAMPLES)
+    let samples: Vec<f64> = (0..samples)
         .map(|_| {
             let t = Instant::now();
             stats = launch();
@@ -72,16 +97,101 @@ fn time_kernel(
         ns_per_iter: median_ns(samples),
         nnz,
         sectors_per_launch: sectors(&stats),
+        tile_width: None,
+        lanes_active_frac: None,
+        speedup_vs_warp32: None,
+        sim_speedup_vs_warp32: None,
         report: LaunchReport::new(profile.name.clone(), device.name, stats, estimate),
     }
 }
 
-fn render_json(measurements: &[Measurement], workers: usize) -> String {
+/// Deterministic short-row demo matrix: 60k voxel rows over 4096 spots,
+/// ~30% empty, non-empty rows hold 1–8 entries (avg ≈ 4.5 nnz per
+/// non-empty row). Warp-per-row wastes ≥ 24 of 32 lanes on every row
+/// here; this is the shape the sub-warp tiles are for.
+fn short_row_matrix() -> Csr<F16, u32> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let ncols = 4096;
+    let rows: Vec<Vec<(usize, f64)>> = (0..60_000)
+        .map(|_| {
+            if rng.gen_bool(0.3) {
+                return Vec::new();
+            }
+            let len = rng.gen_range(1..=8);
+            let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+            cols.sort_unstable();
+            cols.dedup();
+            cols.into_iter()
+                .map(|c| (c, rng.gen_range(0.0..2.0)))
+                .collect()
+        })
+        .collect();
+    let m: Csr<f64, u32> = Csr::from_rows(ncols, &rows).unwrap();
+    m.convert_values()
+}
+
+/// Times one short-row entry. `classic` dispatches the paper's
+/// warp-per-row kernel (what width 32 resolves to in the calculator);
+/// otherwise the tiled kernel runs at `width`.
+#[allow(clippy::too_many_arguments)]
+fn time_shortrow(
+    name: &'static str,
+    csr: &Csr<F16, u32>,
+    row_stats: &RowStats,
+    width: u32,
+    classic: bool,
+    device: &DeviceSpec,
+    warmup: usize,
+    samples: usize,
+) -> Measurement {
+    let gpu = Gpu::new(device.clone());
+    let m = GpuCsrMatrix::upload(&gpu, csr);
+    let x = gpu.upload(&vec![1.0f64; csr.ncols()]);
+    let y = gpu.alloc_out::<f64>(csr.nrows());
+    let mut meas = time_kernel(
+        name,
+        csr.nnz() as u64,
+        device,
+        &profile_half_double(),
+        warmup,
+        samples,
+        || {
+            if classic {
+                vector_csr_spmv(&gpu, &m, &x, &y, 512)
+            } else {
+                vector_csr_spmv_tiled(&gpu, &m, &x, &y, 512, width)
+            }
+        },
+    );
+    meas.report.tile_width = width;
+    meas.tile_width = Some(width);
+    meas.lanes_active_frac = Some(row_stats.lanes_active_frac(width));
+    meas
+}
+
+fn width_entry_name(w: u32) -> &'static str {
+    match w {
+        2 => "shortrow_tiled_w2",
+        4 => "shortrow_tiled_w4",
+        8 => "shortrow_tiled_w8",
+        16 => "shortrow_tiled_w16",
+        32 => "shortrow_tiled_w32",
+        _ => unreachable!("width {w} is not in TILE_WIDTHS"),
+    }
+}
+
+fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     writeln!(out, "  \"bench\": \"sim_kernels\",").unwrap();
     writeln!(out, "  \"mode\": \"parallel\",").unwrap();
     writeln!(out, "  \"workers\": {workers},").unwrap();
+    writeln!(
+        out,
+        "  \"shortrow_autotune\": {{\"mode\": \"{}\", \"tile_width\": {}, \"avg_nnz_nonempty\": {:.2}}},",
+        auto.mode, auto.tile_width, auto.avg_nnz_nonempty
+    )
+    .unwrap();
     out.push_str("  \"kernels\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let per_sec = 1e9 / m.ns_per_iter;
@@ -111,6 +221,18 @@ fn render_json(measurements: &[Measurement], workers: usize) -> String {
             m.sectors_per_launch as f64 * per_sec
         )
         .unwrap();
+        if let Some(w) = m.tile_width {
+            writeln!(out, "      \"tile_width\": {w},").unwrap();
+        }
+        if let Some(f) = m.lanes_active_frac {
+            writeln!(out, "      \"lanes_active_frac\": {f:.4},").unwrap();
+        }
+        if let Some(s) = m.speedup_vs_warp32 {
+            writeln!(out, "      \"speedup_vs_warp32\": {s:.2},").unwrap();
+        }
+        if let Some(s) = m.sim_speedup_vs_warp32 {
+            writeln!(out, "      \"sim_speedup_vs_warp32\": {s:.2},").unwrap();
+        }
         match baseline {
             Some(ns) => {
                 writeln!(out, "      \"baseline_ns_per_iter\": {ns:.1},").unwrap();
@@ -136,14 +258,64 @@ fn render_json(measurements: &[Measurement], workers: usize) -> String {
     out
 }
 
+/// Trimmed CI gate: warp-per-row vs the autotuned pick on the short-row
+/// demo matrix. Exits 1 if the autotuned kernel's simulated estimate is
+/// slower than fixed warp-per-row (host timing is too noisy to gate on).
+fn quick_smoke() -> ! {
+    let device = DeviceSpec::a100();
+    let csr = short_row_matrix();
+    let row_stats = RowStats::from_csr(&csr);
+    let choice = KernelSelect::MeasuredProbe
+        .choose(&device, &csr, 512)
+        .expect("probe cannot fail on a valid matrix");
+    let warp32 = time_shortrow("shortrow_warp32", &csr, &row_stats, 32, true, &device, 1, 5);
+    let auto = time_shortrow(
+        "shortrow_tiled_auto",
+        &csr,
+        &row_stats,
+        choice.tile_width,
+        choice.tile_width == 32,
+        &device,
+        1,
+        5,
+    );
+    let (w32_s, auto_s) = (warp32.report.estimate.seconds, auto.report.estimate.seconds);
+    println!(
+        "quick: autotuned w{} ({}): {:.3} us modeled vs warp32 {:.3} us ({:.2}x), host {:.2}x",
+        choice.tile_width,
+        choice.mode,
+        auto_s * 1e6,
+        w32_s * 1e6,
+        w32_s / auto_s,
+        warp32.ns_per_iter / auto.ns_per_iter,
+    );
+    if auto_s > w32_s {
+        eprintln!(
+            "FAIL: autotuned tile width {} is modeled slower than warp-per-row",
+            choice.tile_width
+        );
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_smoke();
+    }
+
+    const WARMUP: usize = 3;
+    const SAMPLES: usize = 15;
+    let device = DeviceSpec::a100();
+
+    // Suite 1: the paper's prostate case, warp-per-row vector kernel vs
+    // the reduced-precision baseline pipeline.
     let case = prostate_case(ScaleConfig { shrink: 12.0 }).remove(0);
     let csr: Csr<F16, u32> = case.matrix.convert_values();
     let rs = RsCompressed::from_csr(&csr);
     let weights = vec![1.0f64; csr.ncols()];
     let nnz = csr.nnz() as u64;
 
-    let device = DeviceSpec::a100();
     let vector = {
         let gpu = Gpu::new(device.clone());
         let m = GpuCsrMatrix::upload(&gpu, &csr);
@@ -154,6 +326,8 @@ fn main() {
             nnz,
             &device,
             &profile_half_double(),
+            WARMUP,
+            SAMPLES,
             || vector_csr_spmv(&gpu, &m, &x, &y, 512),
         )
     };
@@ -167,6 +341,8 @@ fn main() {
             nnz,
             &device,
             &profile_baseline(),
+            WARMUP,
+            SAMPLES,
             || {
                 y.clear();
                 rs_baseline_gpu_spmv(&gpu, &m, &x, &y, 128)
@@ -174,10 +350,62 @@ fn main() {
         )
     };
 
+    // Suite 2: the short-row demo matrix across every tile width plus
+    // the autotuned pick, all against fixed warp-per-row.
+    let short = short_row_matrix();
+    let short_stats = RowStats::from_csr(&short);
+    let choice = KernelSelect::MeasuredProbe
+        .choose(&device, &short, 512)
+        .expect("probe cannot fail on a valid matrix");
+
+    let warp32 = time_shortrow(
+        "shortrow_warp32",
+        &short,
+        &short_stats,
+        32,
+        true,
+        &device,
+        WARMUP,
+        SAMPLES,
+    );
+    let mut tiled: Vec<Measurement> = TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            time_shortrow(
+                width_entry_name(w),
+                &short,
+                &short_stats,
+                w,
+                false,
+                &device,
+                WARMUP,
+                SAMPLES,
+            )
+        })
+        .collect();
+    tiled.push(time_shortrow(
+        "shortrow_tiled_auto",
+        &short,
+        &short_stats,
+        choice.tile_width,
+        choice.tile_width == 32,
+        &device,
+        WARMUP,
+        SAMPLES,
+    ));
+    let (w32_ns, w32_s) = (warp32.ns_per_iter, warp32.report.estimate.seconds);
+    for m in &mut tiled {
+        m.speedup_vs_warp32 = Some(w32_ns / m.ns_per_iter);
+        m.sim_speedup_vs_warp32 = Some(w32_s / m.report.estimate.seconds);
+    }
+
+    let mut measurements = vec![vector, baseline, warp32];
+    measurements.extend(tiled);
+
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let json = render_json(&[vector, baseline], workers);
+    let json = render_json(&measurements, workers, &choice);
     print!("{json}");
     let path = "BENCH_simspeed.json";
     match std::fs::write(path, &json) {

@@ -8,11 +8,13 @@
 //! [`DoseCalculator::new`] constructor survives as a deprecated shim.
 
 use crate::error::RtError;
+use crate::tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled};
 use crate::vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, MAX_SPMM_BATCH};
 use crate::{profile_half_double, profile_single};
 use rt_f16::F16;
 use rt_gpusim::{
     DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, KernelStats, LaunchReport, TimeEstimate,
+    TILE_WIDTHS,
 };
 use rt_sparse::Csr;
 
@@ -76,6 +78,7 @@ pub struct DoseCalculatorBuilder<'m> {
     row_scale: Option<f64>,
     transpose: bool,
     profile: PrecisionProfile,
+    tile_width: u32,
 }
 
 impl<'m> DoseCalculatorBuilder<'m> {
@@ -88,6 +91,7 @@ impl<'m> DoseCalculatorBuilder<'m> {
             row_scale: None,
             transpose: false,
             profile: PrecisionProfile::HalfDouble,
+            tile_width: 32,
         }
     }
 
@@ -130,6 +134,15 @@ impl<'m> DoseCalculatorBuilder<'m> {
         self
     }
 
+    /// Cooperative-group tile width for the SpMV kernels (default 32,
+    /// the paper's warp-per-row kernel). Narrower widths dispatch to the
+    /// [sub-warp tiled family](crate::tiled); use
+    /// [`KernelSelect`](crate::KernelSelect) to pick one automatically.
+    pub fn tile_width(mut self, tile_width: u32) -> Self {
+        self.tile_width = tile_width;
+        self
+    }
+
     /// Validates the configuration, converts the matrix to binary16 and
     /// uploads it (plus the transpose if requested) to a fresh simulated
     /// device.
@@ -152,6 +165,9 @@ impl<'m> DoseCalculatorBuilder<'m> {
             if !(rs.is_finite() && rs > 0.0) {
                 return Err(RtError::InvalidScale(rs));
             }
+        }
+        if !TILE_WIDTHS.contains(&self.tile_width) {
+            return Err(RtError::InvalidTileWidth(self.tile_width));
         }
 
         let gpu = Gpu::new(self.device);
@@ -176,6 +192,7 @@ impl<'m> DoseCalculatorBuilder<'m> {
             threads_per_block: tpb,
             scale: self.scale,
             row_scale: self.row_scale,
+            tile_width: self.tile_width,
         })
     }
 }
@@ -201,6 +218,9 @@ pub struct DoseCalculator {
     /// Extrapolation factor for warp/block counts (rows scale, since the
     /// kernel is warp-per-row). Defaults to `scale`.
     row_scale: Option<f64>,
+    /// Cooperative-group tile width: 32 dispatches to the classic
+    /// warp-per-row kernels, narrower widths to the tiled family.
+    tile_width: u32,
 }
 
 impl std::fmt::Debug for DoseCalculator {
@@ -265,6 +285,34 @@ impl DoseCalculator {
         self.transpose.is_some()
     }
 
+    /// The cooperative-group tile width the SpMV kernels run at.
+    #[inline]
+    pub fn tile_width(&self) -> u32 {
+        self.tile_width
+    }
+
+    /// Dispatches one SpMV launch at the configured tile width (32 keeps
+    /// the classic warp-per-row kernel and its exact golden counters).
+    fn spmv(
+        &self,
+        matrix: &GpuCsrMatrix<F16, u32>,
+        x: &DeviceBuffer<f64>,
+        y: &DeviceOutBuffer<f64>,
+    ) -> KernelStats {
+        if self.tile_width == 32 {
+            vector_csr_spmv(&self.gpu, matrix, x, y, self.threads_per_block)
+        } else {
+            vector_csr_spmv_tiled(
+                &self.gpu,
+                matrix,
+                x,
+                y,
+                self.threads_per_block,
+                self.tile_width,
+            )
+        }
+    }
+
     /// Scales counters and builds the launch report for one (possibly
     /// accumulated) launch's stats.
     fn report_for(&self, stats: &KernelStats) -> LaunchReport {
@@ -279,6 +327,7 @@ impl DoseCalculator {
             stats.clone(),
             estimate,
         )
+        .with_tile_width(self.tile_width)
     }
 
     /// Computes `dose = A w` with the Half/double kernel.
@@ -291,13 +340,7 @@ impl DoseCalculator {
             });
         }
         let dx: DeviceBuffer<f64> = self.gpu.upload(weights);
-        let stats = vector_csr_spmv(
-            &self.gpu,
-            &self.matrix,
-            &dx,
-            &self.y,
-            self.threads_per_block,
-        );
+        let stats = self.spmv(&self.matrix, &dx, &self.y);
         Ok(DoseResult {
             dose: self.y.to_vec(),
             report: self.report_for(&stats),
@@ -343,7 +386,7 @@ impl DoseCalculator {
         }
         let dr: DeviceBuffer<f64> = self.gpu.upload(residual);
         let g = self.gpu.alloc_out::<f64>(self.ncols());
-        vector_csr_spmv(&self.gpu, t, &dr, &g, self.threads_per_block);
+        self.spmv(t, &dr, &g);
         Ok(g.to_vec())
     }
 
@@ -385,7 +428,18 @@ impl DoseCalculator {
                 .collect();
             let xr: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
             let yr: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
-            let stats = vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block);
+            let stats = if self.tile_width == 32 {
+                vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block)
+            } else {
+                vector_csr_spmm_tiled(
+                    &self.gpu,
+                    matrix,
+                    &xr,
+                    &yr,
+                    self.threads_per_block,
+                    self.tile_width,
+                )
+            };
             merged.accumulate(&stats);
             outputs.extend(dys.iter().map(|y| y.to_vec()));
         }
@@ -545,8 +599,7 @@ mod tests {
         );
         let short = vec![0.0; 3];
         assert!(matches!(
-            calc.compute_dose_batch(&[&[0.0; 9], &short])
-                .unwrap_err(),
+            calc.compute_dose_batch(&[&[0.0; 9], &short]).unwrap_err(),
             RtError::DimensionMismatch { .. }
         ));
     }
@@ -578,6 +631,48 @@ mod tests {
             DoseCalculator::builder(&empty).build().unwrap_err(),
             RtError::EmptyMatrix { nrows: 0, ncols: 0 }
         );
+    }
+
+    #[test]
+    fn tile_width_validated_and_reported() {
+        let m = random_matrix(60, 80, 12);
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .tile_width(7)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidTileWidth(7)
+        );
+        let calc = DoseCalculator::builder(&m).tile_width(4).build().unwrap();
+        assert_eq!(calc.tile_width(), 4);
+        let r = calc.compute_dose(&[1.0; 12]).unwrap();
+        assert_eq!(r.report.tile_width, 4);
+        assert_eq!(r.report.kernel, "Half/double");
+    }
+
+    #[test]
+    fn tiled_calculator_doses_match_reference_and_batch_is_bitwise() {
+        let m = random_matrix(61, 300, 24);
+        let w: Vec<f64> = (0..24).map(|i| (i as f64 * 0.19).sin().abs()).collect();
+        let m16: Csr<rt_f16::F16, u32> = m.convert_values();
+        let mut want = vec![0.0; 300];
+        m16.spmv_ref(&w, &mut want).unwrap();
+        for &tw in &[2u32, 8, 16] {
+            let calc = DoseCalculator::builder(&m).tile_width(tw).build().unwrap();
+            let single = calc.compute_dose(&w).unwrap().dose;
+            for (g, want) in single.iter().zip(want.iter()) {
+                assert!((g - want).abs() <= 1e-9 * (1.0 + want.abs()), "width {tw}");
+            }
+            // The tiled SpMM batch path preserves the bitwise contract.
+            let batch = calc.compute_dose_batch(&[&w, &w]).unwrap();
+            for out in &batch.outputs {
+                assert_eq!(
+                    out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    single.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "width {tw}"
+                );
+            }
+        }
     }
 
     #[test]

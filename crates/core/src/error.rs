@@ -41,6 +41,8 @@ pub enum RtError {
     InvalidThreadsPerBlock(u32),
     /// A counter extrapolation factor must be finite and positive.
     InvalidScale(f64),
+    /// A cooperative-group tile width outside the supported set.
+    InvalidTileWidth(u32),
     /// The engine has no such registered plan.
     UnknownPlan(String),
     /// A plan with this name is already registered.
@@ -79,6 +81,9 @@ impl fmt::Display for RtError {
             ),
             RtError::InvalidScale(s) => {
                 write!(f, "scale factor must be finite and positive, got {s}")
+            }
+            RtError::InvalidTileWidth(w) => {
+                write!(f, "tile width must be one of [2, 4, 8, 16, 32], got {w}")
             }
             RtError::UnknownPlan(name) => write!(f, "unknown plan: {name}"),
             RtError::DuplicatePlan(name) => write!(f, "plan already registered: {name}"),
@@ -131,6 +136,7 @@ impl RtError {
             RtError::TransposeUnavailable => "transpose_unavailable",
             RtError::InvalidThreadsPerBlock(_) => "invalid_threads_per_block",
             RtError::InvalidScale(_) => "invalid_scale",
+            RtError::InvalidTileWidth(_) => "invalid_tile_width",
             RtError::UnknownPlan(_) => "unknown_plan",
             RtError::DuplicatePlan(_) => "duplicate_plan",
             RtError::EmptyDevicePool => "empty_device_pool",
@@ -198,6 +204,7 @@ mod tests {
             RtError::RequestTooLarge { len: 9, max: 4 }.kind(),
             RtError::EngineShutdown.kind(),
             RtError::InvalidScale(-1.0).kind(),
+            RtError::InvalidTileWidth(7).kind(),
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();
         assert_eq!(set.len(), kinds.len());

@@ -23,7 +23,9 @@ pub mod cpu;
 pub mod error;
 pub mod libs;
 pub mod scalar_csr;
+pub mod select;
 pub mod sell_kernel;
+pub mod tiled;
 pub mod vector_csr;
 
 pub use baseline::{rs_baseline_gpu_spmv, GpuRsMatrix};
@@ -34,8 +36,12 @@ pub use cpu::{cpu_csr_spmv, RsCpu};
 pub use error::RtError;
 pub use libs::{cusparse_csr_spmv, ginkgo_csr_spmv};
 pub use scalar_csr::scalar_csr_spmv;
+pub use select::{heuristic_width, probe_widths, KernelChoice, KernelSelect, TileCandidate};
 pub use sell_kernel::{sell_spmv, GpuSellMatrix};
+pub use tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled, vector_csr_tiled_reference};
 pub use vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, VecScalar, MAX_SPMM_BATCH};
+
+pub use rt_gpusim::TILE_WIDTHS;
 
 use rt_gpusim::{KernelProfile, Precision};
 

@@ -1,0 +1,292 @@
+//! `KernelSelect`: the per-matrix tile-width autotuner.
+//!
+//! Picking the tile width for the [sub-warp tiled kernels](crate::tiled)
+//! is a classic shape-matching problem: narrow tiles cut the per-warp
+//! fixed-overhead term (fewer warps launched) and waste fewer lanes on
+//! short rows, but long rows then issue more, smaller L2 sector
+//! transactions. Two strategies are offered:
+//!
+//! * **Heuristic** (the default): derive the width from
+//!   [`RowStats`] alone — the smallest width
+//!   covering the average non-empty row in one pass, bumped one step
+//!   when the row-length distribution has a long tail (95th percentile
+//!   ≥ 4× the average) so the tail rows don't serialize.
+//! * **MeasuredProbe**: actually launch every candidate width once on a
+//!   throwaway `Sequential` simulator instance and keep the fastest
+//!   modeled time. Deterministic (Sequential counters are exact), more
+//!   expensive, never wrong about the model.
+//!
+//! Both return a [`KernelChoice`] carrying the full candidate table so
+//! serving layers and the `rtdose kernels` CLI can show *why* a width
+//! was picked.
+
+use crate::error::RtError;
+use crate::profile_half_double;
+use crate::tiled::vector_csr_spmv_tiled;
+use crate::vector_csr::{vector_csr_spmv, GpuCsrMatrix};
+use rt_f16::DoseScalar;
+use rt_gpusim::{timing, DeviceSpec, ExecMode, Gpu, TILE_WIDTHS};
+use rt_sparse::stats::RowStats;
+use rt_sparse::{ColIndex, Csr};
+
+/// How a calculator / serving plan picks its SpMV tile width.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum KernelSelect {
+    /// Always use this width (32 = the paper's warp-per-row kernel).
+    Fixed(u32),
+    /// Pick from row statistics (no probe launches). The default.
+    #[default]
+    Heuristic,
+    /// Launch every candidate width once on a throwaway `Sequential`
+    /// simulator and keep the fastest modeled estimate.
+    MeasuredProbe,
+}
+
+/// One probed (or statically scored) candidate width.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TileCandidate {
+    pub tile_width: u32,
+    /// Warps launched at this width (fewer = less fixed overhead).
+    pub warps: u64,
+    /// Total L2 sector transactions (reads + writes) at this width.
+    pub l2_sectors: u64,
+    /// Modeled kernel seconds from the timing model.
+    pub modeled_seconds: f64,
+    /// Fraction of lane slots carrying a stored entry
+    /// ([`RowStats::lanes_active_frac`](rt_sparse::stats::RowStats::lanes_active_frac)).
+    pub lanes_active_frac: f64,
+}
+
+/// The autotuner's decision for one matrix: the width plus the evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelChoice {
+    /// The selected tile width.
+    pub tile_width: u32,
+    /// Which strategy produced it: `"fixed"`, `"heuristic"` or `"probe"`.
+    pub mode: &'static str,
+    /// Average stored entries per non-empty row of the matrix.
+    pub avg_nnz_nonempty: f64,
+    /// The candidate table (empty for `Fixed`; statistics-only for
+    /// `Heuristic`; fully probed for `MeasuredProbe`).
+    pub candidates: Vec<TileCandidate>,
+}
+
+impl KernelSelect {
+    /// Resolves the strategy against a concrete matrix.
+    ///
+    /// `spec` is the device the probe (if any) is modeled on;
+    /// `threads_per_block` matches the launch configuration the chosen
+    /// kernel will run with.
+    pub fn choose<V: DoseScalar, I: ColIndex>(
+        &self,
+        spec: &DeviceSpec,
+        m: &Csr<V, I>,
+        threads_per_block: u32,
+    ) -> Result<KernelChoice, RtError> {
+        let stats = RowStats::from_csr(m);
+        match *self {
+            KernelSelect::Fixed(w) => {
+                if !TILE_WIDTHS.contains(&w) {
+                    return Err(RtError::InvalidTileWidth(w));
+                }
+                Ok(KernelChoice {
+                    tile_width: w,
+                    mode: "fixed",
+                    avg_nnz_nonempty: stats.avg_nnz_nonempty,
+                    candidates: Vec::new(),
+                })
+            }
+            KernelSelect::Heuristic => Ok(KernelChoice {
+                tile_width: heuristic_width(&stats),
+                mode: "heuristic",
+                avg_nnz_nonempty: stats.avg_nnz_nonempty,
+                candidates: Vec::new(),
+            }),
+            KernelSelect::MeasuredProbe => {
+                let candidates = probe_widths(spec, m, threads_per_block);
+                // Fastest modeled time wins; ties break toward the wider
+                // (paper-classic) kernel.
+                let best = candidates
+                    .iter()
+                    .max_by(
+                        |a, b| match b.modeled_seconds.partial_cmp(&a.modeled_seconds) {
+                            Some(core::cmp::Ordering::Equal) | None => {
+                                a.tile_width.cmp(&b.tile_width)
+                            }
+                            Some(ord) => ord,
+                        },
+                    )
+                    .map(|c| c.tile_width)
+                    .unwrap_or(32);
+                Ok(KernelChoice {
+                    tile_width: best,
+                    mode: "probe",
+                    avg_nnz_nonempty: stats.avg_nnz_nonempty,
+                    candidates,
+                })
+            }
+        }
+    }
+}
+
+/// The statistics-only width rule: smallest width covering the average
+/// non-empty row in one pass, bumped once for long-tailed distributions.
+pub fn heuristic_width(stats: &RowStats) -> u32 {
+    let avg = stats.avg_nnz_nonempty;
+    let mut w = 2u32;
+    while (w as f64) < avg && w < 32 {
+        w *= 2;
+    }
+    if (stats.quantile(0.95) as f64) >= 4.0 * avg && w < 32 {
+        w *= 2;
+    }
+    w
+}
+
+/// Launches every candidate width once on a throwaway `Sequential`
+/// simulator (exact, deterministic counters) and returns the scored
+/// table. Width 32 probes the classic [`vector_csr_spmv`] — the kernel
+/// that width actually dispatches to.
+pub fn probe_widths<V: DoseScalar, I: ColIndex>(
+    spec: &DeviceSpec,
+    m: &Csr<V, I>,
+    threads_per_block: u32,
+) -> Vec<TileCandidate> {
+    let row_stats = RowStats::from_csr(m);
+    let profile = profile_half_double();
+    TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            let gpu = Gpu::with_mode(spec.clone(), ExecMode::Sequential);
+            let gm = GpuCsrMatrix::upload(&gpu, m);
+            let x: Vec<f64> = vec![1.0; m.ncols()];
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(m.nrows());
+            let stats = if w == 32 {
+                vector_csr_spmv(&gpu, &gm, &dx, &dy, threads_per_block)
+            } else {
+                vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, threads_per_block, w)
+            };
+            let est = timing::estimate(spec, &profile, &stats);
+            TileCandidate {
+                tile_width: w,
+                warps: stats.warps,
+                l2_sectors: stats.l2_read_hits + stats.l2_read_misses + stats.l2_write_sectors,
+                modeled_seconds: est.seconds,
+                lanes_active_frac: row_stats.lanes_active_frac(w),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rt_f16::F16;
+
+    fn random_csr(nrows: usize, ncols: usize, max_row: usize, seed: u64) -> Csr<F16, u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    return Vec::new();
+                }
+                let len = rng.gen_range(1..=max_row);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        let m: Csr<f64, u32> = Csr::from_rows(ncols, &rows).unwrap();
+        m.convert_values()
+    }
+
+    #[test]
+    fn fixed_validates_width() {
+        let m = random_csr(50, 32, 8, 1);
+        let spec = DeviceSpec::a100();
+        let ok = KernelSelect::Fixed(8).choose(&spec, &m, 512).unwrap();
+        assert_eq!(ok.tile_width, 8);
+        assert_eq!(ok.mode, "fixed");
+        let err = KernelSelect::Fixed(7).choose(&spec, &m, 512).unwrap_err();
+        assert_eq!(err.kind(), "invalid_tile_width");
+    }
+
+    #[test]
+    fn heuristic_tracks_row_length() {
+        let spec = DeviceSpec::a100();
+        // Short rows (<= 8 entries) pick a narrow width...
+        let short = random_csr(500, 256, 8, 2);
+        let ws = KernelSelect::Heuristic.choose(&spec, &short, 512).unwrap();
+        assert!(ws.tile_width <= 8, "short rows got {}", ws.tile_width);
+        // ...long rows pick the full warp.
+        let long = random_csr(300, 4096, 400, 3);
+        let wl = KernelSelect::Heuristic.choose(&spec, &long, 512).unwrap();
+        assert_eq!(wl.tile_width, 32);
+    }
+
+    #[test]
+    fn heuristic_bumps_on_long_tail() {
+        // Mostly length-2 rows plus 10% length-64 outliers: the tail
+        // bump must widen the pick one step beyond the average rule.
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+        for r in 0..200 {
+            if r % 10 == 0 {
+                rows.push((0..64).map(|c| (c, 1.0)).collect());
+            } else {
+                rows.push(vec![(0, 1.0), (1, 1.0)]);
+            }
+        }
+        let m64: Csr<f64, u32> = Csr::from_rows(128, &rows).unwrap();
+        let m: Csr<F16, u32> = m64.convert_values();
+        let stats = RowStats::from_csr(&m);
+        let base = {
+            let avg = stats.avg_nnz_nonempty;
+            let mut w = 2u32;
+            while (w as f64) < avg && w < 32 {
+                w *= 2;
+            }
+            w
+        };
+        assert_eq!(heuristic_width(&stats), base * 2);
+    }
+
+    #[test]
+    fn probe_is_deterministic_and_prefers_narrow_on_short_rows() {
+        let spec = DeviceSpec::a100();
+        // Enough short rows that the warp-overhead term dominates.
+        let m = random_csr(60_000, 4096, 8, 4);
+        let a = KernelSelect::MeasuredProbe.choose(&spec, &m, 512).unwrap();
+        let b = KernelSelect::MeasuredProbe.choose(&spec, &m, 512).unwrap();
+        assert_eq!(a, b, "probe must be deterministic");
+        assert_eq!(a.mode, "probe");
+        assert_eq!(a.candidates.len(), TILE_WIDTHS.len());
+        assert!(a.tile_width < 32, "short rows should pick a narrow width");
+        // The table must actually show fewer warps at the chosen width.
+        let chosen = a
+            .candidates
+            .iter()
+            .find(|c| c.tile_width == a.tile_width)
+            .unwrap();
+        let classic = a.candidates.iter().find(|c| c.tile_width == 32).unwrap();
+        assert!(chosen.warps < classic.warps);
+        assert!(chosen.modeled_seconds <= classic.modeled_seconds);
+    }
+
+    #[test]
+    fn heuristic_and_probe_agree_on_extreme_shapes() {
+        let spec = DeviceSpec::a100();
+        let long = random_csr(3000, 4096, 600, 5);
+        let h = KernelSelect::Heuristic.choose(&spec, &long, 512).unwrap();
+        let p = KernelSelect::MeasuredProbe
+            .choose(&spec, &long, 512)
+            .unwrap();
+        assert_eq!(h.tile_width, 32);
+        assert_eq!(p.tile_width, 32, "long rows must keep the full warp");
+    }
+}

@@ -1,0 +1,414 @@
+//! Sub-warp tiled vector CSR kernels: multiple rows per warp.
+//!
+//! The paper's Listing 1 kernel assigns one full 32-lane warp to every
+//! row, but its own Figure 2 shows dose-deposition rows are mostly
+//! *short* — the average non-empty row is well under 32 entries, so most
+//! lanes compute zeros and the gather is padded. CUDA cooperative groups
+//! support `tiled_partition<W>` for exactly this case: a warp is split
+//! into `32 / W` tiles of `W` lanes, each tile owning one row.
+//!
+//! This module is the simulated counterpart. A width-`W` launch covers
+//! `32 / W` consecutive rows per warp:
+//!
+//! * **fewer warps** — `ceil(nrows * W / 32)` instead of `nrows`, which
+//!   cuts the per-warp fixed overhead term of the timing model (the term
+//!   that dominates short-row matrices);
+//! * **fewer padded lanes** — a row of length `l` costs
+//!   `ceil(l / W) * W` lane slots instead of `ceil(l / 32) * 32`
+//!   ([`RowStats::lanes_active_frac`](rt_sparse::stats::RowStats::lanes_active_frac));
+//! * **the same reproducibility contract** — per width, the per-lane
+//!   accumulation order and the [`reduce_sum_tile`](rt_gpusim::WarpCtx::reduce_sum_tile)
+//!   halving tree are fixed, so every width is bitwise reproducible
+//!   run-to-run and across `ExecMode` / worker counts. Results
+//!   legitimately differ *between* widths (a different tree folds the
+//!   partial sums in a different order); width 32 is bitwise identical
+//!   to the classic [`vector_csr_spmv`](crate::vector_csr_spmv).
+//!
+//! The cost of narrow tiles is memory-side: each tile's span loads touch
+//! at most `W` consecutive elements, so long rows issue more, smaller L2
+//! sector transactions than a full-warp pass would. The
+//! [`KernelSelect`](crate::KernelSelect) autotuner weighs exactly this
+//! trade via the traffic counters.
+
+use crate::vector_csr::{GpuCsrMatrix, VecScalar, MAX_SPMM_BATCH};
+use rt_f16::DoseScalar;
+use rt_gpusim::{DeviceBuffer, DeviceOutBuffer, Gpu, Grid, KernelStats, TILE_WIDTHS, WARP_SIZE};
+use rt_sparse::{ColIndex, Csr};
+
+/// Launches the sub-warp tiled vector CSR kernel: `y = A x` with one
+/// width-`tile_width` cooperative tile per row (`32 / tile_width` rows
+/// per warp).
+///
+/// `tile_width` must be one of [`TILE_WIDTHS`]. Row pointers are loaded
+/// once per *warp* (a single coalesced span covering all its rows) and
+/// the per-row sums are stored with one coalesced span per warp — on
+/// hardware the tiles of a warp execute the same instruction, so their
+/// same-PC accesses coalesce warp-wide.
+pub fn vector_csr_spmv_tiled<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    m: &GpuCsrMatrix<V, I>,
+    x: &DeviceBuffer<X>,
+    y: &DeviceOutBuffer<X>,
+    threads_per_block: u32,
+    tile_width: u32,
+) -> KernelStats {
+    assert!(
+        TILE_WIDTHS.contains(&tile_width),
+        "tile width must be one of {TILE_WIDTHS:?}, got {tile_width}"
+    );
+    assert_eq!(x.len(), m.ncols(), "input vector length mismatch");
+    assert_eq!(y.len(), m.nrows(), "output vector length mismatch");
+    let grid = Grid::tile_per_item(m.nrows(), tile_width, threads_per_block);
+    let nrows = m.nrows();
+    let tw = tile_width as usize;
+
+    gpu.launch_tiled(grid, tile_width, |w| {
+        let base = w.tile_base();
+        if base >= nrows {
+            return;
+        }
+        let rows_here = (w.tiles_per_warp() as usize).min(nrows - base);
+        // One coalesced row-pointer read for the whole warp's rows.
+        let ptrs = w.load_span(m.row_ptr(), base..base + rows_here + 1);
+
+        let mut lanes = [X::default(); WARP_SIZE];
+        let mut idxs = [0usize; WARP_SIZE];
+        let mut xs = [X::default(); WARP_SIZE];
+        let mut sums = [X::default(); WARP_SIZE];
+
+        for t in 0..rows_here {
+            let start = ptrs[t] as usize;
+            let end = ptrs[t + 1] as usize;
+            lanes[..tw].fill(X::default());
+
+            let mut j = start;
+            while j < end {
+                let n = (end - j).min(tw);
+                let cols = w.load_span(m.col_idx(), j..j + n);
+                let vals = w.load_span(m.values(), j..j + n);
+                for k in 0..n {
+                    idxs[k] = cols[k].to_usize();
+                }
+                w.load_gather(x, &idxs[..n], &mut xs);
+                for k in 0..n {
+                    lanes[k] = lanes[k] + X::from_f64(vals[k].to_f64()) * xs[k];
+                }
+                w.add_flops(2 * n as u64);
+                j += n;
+            }
+
+            sums[t] = w.reduce_sum_tile(&mut lanes[..tw]);
+        }
+
+        // One coalesced store of all the warp's row sums.
+        w.store_span(y, base, &sums[..rows_here]);
+    })
+}
+
+/// Multi-vector (SpMM-style) variant of [`vector_csr_spmv_tiled`]:
+/// `ys[v] = A xs[v]` for every `v` in one launch, sharing the matrix
+/// spans across vectors exactly like
+/// [`vector_csr_spmm`](crate::vector_csr_spmm).
+///
+/// Per-vector arithmetic is identical to an unbatched
+/// [`vector_csr_spmv_tiled`] launch at the same width, so batching never
+/// changes a dose (the serving engine relies on this).
+pub fn vector_csr_spmm_tiled<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    m: &GpuCsrMatrix<V, I>,
+    xs: &[&DeviceBuffer<X>],
+    ys: &[&DeviceOutBuffer<X>],
+    threads_per_block: u32,
+    tile_width: u32,
+) -> KernelStats {
+    assert!(
+        TILE_WIDTHS.contains(&tile_width),
+        "tile width must be one of {TILE_WIDTHS:?}, got {tile_width}"
+    );
+    assert!(!xs.is_empty() && xs.len() <= MAX_SPMM_BATCH, "batch size");
+    assert_eq!(xs.len(), ys.len(), "one output per input vector");
+    for x in xs {
+        assert_eq!(x.len(), m.ncols(), "input vector length mismatch");
+    }
+    for y in ys {
+        assert_eq!(y.len(), m.nrows(), "output vector length mismatch");
+    }
+    let k = xs.len();
+    let grid = Grid::tile_per_item(m.nrows(), tile_width, threads_per_block);
+    let nrows = m.nrows();
+    let tw = tile_width as usize;
+
+    gpu.launch_tiled(grid, tile_width, |w| {
+        let base = w.tile_base();
+        if base >= nrows {
+            return;
+        }
+        let rows_here = (w.tiles_per_warp() as usize).min(nrows - base);
+        let ptrs = w.load_span(m.row_ptr(), base..base + rows_here + 1);
+
+        let mut lanes = [[X::default(); WARP_SIZE]; MAX_SPMM_BATCH];
+        let mut idxs = [0usize; WARP_SIZE];
+        let mut gathered = [X::default(); WARP_SIZE];
+        let mut sums = [[X::default(); WARP_SIZE]; MAX_SPMM_BATCH];
+
+        for t in 0..rows_here {
+            let start = ptrs[t] as usize;
+            let end = ptrs[t + 1] as usize;
+            for l in lanes.iter_mut().take(k) {
+                l[..tw].fill(X::default());
+            }
+
+            let mut j = start;
+            while j < end {
+                let n = (end - j).min(tw);
+                let cols = w.load_span(m.col_idx(), j..j + n);
+                let vals = w.load_span(m.values(), j..j + n);
+                for kk in 0..n {
+                    idxs[kk] = cols[kk].to_usize();
+                }
+                for (v, x) in xs.iter().enumerate() {
+                    w.load_gather(x, &idxs[..n], &mut gathered);
+                    for kk in 0..n {
+                        lanes[v][kk] = lanes[v][kk] + X::from_f64(vals[kk].to_f64()) * gathered[kk];
+                    }
+                }
+                w.add_flops(2 * n as u64 * k as u64);
+                j += n;
+            }
+
+            for v in 0..k {
+                sums[v][t] = w.reduce_sum_tile(&mut lanes[v][..tw]);
+            }
+        }
+
+        for (v, y) in ys.iter().enumerate() {
+            w.store_span(y, base, &sums[v][..rows_here]);
+        }
+    })
+}
+
+/// Host-side reference of the exact arithmetic the tiled kernel performs
+/// at `tile_width` — same lane partitioning, same per-tile halving tree —
+/// used by the bitwise-reproducibility tests.
+#[allow(clippy::needless_range_loop)] // mirrors the kernel's lane loop
+pub fn vector_csr_tiled_reference<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    m: &Csr<V, I>,
+    x: &[X],
+    tile_width: u32,
+) -> Vec<X> {
+    assert!(
+        TILE_WIDTHS.contains(&tile_width),
+        "tile width must be one of {TILE_WIDTHS:?}, got {tile_width}"
+    );
+    let tw = tile_width as usize;
+    let mut y = vec![X::default(); m.nrows()];
+    for row in 0..m.nrows() {
+        let (cols, vals) = m.row(row);
+        let mut lanes = vec![X::default(); tw];
+        for (k, (c, v)) in cols.iter().zip(vals.iter()).enumerate() {
+            let lane = k % tw;
+            lanes[lane] = lanes[lane] + X::from_f64(v.to_f64()) * x[c.to_usize()];
+        }
+        let mut offset = tw / 2;
+        while offset > 0 {
+            for i in 0..offset {
+                lanes[i] = lanes[i] + lanes[i + offset];
+            }
+            offset /= 2;
+        }
+        y[row] = lanes[0];
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector_csr::{vector_csr_reference, vector_csr_spmv};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rt_f16::F16;
+    use rt_gpusim::DeviceSpec;
+
+    fn random_csr(nrows: usize, ncols: usize, max_row: usize, seed: u64) -> Csr<f64, u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+            .map(|_| {
+                if rng.gen_bool(0.3) {
+                    return Vec::new();
+                }
+                let len = rng.gen_range(1..=max_row);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        Csr::from_rows(ncols, &rows).unwrap()
+    }
+
+    #[test]
+    fn every_width_matches_tiled_reference_bitwise() {
+        let m64 = random_csr(400, 96, 24, 11);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..96).map(|i| (i as f64 * 0.29).sin() + 1.2).collect();
+        for &w in &TILE_WIDTHS {
+            let gpu = Gpu::new(DeviceSpec::a100());
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(400);
+            let stats = vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 512, w);
+            assert_eq!(stats.flops, 2 * m.nnz() as u64, "width {w}");
+
+            let want = vector_csr_tiled_reference(&m, &x, w);
+            let got = dy.to_vec();
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "width {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn width_32_is_bitwise_identical_to_classic_kernel() {
+        let m64 = random_csr(300, 128, 80, 12);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..128).map(|i| 1.0 / (i + 3) as f64).collect();
+
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&x);
+        let classic = gpu.alloc_out::<f64>(300);
+        let tiled = gpu.alloc_out::<f64>(300);
+        vector_csr_spmv(&gpu, &gm, &dx, &classic, 512);
+        vector_csr_spmv_tiled(&gpu, &gm, &dx, &tiled, 512, 32);
+
+        let bits = |v: Vec<f64>| v.into_iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(classic.to_vec()), bits(tiled.to_vec()));
+        // And the classic reference agrees too.
+        assert_eq!(
+            bits(vector_csr_reference(&m, &x)),
+            bits(vector_csr_tiled_reference(&m, &x, 32))
+        );
+    }
+
+    #[test]
+    fn tolerance_against_host_spmv() {
+        let m64 = random_csr(500, 64, 16, 13);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = (0..64).map(|i| (i as f64 * 0.43).cos() + 1.5).collect();
+        let mut want = vec![0.0; 500];
+        m.spmv_ref(&x, &mut want).unwrap();
+        for &w in &TILE_WIDTHS {
+            let gpu = Gpu::new(DeviceSpec::a100());
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(500);
+            vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 512, w);
+            for (g, want) in dy.to_vec().iter().zip(want.iter()) {
+                assert!(
+                    (g - want).abs() <= 1e-9 * (1.0 + want.abs()),
+                    "width {w}: {g} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_tiles_launch_fewer_warps_on_short_rows() {
+        let m64 = random_csr(2000, 256, 8, 14);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let x: Vec<f64> = vec![1.0; 256];
+
+        let run = |w: u32| {
+            let gpu = Gpu::new(DeviceSpec::a100());
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(2000);
+            vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 512, w)
+        };
+        let narrow = run(4);
+        let wide = run(32);
+        assert!(
+            narrow.warps * 4 <= wide.warps,
+            "narrow {} vs wide {}",
+            narrow.warps,
+            wide.warps
+        );
+    }
+
+    #[test]
+    fn spmm_tiled_matches_spmv_tiled_bitwise_per_vector() {
+        let m64 = random_csr(250, 96, 12, 15);
+        let m: Csr<F16, u32> = m64.convert_values();
+        let vectors: Vec<Vec<f64>> = (0..4)
+            .map(|v| {
+                (0..96)
+                    .map(|i| ((v * 96 + i) as f64 * 0.17).sin())
+                    .collect()
+            })
+            .collect();
+
+        for &w in &[4u32, 16] {
+            let gpu = Gpu::new(DeviceSpec::a100());
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dxs: Vec<_> = vectors.iter().map(|x| gpu.upload(x)).collect();
+            let dys: Vec<_> = (0..4).map(|_| gpu.alloc_out::<f64>(250)).collect();
+            let xr: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
+            let yr: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
+            let stats = vector_csr_spmm_tiled(&gpu, &gm, &xr, &yr, 512, w);
+            assert_eq!(stats.flops, 2 * m.nnz() as u64 * 4);
+
+            for (v, x) in vectors.iter().enumerate() {
+                let gpu1 = Gpu::new(DeviceSpec::a100());
+                let gm1 = GpuCsrMatrix::upload(&gpu1, &m);
+                let dx = gpu1.upload(x);
+                let dy = gpu1.alloc_out::<f64>(250);
+                vector_csr_spmv_tiled(&gpu1, &gm1, &dx, &dy, 512, w);
+                assert_eq!(
+                    dys[v]
+                        .to_vec()
+                        .iter()
+                        .map(|s| s.to_bits())
+                        .collect::<Vec<_>>(),
+                    dy.to_vec().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+                    "width {w} vector {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_rows_store_zero_at_every_width() {
+        let m: Csr<F16, u32> = Csr::from_rows(4, &[vec![], vec![(0, 1.0)], vec![], vec![]])
+            .map(|m: Csr<f64, u32>| m.convert_values())
+            .unwrap();
+        for &w in &TILE_WIDTHS {
+            let gpu = Gpu::new(DeviceSpec::a100());
+            let gm = GpuCsrMatrix::upload(&gpu, &m);
+            let dx = gpu.upload(&[2.0f64; 4]);
+            let dy = gpu.alloc_out::<f64>(4);
+            dy.set(0, 99.0);
+            dy.set(2, 99.0);
+            dy.set(3, 99.0);
+            vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 128, w);
+            assert_eq!(dy.to_vec(), vec![0.0, 2.0, 0.0, 0.0], "width {w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tile width")]
+    fn rejects_invalid_width() {
+        let m: Csr<F16, u32> = Csr::from_rows(2, &[vec![(0, 1.0)]])
+            .map(|m: Csr<f64, u32>| m.convert_values())
+            .unwrap();
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let gm = GpuCsrMatrix::upload(&gpu, &m);
+        let dx = gpu.upload(&[1.0f64; 2]);
+        let dy = gpu.alloc_out::<f64>(1);
+        vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 128, 7);
+    }
+}

@@ -26,11 +26,12 @@
 //! [`BoundedQueue`]: crate::queue::BoundedQueue
 //! [`DoseCalculator::compute_dose_batch`]: rt_core::DoseCalculator::compute_dose_batch
 
-use crate::metrics::{BatchSample, EngineReport, Metrics};
+use crate::metrics::{BatchSample, EngineReport, Metrics, PlanSelection};
 use crate::queue::BoundedQueue;
-use rt_core::{DoseCalculator, RtError, MAX_SPMM_BATCH};
+use rt_core::{DoseCalculator, KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH};
 use rt_gpusim::{DeviceSpec, LaunchReport};
 use rt_sparse::Csr;
+use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -165,6 +166,9 @@ struct Plan {
     /// One calculator per pool device (`calcs[i]` lives on `devices[i]`),
     /// each holding the matrix and its transpose.
     calcs: Vec<DoseCalculator>,
+    /// The autotuner's decision for this plan, made once at
+    /// registration; every calculator runs at `choice.tile_width`.
+    choice: KernelChoice,
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -177,6 +181,7 @@ pub struct EngineBuilder {
     default_deadline_ms: Option<f64>,
     max_request_len: Option<usize>,
     start_paused: bool,
+    kernel_select: KernelSelect,
 }
 
 impl Default for EngineBuilder {
@@ -189,6 +194,7 @@ impl Default for EngineBuilder {
             default_deadline_ms: None,
             max_request_len: None,
             start_paused: false,
+            kernel_select: KernelSelect::Heuristic,
         }
     }
 }
@@ -246,6 +252,14 @@ impl EngineBuilder {
         self
     }
 
+    /// Tile-width selection strategy applied to every plan at
+    /// registration (default [`KernelSelect::Heuristic`]; use
+    /// `KernelSelect::Fixed(32)` to pin the paper's warp-per-row kernel).
+    pub fn kernel_select(mut self, select: KernelSelect) -> Self {
+        self.kernel_select = select;
+        self
+    }
+
     /// Validates the configuration.
     pub fn build(self) -> Result<Engine, RtError> {
         if self.devices.is_empty() {
@@ -255,15 +269,22 @@ impl EngineBuilder {
         if !(32..=1024).contains(&tpb) || !tpb.is_multiple_of(32) {
             return Err(RtError::InvalidThreadsPerBlock(tpb));
         }
+        if let KernelSelect::Fixed(w) = self.kernel_select {
+            if !rt_gpusim::TILE_WIDTHS.contains(&w) {
+                return Err(RtError::InvalidTileWidth(w));
+            }
+        }
         Ok(Engine {
             devices: self.devices,
             plans: Vec::new(),
+            plan_index: HashMap::new(),
             queue_capacity: self.queue_capacity,
             max_batch: self.max_batch,
             threads_per_block: tpb,
             default_deadline_ms: self.default_deadline_ms,
             max_request_len: self.max_request_len,
             start_paused: self.start_paused,
+            kernel_select: self.kernel_select,
         })
     }
 }
@@ -295,12 +316,16 @@ impl EngineBuilder {
 pub struct Engine {
     devices: Vec<DeviceSpec>,
     plans: Vec<Plan>,
+    /// Name → index into `plans`: submits resolve plans by name on the
+    /// hot path, so the lookup must not rescan the plan list.
+    plan_index: HashMap<String, usize>,
     queue_capacity: usize,
     max_batch: usize,
     threads_per_block: u32,
     default_deadline_ms: Option<f64>,
     max_request_len: Option<usize>,
     start_paused: bool,
+    kernel_select: KernelSelect,
 }
 
 impl std::fmt::Debug for Engine {
@@ -338,15 +363,33 @@ impl Engine {
     }
 
     fn plan(&self, name: &str) -> Option<&Plan> {
-        self.plans.iter().find(|p| p.name == name)
+        self.plan_index.get(name).map(|&i| &self.plans[i])
+    }
+
+    /// The tile width a registered plan's kernels run at.
+    pub fn plan_tile_width(&self, name: &str) -> Option<u32> {
+        self.plan(name).map(|p| p.choice.tile_width)
+    }
+
+    /// The full autotuner decision recorded for a registered plan.
+    pub fn plan_choice(&self, name: &str) -> Option<&KernelChoice> {
+        self.plan(name).map(|p| &p.choice)
     }
 
     /// Uploads `matrix` (and its transpose, for gradients) to every
     /// device in the pool under the plan name `name`.
+    ///
+    /// Registration is when the engine autotunes: the configured
+    /// [`KernelSelect`] strategy picks the plan's tile width once (from
+    /// row statistics, or by probing candidate widths on the first pool
+    /// device), and every per-device calculator is built to run at it.
     pub fn register_plan(&mut self, name: &str, matrix: &Csr<f64, u32>) -> Result<(), RtError> {
         if self.plan(name).is_some() {
             return Err(RtError::DuplicatePlan(name.to_string()));
         }
+        let choice = self
+            .kernel_select
+            .choose(&self.devices[0], matrix, self.threads_per_block)?;
         let calcs = self
             .devices
             .iter()
@@ -354,15 +397,18 @@ impl Engine {
                 DoseCalculator::builder(matrix)
                     .device(d.clone())
                     .threads_per_block(self.threads_per_block)
+                    .tile_width(choice.tile_width)
                     .with_transpose()
                     .build()
             })
             .collect::<Result<Vec<_>, _>>()?;
+        self.plan_index.insert(name.to_string(), self.plans.len());
         self.plans.push(Plan {
             name: name.to_string(),
             nrows: matrix.nrows(),
             ncols: matrix.ncols(),
             calcs,
+            choice,
         });
         Ok(())
     }
@@ -407,9 +453,19 @@ impl Engine {
             state.gate.open();
             r
         });
-        let report = state
+        let mut report = state
             .metrics
             .report(self.queue_capacity, state.queue.max_depth());
+        report.plans = self
+            .plans
+            .iter()
+            .map(|p| PlanSelection {
+                name: p.name.clone(),
+                tile_width: p.choice.tile_width,
+                mode: p.choice.mode.to_string(),
+                avg_nnz_nonempty: p.choice.avg_nnz_nonempty,
+            })
+            .collect();
         (out, report)
     }
 
@@ -521,13 +577,12 @@ impl EngineClient<'_> {
         payload: Vec<f64>,
         budget_ms: Option<f64>,
     ) -> Result<EngineRequest, RtError> {
-        let (idx, p) = self
+        let idx = *self
             .engine
-            .plans
-            .iter()
-            .enumerate()
-            .find(|(_, p)| p.name == plan)
+            .plan_index
+            .get(plan)
             .ok_or_else(|| RtError::UnknownPlan(plan.to_string()))?;
+        let p = &self.engine.plans[idx];
         if let Some(max) = self.engine.max_request_len {
             if payload.len() > max {
                 return Err(RtError::RequestTooLarge {

@@ -22,6 +22,19 @@ pub struct DeviceReport {
     pub modeled_seconds: f64,
 }
 
+/// One registered plan's autotuned kernel selection, carried in the
+/// serve report so operators can see which tile width each plan runs at.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanSelection {
+    pub name: String,
+    /// Cooperative-group tile width the plan's kernels run at.
+    pub tile_width: u32,
+    /// Selection strategy that picked it ("fixed", "heuristic", "probe").
+    pub mode: String,
+    /// Average stored entries per non-empty row of the plan's matrix.
+    pub avg_nnz_nonempty: f64,
+}
+
 /// Snapshot of one [`Engine::serve`] session, exportable as JSON.
 ///
 /// [`Engine::serve`]: crate::Engine::serve
@@ -59,6 +72,9 @@ pub struct EngineReport {
     pub modeled_gpu_seconds: f64,
     /// Per-device breakdown, in pool order.
     pub devices: Vec<DeviceReport>,
+    /// Per-plan kernel selection, in registration order (attached by the
+    /// engine after the metrics snapshot).
+    pub plans: Vec<PlanSelection>,
 }
 
 impl EngineReport {
@@ -129,6 +145,21 @@ impl EngineReport {
             ));
         }
         if !self.devices.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"plans\": [");
+        for (i, p) in self.plans.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"tile_width\": {}, \"mode\": {}, \"avg_nnz_nonempty\": {:.2}}}",
+                json_string(&p.name),
+                p.tile_width,
+                json_string(&p.mode),
+                p.avg_nnz_nonempty
+            ));
+        }
+        if !self.plans.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("]\n}");
@@ -239,6 +270,7 @@ impl Metrics {
             latency_ms_max: g.latency_ms_max,
             modeled_gpu_seconds: g.devices.iter().map(|d| d.modeled_seconds).sum(),
             devices: g.devices.clone(),
+            plans: Vec::new(),
         }
     }
 }
@@ -301,9 +333,26 @@ mod tests {
             "\"modeled_gpu_seconds\"",
             "\"devices\"",
             "\"A100\"",
+            "\"plans\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn plan_selections_render_in_json() {
+        let m = Metrics::new(&["A100"]);
+        let mut r = m.report(4, 0);
+        r.plans.push(PlanSelection {
+            name: "prostate".into(),
+            tile_width: 4,
+            mode: "heuristic".into(),
+            avg_nnz_nonempty: 4.5,
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"prostate\""));
+        assert!(j.contains("\"tile_width\": 4"));
+        assert!(j.contains("\"heuristic\""));
     }
 }

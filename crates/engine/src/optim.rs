@@ -96,7 +96,10 @@ mod tests {
             .unwrap();
         e.register_plan("p", &m).unwrap();
 
+        // The engine may have autotuned the plan off warp-per-row; the
+        // direct calculator must run at the same width to match bitwise.
         let direct = rt_core::DoseCalculator::builder(&m)
+            .tile_width(e.plan_tile_width("p").unwrap())
             .with_transpose()
             .build()
             .unwrap();

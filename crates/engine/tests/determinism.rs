@@ -164,6 +164,60 @@ fn doses_identical_across_pool_sizes_and_interleavings() {
 }
 
 #[test]
+fn two_plans_on_one_pool_run_different_tile_widths_deterministically() {
+    // Long-row liver keeps the paper's warp-per-row kernel; short-row
+    // prostate autotunes to a sub-warp tile. Both must stay bitwise
+    // stable across pool sizes while running *different* widths on the
+    // same worker pool.
+    let liver = random_matrix(5, 900, 60, 40);
+    let prostate = random_matrix(6, 700, 80, 8);
+
+    let mut engine = Engine::builder()
+        .device(DeviceSpec::a100())
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    engine.register_plan("prostate", &prostate).unwrap();
+    let liver_w = engine.plan_tile_width("liver").unwrap();
+    let prostate_w = engine.plan_tile_width("prostate").unwrap();
+    assert_eq!(liver_w, 32, "long rows must keep the full warp");
+    assert!(
+        prostate_w < liver_w,
+        "short rows must autotune narrower (got {prostate_w})"
+    );
+
+    let n = 48;
+    let baseline = run_pool(
+        vec![DeviceSpec::a100()],
+        &(0..n).collect::<Vec<_>>(),
+        1,
+        &liver,
+        &prostate,
+    );
+    let four = run_pool(
+        vec![DeviceSpec::a100(); 4],
+        &shuffled(31, n),
+        4,
+        &liver,
+        &prostate,
+    );
+    assert_eq!(
+        baseline, four,
+        "mixed-width plans diverged across pool sizes"
+    );
+
+    // And the serve report carries the selection for both plans.
+    let (_, report) = engine.serve(|c| {
+        c.call("prostate", RequestKind::Dose, vec![0.5; prostate.ncols()])
+            .unwrap()
+    });
+    let by_name = |n: &str| report.plans.iter().find(|p| p.name == n).unwrap();
+    assert_eq!(by_name("liver").tile_width, 32);
+    assert_eq!(by_name("prostate").tile_width, prostate_w);
+    assert_eq!(by_name("prostate").mode, "heuristic");
+}
+
+#[test]
 fn batched_and_unbatched_serving_agree() {
     let liver = random_matrix(3, 500, 40, 30);
     let prostate = random_matrix(4, 400, 50, 6);

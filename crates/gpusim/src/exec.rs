@@ -25,6 +25,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Lanes per warp on every modeled device.
 pub const WARP_SIZE: usize = 32;
 
+/// Cooperative-groups tile widths the executor supports
+/// (`tiled_partition<w>` with `w` a power of two dividing the warp).
+pub const TILE_WIDTHS: [u32; 5] = [2, 4, 8, 16, 32];
+
 /// A launch grid: number of thread blocks and threads per block.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Grid {
@@ -58,6 +62,19 @@ impl Grid {
     /// One *thread* per item (scalar kernels): each warp covers 32 items.
     pub fn thread_per_item(items: usize, threads_per_block: u32) -> Self {
         let blocks = (items as u64).div_ceil(threads_per_block as u64).max(1);
+        Grid::new(blocks, threads_per_block)
+    }
+
+    /// One sub-warp tile of `tile_width` lanes per item: `tile_width *
+    /// items` total threads, so each warp covers `32 / tile_width` items.
+    /// With `tile_width == 32` this is exactly [`Grid::warp_per_item`].
+    pub fn tile_per_item(items: usize, tile_width: u32, threads_per_block: u32) -> Self {
+        assert!(
+            TILE_WIDTHS.contains(&tile_width),
+            "tile width must be one of {TILE_WIDTHS:?}, got {tile_width}"
+        );
+        let total_threads = items as u64 * tile_width as u64;
+        let blocks = total_threads.div_ceil(threads_per_block as u64).max(1);
         Grid::new(blocks, threads_per_block)
     }
 
@@ -187,6 +204,25 @@ impl Gpu {
     where
         F: Fn(&mut WarpCtx) + Sync,
     {
+        self.launch_tiled(grid, WARP_SIZE as u32, kernel)
+    }
+
+    /// Like [`Gpu::launch`], with each warp partitioned into cooperative
+    /// sub-warp tiles of `tile_width` lanes (`tiled_partition<w>`). The
+    /// kernel closure still runs once per *warp* — it iterates its warp's
+    /// [`WarpCtx::tiles_per_warp`] tiles itself, which lets row-pointer
+    /// loads and result stores coalesce warp-wide exactly as they do on
+    /// hardware (same PC across tiles), while per-tile gathers are issued
+    /// with at most `tile_width` lanes and [`WarpCtx::reduce_sum_tile`]
+    /// folds `tile_width` partials in the fixed tree order.
+    pub fn launch_tiled<F>(&self, grid: Grid, tile_width: u32, kernel: F) -> KernelStats
+    where
+        F: Fn(&mut WarpCtx) + Sync,
+    {
+        assert!(
+            TILE_WIDTHS.contains(&tile_width),
+            "tile width must be one of {TILE_WIDTHS:?}, got {tile_width}"
+        );
         let workers = match self.mode {
             ExecMode::Sequential => 1,
             ExecMode::Parallel => parallel_workers(),
@@ -209,6 +245,7 @@ impl Gpu {
                                         as usize,
                                     block_id: b,
                                     warp_in_block: w,
+                                    tile_width,
                                     grid,
                                     mem: &self.mem,
                                     counters: &counters,
@@ -247,6 +284,7 @@ pub struct WarpCtx<'a> {
     warp_id: usize,
     block_id: u64,
     warp_in_block: u32,
+    tile_width: u32,
     grid: Grid,
     mem: &'a MemSystem,
     counters: &'a LocalCounters,
@@ -267,6 +305,25 @@ impl WarpCtx<'_> {
     #[inline]
     pub fn warp_in_block(&self) -> u32 {
         self.warp_in_block
+    }
+
+    /// Lanes per cooperative tile (32 for a plain [`Gpu::launch`]).
+    #[inline]
+    pub fn tile_width(&self) -> u32 {
+        self.tile_width
+    }
+
+    /// Sub-warp tiles in this warp (`32 / tile_width`).
+    #[inline]
+    pub fn tiles_per_warp(&self) -> u32 {
+        WARP_SIZE as u32 / self.tile_width
+    }
+
+    /// Global index of this warp's first tile (item index under
+    /// [`Grid::tile_per_item`]): `warp_id * tiles_per_warp`.
+    #[inline]
+    pub fn tile_base(&self) -> usize {
+        self.warp_id * self.tiles_per_warp() as usize
     }
 
     #[inline]
@@ -371,6 +428,31 @@ impl WarpCtx<'_> {
         T: Copy + core::ops::Add<Output = T>,
     {
         let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            for i in 0..offset {
+                lanes[i] = lanes[i] + lanes[i + offset];
+            }
+            offset /= 2;
+        }
+        lanes[0]
+    }
+
+    /// Tile-wide sum over this context's [`WarpCtx::tile_width`] lanes,
+    /// with the same fixed shuffle-down tree as [`WarpCtx::reduce_sum`]
+    /// truncated to `log2(tile_width)` levels (the cooperative-groups
+    /// `reduce` over a `tiled_partition<w>`). `lanes.len()` must equal
+    /// the tile width; at width 32 this is bitwise identical to
+    /// [`WarpCtx::reduce_sum`].
+    pub fn reduce_sum_tile<T>(&self, lanes: &mut [T]) -> T
+    where
+        T: Copy + core::ops::Add<Output = T>,
+    {
+        assert_eq!(
+            lanes.len(),
+            self.tile_width as usize,
+            "reduce_sum_tile expects one slot per tile lane"
+        );
+        let mut offset = lanes.len() / 2;
         while offset > 0 {
             for i in 0..offset {
                 lanes[i] = lanes[i] + lanes[i + offset];
@@ -524,6 +606,80 @@ mod tests {
         }
         // 64 f64 stores = 512 bytes = 16 sectors, one transaction each.
         assert_eq!(stats.l2_write_sectors, 16);
+    }
+
+    #[test]
+    fn tile_grid_geometry() {
+        // 1000 items at width 4 = 4000 threads; warps cover 8 items each.
+        let g = Grid::tile_per_item(1000, 4, 512);
+        assert_eq!(g.total_threads(), g.blocks * 512);
+        assert!(g.total_threads() >= 4000);
+        // Width 32 degenerates to warp_per_item.
+        assert_eq!(
+            Grid::tile_per_item(1000, 32, 512),
+            Grid::warp_per_item(1000, 512)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "tile width")]
+    fn tiled_launch_rejects_bad_width() {
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let _ = gpu.launch_tiled(Grid::new(1, 32), 3, |_| {});
+    }
+
+    #[test]
+    fn tiled_launch_covers_every_tile_once() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Parallel);
+        let items = 1000usize;
+        for &w in &TILE_WIDTHS {
+            let grid = Grid::tile_per_item(items, w, 256);
+            let out = gpu.alloc_out::<f64>(items);
+            let stats = gpu.launch_tiled(grid, w, |ctx| {
+                assert_eq!(ctx.tile_width(), w);
+                assert_eq!(ctx.tiles_per_warp(), 32 / w);
+                let base = ctx.tile_base();
+                for t in 0..ctx.tiles_per_warp() as usize {
+                    if base + t < items {
+                        ctx.store_scalar(&out, base + t, (base + t) as f64);
+                    }
+                }
+            });
+            // Fewer warps at narrower widths: ceil(items * w / 32) of them
+            // carry items (grid rounding adds idle warps, never removes).
+            assert!(stats.warps >= (items as u64 * w as u64).div_ceil(32));
+            for i in 0..items {
+                assert_eq!(out.get(i), i as f64, "width {w} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_tile_matches_full_reduce_at_width_32() {
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let out = gpu.alloc_out::<f64>(2);
+        gpu.launch_tiled(Grid::new(1, 32), 32, |ctx| {
+            let vals: Vec<f64> = (0..32).map(|i| ((i * 37) as f64 * 0.013).sin()).collect();
+            let mut a = [0.0f64; WARP_SIZE];
+            a.copy_from_slice(&vals);
+            let mut b = a;
+            ctx.store_scalar(&out, 0, ctx.reduce_sum(&mut a));
+            ctx.store_scalar(&out, 1, ctx.reduce_sum_tile(&mut b));
+        });
+        assert_eq!(out.get(0).to_bits(), out.get(1).to_bits());
+    }
+
+    #[test]
+    fn reduce_sum_tile_uses_fixed_tree_per_width() {
+        // At width 4, lanes [a,b,c,d] must fold as (a+c) + (b+d).
+        let gpu = Gpu::new(DeviceSpec::a100());
+        let out = gpu.alloc_out::<f64>(1);
+        let (a, b, c, d) = (0.1f64, 0.2, 0.3, 0.4);
+        gpu.launch_tiled(Grid::new(1, 32), 4, |ctx| {
+            let mut lanes = [a, b, c, d];
+            ctx.store_scalar(&out, 0, ctx.reduce_sum_tile(&mut lanes));
+        });
+        assert_eq!(out.get(0).to_bits(), ((a + c) + (b + d)).to_bits());
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub struct LaunchReport {
     pub kernel: String,
     /// Device the launch was modeled on ("A100", ...).
     pub device: String,
+    /// Cooperative-group tile width the kernel ran at (32 = classic
+    /// warp-per-row; narrower widths come from the sub-warp tiled family).
+    pub tile_width: u32,
     /// Merged traffic counters of the launch.
     pub stats: KernelStats,
     /// Modeled execution time derived from `stats`.
@@ -42,10 +45,17 @@ impl LaunchReport {
         LaunchReport {
             kernel: kernel.into(),
             device: device.into(),
+            tile_width: 32,
             stats,
             estimate,
             buffers: Vec::new(),
         }
+    }
+
+    /// Records the cooperative-group tile width the launch ran at.
+    pub fn with_tile_width(mut self, tile_width: u32) -> Self {
+        self.tile_width = tile_width;
+        self
     }
 
     /// Attaches a per-buffer traffic decomposition.
@@ -74,6 +84,7 @@ impl LaunchReport {
             "{pad}  \"device\": {},\n",
             json_string(&self.device)
         ));
+        out.push_str(&format!("{pad}  \"tile_width\": {},\n", self.tile_width));
         out.push_str(&format!("{pad}  \"stats\": {{\n"));
         let s = &self.stats;
         out.push_str(&format!("{pad}    \"flops\": {},\n", s.flops));
@@ -215,6 +226,7 @@ mod tests {
         for key in [
             "\"kernel\"",
             "\"device\"",
+            "\"tile_width\"",
             "\"stats\"",
             "\"estimate\"",
             "\"buffers\"",
@@ -227,6 +239,9 @@ mod tests {
             assert!(j.contains(key), "missing {key} in {j}");
         }
         assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"tile_width\": 32"));
+        let narrow = sample().with_tile_width(4).to_json();
+        assert!(narrow.contains("\"tile_width\": 4"));
     }
 
     #[test]

@@ -109,6 +109,29 @@ impl RowStats {
             .collect()
     }
 
+    /// Total lane slots a width-`width` cooperative tile spends covering
+    /// the non-empty rows: each row of length `l` occupies
+    /// `ceil(l / width) * width` slots (the last pass is padded).
+    pub fn lane_slots(&self, width: u32) -> u64 {
+        assert!(width > 0, "tile width must be positive");
+        let w = width as u64;
+        self.sorted_nonempty
+            .iter()
+            .map(|&l| (l as u64).div_ceil(w) * w)
+            .sum()
+    }
+
+    /// Fraction of lane slots that carry a stored entry when rows are
+    /// processed by width-`width` tiles — 1.0 means no padded lanes.
+    pub fn lanes_active_frac(&self, width: u32) -> f64 {
+        let slots = self.lane_slots(width);
+        if slots == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / slots as f64
+        }
+    }
+
     /// q-th quantile (0..=1) of non-empty row lengths.
     pub fn quantile(&self, q: f64) -> usize {
         if self.sorted_nonempty.is_empty() {
@@ -200,6 +223,21 @@ mod tests {
         assert_eq!(s.quantile(0.0), 2);
         assert_eq!(s.quantile(1.0), 100);
         assert_eq!(s.quantile(0.5), 40);
+    }
+
+    #[test]
+    fn lane_occupancy() {
+        let s = RowStats::from_csr(&skewed());
+        // Rows 2, 40, 100 at width 32: 32 + 64 + 128 = 224 slots.
+        assert_eq!(s.lane_slots(32), 224);
+        assert!((s.lanes_active_frac(32) - 142.0 / 224.0).abs() < 1e-12);
+        // Width 2: 2 + 40 + 100 = 142 slots, fully active.
+        assert_eq!(s.lane_slots(2), 142);
+        assert_eq!(s.lanes_active_frac(2), 1.0);
+        // Narrower tiles never waste more lanes than wider ones.
+        for pair in [2u32, 4, 8, 16, 32].windows(2) {
+            assert!(s.lanes_active_frac(pair[0]) >= s.lanes_active_frac(pair[1]));
+        }
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! rtdose info
 //! rtdose generate --case prostate --beam 0 --shrink 8 --out beam.rtdm
 //! rtdose stats    --matrix beam.rtdm
-//! rtdose spmv     --matrix beam.rtdm --device a100 --kernel half-double --tpb 512
+//! rtdose spmv     --matrix beam.rtdm --device a100 --kernel half-double --tpb 512 --tile auto
+//! rtdose kernels  beam.rtdm
 //! rtdose optimize --case prostate --shrink 16 --iters 30
-//! rtdose serve-demo --requests 120 --shrink 24
+//! rtdose serve-demo --requests 120 --shrink 24 --tile auto
 //! ```
 
 use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
@@ -18,8 +19,8 @@ use rtdose::engine::{Engine, RequestKind};
 use rtdose::f16::F16;
 use rtdose::gpusim::{DeviceSpec, Gpu};
 use rtdose::kernels::{
-    profile_baseline, profile_half_double, profile_single, rs_baseline_gpu_spmv, vector_csr_spmv,
-    GpuCsrMatrix, GpuRsMatrix,
+    heuristic_width, profile_baseline, profile_half_double, profile_single, rs_baseline_gpu_spmv,
+    vector_csr_spmv, vector_csr_spmv_tiled, GpuCsrMatrix, GpuRsMatrix, KernelSelect, TILE_WIDTHS,
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::stats::{MatrixSummary, RowStats};
@@ -37,8 +38,11 @@ fn usage() -> ! {
            rtdose stats    --matrix FILE\n\
            rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
                            [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
+                           [--tile auto|2|4|8|16|32]\n\
+           rtdose kernels  FILE [--device a100|v100|p100] [--tpb N]\n\
            rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
            rtdose serve-demo [--requests N] [--shrink S] [--submitters N]\n\
+                           [--tile auto|2|4|8|16|32]\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -63,6 +67,21 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         }
     }
     flags
+}
+
+/// `--tile`: `None` means auto (let the autotuner pick), `Some(w)` pins
+/// a validated width.
+fn parse_tile(flags: &HashMap<String, String>) -> Option<u32> {
+    match flags.get("tile").map(String::as_str) {
+        None | Some("auto") => None,
+        Some(s) => match s.parse::<u32>() {
+            Ok(w) if TILE_WIDTHS.contains(&w) => Some(w),
+            _ => {
+                eprintln!("--tile must be auto, 2, 4, 8, 16 or 32 (got {s})");
+                usage();
+            }
+        },
+    }
 }
 
 fn device(name: &str) -> DeviceSpec {
@@ -201,6 +220,18 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         .get("kernel")
         .map(String::as_str)
         .unwrap_or("half-double");
+    // Resolve the tile width for the vector kernels: a pinned --tile
+    // value, or the statistics heuristic on auto (the same rule serving
+    // plans default to). The baseline kernel has no tiled variant.
+    let (tile, tile_mode) = match parse_tile(&flags) {
+        Some(w) => (w, "fixed"),
+        None => {
+            let choice = KernelSelect::Heuristic
+                .choose(&dev, &m, tpb)
+                .expect("heuristic selection cannot fail");
+            (choice.tile_width, "auto/heuristic")
+        }
+    };
 
     let weights = vec![1.0f64; m.ncols()];
     let gpu = Gpu::new(dev.clone());
@@ -213,10 +244,17 @@ fn cmd_spmv(flags: HashMap<String, String>) {
             let gm = GpuCsrMatrix::upload(&gpu, &m);
             let x = gpu.upload(&weights);
             let y = gpu.alloc_out::<f64>(m.nrows());
-            let mut s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            let run = || {
+                if tile == 32 {
+                    vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
+                } else {
+                    vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+                }
+            };
+            let mut s = run();
             for _ in 1..repeat {
                 gpu.reset_cache();
-                s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+                s = run();
             }
             (s, profile_half_double())
         }
@@ -226,10 +264,17 @@ fn cmd_spmv(flags: HashMap<String, String>) {
             let w32: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
             let x = gpu.upload(&w32);
             let y = gpu.alloc_out::<f32>(m.nrows());
-            let mut s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+            let run = || {
+                if tile == 32 {
+                    vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
+                } else {
+                    vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+                }
+            };
+            let mut s = run();
             for _ in 1..repeat {
                 gpu.reset_cache();
-                s = vector_csr_spmv(&gpu, &gm, &x, &y, tpb);
+                s = run();
             }
             (s, profile_single())
         }
@@ -259,6 +304,11 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         tpb,
         t0.elapsed()
     );
+    if kernel != "baseline" {
+        println!("  tile width           : {tile} ({tile_mode})");
+    } else if flags.contains_key("tile") {
+        println!("  tile width           : ignored (baseline kernel has no tiled variant)");
+    }
     println!("  flops                : {}", stats.flops);
     println!(
         "  DRAM read / write    : {} / {} bytes",
@@ -280,6 +330,72 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         est.dram_bw_gbps,
         est.frac_peak_bw * 100.0,
         dev.name
+    );
+}
+
+/// Prints the autotuner's full decision table for one snapshot: every
+/// candidate width probed on a throwaway `Sequential` simulator, plus
+/// what the statistics heuristic and the measured probe each pick.
+fn cmd_kernels(args: &[String]) {
+    // Accept the snapshot either positionally (`rtdose kernels beam.rtdm`)
+    // or as --matrix FILE like the other subcommands.
+    let (path, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.clone()), &args[1..]),
+        _ => (None, args),
+    };
+    let mut flags = parse_flags(rest);
+    if let Some(p) = path {
+        flags.insert("matrix".to_string(), p);
+    }
+    let m = load_matrix(&flags);
+    let dev = device(flags.get("device").map(String::as_str).unwrap_or("a100"));
+    let tpb: u32 = flags
+        .get("tpb")
+        .map(|s| s.parse().expect("--tpb"))
+        .unwrap_or(512);
+
+    let stats = RowStats::from_csr(&m);
+    println!(
+        "{} voxels x {} spots, {} non-zeros on {} ({} threads/block)",
+        m.nrows(),
+        m.ncols(),
+        m.nnz(),
+        dev.name,
+        tpb
+    );
+    println!(
+        "avg nnz per non-empty row {:.1}, 95th percentile {}, {:.1}% empty rows\n",
+        stats.avg_nnz_nonempty,
+        stats.quantile(0.95),
+        stats.empty_fraction() * 100.0
+    );
+
+    let choice = KernelSelect::MeasuredProbe
+        .choose(&dev, &m, tpb)
+        .expect("probe cannot fail on a loaded snapshot");
+    let heuristic = heuristic_width(&stats);
+    println!("  width      warps   L2 sectors   modeled us   lanes active");
+    for c in &choice.candidates {
+        let marks = match (c.tile_width == choice.tile_width, c.tile_width == heuristic) {
+            (true, true) => "  <- probe + heuristic pick",
+            (true, false) => "  <- probe pick",
+            (false, true) => "  <- heuristic pick",
+            (false, false) => "",
+        };
+        println!(
+            "  {:>5} {:>10} {:>12} {:>12.3} {:>13.1}%{}",
+            c.tile_width,
+            c.warps,
+            c.l2_sectors,
+            c.modeled_seconds * 1e6,
+            c.lanes_active_frac * 100.0,
+            marks
+        );
+    }
+    println!(
+        "\nheuristic (stats only) picks w{heuristic}; measured probe picks w{} — \
+         serving plans default to the heuristic",
+        choice.tile_width
     );
 }
 
@@ -362,6 +478,12 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         .map(|s| s.parse().expect("--submitters"))
         .unwrap_or(4)
         .max(1);
+    // --tile auto (the default) lets every plan autotune its own width
+    // at registration; a pinned width applies to all plans.
+    let select = match parse_tile(&flags) {
+        Some(w) => KernelSelect::Fixed(w),
+        None => KernelSelect::Heuristic,
+    };
 
     println!("generating plans (shrink {shrink}) ...");
     let scale = ScaleConfig {
@@ -375,6 +497,7 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         .device(DeviceSpec::a100())
         .device(DeviceSpec::v100())
         .queue_capacity(32)
+        .kernel_select(select)
         .build()
         .unwrap_or_else(|e| {
             eprintln!("cannot build engine: {e}");
@@ -386,11 +509,12 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
             std::process::exit(1);
         });
         println!(
-            "  registered {:<8} {} voxels x {} spots, {} non-zeros",
+            "  registered {:<8} {} voxels x {} spots, {} non-zeros, tile width {}",
             name,
             m.nrows(),
             m.ncols(),
-            m.nnz()
+            m.nnz(),
+            engine.plan_tile_width(name).unwrap()
         );
     }
     println!(
@@ -451,6 +575,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(parse_flags(&args[1..])),
         "stats" => cmd_stats(parse_flags(&args[1..])),
         "spmv" => cmd_spmv(parse_flags(&args[1..])),
+        "kernels" => cmd_kernels(&args[1..]),
         "optimize" => cmd_optimize(parse_flags(&args[1..])),
         "serve-demo" => cmd_serve_demo(parse_flags(&args[1..])),
         "--help" | "-h" | "help" => usage(),
