@@ -2,37 +2,54 @@
 //! emits machine-readable `BENCH_simspeed.json` so the perf trajectory is
 //! tracked across PRs.
 //!
-//! Two suites:
+//! Three suites:
 //!
 //! * the prostate case (paper workload) timing the warp-per-row vector
-//!   kernel against the recorded pre-batching baseline, and
+//!   kernel against the recorded pre-batching baseline,
 //! * a deterministic short-row demo matrix (avg nnz per non-empty row
 //!   ≈ 4.5) timing every sub-warp tile width plus the autotuned pick
 //!   against fixed warp-per-row — the shape the row-adaptive tiles
-//!   exist for.
+//!   exist for, and
+//! * a deterministic "liver beam 1" serving shape (85% empty rows, a
+//!   short-row shell plus a dense tail) timing every fixed width, the
+//!   whole-matrix autotuned pick, and the bucketed row-partition
+//!   dispatch — the shape empty-row elimination and per-bucket width
+//!   dispatch exist for.
 //!
 //! Reported per kernel: median wall-clock per launch, simulated non-zeros
 //! per second, simulated L2 sector transactions per second, and (for the
-//! short-row suite) `tile_width`, `lanes_active_frac`, host
-//! `speedup_vs_warp32` and modeled `sim_speedup_vs_warp32`.
+//! short-row suites) `tile_width`, `lanes_active_frac` (scheduled
+//! occupancy — empty rows still cost a whole-matrix kernel a tile), host
+//! `speedup_vs_warp32` and modeled `sim_speedup_vs_warp32`. The
+//! partitioned entry adds `speedup_vs_autotuned_w` (host wall-clock vs
+//! the whole-matrix autotuned pick), `sim_speedup_vs_best_fixed`
+//! (modeled vs the best fixed-width whole-matrix kernel) and a
+//! per-bucket `buckets` breakdown with each bucket's true
+//! `lanes_active_frac` (empty rows never count as occupied lane slots in
+//! a partitioned launch).
 //!
-//! `--quick` runs a trimmed smoke check (warp-per-row vs the autotuned
-//! pick only, no file write) and exits non-zero if the autotuned kernel's
-//! simulated estimate is slower than warp-per-row — the CI gate for the
-//! autotuner.
+//! `--quick` runs a trimmed smoke check (no file write) and exits
+//! non-zero if the autotuned pick is modeled slower than warp-per-row on
+//! the short-row suite, or if the partitioned pick is modeled slower
+//! than the best fixed-width whole-matrix kernel on the liver beam-1
+//! suite — the CI gates for both autotuners.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_core::{
     profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv,
-    vector_csr_spmv_tiled, GpuCsrMatrix, GpuRsMatrix, KernelChoice, KernelSelect, TILE_WIDTHS,
+    vector_csr_spmv_bucketed, vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan,
+    GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy, TILE_WIDTHS,
 };
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
-use rt_gpusim::{timing, DeviceSpec, Gpu, KernelProfile, KernelStats, LaunchReport};
+use rt_gpusim::{
+    timing, BucketReport, DeviceSpec, Gpu, GroupStats, KernelProfile, KernelStats, LaunchReport,
+};
 use rt_sparse::stats::RowStats;
-use rt_sparse::{Csr, RsCompressed};
+use rt_sparse::{Csr, RowPlan, RsCompressed};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Medians recorded from the pre-batching pipeline (same workload, same
@@ -49,13 +66,26 @@ struct Measurement {
     sectors_per_launch: u64,
     /// Short-row suite only: the tile width this entry ran at.
     tile_width: Option<u32>,
-    /// Short-row suite only: fraction of lane slots carrying a stored
-    /// entry at this width ([`RowStats::lanes_active_frac`](rt_sparse::stats::RowStats::lanes_active_frac)).
+    /// Short-row suites only: fraction of *scheduled* lane slots carrying
+    /// a stored entry at this width
+    /// ([`RowStats::scheduled_lanes_active_frac`](rt_sparse::stats::RowStats::scheduled_lanes_active_frac)
+    /// — a whole-matrix kernel schedules a tile for every row, so empty
+    /// rows' padded lanes count against its occupancy; they are never
+    /// counted as *occupied* slots anywhere).
     lanes_active_frac: Option<f64>,
     /// Host wall-clock speedup over the fixed warp-per-row entry.
     speedup_vs_warp32: Option<f64>,
     /// Modeled-time speedup over the fixed warp-per-row entry.
     sim_speedup_vs_warp32: Option<f64>,
+    /// Partitioned entry only: host wall-clock speedup over the
+    /// whole-matrix autotuned pick.
+    speedup_vs_autotuned_w: Option<f64>,
+    /// Partitioned entry only: modeled-time speedup over the best
+    /// fixed-width whole-matrix kernel of the suite.
+    sim_speedup_vs_best_fixed: Option<f64>,
+    /// Partitioned entry only: per-bucket breakdown of the fused
+    /// dispatch (width, rows, true lane occupancy, standalone estimate).
+    buckets: Option<Vec<BucketReport>>,
     /// Unified per-launch record (counters + modeled time) in the same
     /// shape the serving engine and the calculator emit.
     report: LaunchReport,
@@ -101,6 +131,9 @@ fn time_kernel(
         lanes_active_frac: None,
         speedup_vs_warp32: None,
         sim_speedup_vs_warp32: None,
+        speedup_vs_autotuned_w: None,
+        sim_speedup_vs_best_fixed: None,
+        buckets: None,
         report: LaunchReport::new(profile.name.clone(), device.name, stats, estimate),
     }
 }
@@ -165,7 +198,10 @@ fn time_shortrow(
     );
     meas.report.tile_width = width;
     meas.tile_width = Some(width);
-    meas.lanes_active_frac = Some(row_stats.lanes_active_frac(width));
+    // Scheduled occupancy: a whole-matrix launch gives every row —
+    // including every empty row — a tile, so empty rows' padded lanes
+    // count against this figure (they are never *occupied*).
+    meas.lanes_active_frac = Some(row_stats.scheduled_lanes_active_frac(width));
     meas
 }
 
@@ -178,6 +214,101 @@ fn width_entry_name(w: u32) -> &'static str {
         32 => "shortrow_tiled_w32",
         _ => unreachable!("width {w} is not in TILE_WIDTHS"),
     }
+}
+
+fn liver_width_entry_name(w: u32) -> &'static str {
+    match w {
+        2 => "liverb1_tiled_w2",
+        4 => "liverb1_tiled_w4",
+        8 => "liverb1_tiled_w8",
+        16 => "liverb1_tiled_w16",
+        32 => "liverb1_tiled_w32",
+        _ => unreachable!("width {w} is not in TILE_WIDTHS"),
+    }
+}
+
+/// Deterministic "liver beam 1" serving shape: a large dose grid where
+/// one beam's dose shell touches few voxels. ~95% of the 800k voxel
+/// rows are empty; the non-empty rows split into a short-row shell
+/// (1–2 nnz) and a dense core tail (~900 rows of 512–1024 nnz) that
+/// carries most of the bytes — the Table I row-1 shape at serving
+/// resolution. A whole-matrix kernel pays a tile per empty row here;
+/// the bucketed partition drops them outright.
+fn liver_beam1_matrix() -> Csr<F16, u32> {
+    let mut rng = StdRng::seed_from_u64(1337);
+    let ncols = 8192;
+    let rows: Vec<Vec<(usize, f64)>> = (0..800_000)
+        .map(|i| {
+            if i % 889 == 0 {
+                // Core voxel: hit by hundreds of overlapping spots.
+                let len: usize = rng.gen_range(512..=1024);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            } else if rng.gen_bool(0.05) {
+                // Shell voxel: grazed by one or two scattered spots.
+                let len = rng.gen_range(1..=2);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let m: Csr<f64, u32> = Csr::from_rows(ncols, &rows).unwrap();
+    m.convert_values()
+}
+
+/// Times the bucketed row-partition dispatch with its probe-autotuned
+/// per-bucket widths; attaches the per-bucket breakdown of the last
+/// (warm-cache) launch.
+fn time_partitioned(
+    name: &'static str,
+    csr: &Csr<F16, u32>,
+    device: &DeviceSpec,
+    warmup: usize,
+    samples: usize,
+) -> Measurement {
+    let choice = KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe)
+        .choose(device, csr, 512)
+        .expect("partitioned probe cannot fail on a valid matrix");
+    let mut widths = BucketWidths::natural();
+    for bc in &choice.buckets {
+        widths.0[bc.bucket] = bc.tile_width;
+    }
+    let plan = Arc::new(RowPlan::from_csr(csr));
+    let gpu = Gpu::new(device.clone());
+    let m = GpuCsrMatrix::upload(&gpu, csr);
+    let gplan = GpuRowPlan::upload(&gpu, plan.clone());
+    let x = gpu.upload(&vec![1.0f64; csr.ncols()]);
+    let y = gpu.alloc_out::<f64>(csr.nrows());
+    let profile = profile_half_double();
+    let mut last: Option<GroupStats> = None;
+    let mut meas = time_kernel(
+        name,
+        csr.nnz() as u64,
+        device,
+        &profile,
+        warmup,
+        samples,
+        || {
+            let g = vector_csr_spmv_bucketed(&gpu, &m, &x, &y, 512, &gplan, widths);
+            let merged = g.merged.clone();
+            last = Some(g);
+            merged
+        },
+    );
+    let group = last.expect("at least one timed launch");
+    let report = rt_core::bucketed_group_report(device, &profile, &plan, &group);
+    meas.buckets = Some(report.buckets);
+    meas
 }
 
 fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice) -> String {
@@ -233,6 +364,27 @@ fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice
         if let Some(s) = m.sim_speedup_vs_warp32 {
             writeln!(out, "      \"sim_speedup_vs_warp32\": {s:.2},").unwrap();
         }
+        if let Some(s) = m.speedup_vs_autotuned_w {
+            writeln!(out, "      \"speedup_vs_autotuned_w\": {s:.2},").unwrap();
+        }
+        if let Some(s) = m.sim_speedup_vs_best_fixed {
+            writeln!(out, "      \"sim_speedup_vs_best_fixed\": {s:.2},").unwrap();
+        }
+        if let Some(buckets) = &m.buckets {
+            out.push_str("      \"buckets\": [");
+            for (j, b) in buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write!(
+                    out,
+                    "{{\"label\": \"{}\", \"tile_width\": {}, \"rows\": {}, \"lanes_active_frac\": {:.4}}}",
+                    b.label, b.tile_width, b.rows, b.lanes_active_frac
+                )
+                .unwrap();
+            }
+            out.push_str("],\n");
+        }
         match baseline {
             Some(ns) => {
                 writeln!(out, "      \"baseline_ns_per_iter\": {ns:.1},").unwrap();
@@ -258,9 +410,13 @@ fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice
     out
 }
 
-/// Trimmed CI gate: warp-per-row vs the autotuned pick on the short-row
-/// demo matrix. Exits 1 if the autotuned kernel's simulated estimate is
-/// slower than fixed warp-per-row (host timing is too noisy to gate on).
+/// Trimmed CI gate. Two checks, both on warm-cache modeled time (host
+/// timing is too noisy to gate on):
+///
+/// 1. short-row suite: the whole-matrix autotuned pick must not be
+///    modeled slower than fixed warp-per-row;
+/// 2. liver beam-1 suite: the partitioned autotuned pick must not be
+///    modeled slower than the best fixed-width whole-matrix kernel.
 fn quick_smoke() -> ! {
     let device = DeviceSpec::a100();
     let csr = short_row_matrix();
@@ -289,14 +445,48 @@ fn quick_smoke() -> ! {
         w32_s / auto_s,
         warp32.ns_per_iter / auto.ns_per_iter,
     );
+    let mut failed = false;
     if auto_s > w32_s {
         eprintln!(
             "FAIL: autotuned tile width {} is modeled slower than warp-per-row",
             choice.tile_width
         );
-        std::process::exit(1);
+        failed = true;
     }
-    std::process::exit(0);
+
+    let liver = liver_beam1_matrix();
+    let liver_stats = RowStats::from_csr(&liver);
+    let best_fixed = TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            time_shortrow(
+                liver_width_entry_name(w),
+                &liver,
+                &liver_stats,
+                w,
+                w == 32,
+                &device,
+                1,
+                2,
+            )
+            .report
+            .estimate
+            .seconds
+        })
+        .fold(f64::INFINITY, f64::min);
+    let part = time_partitioned("liverb1_partitioned", &liver, &device, 1, 2);
+    let part_s = part.report.estimate.seconds;
+    println!(
+        "quick: partitioned: {:.3} us modeled vs best fixed {:.3} us ({:.2}x)",
+        part_s * 1e6,
+        best_fixed * 1e6,
+        best_fixed / part_s,
+    );
+    if part_s > best_fixed {
+        eprintln!("FAIL: partitioned dispatch is modeled slower than the best fixed width");
+        failed = true;
+    }
+    std::process::exit(if failed { 1 } else { 0 });
 }
 
 fn main() {
@@ -399,8 +589,63 @@ fn main() {
         m.sim_speedup_vs_warp32 = Some(w32_s / m.report.estimate.seconds);
     }
 
+    // Suite 3: the liver beam-1 serving shape — every fixed width, the
+    // whole-matrix autotuned pick, and the bucketed row partition.
+    let liver = liver_beam1_matrix();
+    let liver_stats = RowStats::from_csr(&liver);
+    let liver_choice = KernelSelect::MeasuredProbe
+        .choose(&device, &liver, 512)
+        .expect("probe cannot fail on a valid matrix");
+    let liver_fixed: Vec<Measurement> = TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            time_shortrow(
+                liver_width_entry_name(w),
+                &liver,
+                &liver_stats,
+                w,
+                w == 32,
+                &device,
+                2,
+                7,
+            )
+        })
+        .collect();
+    let liver_auto = time_shortrow(
+        "liverb1_tiled_auto",
+        &liver,
+        &liver_stats,
+        liver_choice.tile_width,
+        liver_choice.tile_width == 32,
+        &device,
+        2,
+        7,
+    );
+    let mut liver_part = time_partitioned("liverb1_partitioned", &liver, &device, 2, 7);
+    let liver_w32 = liver_fixed
+        .iter()
+        .find(|m| m.tile_width == Some(32))
+        .expect("width 32 is always timed");
+    let (lw32_ns, lw32_s) = (liver_w32.ns_per_iter, liver_w32.report.estimate.seconds);
+    let best_fixed_s = liver_fixed
+        .iter()
+        .map(|m| m.report.estimate.seconds)
+        .fold(f64::INFINITY, f64::min);
+    liver_part.speedup_vs_warp32 = Some(lw32_ns / liver_part.ns_per_iter);
+    liver_part.sim_speedup_vs_warp32 = Some(lw32_s / liver_part.report.estimate.seconds);
+    liver_part.speedup_vs_autotuned_w = Some(liver_auto.ns_per_iter / liver_part.ns_per_iter);
+    liver_part.sim_speedup_vs_best_fixed = Some(best_fixed_s / liver_part.report.estimate.seconds);
+    let mut liver_entries = liver_fixed;
+    liver_entries.push(liver_auto);
+    for m in &mut liver_entries {
+        m.speedup_vs_warp32 = Some(lw32_ns / m.ns_per_iter);
+        m.sim_speedup_vs_warp32 = Some(lw32_s / m.report.estimate.seconds);
+    }
+    liver_entries.push(liver_part);
+
     let mut measurements = vec![vector, baseline, warp32];
     measurements.extend(tiled);
+    measurements.extend(liver_entries);
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())

@@ -4,19 +4,23 @@
 //! Construction is builder-first and fallible: [`DoseCalculator::builder`]
 //! validates the configuration and returns `Result<_, RtError>` instead
 //! of panicking, so untrusted inputs (a serving engine's requests, a
-//! CLI-loaded snapshot) surface as typed errors. The positional
-//! [`DoseCalculator::new`] constructor survives as a deprecated shim.
+//! CLI-loaded snapshot) surface as typed errors.
 
+use crate::bucketed::{
+    bucketed_group_report, vector_csr_spmm_bucketed, vector_csr_spmv_bucketed, BucketWidths,
+    GpuRowPlan,
+};
 use crate::error::RtError;
 use crate::tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled};
 use crate::vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, MAX_SPMM_BATCH};
 use crate::{profile_half_double, profile_single};
 use rt_f16::F16;
 use rt_gpusim::{
-    DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, KernelStats, LaunchReport, TimeEstimate,
-    TILE_WIDTHS,
+    DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, GroupReport, GroupStats, KernelStats,
+    LaunchReport, TimeEstimate, TILE_WIDTHS,
 };
-use rt_sparse::Csr;
+use rt_sparse::{Csr, RowPlan};
+use std::sync::Arc;
 
 /// Which calibrated report profile the timing model uses (the arithmetic
 /// is always the Half/double kernel's; see [`crate::profile_single`]).
@@ -39,6 +43,9 @@ pub struct DoseResult {
     /// Unified launch report: traffic counters, modeled time, and (when
     /// named buffers are used) per-buffer traffic.
     pub report: LaunchReport,
+    /// Per-bucket breakdown of the fused dispatch, at simulation scale
+    /// (partitioned calculators only; `None` for whole-matrix dispatch).
+    pub group: Option<GroupReport>,
 }
 
 impl DoseResult {
@@ -64,6 +71,9 @@ pub struct BatchDoseResult {
     /// Merged report over the batch's launches (chunked by
     /// [`MAX_SPMM_BATCH`]).
     pub report: LaunchReport,
+    /// Per-bucket breakdown accumulated over the batch's fused dispatches,
+    /// at simulation scale (partitioned calculators only).
+    pub group: Option<GroupReport>,
 }
 
 /// Validated configuration for a [`DoseCalculator`]. Obtained from
@@ -79,6 +89,7 @@ pub struct DoseCalculatorBuilder<'m> {
     transpose: bool,
     profile: PrecisionProfile,
     tile_width: u32,
+    partition: Option<(Option<Arc<RowPlan>>, BucketWidths)>,
 }
 
 impl<'m> DoseCalculatorBuilder<'m> {
@@ -92,6 +103,7 @@ impl<'m> DoseCalculatorBuilder<'m> {
             transpose: false,
             profile: PrecisionProfile::HalfDouble,
             tile_width: 32,
+            partition: None,
         }
     }
 
@@ -143,6 +155,27 @@ impl<'m> DoseCalculatorBuilder<'m> {
         self
     }
 
+    /// Dispatch dose SpMV through the bucketed row partition
+    /// ([`crate::bucketed`]): empty rows are eliminated and each length
+    /// bucket launches at its `widths` entry. The [`RowPlan`] is built
+    /// from the matrix at [`DoseCalculatorBuilder::build`]; use
+    /// [`DoseCalculatorBuilder::partitioned_with_plan`] to reuse a cached
+    /// plan. Gradient back-projections keep the whole-matrix kernel at
+    /// the configured [`DoseCalculatorBuilder::tile_width`] (the
+    /// transpose has its own shape).
+    pub fn partitioned(mut self, widths: BucketWidths) -> Self {
+        self.partition = Some((None, widths));
+        self
+    }
+
+    /// Like [`DoseCalculatorBuilder::partitioned`], reusing a plan built
+    /// once elsewhere (the serving engine caches one per registered
+    /// matrix). The plan must describe this matrix.
+    pub fn partitioned_with_plan(mut self, plan: Arc<RowPlan>, widths: BucketWidths) -> Self {
+        self.partition = Some((Some(plan), widths));
+        self
+    }
+
     /// Validates the configuration, converts the matrix to binary16 and
     /// uploads it (plus the transpose if requested) to a fresh simulated
     /// device.
@@ -169,6 +202,11 @@ impl<'m> DoseCalculatorBuilder<'m> {
         if !TILE_WIDTHS.contains(&self.tile_width) {
             return Err(RtError::InvalidTileWidth(self.tile_width));
         }
+        if let Some((_, widths)) = &self.partition {
+            if let Some(&bad) = widths.0.iter().find(|w| !TILE_WIDTHS.contains(w)) {
+                return Err(RtError::InvalidTileWidth(bad));
+            }
+        }
 
         let gpu = Gpu::new(self.device);
         let m16: Csr<F16, u32> = m.convert_values();
@@ -179,11 +217,18 @@ impl<'m> DoseCalculatorBuilder<'m> {
         } else {
             None
         };
+        let partition = self.partition.map(|(plan, widths)| {
+            // Value conversion preserves the sparsity structure, so a plan
+            // built from the f64 matrix serves the f16 upload.
+            let plan = plan.unwrap_or_else(|| Arc::new(RowPlan::from_csr(m)));
+            (GpuRowPlan::upload(&gpu, plan), widths)
+        });
         let y = gpu.alloc_out::<f64>(m.nrows());
         Ok(DoseCalculator {
             gpu,
             matrix: gm,
             transpose,
+            partition,
             y,
             profile: match self.profile {
                 PrecisionProfile::HalfDouble => profile_half_double(),
@@ -209,6 +254,10 @@ pub struct DoseCalculator {
     gpu: Gpu,
     matrix: GpuCsrMatrix<F16, u32>,
     transpose: Option<GpuCsrMatrix<F16, u32>>,
+    /// Bucketed row-partition dispatch state: the uploaded plan plus
+    /// per-bucket widths. When present, dose SpMV runs through
+    /// [`vector_csr_spmv_bucketed`]; gradients keep the whole-matrix path.
+    partition: Option<(GpuRowPlan, BucketWidths)>,
     y: DeviceOutBuffer<f64>,
     profile: rt_gpusim::KernelProfile,
     threads_per_block: u32,
@@ -241,29 +290,6 @@ impl DoseCalculator {
         DoseCalculatorBuilder::new(matrix)
     }
 
-    /// Uploads `matrix` (converted once to binary16) to a simulated
-    /// `device`.
-    #[deprecated(note = "use DoseCalculator::builder(matrix).device(device).build()")]
-    pub fn new(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
-        DoseCalculator::builder(matrix)
-            .device(device)
-            .build()
-            .expect("valid matrix and default configuration")
-    }
-
-    /// Also uploads the transpose so [`DoseCalculator::compute_gradient_term`]
-    /// is available.
-    #[deprecated(
-        note = "use DoseCalculator::builder(matrix).device(device).with_transpose().build()"
-    )]
-    pub fn with_transpose(device: DeviceSpec, matrix: &Csr<f64, u32>) -> Self {
-        DoseCalculator::builder(matrix)
-            .device(device)
-            .with_transpose()
-            .build()
-            .expect("valid matrix and default configuration")
-    }
-
     #[inline]
     pub fn nrows(&self) -> usize {
         self.matrix.nrows()
@@ -285,10 +311,23 @@ impl DoseCalculator {
         self.transpose.is_some()
     }
 
-    /// The cooperative-group tile width the SpMV kernels run at.
+    /// The cooperative-group tile width the whole-matrix SpMV kernels run
+    /// at (for a partitioned calculator: the gradient path's width).
     #[inline]
     pub fn tile_width(&self) -> u32 {
         self.tile_width
+    }
+
+    /// Whether dose SpMV dispatches through the bucketed row partition.
+    #[inline]
+    pub fn is_partitioned(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// The per-bucket widths of a partitioned calculator.
+    #[inline]
+    pub fn bucket_widths(&self) -> Option<BucketWidths> {
+        self.partition.as_ref().map(|(_, w)| *w)
     }
 
     /// Dispatches one SpMV launch at the configured tile width (32 keeps
@@ -330,7 +369,10 @@ impl DoseCalculator {
         .with_tile_width(self.tile_width)
     }
 
-    /// Computes `dose = A w` with the Half/double kernel.
+    /// Computes `dose = A w` with the Half/double kernel. Partitioned
+    /// calculators dispatch through the bucketed row partition (bitwise
+    /// identical per row to the fixed-width kernel at the row's bucket
+    /// width) and attach the per-bucket [`GroupReport`].
     pub fn compute_dose(&self, weights: &[f64]) -> Result<DoseResult, RtError> {
         if weights.len() != self.ncols() {
             return Err(RtError::DimensionMismatch {
@@ -340,10 +382,27 @@ impl DoseCalculator {
             });
         }
         let dx: DeviceBuffer<f64> = self.gpu.upload(weights);
-        let stats = self.spmv(&self.matrix, &dx, &self.y);
+        let (stats, group) = match &self.partition {
+            Some((gplan, widths)) => {
+                let g = vector_csr_spmv_bucketed(
+                    &self.gpu,
+                    &self.matrix,
+                    &dx,
+                    &self.y,
+                    self.threads_per_block,
+                    gplan,
+                    *widths,
+                );
+                let report =
+                    bucketed_group_report(self.gpu.spec(), &self.profile, gplan.plan(), &g);
+                (g.merged, Some(report))
+            }
+            None => (self.spmv(&self.matrix, &dx, &self.y), None),
+        };
         Ok(DoseResult {
             dose: self.y.to_vec(),
             report: self.report_for(&stats),
+            group,
         })
     }
 
@@ -366,7 +425,7 @@ impl DoseCalculator {
                 });
             }
         }
-        self.batched_spmm(&self.matrix, self.nrows(), weights)
+        self.batched_spmm(&self.matrix, self.nrows(), weights, true)
     }
 
     /// Computes `g = A^T r` (the optimizer's gradient back-projection).
@@ -407,19 +466,29 @@ impl DoseCalculator {
                 });
             }
         }
-        self.batched_spmm(t, self.ncols(), residuals)
+        self.batched_spmm(t, self.ncols(), residuals, false)
     }
 
     /// Shared batched-launch path: runs `inputs` through `matrix` in
     /// [`MAX_SPMM_BATCH`]-sized chunks and merges the counters.
+    /// `use_partition` selects the bucketed dispatch when the calculator
+    /// is partitioned (the dose direction only — the transpose has its
+    /// own shape and keeps the whole-matrix kernel).
     fn batched_spmm(
         &self,
         matrix: &GpuCsrMatrix<F16, u32>,
         out_len: usize,
         inputs: &[&[f64]],
+        use_partition: bool,
     ) -> Result<BatchDoseResult, RtError> {
+        let partition = if use_partition {
+            self.partition.as_ref()
+        } else {
+            None
+        };
         let mut outputs = Vec::with_capacity(inputs.len());
         let mut merged = KernelStats::default();
+        let mut group_acc: Option<GroupStats> = None;
         for chunk in inputs.chunks(MAX_SPMM_BATCH) {
             let dxs: Vec<DeviceBuffer<f64>> = chunk.iter().map(|x| self.gpu.upload(x)).collect();
             let dys: Vec<DeviceOutBuffer<f64>> = chunk
@@ -428,24 +497,47 @@ impl DoseCalculator {
                 .collect();
             let xr: Vec<&DeviceBuffer<f64>> = dxs.iter().collect();
             let yr: Vec<&DeviceOutBuffer<f64>> = dys.iter().collect();
-            let stats = if self.tile_width == 32 {
-                vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block)
-            } else {
-                vector_csr_spmm_tiled(
+            let stats = match partition {
+                Some((gplan, widths)) => {
+                    let g = vector_csr_spmm_bucketed(
+                        &self.gpu,
+                        matrix,
+                        &xr,
+                        &yr,
+                        self.threads_per_block,
+                        gplan,
+                        *widths,
+                    );
+                    let stats = g.merged.clone();
+                    match &mut group_acc {
+                        Some(acc) => acc.accumulate(&g),
+                        None => group_acc = Some(g),
+                    }
+                    stats
+                }
+                None if self.tile_width == 32 => {
+                    vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block)
+                }
+                None => vector_csr_spmm_tiled(
                     &self.gpu,
                     matrix,
                     &xr,
                     &yr,
                     self.threads_per_block,
                     self.tile_width,
-                )
+                ),
             };
             merged.accumulate(&stats);
             outputs.extend(dys.iter().map(|y| y.to_vec()));
         }
+        let group = group_acc.map(|g| {
+            let (gplan, _) = self.partition.as_ref().expect("partitioned dispatch ran");
+            bucketed_group_report(self.gpu.spec(), &self.profile, gplan.plan(), &g)
+        });
         Ok(BatchDoseResult {
             outputs,
             report: self.report_for(&merged),
+            group,
         })
     }
 }
@@ -695,14 +787,61 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let m = random_matrix(59, 80, 10);
-        let calc = DoseCalculator::new(DeviceSpec::a100(), &m);
-        assert_eq!(calc.nrows(), 80);
-        assert!(!calc.has_transpose());
-        let calc = DoseCalculator::with_transpose(DeviceSpec::v100(), &m);
-        assert!(calc.has_transpose());
-        assert_eq!(calc.device().name, "V100");
+    fn partitioned_calculator_matches_bucketed_reference_and_reports_buckets() {
+        let m = random_matrix(59, 700, 30);
+        let widths = BucketWidths::natural();
+        let calc = DoseCalculator::builder(&m)
+            .partitioned(widths)
+            .with_transpose()
+            .build()
+            .unwrap();
+        assert!(calc.is_partitioned());
+        assert_eq!(calc.bucket_widths(), Some(widths));
+        let w: Vec<f64> = (0..30).map(|i| (i as f64 * 0.23).sin().abs()).collect();
+        let r = calc.compute_dose(&w).unwrap();
+
+        let m16: Csr<rt_f16::F16, u32> = m.convert_values();
+        let want = crate::bucketed::vector_csr_bucketed_reference(&m16, &w, widths);
+        assert_eq!(
+            r.dose.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let group = r.group.as_ref().expect("partitioned result carries group");
+        assert_eq!(group.buckets[0].label, "zero_fill");
+        assert!(group.buckets.len() > 1);
+
+        // The batch path is bitwise identical and also carries the group.
+        let batch = calc.compute_dose_batch(&[&w, &w]).unwrap();
+        for out in &batch.outputs {
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                r.dose.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert!(batch.group.is_some());
+
+        // Gradients keep the whole-matrix path: no group report.
+        let residual: Vec<f64> = (0..700).map(|i| (i % 5) as f64).collect();
+        let grad_batch = calc.compute_gradient_batch(&[&residual]).unwrap();
+        assert!(grad_batch.group.is_none());
+
+        // Unpartitioned results carry no group either.
+        let plain = DoseCalculator::builder(&m).build().unwrap();
+        assert!(!plain.is_partitioned());
+        assert!(plain.compute_dose(&w).unwrap().group.is_none());
+    }
+
+    #[test]
+    fn partitioned_builder_validates_bucket_widths() {
+        let m = random_matrix(62, 40, 8);
+        let mut widths = BucketWidths::natural();
+        widths.0[3] = 6;
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .partitioned(widths)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidTileWidth(6)
+        );
     }
 }

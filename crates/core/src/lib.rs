@@ -18,6 +18,7 @@
 //! optimizer calls it every iteration.
 
 pub mod baseline;
+pub mod bucketed;
 pub mod calculator;
 pub mod cpu;
 pub mod error;
@@ -29,6 +30,10 @@ pub mod tiled;
 pub mod vector_csr;
 
 pub use baseline::{rs_baseline_gpu_spmv, GpuRsMatrix};
+pub use bucketed::{
+    bucket_label, bucketed_group_report, vector_csr_bucketed_reference, vector_csr_spmm_bucketed,
+    vector_csr_spmv_bucketed, BucketWidths, GpuRowPlan,
+};
 pub use calculator::{
     BatchDoseResult, DoseCalculator, DoseCalculatorBuilder, DoseResult, PrecisionProfile,
 };
@@ -36,7 +41,10 @@ pub use cpu::{cpu_csr_spmv, RsCpu};
 pub use error::RtError;
 pub use libs::{cusparse_csr_spmv, ginkgo_csr_spmv};
 pub use scalar_csr::scalar_csr_spmv;
-pub use select::{heuristic_width, probe_widths, KernelChoice, KernelSelect, TileCandidate};
+pub use select::{
+    heuristic_width, probe_widths, BucketChoice, KernelChoice, KernelSelect, PartitionStrategy,
+    TileCandidate,
+};
 pub use sell_kernel::{sell_spmv, GpuSellMatrix};
 pub use tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled, vector_csr_tiled_reference};
 pub use vector_csr::{vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, VecScalar, MAX_SPMM_BATCH};

@@ -20,6 +20,7 @@
 //! serving layers and the `rtdose kernels` CLI can show *why* a width
 //! was picked.
 
+use crate::bucketed::{bucket_label, vector_csr_spmv_bucketed, BucketWidths, GpuRowPlan};
 use crate::error::RtError;
 use crate::profile_half_double;
 use crate::tiled::vector_csr_spmv_tiled;
@@ -27,7 +28,8 @@ use crate::vector_csr::{vector_csr_spmv, GpuCsrMatrix};
 use rt_f16::DoseScalar;
 use rt_gpusim::{timing, DeviceSpec, ExecMode, Gpu, TILE_WIDTHS};
 use rt_sparse::stats::RowStats;
-use rt_sparse::{ColIndex, Csr};
+use rt_sparse::{ColIndex, Csr, RowPlan, NUM_ROW_BUCKETS};
+use std::sync::Arc;
 
 /// How a calculator / serving plan picks its SpMV tile width.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -39,6 +41,24 @@ pub enum KernelSelect {
     Heuristic,
     /// Launch every candidate width once on a throwaway `Sequential`
     /// simulator and keep the fastest modeled estimate.
+    MeasuredProbe,
+    /// Bucketed row-partition dispatch ([`crate::bucketed`]): empty rows
+    /// are eliminated and every length bucket gets its own width, picked
+    /// by the wrapped per-bucket strategy.
+    Partitioned(PartitionStrategy),
+}
+
+/// How [`KernelSelect::Partitioned`] assigns each bucket's width.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// The natural width per bucket: the narrowest tile covering the
+    /// bucket's longest row in one pass ([`BucketWidths::natural`]).
+    /// No probe launches. The default.
+    #[default]
+    Heuristic,
+    /// Launch the bucketed dispatch once per candidate width on a
+    /// throwaway `Sequential` simulator and keep, per bucket, the width
+    /// whose member launch modeled fastest.
     MeasuredProbe,
 }
 
@@ -52,23 +72,57 @@ pub struct TileCandidate {
     pub l2_sectors: u64,
     /// Modeled kernel seconds from the timing model.
     pub modeled_seconds: f64,
-    /// Fraction of lane slots carrying a stored entry
-    /// ([`RowStats::lanes_active_frac`](rt_sparse::stats::RowStats::lanes_active_frac)).
+    /// Fraction of *scheduled* lane slots carrying a stored entry. For
+    /// whole-matrix candidates this is
+    /// [`RowStats::scheduled_lanes_active_frac`](rt_sparse::stats::RowStats::scheduled_lanes_active_frac)
+    /// — empty rows still get a tile, so their padded lanes count against
+    /// occupancy; per-bucket candidates use the bucket's own occupancy
+    /// (empty rows are eliminated before bucketing, so they never appear
+    /// as occupied slots in either figure).
     pub lanes_active_frac: f64,
+}
+
+/// One bucket's width decision within a [`KernelSelect::Partitioned`]
+/// choice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BucketChoice {
+    /// Bucket position in [`rt_sparse::ROW_BUCKET_BOUNDS`] order.
+    pub bucket: usize,
+    /// Inclusive row-length range of the bucket.
+    pub min_len: u32,
+    pub max_len: u32,
+    /// Rows the bucket holds (0 = the bucket launches nothing).
+    pub rows: u64,
+    /// Stored entries across the bucket's rows.
+    pub nnz: u64,
+    /// The width the bucket's member launch will run at.
+    pub tile_width: u32,
+    /// Bucket lane occupancy at `tile_width`
+    /// ([`rt_sparse::RowBucket::lanes_active_frac`]).
+    pub lanes_active_frac: f64,
+    /// Per-width evidence (empty for the heuristic strategy and for
+    /// empty buckets).
+    pub candidates: Vec<TileCandidate>,
 }
 
 /// The autotuner's decision for one matrix: the width plus the evidence.
 #[derive(Clone, Debug, PartialEq)]
 pub struct KernelChoice {
-    /// The selected tile width.
+    /// The selected tile width. For `Partitioned` this is the widest
+    /// non-empty bucket's width (the width the transpose/gradient path
+    /// and other whole-matrix consumers fall back to).
     pub tile_width: u32,
-    /// Which strategy produced it: `"fixed"`, `"heuristic"` or `"probe"`.
+    /// Which strategy produced it: `"fixed"`, `"heuristic"`, `"probe"`,
+    /// `"partitioned-heuristic"` or `"partitioned-probe"`.
     pub mode: &'static str,
     /// Average stored entries per non-empty row of the matrix.
     pub avg_nnz_nonempty: f64,
     /// The candidate table (empty for `Fixed`; statistics-only for
     /// `Heuristic`; fully probed for `MeasuredProbe`).
     pub candidates: Vec<TileCandidate>,
+    /// Per-bucket decisions ([`KernelSelect::Partitioned`] only; empty
+    /// for the whole-matrix strategies).
+    pub buckets: Vec<BucketChoice>,
 }
 
 impl KernelSelect {
@@ -94,6 +148,7 @@ impl KernelSelect {
                     mode: "fixed",
                     avg_nnz_nonempty: stats.avg_nnz_nonempty,
                     candidates: Vec::new(),
+                    buckets: Vec::new(),
                 })
             }
             KernelSelect::Heuristic => Ok(KernelChoice {
@@ -101,32 +156,159 @@ impl KernelSelect {
                 mode: "heuristic",
                 avg_nnz_nonempty: stats.avg_nnz_nonempty,
                 candidates: Vec::new(),
+                buckets: Vec::new(),
             }),
             KernelSelect::MeasuredProbe => {
                 let candidates = probe_widths(spec, m, threads_per_block);
-                // Fastest modeled time wins; ties break toward the wider
-                // (paper-classic) kernel.
-                let best = candidates
-                    .iter()
-                    .max_by(
-                        |a, b| match b.modeled_seconds.partial_cmp(&a.modeled_seconds) {
-                            Some(core::cmp::Ordering::Equal) | None => {
-                                a.tile_width.cmp(&b.tile_width)
-                            }
-                            Some(ord) => ord,
-                        },
-                    )
-                    .map(|c| c.tile_width)
-                    .unwrap_or(32);
+                let best = best_width(&candidates).unwrap_or(32);
                 Ok(KernelChoice {
                     tile_width: best,
                     mode: "probe",
                     avg_nnz_nonempty: stats.avg_nnz_nonempty,
                     candidates,
+                    buckets: Vec::new(),
+                })
+            }
+            KernelSelect::Partitioned(strategy) => {
+                let plan = RowPlan::from_csr(m);
+                let buckets = match strategy {
+                    PartitionStrategy::Heuristic => heuristic_bucket_choices(&plan),
+                    PartitionStrategy::MeasuredProbe => {
+                        probe_bucket_choices(spec, m, &plan, threads_per_block)
+                    }
+                };
+                // Whole-matrix consumers (the gradient/transpose path)
+                // fall back to the widest width any populated bucket uses.
+                let tile_width = buckets
+                    .iter()
+                    .filter(|b| b.rows > 0)
+                    .map(|b| b.tile_width)
+                    .max()
+                    .unwrap_or(32);
+                Ok(KernelChoice {
+                    tile_width,
+                    mode: match strategy {
+                        PartitionStrategy::Heuristic => "partitioned-heuristic",
+                        PartitionStrategy::MeasuredProbe => "partitioned-probe",
+                    },
+                    avg_nnz_nonempty: stats.avg_nnz_nonempty,
+                    candidates: Vec::new(),
+                    buckets,
                 })
             }
         }
     }
+}
+
+/// Fastest modeled time wins; ties break toward the wider
+/// (paper-classic) kernel.
+fn best_width(candidates: &[TileCandidate]) -> Option<u32> {
+    candidates
+        .iter()
+        .max_by(
+            |a, b| match b.modeled_seconds.partial_cmp(&a.modeled_seconds) {
+                Some(core::cmp::Ordering::Equal) | None => a.tile_width.cmp(&b.tile_width),
+                Some(ord) => ord,
+            },
+        )
+        .map(|c| c.tile_width)
+}
+
+/// The statistics-only partition rule: every bucket takes its natural
+/// width ([`BucketWidths::natural`]) — the narrowest tile covering the
+/// bucket's longest row in one pass, which maximizes lane occupancy
+/// without serializing any row over extra chunks.
+fn heuristic_bucket_choices(plan: &RowPlan) -> Vec<BucketChoice> {
+    let natural = BucketWidths::natural();
+    plan.buckets()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let tile_width = natural.0[i];
+            BucketChoice {
+                bucket: i,
+                min_len: b.min_len,
+                max_len: b.max_len,
+                rows: b.len() as u64,
+                nnz: b.nnz,
+                tile_width,
+                lanes_active_frac: b.lanes_active_frac(tile_width),
+                candidates: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Probes every candidate width with one full bucketed dispatch per
+/// width on a throwaway `Sequential` simulator, attributes each member
+/// launch's counters back to its bucket, and picks per bucket the width
+/// whose member modeled fastest (same tie-break as the whole-matrix
+/// probe). One launch per width — 5 total — not widths × buckets.
+fn probe_bucket_choices<V: DoseScalar, I: ColIndex>(
+    spec: &DeviceSpec,
+    m: &Csr<V, I>,
+    plan: &RowPlan,
+    threads_per_block: u32,
+) -> Vec<BucketChoice> {
+    let profile = profile_half_double();
+    let mut tables: Vec<Vec<TileCandidate>> = vec![Vec::new(); NUM_ROW_BUCKETS];
+    let shared_plan = Arc::new(plan.clone());
+    for &w in &TILE_WIDTHS {
+        let gpu = Gpu::with_mode(spec.clone(), ExecMode::Sequential);
+        let gm = GpuCsrMatrix::upload(&gpu, m);
+        let gplan = GpuRowPlan::upload(&gpu, shared_plan.clone());
+        let x: Vec<f64> = vec![1.0; m.ncols()];
+        let dx = gpu.upload(&x);
+        let dy = gpu.alloc_out::<f64>(m.nrows());
+        let group = vector_csr_spmv_bucketed(
+            &gpu,
+            &gm,
+            &dx,
+            &dy,
+            threads_per_block,
+            &gplan,
+            BucketWidths::uniform(w),
+        );
+        for member in &group.members {
+            let Some((i, bucket)) = plan
+                .buckets()
+                .iter()
+                .enumerate()
+                .find(|(_, b)| bucket_label(b.min_len, b.max_len) == member.label)
+            else {
+                continue; // the zero-fill member belongs to no bucket
+            };
+            let est = timing::estimate(spec, &profile, &member.stats);
+            tables[i].push(TileCandidate {
+                tile_width: w,
+                warps: member.stats.warps,
+                l2_sectors: member.stats.l2_read_hits
+                    + member.stats.l2_read_misses
+                    + member.stats.l2_write_sectors,
+                modeled_seconds: est.seconds,
+                lanes_active_frac: bucket.lanes_active_frac(w),
+            });
+        }
+    }
+    let natural = BucketWidths::natural();
+    plan.buckets()
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let candidates = std::mem::take(&mut tables[i]);
+            let tile_width = best_width(&candidates).unwrap_or(natural.0[i]);
+            BucketChoice {
+                bucket: i,
+                min_len: b.min_len,
+                max_len: b.max_len,
+                rows: b.len() as u64,
+                nnz: b.nnz,
+                tile_width,
+                lanes_active_frac: b.lanes_active_frac(tile_width),
+                candidates,
+            }
+        })
+        .collect()
 }
 
 /// The statistics-only width rule: smallest width covering the average
@@ -173,7 +355,9 @@ pub fn probe_widths<V: DoseScalar, I: ColIndex>(
                 warps: stats.warps,
                 l2_sectors: stats.l2_read_hits + stats.l2_read_misses + stats.l2_write_sectors,
                 modeled_seconds: est.seconds,
-                lanes_active_frac: row_stats.lanes_active_frac(w),
+                // Whole-matrix launches schedule a tile per row, empty or
+                // not — report the occupancy of what actually launches.
+                lanes_active_frac: row_stats.scheduled_lanes_active_frac(w),
             }
         })
         .collect()
@@ -276,6 +460,79 @@ mod tests {
         let classic = a.candidates.iter().find(|c| c.tile_width == 32).unwrap();
         assert!(chosen.warps < classic.warps);
         assert!(chosen.modeled_seconds <= classic.modeled_seconds);
+    }
+
+    #[test]
+    fn partitioned_heuristic_assigns_natural_widths() {
+        let spec = DeviceSpec::a100();
+        let m = random_csr(800, 256, 40, 6);
+        let c = KernelSelect::Partitioned(PartitionStrategy::Heuristic)
+            .choose(&spec, &m, 512)
+            .unwrap();
+        assert_eq!(c.mode, "partitioned-heuristic");
+        assert_eq!(c.buckets.len(), 6);
+        for (b, &w) in c.buckets.iter().zip(&BucketWidths::natural().0) {
+            assert_eq!(b.tile_width, w, "bucket {}", b.bucket);
+            if b.rows > 0 {
+                assert!(b.lanes_active_frac > 0.5, "natural width half-fills tiles");
+            }
+        }
+        // Whole-matrix fallback width = widest populated bucket's width.
+        let widest = c
+            .buckets
+            .iter()
+            .filter(|b| b.rows > 0)
+            .map(|b| b.tile_width)
+            .max()
+            .unwrap();
+        assert_eq!(c.tile_width, widest);
+    }
+
+    #[test]
+    fn partitioned_probe_is_deterministic_with_full_tables() {
+        let spec = DeviceSpec::a100();
+        let m = random_csr(2000, 512, 48, 7);
+        let sel = KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe);
+        let a = sel.choose(&spec, &m, 512).unwrap();
+        let b = sel.choose(&spec, &m, 512).unwrap();
+        assert_eq!(a, b, "partitioned probe must be deterministic");
+        assert_eq!(a.mode, "partitioned-probe");
+        for bc in &a.buckets {
+            if bc.rows > 0 {
+                assert_eq!(
+                    bc.candidates.len(),
+                    TILE_WIDTHS.len(),
+                    "bucket {} table",
+                    bc.bucket
+                );
+                let chosen = bc
+                    .candidates
+                    .iter()
+                    .find(|c| c.tile_width == bc.tile_width)
+                    .unwrap();
+                for c in &bc.candidates {
+                    assert!(chosen.modeled_seconds <= c.modeled_seconds);
+                }
+            } else {
+                assert!(bc.candidates.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn whole_matrix_candidates_report_scheduled_occupancy() {
+        let spec = DeviceSpec::a100();
+        let m = random_csr(400, 128, 8, 8);
+        let stats = RowStats::from_csr(&m);
+        let c = KernelSelect::MeasuredProbe.choose(&spec, &m, 512).unwrap();
+        for cand in &c.candidates {
+            assert!(
+                (cand.lanes_active_frac - stats.scheduled_lanes_active_frac(cand.tile_width)).abs()
+                    < 1e-12
+            );
+            // Empty rows' padded lanes count against occupancy.
+            assert!(cand.lanes_active_frac < stats.lanes_active_frac(cand.tile_width));
+        }
     }
 
     #[test]

@@ -26,11 +26,11 @@
 //! [`BoundedQueue`]: crate::queue::BoundedQueue
 //! [`DoseCalculator::compute_dose_batch`]: rt_core::DoseCalculator::compute_dose_batch
 
-use crate::metrics::{BatchSample, EngineReport, Metrics, PlanSelection};
+use crate::metrics::{BatchSample, BucketSelection, EngineReport, Metrics, PlanSelection};
 use crate::queue::BoundedQueue;
-use rt_core::{DoseCalculator, KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH};
+use rt_core::{BucketWidths, DoseCalculator, KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH};
 use rt_gpusim::{DeviceSpec, LaunchReport};
-use rt_sparse::Csr;
+use rt_sparse::{Csr, RowPlan};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -167,8 +167,13 @@ struct Plan {
     /// each holding the matrix and its transpose.
     calcs: Vec<DoseCalculator>,
     /// The autotuner's decision for this plan, made once at
-    /// registration; every calculator runs at `choice.tile_width`.
+    /// registration; every calculator runs at `choice.tile_width` (or,
+    /// for partitioned plans, at the per-bucket widths in
+    /// `choice.buckets`).
     choice: KernelChoice,
+    /// Row-partition execution plan, built once at registration and
+    /// shared by every per-device calculator (partitioned plans only).
+    row_plan: Option<Arc<RowPlan>>,
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -376,6 +381,12 @@ impl Engine {
         self.plan(name).map(|p| &p.choice)
     }
 
+    /// The row-partition plan a registered plan dispatches through, if
+    /// the engine was built with [`KernelSelect::Partitioned`].
+    pub fn plan_row_plan(&self, name: &str) -> Option<&Arc<RowPlan>> {
+        self.plan(name).and_then(|p| p.row_plan.as_ref())
+    }
+
     /// Uploads `matrix` (and its transpose, for gradients) to every
     /// device in the pool under the plan name `name`.
     ///
@@ -390,16 +401,32 @@ impl Engine {
         let choice = self
             .kernel_select
             .choose(&self.devices[0], matrix, self.threads_per_block)?;
+        // Partitioned strategies: build the row plan once, apply the
+        // per-bucket widths the autotuner picked, and share the plan
+        // across every per-device calculator.
+        let partition = if matches!(self.kernel_select, KernelSelect::Partitioned(_)) {
+            let plan = Arc::new(RowPlan::from_csr(matrix));
+            let mut widths = BucketWidths::natural();
+            for bc in &choice.buckets {
+                widths.0[bc.bucket] = bc.tile_width;
+            }
+            Some((plan, widths))
+        } else {
+            None
+        };
         let calcs = self
             .devices
             .iter()
             .map(|d| {
-                DoseCalculator::builder(matrix)
+                let mut b = DoseCalculator::builder(matrix)
                     .device(d.clone())
                     .threads_per_block(self.threads_per_block)
                     .tile_width(choice.tile_width)
-                    .with_transpose()
-                    .build()
+                    .with_transpose();
+                if let Some((plan, widths)) = &partition {
+                    b = b.partitioned_with_plan(plan.clone(), *widths);
+                }
+                b.build()
             })
             .collect::<Result<Vec<_>, _>>()?;
         self.plan_index.insert(name.to_string(), self.plans.len());
@@ -409,6 +436,7 @@ impl Engine {
             ncols: matrix.ncols(),
             calcs,
             choice,
+            row_plan: partition.map(|(plan, _)| plan),
         });
         Ok(())
     }
@@ -464,6 +492,19 @@ impl Engine {
                 tile_width: p.choice.tile_width,
                 mode: p.choice.mode.to_string(),
                 avg_nnz_nonempty: p.choice.avg_nnz_nonempty,
+                buckets: p
+                    .choice
+                    .buckets
+                    .iter()
+                    .filter(|bc| bc.rows > 0)
+                    .map(|bc| BucketSelection {
+                        min_len: bc.min_len,
+                        max_len: bc.max_len,
+                        rows: bc.rows,
+                        tile_width: bc.tile_width,
+                        lanes_active_frac: bc.lanes_active_frac,
+                    })
+                    .collect(),
             })
             .collect();
         (out, report)

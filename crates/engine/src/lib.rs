@@ -44,6 +44,6 @@ mod optim;
 mod queue;
 
 pub use engine::{Engine, EngineBuilder, EngineClient, EngineResponse, RequestKind, Ticket};
-pub use metrics::{DeviceReport, EngineReport, PlanSelection};
+pub use metrics::{BucketSelection, DeviceReport, EngineReport, PlanSelection};
 pub use optim::ServedDoseEngine;
-pub use rt_core::{KernelChoice, KernelSelect, RtError};
+pub use rt_core::{KernelChoice, KernelSelect, PartitionStrategy, RtError};

@@ -27,12 +27,35 @@ pub struct DeviceReport {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PlanSelection {
     pub name: String,
-    /// Cooperative-group tile width the plan's kernels run at.
+    /// Cooperative-group tile width the plan's kernels run at (for
+    /// partitioned plans: the widest populated bucket, which is also the
+    /// whole-matrix width the gradient path uses).
     pub tile_width: u32,
-    /// Selection strategy that picked it ("fixed", "heuristic", "probe").
+    /// Selection strategy that picked it ("fixed", "heuristic", "probe",
+    /// "partitioned-heuristic", "partitioned-probe").
     pub mode: String,
     /// Average stored entries per non-empty row of the plan's matrix.
     pub avg_nnz_nonempty: f64,
+    /// Per-bucket width selections (partitioned plans only; empty for
+    /// whole-matrix dispatch). Only populated buckets appear.
+    pub buckets: Vec<BucketSelection>,
+}
+
+/// One row-length bucket's width selection inside a partitioned plan.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BucketSelection {
+    /// Inclusive row-length range of the bucket (`max_len == u32::MAX`
+    /// renders as the open-ended ">32" bucket).
+    pub min_len: u32,
+    pub max_len: u32,
+    /// Non-empty rows routed to this bucket.
+    pub rows: u64,
+    /// Tile width the bucket's launch runs at.
+    pub tile_width: u32,
+    /// Fraction of scheduled lanes carrying a nonzero at that width
+    /// (empty rows are eliminated before bucketing, so they never count
+    /// as occupied — or scheduled — lane slots here).
+    pub lanes_active_frac: f64,
 }
 
 /// Snapshot of one [`Engine::serve`] session, exportable as JSON.
@@ -152,12 +175,22 @@ impl EngineReport {
         for (i, p) in self.plans.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str(&format!(
-                "    {{\"name\": {}, \"tile_width\": {}, \"mode\": {}, \"avg_nnz_nonempty\": {:.2}}}",
+                "    {{\"name\": {}, \"tile_width\": {}, \"mode\": {}, \"avg_nnz_nonempty\": {:.2}, \"buckets\": [",
                 json_string(&p.name),
                 p.tile_width,
                 json_string(&p.mode),
                 p.avg_nnz_nonempty
             ));
+            for (j, b) in p.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"min_len\": {}, \"max_len\": {}, \"rows\": {}, \"tile_width\": {}, \"lanes_active_frac\": {:.4}}}",
+                    b.min_len, b.max_len, b.rows, b.tile_width, b.lanes_active_frac
+                ));
+            }
+            out.push_str("]}");
         }
         if !self.plans.is_empty() {
             out.push_str("\n  ");
@@ -349,10 +382,46 @@ mod tests {
             tile_width: 4,
             mode: "heuristic".into(),
             avg_nnz_nonempty: 4.5,
+            buckets: Vec::new(),
         });
         let j = r.to_json();
         assert!(j.contains("\"prostate\""));
         assert!(j.contains("\"tile_width\": 4"));
         assert!(j.contains("\"heuristic\""));
+        assert!(j.contains("\"buckets\": []"));
+    }
+
+    #[test]
+    fn bucket_selections_render_in_json() {
+        let m = Metrics::new(&["A100"]);
+        let mut r = m.report(4, 0);
+        r.plans.push(PlanSelection {
+            name: "liver".into(),
+            tile_width: 32,
+            mode: "partitioned-heuristic".into(),
+            avg_nnz_nonempty: 2.1,
+            buckets: vec![
+                BucketSelection {
+                    min_len: 1,
+                    max_len: 2,
+                    rows: 1000,
+                    tile_width: 2,
+                    lanes_active_frac: 0.75,
+                },
+                BucketSelection {
+                    min_len: 33,
+                    max_len: u32::MAX,
+                    rows: 8,
+                    tile_width: 32,
+                    lanes_active_frac: 0.9912,
+                },
+            ],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"partitioned-heuristic\""));
+        assert!(j.contains(
+            "\"buckets\": [{\"min_len\": 1, \"max_len\": 2, \"rows\": 1000, \"tile_width\": 2, \"lanes_active_frac\": 0.7500}, "
+        ));
+        assert!(j.contains("\"lanes_active_frac\": 0.9912"));
     }
 }

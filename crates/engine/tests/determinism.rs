@@ -4,7 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rt_engine::{Engine, RequestKind};
+use rt_engine::{Engine, KernelSelect, PartitionStrategy, RequestKind};
 use rt_gpusim::DeviceSpec;
 use rt_sparse::Csr;
 
@@ -215,6 +215,116 @@ fn two_plans_on_one_pool_run_different_tile_widths_deterministically() {
     assert_eq!(by_name("liver").tile_width, 32);
     assert_eq!(by_name("prostate").tile_width, prostate_w);
     assert_eq!(by_name("prostate").mode, "heuristic");
+}
+
+#[test]
+fn partitioned_serving_is_bitwise_identical_and_reports_buckets() {
+    // Empty-heavy, short-row matrices: the partitioned path's target
+    // shape. The doses must not change — bucketing only reorders which
+    // tile visits which row, never a row's reduction tree.
+    let liver = random_matrix(9, 900, 60, 4);
+    let prostate = random_matrix(10, 700, 80, 8);
+    let n = 48;
+    let order: Vec<usize> = (0..n).collect();
+
+    let run = |select: KernelSelect, devices: Vec<DeviceSpec>| {
+        let mut engine = Engine::builder()
+            .devices(devices)
+            .kernel_select(select)
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        engine.register_plan("prostate", &prostate).unwrap();
+        let work = workload(
+            (liver.nrows(), liver.ncols()),
+            (prostate.nrows(), prostate.ncols()),
+        );
+        engine.serve(|client| {
+            order
+                .iter()
+                .map(|&id| {
+                    let w = &work[id];
+                    client
+                        .call(w.plan, w.kind, w.payload.clone())
+                        .unwrap()
+                        .output
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        })
+    };
+
+    // A partitioned strategy must be bitwise stable across pool sizes and
+    // device mixes, exactly like whole-matrix dispatch. (Partitioned
+    // doses are *not* compared against whole-matrix doses here: a bucket
+    // running at a different tile width than the whole-matrix pick uses a
+    // different — equally deterministic — truncated reduction tree. The
+    // per-width bitwise equivalence against the classic kernels is
+    // asserted in rt-core's bucketed tests.)
+    let (base_doses, base_report) = run(KernelSelect::Heuristic, vec![DeviceSpec::a100()]);
+    let (part, part_report) = run(
+        KernelSelect::Partitioned(PartitionStrategy::Heuristic),
+        vec![DeviceSpec::a100()],
+    );
+    let (part4, _) = run(
+        KernelSelect::Partitioned(PartitionStrategy::Heuristic),
+        vec![
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::a100(),
+            DeviceSpec::p100(),
+        ],
+    );
+    assert_eq!(
+        part, part4,
+        "partitioned 4-device mixed pool changed some dose bytes"
+    );
+    let (probe, _) = run(
+        KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe),
+        vec![DeviceSpec::a100()],
+    );
+    let (probe4, _) = run(
+        KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe),
+        vec![DeviceSpec::a100(); 4],
+    );
+    assert_eq!(
+        probe, probe4,
+        "probe-partitioned 4-device pool changed some dose bytes"
+    );
+    // Output shapes agree with whole-matrix serving even where bits may
+    // legitimately differ (different per-row widths).
+    for (b, p) in base_doses.iter().zip(&part) {
+        assert_eq!(b.len(), p.len());
+    }
+
+    // Whole-matrix plans report no buckets; partitioned plans report one
+    // selection per populated bucket.
+    assert!(base_report.plans.iter().all(|p| p.buckets.is_empty()));
+    let by_name = |n: &str| part_report.plans.iter().find(|p| p.name == n).unwrap();
+    let liver_sel = by_name("liver");
+    assert_eq!(liver_sel.mode, "partitioned-heuristic");
+    assert!(!liver_sel.buckets.is_empty());
+    for b in &liver_sel.buckets {
+        assert!(b.rows > 0, "unpopulated bucket leaked into the report");
+        assert!(rt_gpusim::TILE_WIDTHS.contains(&b.tile_width));
+        assert!(b.lanes_active_frac > 0.0 && b.lanes_active_frac <= 1.0);
+    }
+
+    // The engine caches the row plan once per partitioned plan and the
+    // report's bucket rows account for exactly the non-empty rows.
+    let mut engine = Engine::builder()
+        .device(DeviceSpec::a100())
+        .kernel_select(KernelSelect::Partitioned(PartitionStrategy::Heuristic))
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    let plan = engine.plan_row_plan("liver").expect("row plan cached");
+    assert_eq!(
+        liver_sel.buckets.iter().map(|b| b.rows).sum::<u64>(),
+        plan.nonempty_rows() as u64
+    );
 }
 
 #[test]

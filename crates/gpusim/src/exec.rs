@@ -275,6 +275,93 @@ impl Gpu {
         all.push(flush);
         KernelStats::merge(&all, grid.blocks, grid.threads_per_block)
     }
+
+    /// Runs a group of tiled launches back-to-back on the *same* sim state
+    /// — the L2 stays warm across members, exactly as consecutive kernel
+    /// launches share the cache on hardware — and merges their counters
+    /// into one [`GroupStats`] (per-member breakdown retained). This is
+    /// the multi-launch entry used by the bucketed SpMV dispatch: one
+    /// width-matched member per non-empty row bucket.
+    pub fn launch_group(&self, members: Vec<GroupMember<'_>>) -> GroupStats {
+        let mut merged = KernelStats::default();
+        let mut out = Vec::with_capacity(members.len());
+        for m in members {
+            let kernel = m.kernel;
+            let stats = self.launch_tiled(m.grid, m.tile_width, move |w| kernel(w));
+            merged.accumulate(&stats);
+            out.push(MemberStats {
+                label: m.label,
+                tile_width: m.tile_width,
+                stats,
+            });
+        }
+        GroupStats {
+            merged,
+            members: out,
+        }
+    }
+}
+
+/// One launch of a [`Gpu::launch_group`] sequence: a labeled tiled kernel
+/// with its own grid and tile width.
+pub struct GroupMember<'a> {
+    /// Human-readable member name (e.g. `"rows 1-2"` for a row bucket).
+    pub label: String,
+    pub grid: Grid,
+    pub tile_width: u32,
+    kernel: Box<dyn Fn(&mut WarpCtx) + Sync + 'a>,
+}
+
+impl<'a> GroupMember<'a> {
+    pub fn new<F>(label: impl Into<String>, grid: Grid, tile_width: u32, kernel: F) -> Self
+    where
+        F: Fn(&mut WarpCtx) + Sync + 'a,
+    {
+        GroupMember {
+            label: label.into(),
+            grid,
+            tile_width,
+            kernel: Box::new(kernel),
+        }
+    }
+}
+
+/// Counters of one member launch of a group.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemberStats {
+    pub label: String,
+    pub tile_width: u32,
+    pub stats: KernelStats,
+}
+
+/// Merged counters of a [`Gpu::launch_group`] sequence plus the per-member
+/// breakdown. The merged stats describe the whole fused dispatch — one
+/// launch-overhead charge when fed to the timing model — while the members
+/// retain each bucket's individual traffic for reporting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GroupStats {
+    /// All member counters accumulated ([`KernelStats::accumulate`]).
+    pub merged: KernelStats,
+    /// Per-member counters, in launch order.
+    pub members: Vec<MemberStats>,
+}
+
+impl GroupStats {
+    /// Folds another group run into this one member-by-member (labels must
+    /// line up) — used to accumulate repeated group launches, mirroring
+    /// [`KernelStats::accumulate`] for single launches.
+    pub fn accumulate(&mut self, other: &GroupStats) {
+        assert_eq!(
+            self.members.len(),
+            other.members.len(),
+            "group member count mismatch"
+        );
+        self.merged.accumulate(&other.merged);
+        for (a, b) in self.members.iter_mut().zip(&other.members) {
+            assert_eq!(a.label, b.label, "group member label mismatch");
+            a.stats.accumulate(&b.stats);
+        }
+    }
 }
 
 /// The per-warp execution context handed to kernels: lane-collective
@@ -700,6 +787,48 @@ mod tests {
         });
         assert_eq!(out.get(0), grid.total_warps() as f64);
         assert_eq!(stats.atomic_ops, grid.total_warps());
+    }
+
+    #[test]
+    fn launch_group_merges_members_and_shares_cache() {
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+        let n = 1024usize;
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let buf = gpu.upload(&data);
+        let out = gpu.alloc_out::<f64>(n);
+        let grid = Grid::warp_per_item(n / 2, 256);
+        let halves: Vec<GroupMember<'_>> = (0..2)
+            .map(|h| {
+                let buf = &buf;
+                let out = &out;
+                GroupMember::new(format!("half {h}"), grid, 32, move |w| {
+                    let i = w.warp_id();
+                    if i < n / 2 {
+                        let idx = h * n / 2 + i;
+                        let v = w.load_scalar(buf, idx);
+                        w.store_scalar(out, idx, v * 2.0);
+                    }
+                })
+            })
+            .collect();
+        let group = gpu.launch_group(halves);
+        assert_eq!(
+            out.to_vec(),
+            data.iter().map(|v| v * 2.0).collect::<Vec<_>>()
+        );
+        assert_eq!(group.members.len(), 2);
+        assert_eq!(group.members[0].label, "half 0");
+        // Merged counters are the member sum.
+        let warp_sum: u64 = group.members.iter().map(|m| m.stats.warps).sum();
+        assert_eq!(group.merged.warps, warp_sum);
+        let req_sum: u64 = group.members.iter().map(|m| m.stats.requested_bytes).sum();
+        assert_eq!(group.merged.requested_bytes, req_sum);
+
+        // Accumulating a second identical group doubles every member.
+        let mut acc = group.clone();
+        acc.accumulate(&group);
+        assert_eq!(acc.merged.warps, 2 * group.merged.warps);
+        assert_eq!(acc.members[1].stats.warps, 2 * group.members[1].stats.warps);
     }
 
     #[test]

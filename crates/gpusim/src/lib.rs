@@ -57,7 +57,9 @@ pub mod timing;
 pub use buffer::{DeviceBuffer, DeviceOutBuffer};
 pub use counters::KernelStats;
 pub use device::DeviceSpec;
-pub use exec::{ExecMode, Gpu, Grid, WarpCtx, TILE_WIDTHS, WARP_SIZE};
+pub use exec::{
+    ExecMode, Gpu, Grid, GroupMember, GroupStats, MemberStats, WarpCtx, TILE_WIDTHS, WARP_SIZE,
+};
 pub use mem::BufferTraffic;
-pub use report::LaunchReport;
+pub use report::{BucketReport, GroupReport, LaunchReport};
 pub use timing::{CpuSpec, KernelProfile, Precision, TimeEstimate};

@@ -85,63 +85,10 @@ impl LaunchReport {
             json_string(&self.device)
         ));
         out.push_str(&format!("{pad}  \"tile_width\": {},\n", self.tile_width));
-        out.push_str(&format!("{pad}  \"stats\": {{\n"));
-        let s = &self.stats;
-        out.push_str(&format!("{pad}    \"flops\": {},\n", s.flops));
-        out.push_str(&format!("{pad}    \"warps\": {},\n", s.warps));
-        out.push_str(&format!("{pad}    \"blocks\": {},\n", s.blocks));
-        out.push_str(&format!(
-            "{pad}    \"threads_per_block\": {},\n",
-            s.threads_per_block
-        ));
-        out.push_str(&format!(
-            "{pad}    \"requested_bytes\": {},\n",
-            s.requested_bytes
-        ));
-        out.push_str(&format!("{pad}    \"l2_read_hits\": {},\n", s.l2_read_hits));
-        out.push_str(&format!(
-            "{pad}    \"l2_read_misses\": {},\n",
-            s.l2_read_misses
-        ));
-        out.push_str(&format!(
-            "{pad}    \"l2_write_sectors\": {},\n",
-            s.l2_write_sectors
-        ));
-        out.push_str(&format!("{pad}    \"atomic_ops\": {},\n", s.atomic_ops));
-        out.push_str(&format!(
-            "{pad}    \"dram_read_bytes\": {},\n",
-            s.dram_read_bytes
-        ));
-        out.push_str(&format!(
-            "{pad}    \"dram_write_bytes\": {},\n",
-            s.dram_write_bytes
-        ));
-        out.push_str(&format!(
-            "{pad}    \"l2_hit_rate\": {:.4},\n",
-            s.l2_hit_rate()
-        ));
-        out.push_str(&format!(
-            "{pad}    \"operational_intensity\": {:.4}\n",
-            s.operational_intensity()
-        ));
-        out.push_str(&format!("{pad}  }},\n"));
-        let e = &self.estimate;
-        out.push_str(&format!("{pad}  \"estimate\": {{\n"));
-        out.push_str(&format!("{pad}    \"seconds\": {:.6e},\n", e.seconds));
-        out.push_str(&format!("{pad}    \"gflops\": {:.2},\n", e.gflops));
-        out.push_str(&format!(
-            "{pad}    \"dram_bw_gbps\": {:.2},\n",
-            e.dram_bw_gbps
-        ));
-        out.push_str(&format!(
-            "{pad}    \"frac_peak_bw\": {:.4},\n",
-            e.frac_peak_bw
-        ));
-        out.push_str(&format!(
-            "{pad}    \"bound\": {}\n",
-            json_string(bound_name(e.bound))
-        ));
-        out.push_str(&format!("{pad}  }},\n"));
+        push_stats_object(&mut out, &pad, &self.stats);
+        out.push_str(",\n");
+        push_estimate_object(&mut out, &pad, &self.estimate);
+        out.push_str(",\n");
         out.push_str(&format!("{pad}  \"buffers\": ["));
         for (i, b) in self.buffers.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -154,6 +101,166 @@ impl LaunchReport {
             ));
         }
         if !self.buffers.is_empty() {
+            out.push_str(&format!("\n{pad}  "));
+        }
+        out.push_str("]\n");
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
+/// Writes `"stats": {...}` (no trailing comma/newline) with the object's
+/// fields indented one level below `pad` — shared by [`LaunchReport`] and
+/// [`GroupReport`] so both render counters identically.
+fn push_stats_object(out: &mut String, pad: &str, s: &KernelStats) {
+    out.push_str(&format!("{pad}  \"stats\": {{\n"));
+    out.push_str(&format!("{pad}    \"flops\": {},\n", s.flops));
+    out.push_str(&format!("{pad}    \"warps\": {},\n", s.warps));
+    out.push_str(&format!("{pad}    \"blocks\": {},\n", s.blocks));
+    out.push_str(&format!(
+        "{pad}    \"threads_per_block\": {},\n",
+        s.threads_per_block
+    ));
+    out.push_str(&format!(
+        "{pad}    \"requested_bytes\": {},\n",
+        s.requested_bytes
+    ));
+    out.push_str(&format!("{pad}    \"l2_read_hits\": {},\n", s.l2_read_hits));
+    out.push_str(&format!(
+        "{pad}    \"l2_read_misses\": {},\n",
+        s.l2_read_misses
+    ));
+    out.push_str(&format!(
+        "{pad}    \"l2_write_sectors\": {},\n",
+        s.l2_write_sectors
+    ));
+    out.push_str(&format!("{pad}    \"atomic_ops\": {},\n", s.atomic_ops));
+    out.push_str(&format!(
+        "{pad}    \"dram_read_bytes\": {},\n",
+        s.dram_read_bytes
+    ));
+    out.push_str(&format!(
+        "{pad}    \"dram_write_bytes\": {},\n",
+        s.dram_write_bytes
+    ));
+    out.push_str(&format!(
+        "{pad}    \"l2_hit_rate\": {:.4},\n",
+        s.l2_hit_rate()
+    ));
+    out.push_str(&format!(
+        "{pad}    \"operational_intensity\": {:.4}\n",
+        s.operational_intensity()
+    ));
+    out.push_str(&format!("{pad}  }}"));
+}
+
+/// Writes `"estimate": {...}` (no trailing comma/newline), companion to
+/// [`push_stats_object`].
+fn push_estimate_object(out: &mut String, pad: &str, e: &TimeEstimate) {
+    out.push_str(&format!("{pad}  \"estimate\": {{\n"));
+    out.push_str(&format!("{pad}    \"seconds\": {:.6e},\n", e.seconds));
+    out.push_str(&format!("{pad}    \"gflops\": {:.2},\n", e.gflops));
+    out.push_str(&format!(
+        "{pad}    \"dram_bw_gbps\": {:.2},\n",
+        e.dram_bw_gbps
+    ));
+    out.push_str(&format!(
+        "{pad}    \"frac_peak_bw\": {:.4},\n",
+        e.frac_peak_bw
+    ));
+    out.push_str(&format!(
+        "{pad}    \"bound\": {}\n",
+        json_string(bound_name(e.bound))
+    ));
+    out.push_str(&format!("{pad}  }}"));
+}
+
+/// One row bucket's slice of a [`GroupReport`]: which rows it covered, at
+/// what width, with what occupancy, and the traffic/time attributable to
+/// its member launch alone.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BucketReport {
+    /// Member label (e.g. `"rows 1-2"`, `"zero_fill"`).
+    pub label: String,
+    /// Tile width the member launched at.
+    pub tile_width: u32,
+    /// Rows the member covered.
+    pub rows: u64,
+    /// Fraction of the member's scheduled lane slots carrying a stored
+    /// entry (1.0 for the zero-fill member, which has no padding).
+    pub lanes_active_frac: f64,
+    /// The member launch's own counters.
+    pub stats: KernelStats,
+    /// Time the member would cost *as a standalone launch* (its own
+    /// launch-overhead charge included) — the sum over members exceeds the
+    /// fused group estimate by construction.
+    pub estimate: TimeEstimate,
+}
+
+/// The fused record of a [`crate::Gpu::launch_group`] dispatch: merged
+/// counters and a single modeled time (one launch-overhead charge — the
+/// members ran back-to-back on the same sim state), with the per-bucket
+/// breakdown retained.
+///
+/// Like [`LaunchReport`], the JSON encoding is hand-rolled and stable.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GroupReport {
+    /// Kernel family name ("Half/double", ...).
+    pub kernel: String,
+    /// Device the group was modeled on ("A100", ...).
+    pub device: String,
+    /// All member counters merged.
+    pub stats: KernelStats,
+    /// Modeled time of the fused dispatch (one launch overhead).
+    pub estimate: TimeEstimate,
+    /// Per-member breakdown, in launch order.
+    pub buckets: Vec<BucketReport>,
+}
+
+impl GroupReport {
+    /// Stable JSON encoding in the house style (two-space indent, keys in
+    /// declaration order).
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// Like [`GroupReport::to_json`], shifted right by `indent` spaces on
+    /// every line after the first.
+    pub fn to_json_indented(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 4);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "{pad}  \"kernel\": {},\n",
+            json_string(&self.kernel)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"device\": {},\n",
+            json_string(&self.device)
+        ));
+        push_stats_object(&mut out, &pad, &self.stats);
+        out.push_str(",\n");
+        push_estimate_object(&mut out, &pad, &self.estimate);
+        out.push_str(",\n");
+        out.push_str(&format!("{pad}  \"buckets\": ["));
+        for (i, b) in self.buckets.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("{pad}    {{\n"));
+            out.push_str(&format!("{inner}  \"label\": {},\n", json_string(&b.label)));
+            out.push_str(&format!("{inner}  \"tile_width\": {},\n", b.tile_width));
+            out.push_str(&format!("{inner}  \"rows\": {},\n", b.rows));
+            out.push_str(&format!(
+                "{inner}  \"lanes_active_frac\": {:.4},\n",
+                b.lanes_active_frac
+            ));
+            push_stats_object(&mut out, &inner, &b.stats);
+            out.push_str(",\n");
+            push_estimate_object(&mut out, &inner, &b.estimate);
+            out.push('\n');
+            out.push_str(&format!("{pad}    }}"));
+        }
+        if !self.buckets.is_empty() {
             out.push_str(&format!("\n{pad}  "));
         }
         out.push_str("]\n");
@@ -255,6 +362,47 @@ mod tests {
         let j = r.to_json();
         assert!(j.contains("\"values\""));
         assert!(j.contains("\"dram_read_sectors\": 90"));
+    }
+
+    #[test]
+    fn group_json_has_stable_keys_and_buckets() {
+        let base = sample();
+        let bucket = BucketReport {
+            label: "rows 1-2".into(),
+            tile_width: 2,
+            rows: 100,
+            lanes_active_frac: 0.875,
+            stats: base.stats.clone(),
+            estimate: base.estimate.clone(),
+        };
+        let g = GroupReport {
+            kernel: "Half/double".into(),
+            device: "A100".into(),
+            stats: base.stats.clone(),
+            estimate: base.estimate.clone(),
+            buckets: vec![bucket],
+        };
+        let j = g.to_json();
+        for key in [
+            "\"kernel\"",
+            "\"device\"",
+            "\"stats\"",
+            "\"estimate\"",
+            "\"buckets\"",
+            "\"label\"",
+            "\"rows 1-2\"",
+            "\"lanes_active_frac\": 0.8750",
+            "\"tile_width\": 2",
+            "\"rows\": 100",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        // The stats/estimate objects render identically to LaunchReport's.
+        let launch = base.to_json();
+        let stats_block =
+            &launch[launch.find("\"stats\"").unwrap()..launch.find("\"estimate\"").unwrap()];
+        assert!(j.contains(stats_block.trim_end_matches([' ', ',', '\n'])));
     }
 
     #[test]

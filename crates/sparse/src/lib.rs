@@ -32,6 +32,7 @@ mod error;
 mod index;
 pub mod io;
 mod quantized;
+mod rowplan;
 mod rscompressed;
 mod sell;
 pub mod stats;
@@ -43,5 +44,8 @@ pub use error::SparseError;
 pub use index::ColIndex;
 pub use io::{load_csr, save_csr, SnapshotError, Storable};
 pub use quantized::QuantizedCsr;
+pub use rowplan::{
+    bucket_index_for_len, RowBucket, RowPlan, EMPTY_ROW_SLOT, NUM_ROW_BUCKETS, ROW_BUCKET_BOUNDS,
+};
 pub use rscompressed::{RsCompressed, Segment};
 pub use sell::SellCSigma;

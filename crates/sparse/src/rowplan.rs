@@ -1,0 +1,312 @@
+//! Row-partition execution plans for bucketed SpMV dispatch.
+//!
+//! Dose deposition matrices are ~70% empty rows with heavy-tailed non-empty
+//! lengths (Table I), so a single whole-matrix tile width wastes most lane
+//! slots before the autotuner even runs. A [`RowPlan`] is built once per CSR
+//! matrix: empty rows are dropped outright (they contribute no traffic and no
+//! flops — the output is zero-filled separately), and the surviving rows are
+//! *stably* partitioned into length buckets. Each bucket can then be served
+//! by a tile width matched to its row lengths, launched back-to-back through
+//! `Gpu::launch_group`.
+//!
+//! Stability matters for reproducibility: within a bucket the rows keep
+//! their original ascending order, so for a fixed bucket→width assignment
+//! the per-row reduction tree is a pure function of the row's length — the
+//! exact same truncated shuffle tree the fixed-width tiled kernels use.
+//! Only *which* tile visits a row changes, never the arithmetic within it.
+
+use crate::{ColIndex, Csr};
+use rt_f16::DoseScalar;
+
+/// Number of row-length buckets in a [`RowPlan`].
+pub const NUM_ROW_BUCKETS: usize = 6;
+
+/// Inclusive row-length boundaries of the buckets: 1–2, 3–4, 5–8, 9–16,
+/// 17–32, and 33+. Empty rows belong to no bucket.
+pub const ROW_BUCKET_BOUNDS: [(u32, u32); NUM_ROW_BUCKETS] =
+    [(1, 2), (3, 4), (5, 8), (9, 16), (17, 32), (33, u32::MAX)];
+
+/// Bucket index for a non-empty row of length `len`.
+///
+/// # Panics
+/// Panics if `len == 0`; empty rows are eliminated, not bucketed.
+pub fn bucket_index_for_len(len: u32) -> usize {
+    assert!(len > 0, "empty rows have no bucket");
+    match len {
+        1..=2 => 0,
+        3..=4 => 1,
+        5..=8 => 2,
+        9..=16 => 3,
+        17..=32 => 4,
+        _ => 5,
+    }
+}
+
+/// Sentinel in [`RowPlan::inverse`] marking an empty row (no scatter slot).
+pub const EMPTY_ROW_SLOT: u32 = u32::MAX;
+
+const SLOT_WIDTHS: [u32; 5] = [2, 4, 8, 16, 32];
+
+/// One length bucket of a [`RowPlan`]: the original indices of the rows
+/// whose stored length falls in `[min_len, max_len]`, in ascending
+/// (original) order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowBucket {
+    /// Smallest row length admitted to this bucket (inclusive).
+    pub min_len: u32,
+    /// Largest row length admitted to this bucket (inclusive).
+    pub max_len: u32,
+    /// Original row indices, ascending — the stable partition order.
+    pub rows: Vec<u32>,
+    /// Total stored entries across the bucket's rows.
+    pub nnz: u64,
+    /// Lane slots a width-w tile spends on this bucket, per tile width in
+    /// `[2, 4, 8, 16, 32]` order.
+    slots: [u64; 5],
+}
+
+impl RowBucket {
+    /// Number of rows in the bucket.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no row fell in this length range.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Lane slots a width-`width` cooperative tile spends covering this
+    /// bucket's rows: `ceil(l / width) * width` per row of length `l`.
+    pub fn lane_slots(&self, width: u32) -> u64 {
+        let i = SLOT_WIDTHS
+            .iter()
+            .position(|&w| w == width)
+            .unwrap_or_else(|| panic!("unsupported tile width {width}"));
+        self.slots[i]
+    }
+
+    /// Fraction of width-`width` lane slots that carry a stored entry.
+    /// Empty rows never reach a bucket, so this is a true occupancy figure.
+    pub fn lanes_active_frac(&self, width: u32) -> f64 {
+        let slots = self.lane_slots(width);
+        if slots == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / slots as f64
+        }
+    }
+}
+
+/// A row-partition execution plan: per-bucket row-index arrays plus the
+/// inverse scatter map, built once per CSR matrix and reused across every
+/// bucketed launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowPlan {
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    empty_rows: usize,
+    /// Always `NUM_ROW_BUCKETS` entries, in `ROW_BUCKET_BOUNDS` order.
+    buckets: Vec<RowBucket>,
+    /// `inverse[orig_row]` = position of the row in the concatenated
+    /// bucket order, or [`EMPTY_ROW_SLOT`] for empty rows.
+    inverse: Vec<u32>,
+}
+
+impl RowPlan {
+    /// Builds the plan from a CSR matrix: drops empty rows and stably
+    /// partitions the rest into the [`ROW_BUCKET_BOUNDS`] length buckets.
+    pub fn from_csr<V: DoseScalar, I: ColIndex>(m: &Csr<V, I>) -> Self {
+        let nrows = m.nrows();
+        assert!(nrows <= u32::MAX as usize, "row index must fit in u32");
+        let mut buckets: Vec<RowBucket> = ROW_BUCKET_BOUNDS
+            .iter()
+            .map(|&(min_len, max_len)| RowBucket {
+                min_len,
+                max_len,
+                rows: Vec::new(),
+                nnz: 0,
+                slots: [0; 5],
+            })
+            .collect();
+        let mut empty_rows = 0usize;
+        for r in 0..nrows {
+            let len = m.row_len(r) as u64;
+            if len == 0 {
+                empty_rows += 1;
+                continue;
+            }
+            let b = &mut buckets[bucket_index_for_len(len as u32)];
+            b.rows.push(r as u32);
+            b.nnz += len;
+            for (i, &w) in SLOT_WIDTHS.iter().enumerate() {
+                b.slots[i] += len.div_ceil(w as u64) * w as u64;
+            }
+        }
+        let mut inverse = vec![EMPTY_ROW_SLOT; nrows];
+        let mut pos = 0u32;
+        for b in &buckets {
+            for &r in &b.rows {
+                inverse[r as usize] = pos;
+                pos += 1;
+            }
+        }
+        RowPlan {
+            nrows,
+            ncols: m.ncols(),
+            nnz: m.nnz(),
+            empty_rows,
+            buckets,
+            inverse,
+        }
+    }
+
+    /// Rows of the source matrix (including empty rows).
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the source matrix.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Stored entries of the source matrix.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Rows dropped from every bucket because they store no entries.
+    pub fn empty_rows(&self) -> usize {
+        self.empty_rows
+    }
+
+    /// Rows that survive empty-row elimination.
+    pub fn nonempty_rows(&self) -> usize {
+        self.nrows - self.empty_rows
+    }
+
+    /// The length buckets, always [`NUM_ROW_BUCKETS`] of them in
+    /// [`ROW_BUCKET_BOUNDS`] order (possibly empty).
+    pub fn buckets(&self) -> &[RowBucket] {
+        &self.buckets
+    }
+
+    /// Position of `row` in the concatenated bucket order, or `None` for
+    /// empty rows (which no bucketed launch visits).
+    pub fn scatter_position(&self, row: usize) -> Option<u32> {
+        match self.inverse[row] {
+            EMPTY_ROW_SLOT => None,
+            p => Some(p),
+        }
+    }
+
+    /// The inverse scatter map: `inverse()[r]` is the concatenated-order
+    /// position of row `r`, or [`EMPTY_ROW_SLOT`] for empty rows.
+    pub fn inverse(&self) -> &[u32] {
+        &self.inverse
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed() -> Csr<f64, u32> {
+        // Lengths: 0, 1, 40, 0, 2, 8, 0, 16, 33, 5
+        let lens = [0usize, 1, 40, 0, 2, 8, 0, 16, 33, 5];
+        let rows: Vec<Vec<(usize, f64)>> = lens
+            .iter()
+            .map(|&l| (0..l).map(|c| (c, 1.0)).collect())
+            .collect();
+        Csr::from_rows(64, &rows).unwrap()
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index_for_len(1), 0);
+        assert_eq!(bucket_index_for_len(2), 0);
+        assert_eq!(bucket_index_for_len(3), 1);
+        assert_eq!(bucket_index_for_len(4), 1);
+        assert_eq!(bucket_index_for_len(5), 2);
+        assert_eq!(bucket_index_for_len(8), 2);
+        assert_eq!(bucket_index_for_len(9), 3);
+        assert_eq!(bucket_index_for_len(16), 3);
+        assert_eq!(bucket_index_for_len(17), 4);
+        assert_eq!(bucket_index_for_len(32), 4);
+        assert_eq!(bucket_index_for_len(33), 5);
+        assert_eq!(bucket_index_for_len(u32::MAX), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rows have no bucket")]
+    fn bucket_index_rejects_empty() {
+        bucket_index_for_len(0);
+    }
+
+    #[test]
+    fn partition_is_stable_and_complete() {
+        let plan = RowPlan::from_csr(&mixed());
+        assert_eq!(plan.nrows(), 10);
+        assert_eq!(plan.empty_rows(), 3);
+        assert_eq!(plan.nonempty_rows(), 7);
+        let b = plan.buckets();
+        assert_eq!(b.len(), NUM_ROW_BUCKETS);
+        assert_eq!(b[0].rows, vec![1, 4]); // lengths 1, 2
+        assert_eq!(b[1].rows, Vec::<u32>::new());
+        assert_eq!(b[2].rows, vec![5, 9]); // lengths 8, 5 → rows 5, 9 ascending
+        assert_eq!(b[3].rows, vec![7]); // length 16
+        assert_eq!(b[4].rows, Vec::<u32>::new());
+        assert_eq!(b[5].rows, vec![2, 8]); // lengths 40, 33
+                                           // Every non-empty row appears exactly once.
+        let total: usize = b.iter().map(|b| b.rows.len()).sum();
+        assert_eq!(total, 7);
+        // Bucket nnz sums to the matrix nnz.
+        let nnz: u64 = b.iter().map(|b| b.nnz).sum();
+        assert_eq!(nnz, plan.nnz() as u64);
+    }
+
+    #[test]
+    fn inverse_scatter_map_round_trips() {
+        let plan = RowPlan::from_csr(&mixed());
+        // Concatenated order: [1, 4, 5, 9, 7, 2, 8].
+        let concat: Vec<u32> = plan
+            .buckets()
+            .iter()
+            .flat_map(|b| b.rows.iter().copied())
+            .collect();
+        assert_eq!(concat, vec![1, 4, 5, 9, 7, 2, 8]);
+        for (pos, &row) in concat.iter().enumerate() {
+            assert_eq!(plan.scatter_position(row as usize), Some(pos as u32));
+            assert_eq!(plan.inverse()[row as usize], pos as u32);
+        }
+        for empty in [0usize, 3, 6] {
+            assert_eq!(plan.scatter_position(empty), None);
+            assert_eq!(plan.inverse()[empty], EMPTY_ROW_SLOT);
+        }
+    }
+
+    #[test]
+    fn bucket_lane_slots_and_occupancy() {
+        let plan = RowPlan::from_csr(&mixed());
+        let b = &plan.buckets()[0]; // lengths 1 and 2
+        assert_eq!(b.nnz, 3);
+        assert_eq!(b.lane_slots(2), 4); // 2 + 2
+        assert_eq!(b.lane_slots(32), 64); // 32 + 32
+        assert!((b.lanes_active_frac(2) - 0.75).abs() < 1e-12);
+        let tail = &plan.buckets()[5]; // lengths 40 and 33
+        assert_eq!(tail.lane_slots(32), 64 + 64);
+        assert_eq!(tail.lane_slots(8), 40 + 40);
+    }
+
+    #[test]
+    fn all_empty_matrix_has_empty_plan() {
+        let m = Csr::<f64, u32>::from_rows(8, &[vec![], vec![], vec![]]).unwrap();
+        let plan = RowPlan::from_csr(&m);
+        assert_eq!(plan.empty_rows(), 3);
+        assert_eq!(plan.nonempty_rows(), 0);
+        assert!(plan.buckets().iter().all(|b| b.is_empty()));
+        assert!(plan.inverse().iter().all(|&p| p == EMPTY_ROW_SLOT));
+    }
+}

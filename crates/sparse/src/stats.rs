@@ -7,8 +7,20 @@
 //! than a warp (32) — the rows for which the warp-per-row kernel wastes
 //! lanes.
 
+use crate::rowplan::{bucket_index_for_len, NUM_ROW_BUCKETS, ROW_BUCKET_BOUNDS};
 use crate::{ColIndex, Csr};
 use rt_f16::DoseScalar;
+
+/// One length bucket of [`RowStats::bucket_histogram`]: how many rows and
+/// stored entries fall in the `[min_len, max_len]` range. Empty rows are
+/// excluded — they belong to no bucket.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BucketHistogramEntry {
+    pub min_len: u32,
+    pub max_len: u32,
+    pub rows: u64,
+    pub nnz: u64,
+}
 
 /// Summary statistics over the stored row lengths of a matrix.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -110,8 +122,11 @@ impl RowStats {
     }
 
     /// Total lane slots a width-`width` cooperative tile spends covering
-    /// the non-empty rows: each row of length `l` occupies
-    /// `ceil(l / width) * width` slots (the last pass is padded).
+    /// the **non-empty** rows: each row of length `l` occupies
+    /// `ceil(l / width) * width` slots (the last pass is padded). This is
+    /// what a row-partitioned launch schedules — empty rows contribute no
+    /// slots here; see [`RowStats::scheduled_lane_slots`] for whole-matrix
+    /// launches that visit every row.
     pub fn lane_slots(&self, width: u32) -> u64 {
         assert!(width > 0, "tile width must be positive");
         let w = width as u64;
@@ -121,8 +136,12 @@ impl RowStats {
             .sum()
     }
 
-    /// Fraction of lane slots that carry a stored entry when rows are
-    /// processed by width-`width` tiles — 1.0 means no padded lanes.
+    /// Fraction of non-empty-row lane slots that carry a stored entry when
+    /// rows are processed by width-`width` tiles — 1.0 means no padded
+    /// lanes. Empty rows are *never* counted as occupied slots: a
+    /// whole-matrix launch still schedules a tile per empty row, but those
+    /// lanes carry nothing (see
+    /// [`RowStats::scheduled_lanes_active_frac`]).
     pub fn lanes_active_frac(&self, width: u32) -> f64 {
         let slots = self.lane_slots(width);
         if slots == 0 {
@@ -130,6 +149,48 @@ impl RowStats {
         } else {
             self.nnz as f64 / slots as f64
         }
+    }
+
+    /// Lane slots a whole-matrix width-`width` launch schedules: the
+    /// non-empty-row slots of [`RowStats::lane_slots`] plus `width` wasted
+    /// slots per empty row (the classic and tiled kernels assign a tile to
+    /// every row, empty or not).
+    pub fn scheduled_lane_slots(&self, width: u32) -> u64 {
+        self.lane_slots(width) + self.empty_rows as u64 * width as u64
+    }
+
+    /// Fraction of *scheduled* lane slots that carry a stored entry in a
+    /// whole-matrix width-`width` launch. Empty rows contribute slots to
+    /// the denominator and nothing to the numerator — this is the honest
+    /// occupancy figure for unpartitioned launches.
+    pub fn scheduled_lanes_active_frac(&self, width: u32) -> f64 {
+        let slots = self.scheduled_lane_slots(width);
+        if slots == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / slots as f64
+        }
+    }
+
+    /// Row and nnz counts per [`ROW_BUCKET_BOUNDS`] length bucket — always
+    /// [`NUM_ROW_BUCKETS`] entries, empty rows excluded.
+    pub fn bucket_histogram(&self) -> Vec<BucketHistogramEntry> {
+        let mut out: Vec<BucketHistogramEntry> = ROW_BUCKET_BOUNDS
+            .iter()
+            .map(|&(min_len, max_len)| BucketHistogramEntry {
+                min_len,
+                max_len,
+                rows: 0,
+                nnz: 0,
+            })
+            .collect();
+        for &l in &self.sorted_nonempty {
+            let e = &mut out[bucket_index_for_len(l)];
+            e.rows += 1;
+            e.nnz += l as u64;
+        }
+        debug_assert_eq!(out.len(), NUM_ROW_BUCKETS);
+        out
     }
 
     /// q-th quantile (0..=1) of non-empty row lengths.
@@ -238,6 +299,32 @@ mod tests {
         for pair in [2u32, 4, 8, 16, 32].windows(2) {
             assert!(s.lanes_active_frac(pair[0]) >= s.lanes_active_frac(pair[1]));
         }
+    }
+
+    #[test]
+    fn scheduled_slots_count_empty_rows() {
+        let s = RowStats::from_csr(&skewed());
+        // 7 empty rows add 7 * width wasted slots to a whole-matrix launch.
+        assert_eq!(s.scheduled_lane_slots(32), 224 + 7 * 32);
+        assert!((s.scheduled_lanes_active_frac(32) - 142.0 / 448.0).abs() < 1e-12);
+        // Partitioned occupancy (lanes_active_frac) never counts empties.
+        assert!(s.scheduled_lanes_active_frac(32) < s.lanes_active_frac(32));
+        assert_eq!(s.scheduled_lane_slots(2), 142 + 14);
+    }
+
+    #[test]
+    fn bucket_histogram_partitions_nonempty_rows() {
+        let s = RowStats::from_csr(&skewed());
+        let h = s.bucket_histogram();
+        assert_eq!(h.len(), 6);
+        // Lengths 2, 40, 100 → buckets 0 (1-2) and 5 (33+).
+        assert_eq!((h[0].rows, h[0].nnz), (1, 2));
+        assert_eq!((h[1].rows, h[2].rows, h[3].rows, h[4].rows), (0, 0, 0, 0));
+        assert_eq!((h[5].rows, h[5].nnz), (2, 140));
+        let rows: u64 = h.iter().map(|e| e.rows).sum();
+        let nnz: u64 = h.iter().map(|e| e.nnz).sum();
+        assert_eq!(rows, 3); // empty rows excluded
+        assert_eq!(nnz, 142);
     }
 
     #[test]

@@ -16,17 +16,22 @@
 
 use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
 use rtdose::engine::{Engine, RequestKind};
-use rtdose::f16::F16;
-use rtdose::gpusim::{DeviceSpec, Gpu};
+use rtdose::f16::{DoseScalar, F16};
+use rtdose::gpusim::{
+    DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, GroupReport, KernelProfile, KernelStats,
+};
 use rtdose::kernels::{
-    heuristic_width, profile_baseline, profile_half_double, profile_single, rs_baseline_gpu_spmv,
-    vector_csr_spmv, vector_csr_spmv_tiled, GpuCsrMatrix, GpuRsMatrix, KernelSelect, TILE_WIDTHS,
+    bucketed_group_report, heuristic_width, profile_baseline, profile_half_double, profile_single,
+    rs_baseline_gpu_spmv, vector_csr_spmv, vector_csr_spmv_bucketed, vector_csr_spmv_tiled,
+    BucketWidths, GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelSelect, PartitionStrategy,
+    VecScalar, TILE_WIDTHS,
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::stats::{MatrixSummary, RowStats};
-use rtdose::sparse::{load_csr, save_csr, Csr, RsCompressed};
+use rtdose::sparse::{load_csr, save_csr, Csr, RowPlan, RsCompressed};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
@@ -38,11 +43,11 @@ fn usage() -> ! {
            rtdose stats    --matrix FILE\n\
            rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
                            [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
-                           [--tile auto|2|4|8|16|32]\n\
+                           [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
            rtdose kernels  FILE [--device a100|v100|p100] [--tpb N]\n\
            rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
            rtdose serve-demo [--requests N] [--shrink S] [--submitters N]\n\
-                           [--tile auto|2|4|8|16|32]\n\
+                           [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -82,6 +87,27 @@ fn parse_tile(flags: &HashMap<String, String>) -> Option<u32> {
             }
         },
     }
+}
+
+/// `--partition`: `None` means whole-matrix dispatch, `Some(strategy)`
+/// routes rows through the bucketed row-partition plan. Mutually
+/// exclusive with a pinned `--tile` width (the partition picks a width
+/// per bucket).
+fn parse_partition(flags: &HashMap<String, String>) -> Option<PartitionStrategy> {
+    let strategy = match flags.get("partition").map(String::as_str) {
+        None => return None,
+        Some("heuristic") => PartitionStrategy::Heuristic,
+        Some("probe") => PartitionStrategy::MeasuredProbe,
+        Some(s) => {
+            eprintln!("--partition must be heuristic or probe (got {s})");
+            usage();
+        }
+    };
+    if flags.contains_key("tile") {
+        eprintln!("--partition and --tile are mutually exclusive (the partition picks a width per bucket)");
+        usage();
+    }
+    Some(strategy)
 }
 
 fn device(name: &str) -> DeviceSpec {
@@ -205,6 +231,40 @@ fn cmd_stats(flags: HashMap<String, String>) {
     }
 }
 
+/// Autotunes the per-bucket widths, runs the bucketed dispatch `repeat`
+/// times (cold cache between repeats, like the whole-matrix path) and
+/// assembles the fused group report.
+#[allow(clippy::too_many_arguments)]
+fn run_partitioned_spmv<V: DoseScalar, X: VecScalar>(
+    gpu: &Gpu,
+    dev: &DeviceSpec,
+    m: &Csr<V, u32>,
+    gm: &GpuCsrMatrix<V, u32>,
+    x: &DeviceBuffer<X>,
+    y: &DeviceOutBuffer<X>,
+    tpb: u32,
+    repeat: usize,
+    strategy: PartitionStrategy,
+    profile: &KernelProfile,
+) -> (KernelStats, GroupReport, &'static str, Arc<RowPlan>) {
+    let choice = KernelSelect::Partitioned(strategy)
+        .choose(dev, m, tpb)
+        .expect("partitioned selection cannot fail on a loaded snapshot");
+    let mut widths = BucketWidths::natural();
+    for bc in &choice.buckets {
+        widths.0[bc.bucket] = bc.tile_width;
+    }
+    let plan = Arc::new(RowPlan::from_csr(m));
+    let gplan = GpuRowPlan::upload(gpu, plan.clone());
+    let mut g = vector_csr_spmv_bucketed(gpu, gm, x, y, tpb, &gplan, widths);
+    for _ in 1..repeat {
+        gpu.reset_cache();
+        g = vector_csr_spmv_bucketed(gpu, gm, x, y, tpb, &gplan, widths);
+    }
+    let report = bucketed_group_report(dev, profile, &plan, &g);
+    (g.merged, report, choice.mode, plan)
+}
+
 fn cmd_spmv(flags: HashMap<String, String>) {
     let m = load_matrix(&flags);
     let dev = device(flags.get("device").map(String::as_str).unwrap_or("a100"));
@@ -220,16 +280,22 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         .get("kernel")
         .map(String::as_str)
         .unwrap_or("half-double");
-    // Resolve the tile width for the vector kernels: a pinned --tile
-    // value, or the statistics heuristic on auto (the same rule serving
-    // plans default to). The baseline kernel has no tiled variant.
-    let (tile, tile_mode) = match parse_tile(&flags) {
-        Some(w) => (w, "fixed"),
-        None => {
-            let choice = KernelSelect::Heuristic
-                .choose(&dev, &m, tpb)
-                .expect("heuristic selection cannot fail");
-            (choice.tile_width, "auto/heuristic")
+    let partition = parse_partition(&flags);
+    // Resolve the tile width for the whole-matrix vector kernels: a
+    // pinned --tile value, or the statistics heuristic on auto (the same
+    // rule serving plans default to). The baseline kernel has no tiled
+    // variant, and a --partition run picks its widths per bucket instead.
+    let (tile, tile_mode) = if partition.is_some() {
+        (32, "partitioned")
+    } else {
+        match parse_tile(&flags) {
+            Some(w) => (w, "fixed"),
+            None => {
+                let choice = KernelSelect::Heuristic
+                    .choose(&dev, &m, tpb)
+                    .expect("heuristic selection cannot fail");
+                (choice.tile_width, "auto/heuristic")
+            }
         }
     };
 
@@ -239,24 +305,34 @@ fn cmd_spmv(flags: HashMap<String, String>) {
     // full device L2, which a clinical matrix never would. Invalidate
     // between repeats so the matrix streams like the real workload.
     let t0 = std::time::Instant::now();
+    let mut group: Option<(GroupReport, &'static str, Arc<RowPlan>)> = None;
     let (stats, profile) = match kernel {
         "half-double" => {
             let gm = GpuCsrMatrix::upload(&gpu, &m);
             let x = gpu.upload(&weights);
             let y = gpu.alloc_out::<f64>(m.nrows());
-            let run = || {
-                if tile == 32 {
-                    vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
-                } else {
-                    vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+            let profile = profile_half_double();
+            if let Some(strategy) = partition {
+                let (s, rep, mode, plan) = run_partitioned_spmv(
+                    &gpu, &dev, &m, &gm, &x, &y, tpb, repeat, strategy, &profile,
+                );
+                group = Some((rep, mode, plan));
+                (s, profile)
+            } else {
+                let run = || {
+                    if tile == 32 {
+                        vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
+                    } else {
+                        vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+                    }
+                };
+                let mut s = run();
+                for _ in 1..repeat {
+                    gpu.reset_cache();
+                    s = run();
                 }
-            };
-            let mut s = run();
-            for _ in 1..repeat {
-                gpu.reset_cache();
-                s = run();
+                (s, profile)
             }
-            (s, profile_half_double())
         }
         "single" => {
             let m32: Csr<f32, u32> = m.convert_values();
@@ -264,21 +340,34 @@ fn cmd_spmv(flags: HashMap<String, String>) {
             let w32: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
             let x = gpu.upload(&w32);
             let y = gpu.alloc_out::<f32>(m.nrows());
-            let run = || {
-                if tile == 32 {
-                    vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
-                } else {
-                    vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+            let profile = profile_single();
+            if let Some(strategy) = partition {
+                let (s, rep, mode, plan) = run_partitioned_spmv(
+                    &gpu, &dev, &m32, &gm, &x, &y, tpb, repeat, strategy, &profile,
+                );
+                group = Some((rep, mode, plan));
+                (s, profile)
+            } else {
+                let run = || {
+                    if tile == 32 {
+                        vector_csr_spmv(&gpu, &gm, &x, &y, tpb)
+                    } else {
+                        vector_csr_spmv_tiled(&gpu, &gm, &x, &y, tpb, tile)
+                    }
+                };
+                let mut s = run();
+                for _ in 1..repeat {
+                    gpu.reset_cache();
+                    s = run();
                 }
-            };
-            let mut s = run();
-            for _ in 1..repeat {
-                gpu.reset_cache();
-                s = run();
+                (s, profile)
             }
-            (s, profile_single())
         }
         "baseline" => {
+            if partition.is_some() {
+                eprintln!("--partition applies to the vector kernels only (baseline has no bucketed variant)");
+                usage();
+            }
             let rs = RsCompressed::from_csr(&m);
             let gm = GpuRsMatrix::upload(&gpu, &rs);
             let x = gpu.upload(&weights);
@@ -304,7 +393,13 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         tpb,
         t0.elapsed()
     );
-    if kernel != "baseline" {
+    if let Some((_, mode, plan)) = &group {
+        println!(
+            "  partition            : {mode} ({} of {} rows empty, eliminated)",
+            plan.empty_rows(),
+            plan.nrows()
+        );
+    } else if kernel != "baseline" {
         println!("  tile width           : {tile} ({tile_mode})");
     } else if flags.contains_key("tile") {
         println!("  tile width           : ignored (baseline kernel has no tiled variant)");
@@ -331,6 +426,26 @@ fn cmd_spmv(flags: HashMap<String, String>) {
         est.frac_peak_bw * 100.0,
         dev.name
     );
+    if let Some((rep, _, _)) = &group {
+        println!(
+            "\n  fused dispatch ({} members, one launch overhead):",
+            rep.buckets.len()
+        );
+        println!(
+            "  {:<12} {:>6} {:>10} {:>13} {:>12}",
+            "member", "width", "rows", "lanes active", "modeled us"
+        );
+        for b in &rep.buckets {
+            println!(
+                "  {:<12} {:>6} {:>10} {:>12.1}% {:>12.3}",
+                b.label,
+                b.tile_width,
+                b.rows,
+                b.lanes_active_frac * 100.0,
+                b.estimate.seconds * 1e6
+            );
+        }
+    }
 }
 
 /// Prints the autotuner's full decision table for one snapshot: every
@@ -396,6 +511,42 @@ fn cmd_kernels(args: &[String]) {
         "\nheuristic (stats only) picks w{heuristic}; measured probe picks w{} — \
          serving plans default to the heuristic",
         choice.tile_width
+    );
+
+    // The row-partitioned alternative: what --partition probe would run.
+    // Empty rows are dropped from the partition outright, so they never
+    // appear in any bucket (or in its lane-occupancy figure).
+    let part = KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe)
+        .choose(&dev, &m, tpb)
+        .expect("partitioned probe cannot fail on a loaded snapshot");
+    println!(
+        "\nrow-partitioned dispatch (--partition probe): {} empty rows eliminated",
+        stats.empty_rows
+    );
+    println!("  bucket            rows          nnz   natural   probe   lanes active");
+    let natural = BucketWidths::natural();
+    for bc in &part.buckets {
+        if bc.rows == 0 {
+            continue;
+        }
+        let range = if bc.max_len == u32::MAX {
+            format!("{}+", bc.min_len)
+        } else {
+            format!("{}-{}", bc.min_len, bc.max_len)
+        };
+        println!(
+            "  rows {:<8} {:>9} {:>12} {:>9} {:>7} {:>13.1}%",
+            range,
+            bc.rows,
+            bc.nnz,
+            format!("w{}", natural.0[bc.bucket]),
+            format!("w{}", bc.tile_width),
+            bc.lanes_active_frac * 100.0
+        );
+    }
+    println!(
+        "partitioned gradient/transpose fallback width: w{} (widest populated bucket)",
+        part.tile_width
     );
 }
 
@@ -479,10 +630,13 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         .unwrap_or(4)
         .max(1);
     // --tile auto (the default) lets every plan autotune its own width
-    // at registration; a pinned width applies to all plans.
-    let select = match parse_tile(&flags) {
-        Some(w) => KernelSelect::Fixed(w),
-        None => KernelSelect::Heuristic,
+    // at registration; a pinned width applies to all plans, and
+    // --partition routes every plan through the bucketed row partition
+    // (parse_partition rejects the combination with a pinned --tile).
+    let select = match (parse_partition(&flags), parse_tile(&flags)) {
+        (Some(strategy), _) => KernelSelect::Partitioned(strategy),
+        (None, Some(w)) => KernelSelect::Fixed(w),
+        (None, None) => KernelSelect::Heuristic,
     };
 
     println!("generating plans (shrink {shrink}) ...");
@@ -516,6 +670,21 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
             m.nnz(),
             engine.plan_tile_width(name).unwrap()
         );
+        let choice = engine.plan_choice(name).unwrap();
+        for bc in choice.buckets.iter().filter(|b| b.rows > 0) {
+            let range = if bc.max_len == u32::MAX {
+                format!("{}+", bc.min_len)
+            } else {
+                format!("{}-{}", bc.min_len, bc.max_len)
+            };
+            println!(
+                "      bucket rows {:<6} -> w{:<2} ({} rows, {:.1}% lanes active)",
+                range,
+                bc.tile_width,
+                bc.rows,
+                bc.lanes_active_frac * 100.0
+            );
+        }
     }
     println!(
         "pool: {}  |  {} requests from {} submitter threads",
