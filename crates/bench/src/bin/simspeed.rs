@@ -14,7 +14,18 @@
 //!   short-row shell plus a dense tail) timing every fixed width, the
 //!   whole-matrix autotuned pick, and the bucketed row-partition
 //!   dispatch — the shape empty-row elimination and per-bucket width
-//!   dispatch exist for.
+//!   dispatch exist for, and
+//! * the same liver shape **row-sharded across a 3×A100 pool**: one
+//!   request executed cooperatively, 3 nnz-balanced row shards running
+//!   concurrently, the interconnect gather of each shard's rows charged
+//!   to the critical path. Its `sim_speedup_vs_one_device` compares the
+//!   pool's modeled critical path against the same bucketed dispatch
+//!   fully resident on one device.
+//!
+//! The JSON carries `schema_version` and a stable `suite` id per kernel
+//! entry (`prostate-paper`, `shortrow`, `liver-beam-1`,
+//! `liver-beam-1-sharded`) so trend tooling can group entries without
+//! parsing names.
 //!
 //! Reported per kernel: median wall-clock per launch, simulated non-zeros
 //! per second, simulated L2 sector transactions per second, and (for the
@@ -30,24 +41,28 @@
 //!
 //! `--quick` runs a trimmed smoke check (no file write) and exits
 //! non-zero if the autotuned pick is modeled slower than warp-per-row on
-//! the short-row suite, or if the partitioned pick is modeled slower
-//! than the best fixed-width whole-matrix kernel on the liver beam-1
-//! suite — the CI gates for both autotuners.
+//! the short-row suite, if the partitioned pick is modeled slower than
+//! the best fixed-width whole-matrix kernel on the liver beam-1 suite,
+//! or if the 3-device sharded dispatch models less than 1.6× one device
+//! on the same suite — the CI gates for the autotuners and the
+//! cooperative pool.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_core::{
     profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv,
-    vector_csr_spmv_bucketed, vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan,
-    GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy, TILE_WIDTHS,
+    vector_csr_spmv_bucketed, vector_csr_spmv_sharded, vector_csr_spmv_tiled, BucketWidths,
+    GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy,
+    ShardDispatch, ShardedCsr, TILE_WIDTHS,
 };
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
 use rt_gpusim::{
-    timing, BucketReport, DeviceSpec, Gpu, GroupStats, KernelProfile, KernelStats, LaunchReport,
+    timing, BucketReport, DeviceGroup, DeviceSpec, Gpu, GroupStats, KernelProfile, KernelStats,
+    LaunchReport, ShardReport, ShardedReport,
 };
 use rt_sparse::stats::RowStats;
-use rt_sparse::{Csr, RowPlan, RsCompressed};
+use rt_sparse::{Csr, RowPlan, RsCompressed, ShardPlan};
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -86,9 +101,29 @@ struct Measurement {
     /// Partitioned entry only: per-bucket breakdown of the fused
     /// dispatch (width, rows, true lane occupancy, standalone estimate).
     buckets: Option<Vec<BucketReport>>,
+    /// Sharded entry only: modeled critical-path speedup of the pool
+    /// over the same dispatch fully resident on one device.
+    sim_speedup_vs_one_device: Option<f64>,
+    /// Sharded entry only: per-shard breakdown (home device, row range,
+    /// nnz, standalone compute estimate, gather cost).
+    shards: Option<Vec<ShardReport>>,
     /// Unified per-launch record (counters + modeled time) in the same
     /// shape the serving engine and the calculator emit.
     report: LaunchReport,
+}
+
+/// Stable suite id for a kernel entry — the grouping key trend tooling
+/// keys on, independent of entry names.
+fn suite_id(name: &str) -> &'static str {
+    if name.starts_with("shortrow_") {
+        "shortrow"
+    } else if name.starts_with("liverb1_sharded") {
+        "liver-beam-1-sharded"
+    } else if name.starts_with("liverb1_") {
+        "liver-beam-1"
+    } else {
+        "prostate-paper"
+    }
 }
 
 /// Total simulated L2 sector transactions in one launch.
@@ -134,6 +169,8 @@ fn time_kernel(
         speedup_vs_autotuned_w: None,
         sim_speedup_vs_best_fixed: None,
         buckets: None,
+        sim_speedup_vs_one_device: None,
+        shards: None,
         report: LaunchReport::new(profile.name.clone(), device.name, stats, estimate),
     }
 }
@@ -311,10 +348,88 @@ fn time_partitioned(
     meas
 }
 
+/// Times the row-sharded multi-device dispatch: `pool` nnz-balanced row
+/// shards, one resident per device of a `pool`-wide group of identical
+/// devices, every shard running the bucketed dispatch at the globally
+/// pinned (probe-autotuned) widths. The modeled figure is the pool's
+/// critical path — `max` over shards of compute plus the interconnect
+/// gather of the shard's rows — i.e. what one cooperative request
+/// finishes in.
+fn time_sharded(
+    name: &'static str,
+    csr: &Csr<F16, u32>,
+    device: &DeviceSpec,
+    pool: usize,
+    warmup: usize,
+    samples: usize,
+) -> Measurement {
+    let choice = KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe)
+        .choose(device, csr, 512)
+        .expect("partitioned probe cannot fail on a valid matrix");
+    let mut widths = BucketWidths::natural();
+    for bc in &choice.buckets {
+        widths.0[bc.bucket] = bc.tile_width;
+    }
+    let dispatch = ShardDispatch::Bucketed(widths);
+    let plan = ShardPlan::build(csr, pool);
+    let group = DeviceGroup::new(vec![device.clone(); pool]);
+    let sm = ShardedCsr::upload(&group, &plan);
+    let x = vec![1.0f64; csr.ncols()];
+    let profile = profile_half_double();
+    let run = || {
+        vector_csr_spmv_sharded(&group, &sm, &x, 512, dispatch, &profile)
+            .expect("sharded dispatch cannot fail on validated widths")
+            .1
+    };
+    let mut last: ShardedReport = run();
+    for _ in 1..warmup {
+        last = run();
+    }
+    let samples_ns: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            last = run();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+
+    // Pool-level record: merged counters; seconds and the derived rates
+    // rebuilt around the critical path (the per-device estimator has no
+    // notion of concurrent shards or the gather hop).
+    let mut estimate = timing::estimate(device, &profile, &last.stats);
+    estimate.seconds = last.modeled_seconds;
+    estimate.gflops = last.stats.flops as f64 / last.modeled_seconds / 1e9;
+    let dram = (last.stats.dram_read_bytes + last.stats.dram_write_bytes) as f64;
+    estimate.dram_bw_gbps = dram / last.modeled_seconds / 1e9;
+    estimate.frac_peak_bw = dram / last.modeled_seconds / (device.dram_bw * pool as f64);
+    Measurement {
+        name,
+        ns_per_iter: median_ns(samples_ns),
+        nnz: csr.nnz() as u64,
+        sectors_per_launch: sectors(&last.stats),
+        tile_width: None,
+        lanes_active_frac: None,
+        speedup_vs_warp32: None,
+        sim_speedup_vs_warp32: None,
+        speedup_vs_autotuned_w: None,
+        sim_speedup_vs_best_fixed: None,
+        buckets: None,
+        sim_speedup_vs_one_device: None,
+        shards: Some(last.shards.clone()),
+        report: LaunchReport::new(
+            profile.name.clone(),
+            format!("{} x{}", device.name, pool),
+            last.stats.clone(),
+            estimate,
+        ),
+    }
+}
+
 fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     writeln!(out, "  \"bench\": \"sim_kernels\",").unwrap();
+    writeln!(out, "  \"schema_version\": 2,").unwrap();
     writeln!(out, "  \"mode\": \"parallel\",").unwrap();
     writeln!(out, "  \"workers\": {workers},").unwrap();
     writeln!(
@@ -332,6 +447,7 @@ fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice
             .map(|(_, ns)| *ns);
         out.push_str("    {\n");
         writeln!(out, "      \"name\": \"{}\",", m.name).unwrap();
+        writeln!(out, "      \"suite\": \"{}\",", suite_id(m.name)).unwrap();
         writeln!(out, "      \"ns_per_iter\": {:.1},", m.ns_per_iter).unwrap();
         writeln!(out, "      \"nnz\": {},", m.nnz).unwrap();
         writeln!(
@@ -369,6 +485,30 @@ fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice
         }
         if let Some(s) = m.sim_speedup_vs_best_fixed {
             writeln!(out, "      \"sim_speedup_vs_best_fixed\": {s:.2},").unwrap();
+        }
+        if let Some(s) = m.sim_speedup_vs_one_device {
+            writeln!(out, "      \"sim_speedup_vs_one_device\": {s:.2},").unwrap();
+        }
+        if let Some(shards) = &m.shards {
+            out.push_str("      \"shards\": [");
+            for (j, s) in shards.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                write!(
+                    out,
+                    "{{\"shard\": {}, \"device\": \"{}\", \"row_start\": {}, \"rows\": {}, \"nnz\": {}, \"modeled_us\": {:.3}, \"gather_us\": {:.3}}}",
+                    s.shard,
+                    s.device,
+                    s.row_start,
+                    s.rows,
+                    s.nnz,
+                    s.estimate.seconds * 1e6,
+                    s.gather_seconds * 1e6
+                )
+                .unwrap();
+            }
+            out.push_str("],\n");
         }
         if let Some(buckets) = &m.buckets {
             out.push_str("      \"buckets\": [");
@@ -484,6 +624,22 @@ fn quick_smoke() -> ! {
     );
     if part_s > best_fixed {
         eprintln!("FAIL: partitioned dispatch is modeled slower than the best fixed width");
+        failed = true;
+    }
+
+    // Gate 3: one request sharded across a 3-device pool must model a
+    // real cooperative win over the same dispatch on one device — gather
+    // cost and per-shard launch overhead included.
+    let sharded = time_sharded("liverb1_sharded_x3", &liver, &device, 3, 1, 2);
+    let shard_s = sharded.report.estimate.seconds;
+    println!(
+        "quick: sharded x3: {:.3} us modeled critical path vs one device {:.3} us ({:.2}x)",
+        shard_s * 1e6,
+        part_s * 1e6,
+        part_s / shard_s,
+    );
+    if part_s / shard_s < 1.6 {
+        eprintln!("FAIL: 3-device sharded dispatch models less than 1.6x one device");
         failed = true;
     }
     std::process::exit(if failed { 1 } else { 0 });
@@ -641,7 +797,17 @@ fn main() {
         m.speedup_vs_warp32 = Some(lw32_ns / m.ns_per_iter);
         m.sim_speedup_vs_warp32 = Some(lw32_s / m.report.estimate.seconds);
     }
+    let liver_part_s = liver_part.report.estimate.seconds;
     liver_entries.push(liver_part);
+
+    // Suite 4: the same liver shape row-sharded across a 3×A100 pool —
+    // one cooperative request, nnz-balanced shards, gather on the
+    // critical path. Compared against the same bucketed dispatch fully
+    // resident on one device.
+    let mut liver_sharded = time_sharded("liverb1_sharded_x3", &liver, &device, 3, 2, 7);
+    liver_sharded.sim_speedup_vs_one_device =
+        Some(liver_part_s / liver_sharded.report.estimate.seconds);
+    liver_entries.push(liver_sharded);
 
     let mut measurements = vec![vector, baseline, warp32];
     measurements.extend(tiled);

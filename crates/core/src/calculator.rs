@@ -305,6 +305,18 @@ impl DoseCalculator {
         self.gpu.spec()
     }
 
+    /// Device-resident bytes this calculator pins: the uploaded matrix
+    /// plus (when gradients are enabled) its transpose. The serving
+    /// engine sums this per device so sharded residency's ~K× memory
+    /// saving is visible in `EngineReport`.
+    pub fn resident_bytes(&self) -> u64 {
+        let mut bytes = self.matrix.size_bytes() as u64;
+        if let Some(t) = &self.transpose {
+            bytes += t.size_bytes() as u64;
+        }
+        bytes
+    }
+
     /// Whether gradients are available (built `with_transpose`).
     #[inline]
     pub fn has_transpose(&self) -> bool {

@@ -1,0 +1,515 @@
+//! Row-sharded multi-device SpMV/SpMM: one dose request executed
+//! cooperatively across a [`DeviceGroup`].
+//!
+//! The vector kernel saturates one device's DRAM bandwidth, so a single
+//! request only gets faster with more DRAM — more devices. This module
+//! drives a [`rt_sparse::ShardPlan`] (contiguous row ranges, balanced by
+//! nnz) across a [`DeviceGroup`]: shard `i` lives on device `i % N`
+//! (matrix + row plan uploaded once, at [`ShardedCsr::upload`]), every
+//! shard launches concurrently on its home device with its own cache and
+//! counter state, and the partial doses scatter into disjoint slices of
+//! the merged output.
+//!
+//! **Reproducibility contract.** Widths are pinned *globally*, from the
+//! whole matrix, before sharding: [`ShardDispatch::Fixed`] runs every
+//! shard at one width, and [`ShardDispatch::Bucketed`] shares one
+//! [`BucketWidths`] table across shards — a row's bucket is a function of
+//! its length alone, so every row runs the byte-identical per-row
+//! arithmetic it would run unsharded. Each output element is produced by
+//! exactly one shard, so the merge is a pure disjoint scatter, and the
+//! doses are **bitwise identical** to the unsharded kernels for any shard
+//! count, pool size, or completion order (asserted across all of them in
+//! `crates/core/tests/sharded.rs`).
+//!
+//! The timing model charges each shard its compute time on its home
+//! device plus an inter-device gather term
+//! ([`rt_gpusim::timing::gather_estimate`]) for shipping its non-empty
+//! row results to the merged buffer; the sharded launch completes at
+//! `max_i(compute_i + gather_i)` — the critical path, not the sum
+//! ([`ShardedReport::modeled_seconds`]).
+
+use crate::bucketed::{
+    vector_csr_spmm_bucketed, vector_csr_spmv_bucketed, BucketWidths, GpuRowPlan,
+};
+use crate::error::RtError;
+use crate::select::{KernelChoice, KernelSelect};
+use crate::tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled};
+use crate::vector_csr::{
+    vector_csr_spmm, vector_csr_spmv, GpuCsrMatrix, VecScalar, MAX_SPMM_BATCH,
+};
+use rt_f16::DoseScalar;
+use rt_gpusim::{
+    timing, DeviceGroup, DeviceTask, Gpu, KernelProfile, KernelStats, ShardReport, ShardedReport,
+    TILE_WIDTHS, WARP_SIZE,
+};
+use rt_sparse::{ColIndex, ShardPlan};
+
+/// How every shard of a sharded launch dispatches its rows. Pinned once
+/// per plan, from the *whole* matrix — never re-derived per shard — so
+/// each row's tile width is shard-invariant (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardDispatch {
+    /// One tile width for every row of every shard (32 = the classic
+    /// warp-per-row kernel, exactly as the unsharded dispatch).
+    Fixed(u32),
+    /// Bucketed row-partition dispatch per shard, all shards sharing one
+    /// global width table.
+    Bucketed(BucketWidths),
+}
+
+impl ShardDispatch {
+    /// Short human/JSON label ("w=8" or "bucketed").
+    pub fn label(&self) -> String {
+        match self {
+            ShardDispatch::Fixed(w) => format!("w={w}"),
+            ShardDispatch::Bucketed(_) => "bucketed".to_string(),
+        }
+    }
+
+    fn validate(&self) -> Result<(), RtError> {
+        match self {
+            ShardDispatch::Fixed(w) => {
+                if !TILE_WIDTHS.contains(w) {
+                    return Err(RtError::InvalidTileWidth(*w));
+                }
+            }
+            ShardDispatch::Bucketed(widths) => {
+                if !widths.is_valid() {
+                    return Err(RtError::InvalidTileWidth(
+                        widths
+                            .0
+                            .iter()
+                            .copied()
+                            .find(|w| !TILE_WIDTHS.contains(w))
+                            .unwrap_or(0),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One shard resident on its home device: the sub-CSR and its row plan,
+/// uploaded once and reused by every sharded launch.
+struct GpuShard<V, I = u32> {
+    row_start: usize,
+    row_end: usize,
+    nnz: usize,
+    nonempty_rows: usize,
+    matrix: GpuCsrMatrix<V, I>,
+    gplan: GpuRowPlan,
+}
+
+/// A [`ShardPlan`]'s shards uploaded across a [`DeviceGroup`]: shard `i`
+/// on device `i % N`. Holds only the device-resident state — the host
+/// [`ShardPlan`] can be dropped after upload.
+pub struct ShardedCsr<V, I = u32> {
+    nrows: usize,
+    ncols: usize,
+    shards: Vec<GpuShard<V, I>>,
+}
+
+impl<V: DoseScalar, I: ColIndex> ShardedCsr<V, I> {
+    /// Uploads every shard's matrix and row plan to its home device.
+    pub fn upload(group: &DeviceGroup, plan: &ShardPlan<V, I>) -> Self {
+        let shards = plan
+            .shards()
+            .iter()
+            .map(|s| {
+                let gpu = group.device_for(s.index);
+                GpuShard {
+                    row_start: s.row_start,
+                    row_end: s.row_end,
+                    nnz: s.nnz(),
+                    nonempty_rows: s.nonempty_rows(),
+                    matrix: GpuCsrMatrix::upload(gpu, &s.matrix),
+                    gplan: GpuRowPlan::upload(gpu, s.plan.clone()),
+                }
+            })
+            .collect();
+        ShardedCsr {
+            nrows: plan.nrows(),
+            ncols: plan.ncols(),
+            shards,
+        }
+    }
+
+    /// Rows of the full (unsharded) matrix.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Columns of the full matrix (every shard keeps the full column
+    /// space).
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Device-resident bytes this sharded matrix puts on device
+    /// `device` of a `pool`-device group (sum of the sub-CSR footprints
+    /// of the shards homed there). The whole point of sharded residency:
+    /// `sum_d(resident_bytes_on(d, pool)) ==` one full upload, instead of
+    /// `pool ×` full uploads.
+    pub fn resident_bytes_on(&self, device: usize, pool: usize) -> u64 {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % pool == device)
+            .map(|(_, s)| s.matrix.size_bytes() as u64)
+            .sum()
+    }
+
+    /// Total device-resident bytes across the pool.
+    pub fn resident_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.matrix.size_bytes() as u64)
+            .sum()
+    }
+}
+
+/// Runs one shard's launch on its home device and returns the partial
+/// result with the shard's merged counters.
+fn shard_launch<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    shard: &GpuShard<V, I>,
+    xs: &[Vec<X>],
+    threads_per_block: u32,
+    dispatch: ShardDispatch,
+) -> (Vec<Vec<X>>, KernelStats) {
+    let dxs: Vec<_> = xs.iter().map(|x| gpu.upload(x)).collect();
+    let dys: Vec<_> = (0..xs.len())
+        .map(|_| gpu.alloc_out::<X>(shard.matrix.nrows()))
+        .collect();
+    let xr: Vec<_> = dxs.iter().collect();
+    let yr: Vec<_> = dys.iter().collect();
+    let stats = match dispatch {
+        // Width 32 dispatches the classic warp-per-row kernels, exactly
+        // like the unsharded calculator path.
+        ShardDispatch::Fixed(w) if w == WARP_SIZE as u32 => {
+            if xs.len() == 1 {
+                vector_csr_spmv(gpu, &shard.matrix, xr[0], yr[0], threads_per_block)
+            } else {
+                vector_csr_spmm(gpu, &shard.matrix, &xr, &yr, threads_per_block)
+            }
+        }
+        ShardDispatch::Fixed(w) => {
+            if xs.len() == 1 {
+                vector_csr_spmv_tiled(gpu, &shard.matrix, xr[0], yr[0], threads_per_block, w)
+            } else {
+                vector_csr_spmm_tiled(gpu, &shard.matrix, &xr, &yr, threads_per_block, w)
+            }
+        }
+        ShardDispatch::Bucketed(widths) => {
+            let group = if xs.len() == 1 {
+                vector_csr_spmv_bucketed(
+                    gpu,
+                    &shard.matrix,
+                    xr[0],
+                    yr[0],
+                    threads_per_block,
+                    &shard.gplan,
+                    widths,
+                )
+            } else {
+                vector_csr_spmm_bucketed(
+                    gpu,
+                    &shard.matrix,
+                    &xr,
+                    &yr,
+                    threads_per_block,
+                    &shard.gplan,
+                    widths,
+                )
+            };
+            group.merged
+        }
+    };
+    (dys.iter().map(|dy| dy.to_vec()).collect(), stats)
+}
+
+fn sharded_launch<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    group: &DeviceGroup,
+    sm: &ShardedCsr<V, I>,
+    xs: &[Vec<X>],
+    threads_per_block: u32,
+    dispatch: ShardDispatch,
+    profile: &KernelProfile,
+) -> Result<(Vec<Vec<X>>, ShardedReport), RtError> {
+    dispatch.validate()?;
+    assert!(
+        !xs.is_empty() && xs.len() <= MAX_SPMM_BATCH,
+        "batch size must be 1..={MAX_SPMM_BATCH}, got {}",
+        xs.len()
+    );
+    for x in xs {
+        assert_eq!(x.len(), sm.ncols, "input vector length mismatch");
+    }
+
+    let tasks: Vec<DeviceTask<(Vec<Vec<X>>, KernelStats)>> = sm
+        .shards
+        .iter()
+        .map(|shard| {
+            Box::new(move |gpu: &Gpu| shard_launch(gpu, shard, xs, threads_per_block, dispatch))
+                as DeviceTask<_>
+        })
+        .collect();
+    let partials = group.run(tasks);
+
+    let mut ys: Vec<Vec<X>> = (0..xs.len())
+        .map(|_| vec![X::default(); sm.nrows])
+        .collect();
+    let mut reports = Vec::with_capacity(sm.shards.len());
+    for (i, (shard, (parts, stats))) in sm.shards.iter().zip(partials).enumerate() {
+        for (v, part) in parts.into_iter().enumerate() {
+            ys[v][shard.row_start..shard.row_end].copy_from_slice(&part);
+        }
+        let gpu = group.device_for(i);
+        let estimate = timing::estimate(gpu.spec(), profile, &stats);
+        let gather_bytes = shard.nonempty_rows as u64 * 8 * xs.len() as u64;
+        reports.push(ShardReport {
+            shard: i,
+            device: gpu.spec().name.to_string(),
+            row_start: shard.row_start as u64,
+            rows: (shard.row_end - shard.row_start) as u64,
+            nnz: shard.nnz as u64,
+            dispatch: dispatch.label(),
+            stats,
+            estimate,
+            gather_bytes,
+            gather_seconds: timing::gather_estimate(gpu.spec(), gather_bytes),
+        });
+    }
+    Ok((ys, ShardedReport::new(profile.name.clone(), reports)))
+}
+
+/// Sharded `y = A x`: every shard launches concurrently on its home
+/// device, partial doses scatter into disjoint slices of `y`. Bitwise
+/// identical to the unsharded kernel at the same (pinned) widths for any
+/// shard count, pool size, or completion order.
+pub fn vector_csr_spmv_sharded<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    group: &DeviceGroup,
+    sm: &ShardedCsr<V, I>,
+    x: &[X],
+    threads_per_block: u32,
+    dispatch: ShardDispatch,
+    profile: &KernelProfile,
+) -> Result<(Vec<X>, ShardedReport), RtError> {
+    let (mut ys, report) = sharded_launch(
+        group,
+        sm,
+        &[x.to_vec()],
+        threads_per_block,
+        dispatch,
+        profile,
+    )?;
+    Ok((ys.pop().unwrap(), report))
+}
+
+/// Multi-vector sharded dispatch: `ys[v] = A xs[v]` for every `v`, each
+/// shard running one SpMM launch over the whole batch on its home device.
+/// Per-vector arithmetic is identical to [`vector_csr_spmv_sharded`].
+pub fn vector_csr_spmm_sharded<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    group: &DeviceGroup,
+    sm: &ShardedCsr<V, I>,
+    xs: &[Vec<X>],
+    threads_per_block: u32,
+    dispatch: ShardDispatch,
+    profile: &KernelProfile,
+) -> Result<(Vec<Vec<X>>, ShardedReport), RtError> {
+    sharded_launch(group, sm, xs, threads_per_block, dispatch, profile)
+}
+
+/// One shard's autotuner verdict: [`KernelSelect`] resolved against the
+/// shard's *own* sub-CSR on its *home* device. Reporting/CLI evidence
+/// only — actual dispatch pins widths globally so sharded results stay
+/// bitwise identical to unsharded ones (see the module docs).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardSelection {
+    pub shard: usize,
+    /// Home device name (`shard % pool`).
+    pub device: String,
+    pub row_start: u64,
+    pub rows: u64,
+    pub nnz: u64,
+    /// Result bytes the shard ships at gather time.
+    pub gather_bytes: u64,
+    /// Modeled gather seconds over the home device's interconnect.
+    pub gather_seconds: f64,
+    /// The autotuner's decision for the shard in isolation.
+    pub choice: KernelChoice,
+}
+
+/// Resolves `select` per shard, against each shard's home device spec —
+/// the `rtdose kernels` shard table and the engine's per-shard evidence.
+pub fn select_per_shard<V: DoseScalar, I: ColIndex>(
+    select: &KernelSelect,
+    group: &DeviceGroup,
+    plan: &ShardPlan<V, I>,
+    threads_per_block: u32,
+) -> Result<Vec<ShardSelection>, RtError> {
+    plan.shards()
+        .iter()
+        .map(|s| {
+            let spec = group.device_for(s.index).spec();
+            let choice = select.choose(spec, &s.matrix, threads_per_block)?;
+            Ok(ShardSelection {
+                shard: s.index,
+                device: spec.name.to_string(),
+                row_start: s.row_start as u64,
+                rows: s.nrows() as u64,
+                nnz: s.nnz() as u64,
+                gather_bytes: s.gather_bytes(),
+                gather_seconds: timing::gather_estimate(spec, s.gather_bytes()),
+                choice,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rt_f16::F16;
+    use rt_gpusim::{DeviceSpec, ExecMode};
+    use rt_sparse::Csr;
+
+    fn random_csr(nrows: usize, ncols: usize, max_row: usize, seed: u64) -> Csr<F16, u32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    return Vec::new();
+                }
+                let len = rng.gen_range(1..=max_row);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..ncols)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            })
+            .collect();
+        let m: Csr<f64, u32> = Csr::from_rows(ncols, &rows).unwrap();
+        m.convert_values()
+    }
+
+    fn pool() -> DeviceGroup {
+        DeviceGroup::with_mode(
+            vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
+            ExecMode::Sequential,
+        )
+    }
+
+    #[test]
+    fn sharded_residency_sums_to_one_full_upload() {
+        let m = random_csr(600, 96, 30, 40);
+        let plan = ShardPlan::build(&m, 3);
+        let group = pool();
+        let sm = ShardedCsr::upload(&group, &plan);
+        let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+        let full = GpuCsrMatrix::upload(&gpu, &m).size_bytes() as u64;
+        let per_dev: u64 = (0..3).map(|d| sm.resident_bytes_on(d, 3)).sum();
+        assert_eq!(per_dev, sm.resident_bytes());
+        // Each shard re-stores a rebased row_ptr; the overhead is bounded
+        // by (K-1) extra row-pointer entries, i.e. bytes, not a K× copy.
+        assert!(sm.resident_bytes() < full + 3 * 8);
+        assert!(sm.resident_bytes() >= full);
+    }
+
+    #[test]
+    fn report_carries_per_shard_breakdown_and_critical_path() {
+        let m = random_csr(500, 80, 24, 41);
+        let x: Vec<f64> = (0..80).map(|i| (i as f64 * 0.23).cos() + 1.1).collect();
+        let plan = ShardPlan::build(&m, 3);
+        let group = pool();
+        let sm = ShardedCsr::upload(&group, &plan);
+        let (_, report) = vector_csr_spmv_sharded(
+            &group,
+            &sm,
+            &x,
+            256,
+            ShardDispatch::Fixed(8),
+            &crate::profile_half_double(),
+        )
+        .unwrap();
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!(report.devices, vec!["A100", "V100", "P100"]);
+        assert_eq!(
+            report.stats.flops,
+            2 * m.nnz() as u64,
+            "merged flops = whole-matrix flops"
+        );
+        let worst = report
+            .shards
+            .iter()
+            .map(|s| s.estimate.seconds + s.gather_seconds)
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.modeled_seconds, worst);
+        for s in &report.shards {
+            assert_eq!(s.dispatch, "w=8");
+            assert!(s.gather_seconds > 0.0);
+        }
+        let total_rows: u64 = report.shards.iter().map(|s| s.rows).sum();
+        assert_eq!(total_rows, 500);
+    }
+
+    #[test]
+    fn invalid_widths_are_rejected() {
+        let m = random_csr(50, 16, 4, 42);
+        let plan = ShardPlan::build(&m, 2);
+        let group = pool();
+        let sm = ShardedCsr::upload(&group, &plan);
+        let x = vec![1.0f64; 16];
+        let err = vector_csr_spmv_sharded(
+            &group,
+            &sm,
+            &x,
+            128,
+            ShardDispatch::Fixed(7),
+            &crate::profile_half_double(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_tile_width");
+        let mut widths = BucketWidths::natural();
+        widths.0[2] = 9;
+        let err = vector_csr_spmv_sharded(
+            &group,
+            &sm,
+            &x,
+            128,
+            ShardDispatch::Bucketed(widths),
+            &crate::profile_half_double(),
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "invalid_tile_width");
+    }
+
+    #[test]
+    fn per_shard_selection_resolves_against_home_devices() {
+        let m = random_csr(900, 128, 12, 43);
+        let plan = ShardPlan::build(&m, 4);
+        let group = pool();
+        let sel = select_per_shard(&KernelSelect::Heuristic, &group, &plan, 256).unwrap();
+        assert_eq!(sel.len(), 4);
+        assert_eq!(sel[0].device, "A100");
+        assert_eq!(sel[3].device, "A100"); // 3 % 3 == 0
+        for (i, s) in sel.iter().enumerate() {
+            assert_eq!(s.shard, i);
+            assert!(s.rows > 0);
+            assert_eq!(s.gather_bytes % 8, 0);
+            assert!(TILE_WIDTHS.contains(&s.choice.tile_width));
+        }
+    }
+}

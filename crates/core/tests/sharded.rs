@@ -1,0 +1,249 @@
+//! Bitwise reproducibility of the row-sharded multi-device dispatch.
+//!
+//! The §II-D contract extended across devices: for any shard count K, any
+//! pool size/composition, any executor mode or worker count, and any
+//! shard completion order, the merged sharded dose must be **bitwise
+//! identical** to the unsharded kernel at the same (pinned) widths —
+//! disjoint row ranges make the merge a pure scatter, and pinned global
+//! widths make each row's arithmetic shard-invariant.
+
+use rt_core::{
+    vector_csr_spmm_sharded, vector_csr_spmv, vector_csr_spmv_bucketed, vector_csr_spmv_sharded,
+    vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan, ShardDispatch, ShardedCsr,
+};
+use rt_f16::F16;
+use rt_gpusim::{DeviceGroup, DeviceSpec, ExecMode, Gpu};
+use rt_sparse::{Csr, RowPlan, ShardPlan};
+use std::sync::Arc;
+
+/// Beam-like: ~90% empty rows, dense core rows, short shell rows — the
+/// shape the nnz-balanced split exists for.
+fn beam_matrix(nrows: usize, ncols: usize) -> Csr<f64, u32> {
+    let rows: Vec<Vec<(usize, f64)>> = (0..nrows)
+        .map(|r| {
+            if r % 29 == 0 {
+                (0..48.min(ncols))
+                    .map(|c| (c, ((r * 7 + c * 3) % 41) as f64 * 0.07 + 0.1))
+                    .collect()
+            } else if r % 13 == 0 {
+                let mut pair = vec![
+                    (r % ncols, (r % 17) as f64 * 0.2 + 0.3),
+                    ((r * 3 + 1) % ncols, 0.9),
+                ];
+                pair.sort_by_key(|&(c, _)| c);
+                pair.dedup_by_key(|&mut (c, _)| c);
+                pair
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    Csr::from_rows(ncols, &rows).unwrap()
+}
+
+fn input(ncols: usize) -> Vec<f64> {
+    (0..ncols)
+        .map(|i| ((i * 13 + 5) % 23) as f64 * 0.04 + 0.25)
+        .collect()
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// The unsharded golden result at the dispatch's pinned widths, on one
+/// Sequential A100.
+fn unsharded_bits(m: &Csr<F16, u32>, x: &[f64], dispatch: ShardDispatch) -> Vec<u64> {
+    let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+    let gm = GpuCsrMatrix::upload(&gpu, m);
+    let dx = gpu.upload(x);
+    let dy = gpu.alloc_out::<f64>(m.nrows());
+    match dispatch {
+        ShardDispatch::Fixed(32) => {
+            vector_csr_spmv(&gpu, &gm, &dx, &dy, 256);
+        }
+        ShardDispatch::Fixed(w) => {
+            vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 256, w);
+        }
+        ShardDispatch::Bucketed(widths) => {
+            let gplan = GpuRowPlan::upload(&gpu, Arc::new(RowPlan::from_csr(m)));
+            vector_csr_spmv_bucketed(&gpu, &gm, &dx, &dy, 256, &gplan, widths);
+        }
+    }
+    bits(&dy.to_vec())
+}
+
+fn sharded_bits(
+    m: &Csr<F16, u32>,
+    x: &[f64],
+    k: usize,
+    specs: Vec<DeviceSpec>,
+    mode: ExecMode,
+    dispatch: ShardDispatch,
+) -> Vec<u64> {
+    let plan = ShardPlan::build(m, k);
+    let group = DeviceGroup::with_mode(specs, mode);
+    let sm = ShardedCsr::upload(&group, &plan);
+    let (y, _) = vector_csr_spmv_sharded(
+        &group,
+        &sm,
+        x,
+        256,
+        dispatch,
+        &rt_core::profile_half_double(),
+    )
+    .unwrap();
+    bits(&y)
+}
+
+/// One test function mutates `RTDOSE_SIM_THREADS` for every combination
+/// (env mutation must not race with other tests, so it all lives in a
+/// single `#[test]`), mirroring `tests/tiled.rs` / `tests/bucketed.rs`.
+#[test]
+fn sharded_is_bitwise_identical_across_k_pools_modes_and_worker_counts() {
+    let m: Csr<F16, u32> = beam_matrix(2600, 192).convert_values();
+    let x = input(192);
+    let pools: [Vec<DeviceSpec>; 2] = [
+        vec![DeviceSpec::a100()],
+        vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
+    ];
+    let dispatches = [
+        ShardDispatch::Fixed(32),
+        ShardDispatch::Fixed(4),
+        ShardDispatch::Bucketed(BucketWidths::natural()),
+    ];
+
+    let saved = std::env::var("RTDOSE_SIM_THREADS").ok();
+    for dispatch in dispatches {
+        let golden = unsharded_bits(&m, &x, dispatch);
+        for k in 1..=4usize {
+            for pool in &pools {
+                let got = sharded_bits(&m, &x, k, pool.clone(), ExecMode::Sequential, dispatch);
+                assert_eq!(
+                    got,
+                    golden,
+                    "k={k} pool={} dispatch={} (sequential)",
+                    pool.len(),
+                    dispatch.label()
+                );
+            }
+        }
+        for workers in ["1", "4", "8"] {
+            std::env::set_var("RTDOSE_SIM_THREADS", workers);
+            let got = sharded_bits(&m, &x, 3, pools[1].clone(), ExecMode::Parallel, dispatch);
+            assert_eq!(
+                got,
+                golden,
+                "{workers} workers dispatch={} diverged",
+                dispatch.label()
+            );
+        }
+    }
+    match saved {
+        Some(v) => std::env::set_var("RTDOSE_SIM_THREADS", v),
+        None => std::env::remove_var("RTDOSE_SIM_THREADS"),
+    }
+}
+
+#[test]
+fn shuffled_shard_completion_orders_scatter_identically() {
+    let m: Csr<F16, u32> = beam_matrix(1500, 128).convert_values();
+    let x = input(128);
+    let plan = ShardPlan::build(&m, 4);
+    let group = DeviceGroup::with_mode(
+        vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
+        ExecMode::Sequential,
+    );
+    let sm = ShardedCsr::upload(&group, &plan);
+    let (y, _) = vector_csr_spmv_sharded(
+        &group,
+        &sm,
+        &x,
+        256,
+        ShardDispatch::Fixed(4),
+        &rt_core::profile_half_double(),
+    )
+    .unwrap();
+
+    // Re-execute each shard in isolation and scatter in shuffled
+    // completion orders: disjoint row ranges mean any landing order
+    // yields the same merged dose.
+    for order in [[0usize, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1], [1, 3, 0, 2]] {
+        let mut merged = vec![0.0f64; m.nrows()];
+        for &s in &order {
+            let shard = &plan.shards()[s];
+            let gpu = Gpu::with_mode(DeviceSpec::a100(), ExecMode::Sequential);
+            let gm = GpuCsrMatrix::upload(&gpu, &shard.matrix);
+            let dx = gpu.upload(&x);
+            let dy = gpu.alloc_out::<f64>(shard.nrows());
+            vector_csr_spmv_tiled(&gpu, &gm, &dx, &dy, 256, 4);
+            merged[shard.row_start..shard.row_end].copy_from_slice(&dy.to_vec());
+        }
+        assert_eq!(bits(&merged), bits(&y), "order {order:?}");
+    }
+}
+
+#[test]
+fn spmm_sharded_matches_spmv_sharded_per_vector() {
+    let m: Csr<F16, u32> = beam_matrix(1200, 96).convert_values();
+    let vectors: Vec<Vec<f64>> = (0..3)
+        .map(|v| {
+            (0..96)
+                .map(|i| ((v * 96 + i) * 7 % 19) as f64 * 0.05 + 0.2)
+                .collect()
+        })
+        .collect();
+    let plan = ShardPlan::build(&m, 3);
+    let group = DeviceGroup::with_mode(
+        vec![DeviceSpec::a100(), DeviceSpec::v100()],
+        ExecMode::Sequential,
+    );
+    let sm = ShardedCsr::upload(&group, &plan);
+    let dispatch = ShardDispatch::Bucketed(BucketWidths::natural());
+    let (ys, report) = vector_csr_spmm_sharded(
+        &group,
+        &sm,
+        &vectors,
+        256,
+        dispatch,
+        &rt_core::profile_half_double(),
+    )
+    .unwrap();
+    assert_eq!(ys.len(), 3);
+    // Batched gather ships one result per vector per non-empty row.
+    let per_vector: u64 = plan.gather_bytes();
+    assert_eq!(report.gather_bytes, per_vector * 3);
+    for (v, x) in vectors.iter().enumerate() {
+        let (y, _) = vector_csr_spmv_sharded(
+            &group,
+            &sm,
+            x,
+            256,
+            dispatch,
+            &rt_core::profile_half_double(),
+        )
+        .unwrap();
+        assert_eq!(bits(&ys[v]), bits(&y), "vector {v}");
+    }
+}
+
+#[test]
+fn transpose_shards_by_its_own_rows_keep_gradients_bitwise() {
+    // The gradient path runs A^T x: sharding A^T by *its* rows (= columns
+    // of A) keeps gradient outputs disjoint too.
+    let m64 = beam_matrix(900, 160);
+    let t: Csr<F16, u32> = m64.transpose().convert_values();
+    let x = input(900);
+    let golden = unsharded_bits(&t, &x, ShardDispatch::Fixed(32));
+    for k in [2, 3] {
+        let got = sharded_bits(
+            &t,
+            &x,
+            k,
+            vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
+            ExecMode::Sequential,
+            ShardDispatch::Fixed(32),
+        );
+        assert_eq!(got, golden, "transpose k={k}");
+    }
+}

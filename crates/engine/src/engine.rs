@@ -26,12 +26,15 @@
 //! [`BoundedQueue`]: crate::queue::BoundedQueue
 //! [`DoseCalculator::compute_dose_batch`]: rt_core::DoseCalculator::compute_dose_batch
 
-use crate::metrics::{BatchSample, BucketSelection, EngineReport, Metrics, PlanSelection};
+use crate::metrics::{
+    BatchSample, BucketSelection, EngineReport, Metrics, PlanSelection, PlanShard,
+};
 use crate::queue::BoundedQueue;
 use rt_core::{BucketWidths, DoseCalculator, KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH};
-use rt_gpusim::{DeviceSpec, LaunchReport};
-use rt_sparse::{Csr, RowPlan};
+use rt_gpusim::{gather_estimate, DeviceSpec, LaunchReport, ShardReport, ShardedReport};
+use rt_sparse::{Csr, RowPlan, ShardPlan};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -60,6 +63,11 @@ pub struct EngineResponse {
     pub batch_size: usize,
     /// Milliseconds this request waited in the queue before dispatch.
     pub queue_ms: f64,
+    /// Per-shard breakdown when the plan ran row-sharded across the
+    /// pool: per-device counters, the modeled gather cost of landing
+    /// each shard's rows, and the critical-path modeled time. `None`
+    /// for fully-resident plans.
+    pub shards: Option<ShardedReport>,
 }
 
 /// One request's reply slot: filled exactly once by a worker, awaited by
@@ -124,6 +132,48 @@ struct EngineRequest {
     slot: Arc<ReplySlot>,
 }
 
+/// What sits in the serve queue: an admitted request, or one shard
+/// sub-task of a fanned-out batch (pinned to the shard's home device).
+enum WorkItem {
+    Request(EngineRequest),
+    Shard(ShardTask),
+}
+
+/// One shard's slice of a fanned-out batch. Only the worker for
+/// `device` may pop it — the shard's sub-matrix is resident there.
+struct ShardTask {
+    shard: usize,
+    device: usize,
+    fan: Arc<FanOut>,
+}
+
+/// Barrier-free completion tracker for one fanned-out batch: each shard
+/// scatters its disjoint row range into `outputs` as it lands (any
+/// completion order), and whichever shard decrements `remaining` to zero
+/// merges the reports and fills every reply slot. Cancellation
+/// (deadline expiry seen at shard dispatch, or a shard execution error)
+/// flips `cancelled` with a CAS — the winner fails every slot, later
+/// shards skip execution, and no partially-merged dose can ever escape.
+struct FanOut {
+    plan: usize,
+    kind: RequestKind,
+    /// The batch members with their queue-wait at fan-out time.
+    requests: Vec<(EngineRequest, f64)>,
+    outputs: Mutex<Vec<Vec<f64>>>,
+    remaining: AtomicUsize,
+    cancelled: AtomicBool,
+    /// Per-shard launch reports, pushed in completion order and sorted
+    /// by shard index at merge time (the merged report is deterministic
+    /// even though the landing order is not).
+    reports: Mutex<Vec<ShardReport>>,
+    /// Strictest queue-wait budget in the batch, measured from the
+    /// oldest submission: the whole fan-out is shed as a unit when it
+    /// expires before every shard has dispatched (conservative, keeps
+    /// the all-or-nothing dose invariant simple).
+    budget_ms: Option<f64>,
+    oldest: Instant,
+}
+
 /// Worker start gate: an engine built with `start_paused` holds its
 /// workers here until [`EngineClient::resume`] (or serve teardown), which
 /// makes admission-control behavior deterministic to test.
@@ -154,9 +204,25 @@ impl Gate {
 }
 
 struct ServeState {
-    queue: BoundedQueue<EngineRequest>,
+    queue: BoundedQueue<WorkItem>,
     gate: Gate,
     metrics: Metrics,
+}
+
+/// One row-range shard's residency: a calculator holding just the
+/// sub-matrix (no transpose — the gradient direction has its own shard
+/// set), pinned to its home device.
+struct ShardUnit {
+    /// Home device index (shard `s` of a plan lives on `s % pool`).
+    device: usize,
+    row_start: usize,
+    row_end: usize,
+    nnz: u64,
+    /// Result bytes one output vector of this shard ships over the
+    /// interconnect at gather time (8 bytes per non-empty row; empty
+    /// rows scatter nothing).
+    gather_bytes: u64,
+    calc: DoseCalculator,
 }
 
 struct Plan {
@@ -164,16 +230,54 @@ struct Plan {
     nrows: usize,
     ncols: usize,
     /// One calculator per pool device (`calcs[i]` lives on `devices[i]`),
-    /// each holding the matrix and its transpose.
+    /// each holding the matrix and its transpose. Empty for row-sharded
+    /// plans — those hold only their shards, cutting per-device
+    /// residency ~K×.
     calcs: Vec<DoseCalculator>,
+    /// Row-range shards of the dose matrix, in row order (sharded plans
+    /// only).
+    dose_shards: Vec<ShardUnit>,
+    /// Row-range shards of the transpose, sharded by *its* rows (= spot
+    /// columns of the dose matrix) so gradient outputs are disjoint too.
+    grad_shards: Vec<ShardUnit>,
     /// The autotuner's decision for this plan, made once at
     /// registration; every calculator runs at `choice.tile_width` (or,
     /// for partitioned plans, at the per-bucket widths in
-    /// `choice.buckets`).
+    /// `choice.buckets`). Width pinning is what keeps sharded doses
+    /// bitwise identical to unsharded: every shard calculator inherits
+    /// the whole-matrix decision, so each row's arithmetic is a function
+    /// of its length alone, not of the shard it landed in.
     choice: KernelChoice,
     /// Row-partition execution plan, built once at registration and
     /// shared by every per-device calculator (partitioned plans only).
     row_plan: Option<Arc<RowPlan>>,
+}
+
+impl Plan {
+    fn is_sharded(&self) -> bool {
+        !self.dose_shards.is_empty()
+    }
+
+    fn shards_for(&self, kind: RequestKind) -> &[ShardUnit] {
+        match kind {
+            RequestKind::Dose => &self.dose_shards,
+            RequestKind::Gradient => &self.grad_shards,
+        }
+    }
+
+    /// Device bytes this plan pins on pool device `dev`.
+    fn resident_bytes_on(&self, dev: usize) -> u64 {
+        if self.is_sharded() {
+            self.dose_shards
+                .iter()
+                .chain(&self.grad_shards)
+                .filter(|u| u.device == dev)
+                .map(|u| u.calc.resident_bytes())
+                .sum()
+        } else {
+            self.calcs[dev].resident_bytes()
+        }
+    }
 }
 
 /// Configures an [`Engine`]; obtained from [`Engine::builder`].
@@ -187,6 +291,8 @@ pub struct EngineBuilder {
     max_request_len: Option<usize>,
     start_paused: bool,
     kernel_select: KernelSelect,
+    shards: Option<usize>,
+    debug_delays: Vec<(usize, f64)>,
 }
 
 impl Default for EngineBuilder {
@@ -200,6 +306,8 @@ impl Default for EngineBuilder {
             max_request_len: None,
             start_paused: false,
             kernel_select: KernelSelect::Heuristic,
+            shards: None,
+            debug_delays: Vec::new(),
         }
     }
 }
@@ -265,6 +373,29 @@ impl EngineBuilder {
         self
     }
 
+    /// Row-shards every subsequently registered plan into `k`
+    /// contiguous, nnz-balanced row ranges, each resident on one pool
+    /// device only (shard `s` on device `s % pool`). One request then
+    /// executes cooperatively across the whole pool: the dispatching
+    /// worker fans it out into per-shard sub-tasks, each home device
+    /// computes its row range, and the disjoint results scatter into one
+    /// dose. Doses stay bitwise identical to the unsharded engine for
+    /// any `k`, pool composition, or shard completion order. `k` is
+    /// clamped to at least 1 (and, per plan, to its row count).
+    pub fn shards(mut self, k: usize) -> Self {
+        self.shards = Some(k.max(1));
+        self
+    }
+
+    /// Test hook: delays worker `device` by `delay_ms` before it serves
+    /// each popped shard sub-task, simulating a slow pool member so
+    /// deadline-cancellation under fan-out is deterministic to test.
+    #[doc(hidden)]
+    pub fn debug_device_delay_ms(mut self, device: usize, delay_ms: f64) -> Self {
+        self.debug_delays.push((device, delay_ms));
+        self
+    }
+
     /// Validates the configuration.
     pub fn build(self) -> Result<Engine, RtError> {
         if self.devices.is_empty() {
@@ -290,6 +421,8 @@ impl EngineBuilder {
             max_request_len: self.max_request_len,
             start_paused: self.start_paused,
             kernel_select: self.kernel_select,
+            shards: self.shards,
+            debug_delays: self.debug_delays,
         })
     }
 }
@@ -331,6 +464,8 @@ pub struct Engine {
     max_request_len: Option<usize>,
     start_paused: bool,
     kernel_select: KernelSelect,
+    shards: Option<usize>,
+    debug_delays: Vec<(usize, f64)>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -387,13 +522,33 @@ impl Engine {
         self.plan(name).and_then(|p| p.row_plan.as_ref())
     }
 
-    /// Uploads `matrix` (and its transpose, for gradients) to every
-    /// device in the pool under the plan name `name`.
+    /// Configured shard count ([`EngineBuilder::shards`]), if sharding
+    /// is enabled.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.shards
+    }
+
+    /// Dose-direction shards a registered plan actually got (the
+    /// configured count clamped to the plan's rows); `None` when the
+    /// plan is fully resident.
+    pub fn plan_shard_count(&self, name: &str) -> Option<usize> {
+        self.plan(name)
+            .filter(|p| p.is_sharded())
+            .map(|p| p.dose_shards.len())
+    }
+
+    /// Registers `matrix` under the plan name `name`. Fully-resident
+    /// mode uploads the matrix (and its transpose, for gradients) to
+    /// every device in the pool; with [`EngineBuilder::shards`], each
+    /// nnz-balanced row-range shard is uploaded to its home device only,
+    /// and the transpose is sharded by *its own* rows the same way.
     ///
     /// Registration is when the engine autotunes: the configured
     /// [`KernelSelect`] strategy picks the plan's tile width once (from
     /// row statistics, or by probing candidate widths on the first pool
-    /// device), and every per-device calculator is built to run at it.
+    /// device), and every per-device or per-shard calculator is built to
+    /// run at it — pinned widths are what make sharded doses bitwise
+    /// identical to unsharded ones.
     pub fn register_plan(&mut self, name: &str, matrix: &Csr<f64, u32>) -> Result<(), RtError> {
         if self.plan(name).is_some() {
             return Err(RtError::DuplicatePlan(name.to_string()));
@@ -403,7 +558,9 @@ impl Engine {
             .choose(&self.devices[0], matrix, self.threads_per_block)?;
         // Partitioned strategies: build the row plan once, apply the
         // per-bucket widths the autotuner picked, and share the plan
-        // across every per-device calculator.
+        // across every per-device calculator. (Bucket membership is a
+        // function of row length, so sharded sub-matrices reuse the same
+        // widths against their own row plans.)
         let partition = if matches!(self.kernel_select, KernelSelect::Partitioned(_)) {
             let plan = Arc::new(RowPlan::from_csr(matrix));
             let mut widths = BucketWidths::natural();
@@ -414,31 +571,81 @@ impl Engine {
         } else {
             None
         };
-        let calcs = self
-            .devices
-            .iter()
-            .map(|d| {
-                let mut b = DoseCalculator::builder(matrix)
-                    .device(d.clone())
-                    .threads_per_block(self.threads_per_block)
-                    .tile_width(choice.tile_width)
-                    .with_transpose();
-                if let Some((plan, widths)) = &partition {
-                    b = b.partitioned_with_plan(plan.clone(), *widths);
-                }
-                b.build()
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+        let (calcs, dose_shards, grad_shards) = if let Some(k) = self.shards {
+            let widths = partition.as_ref().map(|(_, w)| *w);
+            let dose = self.build_shard_units(matrix, k, &choice, widths)?;
+            // The gradient runs `A^T r` as a forward SpMV on the
+            // transpose, so the transpose shards by its own rows and the
+            // gradient outputs stay disjoint. It keeps the whole-matrix
+            // width (never the dose partition — the transpose has its
+            // own shape), matching the fully-resident gradient path.
+            let grad = self.build_shard_units(&matrix.transpose(), k, &choice, None)?;
+            (Vec::new(), dose, grad)
+        } else {
+            let calcs = self
+                .devices
+                .iter()
+                .map(|d| {
+                    let mut b = DoseCalculator::builder(matrix)
+                        .device(d.clone())
+                        .threads_per_block(self.threads_per_block)
+                        .tile_width(choice.tile_width)
+                        .with_transpose();
+                    if let Some((plan, widths)) = &partition {
+                        b = b.partitioned_with_plan(plan.clone(), *widths);
+                    }
+                    b.build()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            (calcs, Vec::new(), Vec::new())
+        };
         self.plan_index.insert(name.to_string(), self.plans.len());
         self.plans.push(Plan {
             name: name.to_string(),
             nrows: matrix.nrows(),
             ncols: matrix.ncols(),
             calcs,
+            dose_shards,
+            grad_shards,
             choice,
             row_plan: partition.map(|(plan, _)| plan),
         });
         Ok(())
+    }
+
+    /// Splits `matrix` into `k` nnz-balanced row-range shards and builds
+    /// one calculator per shard on its home device (`s % pool`). With
+    /// `widths`, each shard dispatches through the bucketed partition of
+    /// its own sub-matrix at the plan's pinned per-bucket widths.
+    fn build_shard_units(
+        &self,
+        matrix: &Csr<f64, u32>,
+        k: usize,
+        choice: &KernelChoice,
+        widths: Option<BucketWidths>,
+    ) -> Result<Vec<ShardUnit>, RtError> {
+        let plan = ShardPlan::build(matrix, k);
+        plan.shards()
+            .iter()
+            .map(|shard| {
+                let device = shard.index % self.devices.len();
+                let mut b = DoseCalculator::builder(&shard.matrix)
+                    .device(self.devices[device].clone())
+                    .threads_per_block(self.threads_per_block)
+                    .tile_width(choice.tile_width);
+                if let Some(w) = widths {
+                    b = b.partitioned_with_plan(shard.plan.clone(), w);
+                }
+                Ok(ShardUnit {
+                    device,
+                    row_start: shard.row_start,
+                    row_end: shard.row_end,
+                    nnz: shard.nnz() as u64,
+                    gather_bytes: shard.gather_bytes(),
+                    calc: b.build()?,
+                })
+            })
+            .collect()
     }
 
     /// Loads an RTDM snapshot from disk and registers it
@@ -505,96 +712,333 @@ impl Engine {
                         lanes_active_frac: bc.lanes_active_frac,
                     })
                     .collect(),
+                shards: p
+                    .dose_shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, u)| PlanShard {
+                        shard: i,
+                        device: self.devices[u.device].name.to_string(),
+                        row_start: u.row_start as u64,
+                        rows: (u.row_end - u.row_start) as u64,
+                        nnz: u.nnz,
+                        resident_bytes: u.calc.resident_bytes(),
+                    })
+                    .collect(),
             })
             .collect();
+        for (dev, d) in report.devices.iter_mut().enumerate() {
+            d.resident_bytes = self.plans.iter().map(|p| p.resident_bytes_on(dev)).sum();
+        }
         (out, report)
     }
 
-    /// One device's worker loop: pop, gather batch mates, shed expired,
-    /// execute, reply.
+    /// One device's worker loop: pop a request (any) or a shard sub-task
+    /// pinned to this device, then dispatch it.
     fn worker(&self, dev: usize, state: &ServeState) {
         loop {
             state.gate.wait_open();
-            let Some(first) = state.queue.pop() else {
+            let Some(item) = state.queue.pop_matching(|it| match it {
+                WorkItem::Request(_) => true,
+                WorkItem::Shard(t) => t.device == dev,
+            }) else {
                 return;
             };
-            let (plan_idx, kind) = (first.plan, first.kind);
-            let mut batch = vec![first];
-            if self.max_batch > 1 {
-                batch.extend(
-                    state.queue.drain_matching(self.max_batch - 1, |r| {
-                        r.plan == plan_idx && r.kind == kind
-                    }),
-                );
+            match item {
+                WorkItem::Request(first) => self.dispatch_request(dev, first, state),
+                WorkItem::Shard(task) => self.run_shard(dev, task, state),
             }
+        }
+    }
 
-            let dispatch = Instant::now();
-            let mut sample = BatchSample {
-                device: dev,
-                completed: 0,
-                shed_deadline: 0,
-                failed: 0,
-                launches: 0,
-                batch_size: 0,
-                modeled_seconds: 0.0,
-                timings: Vec::new(),
-            };
-            let mut live = Vec::with_capacity(batch.len());
-            for req in batch {
-                let waited_ms = ms(dispatch - req.submitted);
-                match req.budget_ms {
-                    Some(budget) if waited_ms > budget => {
-                        sample.shed_deadline += 1;
+    /// Gathers batch mates, sheds expired requests, then either executes
+    /// on this device's fully-resident calculator or fans the batch out
+    /// into per-shard sub-tasks across the pool.
+    fn dispatch_request(&self, dev: usize, first: EngineRequest, state: &ServeState) {
+        let (plan_idx, kind) = (first.plan, first.kind);
+        let mut batch = vec![first];
+        if self.max_batch > 1 {
+            let mates = state.queue.drain_matching(
+                self.max_batch - 1,
+                |it| matches!(it, WorkItem::Request(r) if r.plan == plan_idx && r.kind == kind),
+            );
+            batch.extend(mates.into_iter().map(|it| match it {
+                WorkItem::Request(r) => r,
+                WorkItem::Shard(_) => unreachable!("predicate admits requests only"),
+            }));
+        }
+
+        let dispatch = Instant::now();
+        let mut sample = empty_sample(dev);
+        let mut live = Vec::with_capacity(batch.len());
+        for req in batch {
+            let waited_ms = ms(dispatch - req.submitted);
+            match req.budget_ms {
+                Some(budget) if waited_ms > budget => {
+                    sample.shed_deadline += 1;
+                    req.slot.complete(Err(RtError::DeadlineExceeded {
+                        budget_ms: budget,
+                        waited_ms,
+                    }));
+                }
+                _ => live.push((req, waited_ms)),
+            }
+        }
+
+        if live.is_empty() {
+            state.metrics.record_batch(sample);
+            return;
+        }
+        let plan = &self.plans[plan_idx];
+        if plan.is_sharded() {
+            let shards = plan.shards_for(kind);
+            let fan = Arc::new(FanOut {
+                plan: plan_idx,
+                kind,
+                outputs: Mutex::new(vec![
+                    vec![
+                        0.0;
+                        match kind {
+                            RequestKind::Dose => plan.nrows,
+                            RequestKind::Gradient => plan.ncols,
+                        }
+                    ];
+                    live.len()
+                ]),
+                remaining: AtomicUsize::new(shards.len()),
+                cancelled: AtomicBool::new(false),
+                reports: Mutex::new(Vec::with_capacity(shards.len())),
+                budget_ms: live.iter().filter_map(|(r, _)| r.budget_ms).fold(
+                    None,
+                    |acc: Option<f64>, b| match acc {
+                        Some(a) => Some(a.min(b)),
+                        None => Some(b),
+                    },
+                ),
+                oldest: live.iter().map(|(r, _)| r.submitted).min().unwrap(),
+                requests: live,
+            });
+            // Register the fan-out *before* its sub-tasks exist so no
+            // worker can observe closed+empty and exit in between.
+            state.queue.inflight_inc();
+            state
+                .queue
+                .push_all_internal(shards.iter().enumerate().map(|(s, u)| {
+                    WorkItem::Shard(ShardTask {
+                        shard: s,
+                        device: u.device,
+                        fan: Arc::clone(&fan),
+                    })
+                }));
+            state.metrics.record_batch(sample);
+            return;
+        }
+
+        let calc = &plan.calcs[dev];
+        let inputs: Vec<&[f64]> = live.iter().map(|(r, _)| r.payload.as_slice()).collect();
+        let result = match kind {
+            RequestKind::Dose => calc.compute_dose_batch(&inputs),
+            RequestKind::Gradient => calc.compute_gradient_batch(&inputs),
+        };
+        match result {
+            Ok(batch_result) => {
+                sample.launches = 1;
+                sample.batch_size = live.len() as u64;
+                sample.completed = live.len() as u64;
+                sample.modeled_seconds = batch_result.report.estimate.seconds;
+                let report = batch_result.report;
+                for ((req, waited_ms), output) in live.into_iter().zip(batch_result.outputs) {
+                    sample
+                        .timings
+                        .push((waited_ms, ms(req.submitted.elapsed())));
+                    req.slot.complete(Ok(EngineResponse {
+                        output,
+                        report: report.clone(),
+                        device: self.devices[dev].name.to_string(),
+                        batch_size: sample.batch_size as usize,
+                        queue_ms: waited_ms,
+                        shards: None,
+                    }));
+                }
+            }
+            Err(e) => {
+                // Unreachable through validated admission, but a
+                // worker must never panic: fail the whole batch.
+                sample.failed = live.len() as u64;
+                for (req, _) in live {
+                    req.slot.complete(Err(e.clone()));
+                }
+            }
+        }
+        state.metrics.record_batch(sample);
+    }
+
+    /// Executes one shard sub-task on its home device: deadline check,
+    /// batched sub-SpMV, disjoint scatter, and — when this shard is the
+    /// last to land — report merge and reply completion.
+    fn run_shard(&self, dev: usize, task: ShardTask, state: &ServeState) {
+        if let Some(&(_, delay_ms)) = self.debug_delays.iter().find(|(d, _)| *d == dev) {
+            std::thread::sleep(Duration::from_secs_f64(delay_ms / 1e3));
+        }
+        let fan = &task.fan;
+        let plan = &self.plans[fan.plan];
+        let unit = &plan.shards_for(fan.kind)[task.shard];
+        let mut sample = empty_sample(dev);
+
+        // A deadline that expired while sub-tasks sat behind a slow
+        // device sheds the *whole* fan-out: the CAS winner fails every
+        // slot, everyone else (including shards already computed) just
+        // retires. A partially-merged dose can never be returned.
+        if !fan.cancelled.load(Ordering::SeqCst) {
+            if let Some(budget) = fan.budget_ms {
+                let waited_ms = ms(fan.oldest.elapsed());
+                if waited_ms > budget
+                    && fan
+                        .cancelled
+                        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                {
+                    sample.shed_deadline = fan.requests.len() as u64;
+                    for (req, _) in &fan.requests {
                         req.slot.complete(Err(RtError::DeadlineExceeded {
                             budget_ms: budget,
-                            waited_ms,
+                            waited_ms: ms(req.submitted.elapsed()),
                         }));
                     }
-                    _ => live.push((req, waited_ms)),
                 }
             }
-
-            if !live.is_empty() {
-                let plan = &self.plans[plan_idx];
-                let calc = &plan.calcs[dev];
-                let inputs: Vec<&[f64]> = live.iter().map(|(r, _)| r.payload.as_slice()).collect();
-                let result = match kind {
-                    RequestKind::Dose => calc.compute_dose_batch(&inputs),
-                    RequestKind::Gradient => calc.compute_gradient_batch(&inputs),
-                };
-                match result {
-                    Ok(batch_result) => {
-                        sample.launches = 1;
-                        sample.batch_size = live.len() as u64;
-                        sample.completed = live.len() as u64;
-                        sample.modeled_seconds = batch_result.report.estimate.seconds;
-                        let report = batch_result.report;
-                        for ((req, waited_ms), output) in live.into_iter().zip(batch_result.outputs)
-                        {
-                            sample
-                                .timings
-                                .push((waited_ms, ms(req.submitted.elapsed())));
-                            req.slot.complete(Ok(EngineResponse {
-                                output,
-                                report: report.clone(),
-                                device: self.devices[dev].name.to_string(),
-                                batch_size: sample.batch_size as usize,
-                                queue_ms: waited_ms,
-                            }));
-                        }
-                    }
-                    Err(e) => {
-                        // Unreachable through validated admission, but a
-                        // worker must never panic: fail the whole batch.
-                        sample.failed = live.len() as u64;
-                        for (req, _) in live {
-                            req.slot.complete(Err(e.clone()));
-                        }
-                    }
-                }
+        }
+        if fan.cancelled.load(Ordering::SeqCst) {
+            if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                state.queue.inflight_dec();
             }
             state.metrics.record_batch(sample);
+            return;
         }
+
+        let inputs: Vec<&[f64]> = fan
+            .requests
+            .iter()
+            .map(|(r, _)| r.payload.as_slice())
+            .collect();
+        // Both directions run as a *forward* batched SpMV: gradient
+        // shards hold rows of the transpose.
+        match unit.calc.compute_dose_batch(&inputs) {
+            Ok(br) => {
+                {
+                    let mut out = fan.outputs.lock().unwrap();
+                    for (v, part) in br.outputs.iter().enumerate() {
+                        out[v][unit.row_start..unit.row_end].copy_from_slice(part);
+                    }
+                }
+                sample.launches = 1;
+                sample.batch_size = inputs.len() as u64;
+                sample.modeled_seconds = br.report.estimate.seconds;
+                let spec = &self.devices[unit.device];
+                let gather_bytes = unit.gather_bytes * inputs.len() as u64;
+                fan.reports.lock().unwrap().push(ShardReport {
+                    shard: task.shard,
+                    device: spec.name.to_string(),
+                    row_start: unit.row_start as u64,
+                    rows: (unit.row_end - unit.row_start) as u64,
+                    nnz: unit.nnz,
+                    dispatch: if unit.calc.is_partitioned() {
+                        "bucketed".to_string()
+                    } else {
+                        format!("w={}", unit.calc.tile_width())
+                    },
+                    stats: br.report.stats.clone(),
+                    estimate: br.report.estimate.clone(),
+                    gather_bytes,
+                    gather_seconds: gather_estimate(spec, gather_bytes),
+                });
+                if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    state.queue.inflight_dec();
+                    if !fan.cancelled.load(Ordering::SeqCst) {
+                        self.complete_fan(plan, fan, &mut sample);
+                    }
+                }
+            }
+            Err(e) => {
+                if fan
+                    .cancelled
+                    .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    sample.failed = fan.requests.len() as u64;
+                    for (req, _) in &fan.requests {
+                        req.slot.complete(Err(e.clone()));
+                    }
+                }
+                if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    state.queue.inflight_dec();
+                }
+            }
+        }
+        state.metrics.record_batch(sample);
+    }
+
+    /// Last shard landed: sort the per-shard reports into row order,
+    /// merge counters, model the critical path (slowest compute + gather
+    /// over the interconnect), and complete every reply slot.
+    fn complete_fan(&self, plan: &Plan, fan: &Arc<FanOut>, sample: &mut BatchSample) {
+        let mut reports = std::mem::take(&mut *fan.reports.lock().unwrap());
+        reports.sort_by_key(|r| r.shard);
+        // Engine calculators always run the production profile.
+        let kernel = "Half/double";
+        let sharded = ShardedReport::new(kernel, reports);
+        // The merged LaunchReport carries accumulated counters with the
+        // critical-path time, bound/frac_peak_bw taken from the shard on
+        // that path.
+        let critical = sharded
+            .shards
+            .iter()
+            .max_by(|a, b| {
+                (a.estimate.seconds + a.gather_seconds)
+                    .total_cmp(&(b.estimate.seconds + b.gather_seconds))
+            })
+            .expect("a fan-out has at least one shard");
+        let mut estimate = critical.estimate.clone();
+        estimate.seconds = sharded.modeled_seconds;
+        if estimate.seconds > 0.0 {
+            estimate.gflops = sharded.stats.flops as f64 / estimate.seconds / 1e9;
+            estimate.dram_bw_gbps = (sharded.stats.dram_read_bytes + sharded.stats.dram_write_bytes)
+                as f64
+                / estimate.seconds
+                / 1e9;
+        }
+        let device = sharded.devices.join("+");
+        let report = LaunchReport::new(kernel, device.clone(), sharded.stats.clone(), estimate)
+            .with_tile_width(plan.choice.tile_width);
+        let outputs = std::mem::take(&mut *fan.outputs.lock().unwrap());
+        sample.completed = fan.requests.len() as u64;
+        for ((req, waited_ms), output) in fan.requests.iter().zip(outputs) {
+            sample
+                .timings
+                .push((*waited_ms, ms(req.submitted.elapsed())));
+            req.slot.complete(Ok(EngineResponse {
+                output,
+                report: report.clone(),
+                device: device.clone(),
+                batch_size: fan.requests.len(),
+                queue_ms: *waited_ms,
+                shards: Some(sharded.clone()),
+            }));
+        }
+    }
+}
+
+/// A zeroed [`BatchSample`] for worker `dev`.
+fn empty_sample(dev: usize) -> BatchSample {
+    BatchSample {
+        device: dev,
+        completed: 0,
+        shed_deadline: 0,
+        failed: 0,
+        launches: 0,
+        batch_size: 0,
+        modeled_seconds: 0.0,
+        timings: Vec::new(),
     }
 }
 
@@ -657,10 +1101,11 @@ impl EngineClient<'_> {
         let ticket = Ticket {
             slot: Arc::clone(&req.slot),
         };
+        let item = WorkItem::Request(req);
         let pushed = if blocking {
-            self.state.queue.push(req)
+            self.state.queue.push(item)
         } else {
-            self.state.queue.try_push(req)
+            self.state.queue.try_push(item)
         };
         match pushed {
             Ok(()) => {

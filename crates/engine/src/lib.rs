@@ -15,6 +15,13 @@
 //!   queued compatible requests (same plan, same operation) into one
 //!   multi-vector launch, sharing the matrix bytes
 //!   ([`rt_core::vector_csr_spmm`]).
+//! * **Row-sharded multi-device dispatch** —
+//!   [`EngineBuilder::shards`] splits each plan into nnz-balanced
+//!   row-range shards, one pool device each (~K× less resident memory
+//!   per device), and one request then executes cooperatively across
+//!   the whole pool: the dispatching worker fans it out into per-shard
+//!   sub-tasks, each home device computes its rows, and a barrier-free
+//!   tracker scatters the disjoint results into one bitwise-exact dose.
 //! * **Admission control** — a bounded queue: [`EngineClient::submit`]
 //!   blocks when full (backpressure), [`EngineClient::try_submit`] sheds
 //!   with [`RtError::QueueFull`]; per-request deadlines shed stale work
@@ -44,6 +51,7 @@ mod optim;
 mod queue;
 
 pub use engine::{Engine, EngineBuilder, EngineClient, EngineResponse, RequestKind, Ticket};
-pub use metrics::{BucketSelection, DeviceReport, EngineReport, PlanSelection};
+pub use metrics::{BucketSelection, DeviceReport, EngineReport, PlanSelection, PlanShard};
 pub use optim::ServedDoseEngine;
 pub use rt_core::{KernelChoice, KernelSelect, PartitionStrategy, RtError};
+pub use rt_gpusim::{ShardReport, ShardedReport};

@@ -14,12 +14,19 @@ use std::time::Instant;
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DeviceReport {
     pub name: String,
-    /// Requests completed successfully on this device.
+    /// Requests completed successfully on this device. For sharded plans
+    /// the completion is attributed to the device whose shard landed
+    /// last.
     pub requests: u64,
-    /// Batched kernel-launch sequences executed.
+    /// Batched kernel-launch sequences executed (one per shard sub-task
+    /// for sharded plans).
     pub launches: u64,
     /// Modeled GPU seconds accumulated from launch reports.
     pub modeled_seconds: f64,
+    /// Plan bytes resident on this device (matrices + transposes, or
+    /// just this device's shards for row-sharded plans). Attached by the
+    /// engine after the metrics snapshot.
+    pub resident_bytes: u64,
 }
 
 /// One registered plan's autotuned kernel selection, carried in the
@@ -39,6 +46,28 @@ pub struct PlanSelection {
     /// Per-bucket width selections (partitioned plans only; empty for
     /// whole-matrix dispatch). Only populated buckets appear.
     pub buckets: Vec<BucketSelection>,
+    /// Row-range shards of the dose matrix, in row order (row-sharded
+    /// plans only; empty when the plan is fully resident on every
+    /// device).
+    pub shards: Vec<PlanShard>,
+}
+
+/// One row-range shard of a row-sharded plan: where its rows live and
+/// what it costs to keep there.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlanShard {
+    /// Shard index (also its position in the dose scatter).
+    pub shard: usize,
+    /// Home device of the shard's sub-matrix.
+    pub device: String,
+    /// First row of the shard's contiguous range.
+    pub row_start: u64,
+    /// Rows in the range.
+    pub rows: u64,
+    /// Stored entries in the sub-matrix.
+    pub nnz: u64,
+    /// Device bytes the shard pins on its home device (dose direction).
+    pub resident_bytes: u64,
 }
 
 /// One row-length bucket's width selection inside a partitioned plan.
@@ -160,11 +189,12 @@ impl EngineReport {
         for (i, d) in self.devices.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str(&format!(
-                "    {{\"name\": {}, \"requests\": {}, \"launches\": {}, \"modeled_seconds\": {:.6e}}}",
+                "    {{\"name\": {}, \"requests\": {}, \"launches\": {}, \"modeled_seconds\": {:.6e}, \"resident_bytes\": {}}}",
                 json_string(&d.name),
                 d.requests,
                 d.launches,
-                d.modeled_seconds
+                d.modeled_seconds,
+                d.resident_bytes
             ));
         }
         if !self.devices.is_empty() {
@@ -188,6 +218,21 @@ impl EngineReport {
                 out.push_str(&format!(
                     "{{\"min_len\": {}, \"max_len\": {}, \"rows\": {}, \"tile_width\": {}, \"lanes_active_frac\": {:.4}}}",
                     b.min_len, b.max_len, b.rows, b.tile_width, b.lanes_active_frac
+                ));
+            }
+            out.push_str("], \"shards\": [");
+            for (j, sh) in p.shards.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"shard\": {}, \"device\": {}, \"row_start\": {}, \"rows\": {}, \"nnz\": {}, \"resident_bytes\": {}}}",
+                    sh.shard,
+                    json_string(&sh.device),
+                    sh.row_start,
+                    sh.rows,
+                    sh.nnz,
+                    sh.resident_bytes
                 ));
             }
             out.push_str("]}");
@@ -383,12 +428,52 @@ mod tests {
             mode: "heuristic".into(),
             avg_nnz_nonempty: 4.5,
             buckets: Vec::new(),
+            shards: Vec::new(),
         });
         let j = r.to_json();
         assert!(j.contains("\"prostate\""));
         assert!(j.contains("\"tile_width\": 4"));
         assert!(j.contains("\"heuristic\""));
         assert!(j.contains("\"buckets\": []"));
+        assert!(j.contains("\"shards\": []"));
+    }
+
+    #[test]
+    fn shard_blocks_and_resident_bytes_render_in_json() {
+        let m = Metrics::new(&["A100", "V100"]);
+        let mut r = m.report(4, 0);
+        r.devices[0].resident_bytes = 4096;
+        r.plans.push(PlanSelection {
+            name: "liver".into(),
+            tile_width: 32,
+            mode: "fixed".into(),
+            avg_nnz_nonempty: 12.0,
+            buckets: Vec::new(),
+            shards: vec![
+                PlanShard {
+                    shard: 0,
+                    device: "A100".into(),
+                    row_start: 0,
+                    rows: 500,
+                    nnz: 9000,
+                    resident_bytes: 2048,
+                },
+                PlanShard {
+                    shard: 1,
+                    device: "V100".into(),
+                    row_start: 500,
+                    rows: 700,
+                    nnz: 8800,
+                    resident_bytes: 2000,
+                },
+            ],
+        });
+        let j = r.to_json();
+        assert!(j.contains("\"resident_bytes\": 4096"));
+        assert!(j.contains(
+            "\"shards\": [{\"shard\": 0, \"device\": \"A100\", \"row_start\": 0, \"rows\": 500, \"nnz\": 9000, \"resident_bytes\": 2048}, "
+        ));
+        assert!(j.contains("{\"shard\": 1, \"device\": \"V100\""));
     }
 
     #[test]
@@ -416,6 +501,7 @@ mod tests {
                     lanes_active_frac: 0.9912,
                 },
             ],
+            shards: Vec::new(),
         });
         let j = r.to_json();
         assert!(j.contains("\"partitioned-heuristic\""));

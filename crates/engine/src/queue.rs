@@ -12,6 +12,13 @@
 //! Closing the queue wakes everyone: pending pushes fail with
 //! [`RtError::EngineShutdown`], pops drain the remaining items and then
 //! return `None`.
+//!
+//! Row-sharded dispatch adds two internal paths on top of admission:
+//! [`BoundedQueue::push_all_internal`] enqueues shard sub-tasks for an
+//! already-admitted request (exempt from capacity and close — see its
+//! doc), and [`BoundedQueue::pop_matching`] lets each worker pop only
+//! requests or sub-tasks pinned to its device, staying parked after
+//! close while a fan-out is still in flight.
 
 use rt_core::RtError;
 use std::collections::VecDeque;
@@ -21,7 +28,13 @@ struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
     /// High-water mark of the queue depth (an engine-report gauge).
+    /// Counts internal shard sub-tasks as well as admitted requests.
     max_depth: usize,
+    /// Fan-outs currently in flight (created but not yet fully drained).
+    /// While nonzero, matching pops keep blocking after close instead of
+    /// returning `None` — a worker must not exit while shard sub-tasks
+    /// for its device may still be enqueued.
+    inflight: usize,
 }
 
 pub(crate) struct BoundedQueue<T> {
@@ -38,6 +51,7 @@ impl<T> BoundedQueue<T> {
                 items: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
                 max_depth: 0,
+                inflight: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -83,8 +97,65 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Enqueues continuation work (shard sub-tasks) for requests that are
+    /// already admitted: exempt from both the capacity bound and the
+    /// closed flag. Capacity exemption keeps fan-out deadlock-free (every
+    /// worker could otherwise block pushing sub-tasks into a queue only
+    /// workers drain); close exemption preserves the drain guarantee
+    /// (queued requests popped after shutdown still fan out and
+    /// complete). The item count is bounded by in-flight fan-outs, which
+    /// the bounded *request* admission already limits.
+    pub fn push_all_internal(&self, items: impl IntoIterator<Item = T>) {
+        let mut g = self.inner.lock().unwrap();
+        for item in items {
+            g.items.push_back(item);
+        }
+        g.max_depth = g.max_depth.max(g.items.len());
+        drop(g);
+        self.not_empty.notify_all();
+    }
+
+    /// Dequeues the oldest item matching `pred` (FIFO among matches; the
+    /// rest keep their order), blocking while none matches. Returns
+    /// `None` once the queue is closed, no match remains, *and* no
+    /// fan-out is in flight — an in-flight fan-out may still enqueue
+    /// shard sub-tasks this popper is pinned to.
+    pub fn pop_matching(&self, pred: impl Fn(&T) -> bool) -> Option<T> {
+        let mut g = self.inner.lock().unwrap();
+        loop {
+            if let Some(i) = g.items.iter().position(&pred) {
+                let item = g.items.remove(i).unwrap();
+                drop(g);
+                self.not_full.notify_all();
+                return Some(item);
+            }
+            if g.closed && g.inflight == 0 {
+                return None;
+            }
+            g = self.not_empty.wait(g).unwrap();
+        }
+    }
+
+    /// Registers a fan-out whose shard sub-tasks may still be enqueued.
+    pub fn inflight_inc(&self) {
+        self.inner.lock().unwrap().inflight += 1;
+    }
+
+    /// Retires a fan-out; wakes blocked poppers so workers can re-check
+    /// their exit condition once the last fan-out drains after close.
+    pub fn inflight_dec(&self) {
+        let mut g = self.inner.lock().unwrap();
+        g.inflight -= 1;
+        let wake = g.inflight == 0;
+        drop(g);
+        if wake {
+            self.not_empty.notify_all();
+        }
+    }
+
     /// Dequeues the oldest item, blocking while the queue is empty.
     /// Returns `None` once the queue is closed *and* drained.
+    #[cfg(test)]
     pub fn pop(&self) -> Option<T> {
         let mut g = self.inner.lock().unwrap();
         loop {
@@ -203,6 +274,49 @@ mod tests {
             q.close();
             assert_eq!(h.join().unwrap(), None);
         });
+    }
+
+    #[test]
+    fn pop_matching_skips_non_matching_and_respects_inflight() {
+        let q = BoundedQueue::new(8);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.push(3).unwrap();
+        // Takes the first even item, leaving the rest in order.
+        assert_eq!(q.pop_matching(|v| v % 2 == 0), Some(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(3));
+
+        // Closed + empty + an in-flight fan-out: the popper must block
+        // (sub-tasks may still arrive), then drain them after they land.
+        q.inflight_inc();
+        q.close();
+        thread::scope(|s| {
+            let h = s.spawn(|| q.pop_matching(|v| v % 2 == 0));
+            thread::sleep(Duration::from_millis(20));
+            q.push_all_internal([4]);
+            assert_eq!(h.join().unwrap(), Some(4));
+            let h = s.spawn(|| q.pop_matching(|v| v % 2 == 0));
+            thread::sleep(Duration::from_millis(20));
+            // Retiring the last fan-out releases the blocked popper.
+            q.inflight_dec();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+
+    #[test]
+    fn push_all_internal_ignores_capacity_and_close() {
+        let q = BoundedQueue::new(1);
+        q.push(10).unwrap();
+        q.close();
+        assert_eq!(q.try_push(11).unwrap_err(), RtError::EngineShutdown);
+        q.push_all_internal([20, 21]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.max_depth(), 3);
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
+        assert_eq!(q.pop(), Some(21));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -72,11 +72,39 @@ fn run_pool(
     liver: &Csr<f64, u32>,
     prostate: &Csr<f64, u32>,
 ) -> Vec<Vec<u64>> {
+    run_pool_with(
+        devices,
+        order,
+        submitters,
+        liver,
+        prostate,
+        None,
+        KernelSelect::Heuristic,
+    )
+    .0
+}
+
+/// [`run_pool`] with explicit shard count and kernel selection, also
+/// returning the serve report.
+#[allow(clippy::too_many_arguments)]
+fn run_pool_with(
+    devices: Vec<DeviceSpec>,
+    order: &[usize],
+    submitters: usize,
+    liver: &Csr<f64, u32>,
+    prostate: &Csr<f64, u32>,
+    shards: Option<usize>,
+    select: KernelSelect,
+) -> (Vec<Vec<u64>>, rt_engine::EngineReport) {
     let work = workload(
         (liver.nrows(), liver.ncols()),
         (prostate.nrows(), prostate.ncols()),
     );
-    let mut engine = Engine::builder().devices(devices).build().unwrap();
+    let mut builder = Engine::builder().devices(devices).kernel_select(select);
+    if let Some(k) = shards {
+        builder = builder.shards(k);
+    }
+    let mut engine = builder.build().unwrap();
     engine.register_plan("liver", liver).unwrap();
     engine.register_plan("prostate", prostate).unwrap();
 
@@ -105,10 +133,11 @@ fn run_pool(
     });
     assert_eq!(report.completed, order.len() as u64);
     assert_eq!(report.failed, 0);
-    outputs
+    let bits = outputs
         .into_iter()
         .map(|v| v.into_iter().map(f64::to_bits).collect())
-        .collect()
+        .collect();
+    (bits, report)
 }
 
 fn shuffled(seed: u64, n: usize) -> Vec<usize> {
@@ -372,4 +401,346 @@ fn batched_and_unbatched_serving_agree() {
         out
     };
     assert_eq!(run(1), run(rt_core::MAX_SPMM_BATCH));
+}
+
+#[test]
+fn sharded_serving_is_bitwise_identical_to_unsharded() {
+    // §II-D across the pool: splitting a plan into K row shards and
+    // executing one request cooperatively on N devices must not change a
+    // single dose byte — for any K, pool mix, submission order, or
+    // kernel selection. Pinned whole-matrix widths make each row's
+    // reduction tree shard-invariant; disjoint row ranges make the merge
+    // a pure scatter.
+    let liver = random_matrix(1, 900, 60, 40);
+    let prostate = random_matrix(2, 700, 80, 8);
+    let n = 48;
+    let mixed = vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
+
+    let baseline = run_pool(
+        vec![DeviceSpec::a100()],
+        &(0..n).collect::<Vec<_>>(),
+        1,
+        &liver,
+        &prostate,
+    );
+    for k in 1..=4usize {
+        let (sharded, report) = run_pool_with(
+            mixed.clone(),
+            &shuffled(100 + k as u64, n),
+            4,
+            &liver,
+            &prostate,
+            Some(k),
+            KernelSelect::Heuristic,
+        );
+        assert_eq!(sharded, baseline, "k={k} mixed pool changed dose bytes");
+        for plan in &report.plans {
+            assert_eq!(plan.shards.len(), k, "plan {} shard count", plan.name);
+        }
+    }
+    // Single-device pool still accepts sharding (all shards home there).
+    let (one_dev, _) = run_pool_with(
+        vec![DeviceSpec::v100()],
+        &shuffled(55, n),
+        2,
+        &liver,
+        &prostate,
+        Some(3),
+        KernelSelect::Heuristic,
+    );
+    assert_eq!(one_dev, baseline, "1-device sharded pool changed bytes");
+
+    // Partitioned (bucketed) selection: sharded doses must match the
+    // unsharded partitioned doses — the global bucket widths are pinned
+    // before the split and applied to every shard's row plan.
+    let select = KernelSelect::Partitioned(PartitionStrategy::Heuristic);
+    let (part_base, _) = run_pool_with(
+        vec![DeviceSpec::a100()],
+        &(0..n).collect::<Vec<_>>(),
+        1,
+        &liver,
+        &prostate,
+        None,
+        select,
+    );
+    let (part_sharded, _) = run_pool_with(
+        mixed,
+        &shuffled(77, n),
+        4,
+        &liver,
+        &prostate,
+        Some(3),
+        select,
+    );
+    assert_eq!(
+        part_sharded, part_base,
+        "partitioned sharded pool changed dose bytes"
+    );
+}
+
+#[test]
+fn sharded_report_exposes_shards_and_cuts_residency() {
+    let liver = random_matrix(11, 900, 60, 24);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.017).cos().abs())
+        .collect();
+    let pool = || vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
+
+    let run = |shards: Option<usize>| {
+        let mut builder = Engine::builder().devices(pool());
+        if let Some(k) = shards {
+            builder = builder.shards(k);
+        }
+        let mut engine = builder.build().unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap())
+    };
+
+    let (full_resp, full) = run(None);
+    let (sharded_resp, sharded) = run(Some(3));
+
+    // Fully-resident plans replicate matrix + transpose on every device;
+    // sharded plans split one copy across the pool (~K× per-device cut).
+    let full_total: u64 = full.devices.iter().map(|d| d.resident_bytes).sum();
+    let sharded_total: u64 = sharded.devices.iter().map(|d| d.resident_bytes).sum();
+    assert!(full.devices.iter().all(|d| d.resident_bytes > 0));
+    assert!(
+        sharded_total * 2 < full_total,
+        "sharding kept {sharded_total} of {full_total} resident bytes"
+    );
+    for (f, s) in full.devices.iter().zip(&sharded.devices) {
+        assert!(
+            s.resident_bytes < f.resident_bytes,
+            "device {} residency did not shrink",
+            s.name
+        );
+        assert!(s.resident_bytes > 0, "device {} hosts no shard", s.name);
+    }
+
+    // The report names each shard's home device and row range.
+    assert!(full.plans[0].shards.is_empty());
+    let shards = &sharded.plans[0].shards;
+    assert_eq!(shards.len(), 3);
+    assert_eq!(
+        shards.iter().map(|s| s.rows).sum::<u64>(),
+        liver.nrows() as u64
+    );
+    assert!(shards.iter().all(|s| s.nnz > 0 && s.resident_bytes > 0));
+    let pool_names: Vec<String> = pool().iter().map(|d| d.name.to_string()).collect();
+    for (i, s) in shards.iter().enumerate() {
+        assert_eq!(s.shard, i);
+        assert_eq!(s.device, pool_names[i % pool_names.len()]);
+    }
+
+    // Responses carry the per-shard breakdown only when sharded.
+    assert!(full_resp.shards.is_none());
+    let sh = sharded_resp.shards.as_ref().expect("sharded breakdown");
+    assert_eq!(sh.shards.len(), 3);
+    assert!(sh.gather_bytes > 0, "merge models inter-device gather");
+    assert!(sh.modeled_seconds > 0.0);
+    // Same dose either way.
+    assert_eq!(
+        sharded_resp
+            .output
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>(),
+        full_resp
+            .output
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn deadline_shed_under_fan_out_cancels_all_shard_subtasks() {
+    let liver = random_matrix(21, 900, 60, 40);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.013).sin().abs())
+        .collect();
+
+    // Unsharded golden dose for the recovery request.
+    let golden: Vec<u64> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+
+    // Device 2 stalls its shard far past the budget: the whole fan-out
+    // must cancel as a unit — the client sees DeadlineExceeded, never a
+    // partially-merged dose with the slow shard's rows missing.
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .shards(3)
+        .debug_device_delay_ms(2, 60.0)
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    let ((shed, ok), report) = engine.serve(|client| {
+        let ticket = client
+            .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 15.0)
+            .unwrap();
+        let shed = ticket.wait();
+        // An unbudgeted request right after must still complete: shedding
+        // one fan-out may not wedge the queue or leak sub-tasks.
+        let ok = client
+            .call("liver", RequestKind::Dose, payload.clone())
+            .unwrap();
+        (shed, ok)
+    });
+
+    match shed {
+        Err(rt_engine::RtError::DeadlineExceeded {
+            budget_ms,
+            waited_ms,
+        }) => {
+            assert_eq!(budget_ms, 15.0);
+            assert!(waited_ms >= budget_ms, "waited {waited_ms} < {budget_ms}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(report.shed_deadline, 1);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    let bits: Vec<u64> = ok.output.into_iter().map(f64::to_bits).collect();
+    assert_eq!(bits, golden, "post-shed dose diverged from unsharded");
+    assert!(ok.shards.is_some());
+}
+
+#[test]
+fn queue_full_fan_out_sheds_at_admission_without_partial_doses() {
+    let liver = random_matrix(22, 700, 50, 20);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| ((j * 7 + 3) % 19) as f64 * 0.05 + 0.2)
+        .collect();
+
+    let golden: Vec<u64> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+
+    // Capacity 1 with workers paused: the first request fills the queue,
+    // the second is shed at admission — before any sub-task exists, so
+    // there is nothing to cancel. Once resumed, the first request's 3
+    // shard sub-tasks bypass the capacity bound (they are continuation
+    // work for an already-admitted request) and the dose completes whole.
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .shards(3)
+        .queue_capacity(1)
+        .start_paused()
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    let ((first, rejected), report) = engine.serve(|client| {
+        let ticket = client
+            .submit("liver", RequestKind::Dose, payload.clone())
+            .unwrap();
+        let rejected = client
+            .try_submit("liver", RequestKind::Dose, payload.clone())
+            .expect_err("second request must shed at the full queue");
+        client.resume();
+        (ticket.wait(), rejected)
+    });
+
+    assert_eq!(rejected, rt_engine::RtError::QueueFull { capacity: 1 });
+    assert_eq!(report.rejected_queue_full, 1);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    let first = first.expect("admitted request completes");
+    let bits: Vec<u64> = first.output.into_iter().map(f64::to_bits).collect();
+    assert_eq!(bits, golden, "admitted dose diverged from unsharded");
+    assert!(first.shards.is_some());
+}
+
+#[test]
+fn batching_composes_with_sharding() {
+    let liver = random_matrix(23, 800, 64, 24);
+    let payloads: Vec<Vec<f64>> = (0..6)
+        .map(|v| {
+            (0..liver.ncols())
+                .map(|j| ((v * 64 + j) * 11 % 23) as f64 * 0.04 + 0.1)
+                .collect()
+        })
+        .collect();
+
+    let goldens: Vec<Vec<u64>> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (out, _) = engine.serve(|c| {
+            payloads
+                .iter()
+                .map(|p| {
+                    c.call("liver", RequestKind::Dose, p.clone())
+                        .unwrap()
+                        .output
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect()
+                })
+                .collect::<Vec<_>>()
+        });
+        out
+    };
+
+    // One device hosting all 3 shards keeps the batch composition
+    // deterministic: the dispatching worker drains all 6 queued mates
+    // into one fan-out, which becomes 3 shard sub-tasks of 6 vectors
+    // each — 3 launches total, not 18.
+    let mut engine = Engine::builder()
+        .device(DeviceSpec::a100())
+        .shards(3)
+        .start_paused()
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    let (responses, report) = engine.serve(|client| {
+        let tickets: Vec<_> = payloads
+            .iter()
+            .map(|p| {
+                client
+                    .submit("liver", RequestKind::Dose, p.clone())
+                    .unwrap()
+            })
+            .collect();
+        client.resume();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    assert_eq!(report.completed, 6);
+    assert_eq!(
+        report.launches, 3,
+        "one launch per shard, shared by the batch"
+    );
+    for (r, golden) in responses.iter().zip(&goldens) {
+        assert_eq!(r.batch_size, 6, "batch did not compose under fan-out");
+        let sh = r.shards.as_ref().expect("sharded breakdown");
+        assert_eq!(sh.shards.len(), 3);
+        let bits: Vec<u64> = r.output.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(&bits, golden, "batched sharded dose diverged");
+    }
 }

@@ -62,6 +62,10 @@ pub struct DeviceSpec {
     /// write operations per second at the L2). Far below raw cache
     /// bandwidth: each atomic serializes a slice's RMW port.
     pub atomic_ops_per_s: f64,
+    /// Modeled inter-device interconnect bandwidth in bytes/s per device
+    /// (NVLink-class link budget out of this card), charged when a
+    /// row-sharded launch gathers partial results to one destination.
+    pub interconnect_bw: f64,
 }
 
 impl DeviceSpec {
@@ -85,6 +89,8 @@ impl DeviceSpec {
             dram_efficiency: 0.94,
             block_dispatch_cycles: 100.0,
             atomic_ops_per_s: 65e9,
+            // NVLink 3: 12 links x 50 GB/s.
+            interconnect_bw: 600e9,
         }
     }
 
@@ -108,6 +114,8 @@ impl DeviceSpec {
             dram_efficiency: 0.94,
             block_dispatch_cycles: 100.0,
             atomic_ops_per_s: 35e9,
+            // NVLink 2: 6 links x 50 GB/s.
+            interconnect_bw: 300e9,
         }
     }
 
@@ -133,6 +141,8 @@ impl DeviceSpec {
             dram_efficiency: 0.48,
             block_dispatch_cycles: 100.0,
             atomic_ops_per_s: 15e9,
+            // NVLink 1: 4 links x 40 GB/s.
+            interconnect_bw: 160e9,
         }
     }
 
@@ -221,6 +231,17 @@ mod tests {
     #[should_panic(expected = "scale factor")]
     fn scaling_rejects_upscale() {
         let _ = DeviceSpec::a100().scaled_l2(0.5);
+    }
+
+    #[test]
+    fn interconnect_generations_ordered() {
+        let a = DeviceSpec::a100();
+        let v = DeviceSpec::v100();
+        let p = DeviceSpec::p100();
+        assert!(a.interconnect_bw > v.interconnect_bw);
+        assert!(v.interconnect_bw > p.interconnect_bw);
+        // The link is always the narrow pipe relative to local DRAM.
+        assert!(a.interconnect_bw < a.dram_bw);
     }
 
     #[test]

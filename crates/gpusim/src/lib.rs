@@ -49,6 +49,7 @@ pub mod buffer;
 pub mod cache;
 pub mod counters;
 pub mod device;
+pub mod devicegroup;
 pub mod exec;
 pub mod mem;
 pub mod report;
@@ -57,9 +58,10 @@ pub mod timing;
 pub use buffer::{DeviceBuffer, DeviceOutBuffer};
 pub use counters::KernelStats;
 pub use device::DeviceSpec;
+pub use devicegroup::{DeviceGroup, DeviceTask};
 pub use exec::{
     ExecMode, Gpu, Grid, GroupMember, GroupStats, MemberStats, WarpCtx, TILE_WIDTHS, WARP_SIZE,
 };
 pub use mem::BufferTraffic;
-pub use report::{BucketReport, GroupReport, LaunchReport};
-pub use timing::{CpuSpec, KernelProfile, Precision, TimeEstimate};
+pub use report::{BucketReport, GroupReport, LaunchReport, ShardReport, ShardedReport};
+pub use timing::{gather_estimate, CpuSpec, KernelProfile, Precision, TimeEstimate};

@@ -269,6 +269,159 @@ impl GroupReport {
     }
 }
 
+/// One shard's slice of a [`ShardedReport`]: the contiguous row range it
+/// owned, the device it ran on, its dispatch choice, its own counters and
+/// standalone time estimate, and the modeled cost of gathering its
+/// partial result over the inter-device link.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardReport {
+    /// Shard index within the plan (also selects the device: `i % pool`).
+    pub shard: usize,
+    /// Device the shard ran on ("A100", ...).
+    pub device: String,
+    /// First row (inclusive) of the shard's range in the full matrix.
+    pub row_start: u64,
+    /// Rows in the shard's range (empty rows included).
+    pub rows: u64,
+    /// Non-zeros the shard owns — the balancing target.
+    pub nnz: u64,
+    /// Dispatch the shard ran ("w=8" fixed-width or "bucketed").
+    pub dispatch: String,
+    /// The shard launch's own counters (this device only).
+    pub stats: KernelStats,
+    /// Modeled compute time of the shard on its device, as a standalone
+    /// launch (its own launch-overhead charge included).
+    pub estimate: TimeEstimate,
+    /// Result bytes the shard ships to the destination buffer (only its
+    /// non-empty rows travel; empty rows are zero-filled once at the
+    /// destination).
+    pub gather_bytes: u64,
+    /// `gather_bytes` over the device's interconnect bandwidth
+    /// ([`crate::timing::gather_estimate`]).
+    pub gather_seconds: f64,
+}
+
+/// The merged record of one row-sharded launch across a
+/// [`crate::DeviceGroup`]: per-shard breakdown plus the pool-level model.
+///
+/// `modeled_seconds` is the critical path: shards run concurrently on
+/// distinct devices, and each shard's result is usable once its compute
+/// *and* its gather finish, so the launch completes at
+/// `max_i(compute_i + gather_i)` — not the sum.
+///
+/// Like [`LaunchReport`], the JSON encoding is hand-rolled and stable.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardedReport {
+    /// Kernel family name ("Half/double", ...).
+    pub kernel: String,
+    /// Devices in the pool, in shard order (deduplicated).
+    pub devices: Vec<String>,
+    /// All shard counters merged (total traffic across the pool).
+    pub stats: KernelStats,
+    /// Critical-path time of the sharded launch (see type docs).
+    pub modeled_seconds: f64,
+    /// Total result bytes moved over the interconnect.
+    pub gather_bytes: u64,
+    /// Per-shard breakdown, in row order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl ShardedReport {
+    /// Merges per-shard records into the pool-level report.
+    pub fn new(kernel: impl Into<String>, shards: Vec<ShardReport>) -> Self {
+        let mut stats = KernelStats::default();
+        let mut devices: Vec<String> = Vec::new();
+        let mut modeled_seconds = 0.0f64;
+        let mut gather_bytes = 0u64;
+        for s in &shards {
+            stats.accumulate(&s.stats);
+            if !devices.contains(&s.device) {
+                devices.push(s.device.clone());
+            }
+            modeled_seconds = modeled_seconds.max(s.estimate.seconds + s.gather_seconds);
+            gather_bytes += s.gather_bytes;
+        }
+        ShardedReport {
+            kernel: kernel.into(),
+            devices,
+            stats,
+            modeled_seconds,
+            gather_bytes,
+            shards,
+        }
+    }
+
+    /// Stable JSON encoding in the house style (two-space indent, keys in
+    /// declaration order).
+    pub fn to_json(&self) -> String {
+        self.to_json_indented(0)
+    }
+
+    /// Like [`ShardedReport::to_json`], shifted right by `indent` spaces
+    /// on every line after the first.
+    pub fn to_json_indented(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 4);
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "{pad}  \"kernel\": {},\n",
+            json_string(&self.kernel)
+        ));
+        out.push_str(&format!(
+            "{pad}  \"devices\": [{}],\n",
+            self.devices
+                .iter()
+                .map(|d| json_string(d))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        push_stats_object(&mut out, &pad, &self.stats);
+        out.push_str(",\n");
+        out.push_str(&format!(
+            "{pad}  \"modeled_seconds\": {:.6e},\n",
+            self.modeled_seconds
+        ));
+        out.push_str(&format!(
+            "{pad}  \"gather_bytes\": {},\n",
+            self.gather_bytes
+        ));
+        out.push_str(&format!("{pad}  \"shards\": ["));
+        for (i, s) in self.shards.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!("{pad}    {{\n"));
+            out.push_str(&format!("{inner}  \"shard\": {},\n", s.shard));
+            out.push_str(&format!(
+                "{inner}  \"device\": {},\n",
+                json_string(&s.device)
+            ));
+            out.push_str(&format!("{inner}  \"row_start\": {},\n", s.row_start));
+            out.push_str(&format!("{inner}  \"rows\": {},\n", s.rows));
+            out.push_str(&format!("{inner}  \"nnz\": {},\n", s.nnz));
+            out.push_str(&format!(
+                "{inner}  \"dispatch\": {},\n",
+                json_string(&s.dispatch)
+            ));
+            push_stats_object(&mut out, &inner, &s.stats);
+            out.push_str(",\n");
+            push_estimate_object(&mut out, &inner, &s.estimate);
+            out.push_str(",\n");
+            out.push_str(&format!("{inner}  \"gather_bytes\": {},\n", s.gather_bytes));
+            out.push_str(&format!(
+                "{inner}  \"gather_seconds\": {:.6e}\n",
+                s.gather_seconds
+            ));
+            out.push_str(&format!("{pad}    }}"));
+        }
+        if !self.shards.is_empty() {
+            out.push_str(&format!("\n{pad}  "));
+        }
+        out.push_str("]\n");
+        out.push_str(&format!("{pad}}}"));
+        out
+    }
+}
+
 fn bound_name(b: Bound) -> &'static str {
     match b {
         Bound::Dram => "dram",
@@ -403,6 +556,54 @@ mod tests {
         let stats_block =
             &launch[launch.find("\"stats\"").unwrap()..launch.find("\"estimate\"").unwrap()];
         assert!(j.contains(stats_block.trim_end_matches([' ', ',', '\n'])));
+    }
+
+    #[test]
+    fn sharded_report_merges_counters_and_models_the_critical_path() {
+        let base = sample();
+        let mk = |shard: usize, device: &str, seconds: f64, gather: f64| ShardReport {
+            shard,
+            device: device.into(),
+            row_start: shard as u64 * 100,
+            rows: 100,
+            nnz: 5000,
+            dispatch: "w=8".into(),
+            stats: base.stats.clone(),
+            estimate: TimeEstimate {
+                seconds,
+                ..base.estimate.clone()
+            },
+            gather_bytes: 800,
+            gather_seconds: gather,
+        };
+        let r = ShardedReport::new(
+            "Half/double",
+            vec![
+                mk(0, "A100", 2e-5, 1e-6),
+                mk(1, "V100", 3e-5, 2e-6),
+                mk(2, "A100", 1e-5, 1e-6),
+            ],
+        );
+        // Critical path = slowest shard's compute + its gather, not a sum.
+        assert!((r.modeled_seconds - 3.2e-5).abs() < 1e-12);
+        assert_eq!(r.stats.flops, 3 * base.stats.flops);
+        assert_eq!(r.gather_bytes, 3 * 800);
+        assert_eq!(r.devices, vec!["A100".to_string(), "V100".to_string()]);
+        let j = r.to_json();
+        for key in [
+            "\"kernel\"",
+            "\"devices\": [\"A100\", \"V100\"]",
+            "\"modeled_seconds\"",
+            "\"gather_bytes\": 2400",
+            "\"shards\"",
+            "\"shard\": 2",
+            "\"row_start\": 100",
+            "\"dispatch\": \"w=8\"",
+            "\"gather_seconds\"",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -170,6 +170,19 @@ pub fn estimate(spec: &DeviceSpec, profile: &KernelProfile, stats: &KernelStats)
     }
 }
 
+/// Modeled time to move `bytes` of shard results off `spec` over the
+/// inter-device interconnect during a sharded gather.
+///
+/// The transfer is one contiguous DMA of already-computed results, so no
+/// occupancy or granularity derates apply — only the per-device link
+/// budget. A zero-byte gather (a shard whose rows are all empty) is free.
+pub fn gather_estimate(spec: &DeviceSpec, bytes: u64) -> f64 {
+    if bytes == 0 {
+        return 0.0;
+    }
+    bytes as f64 / spec.interconnect_bw
+}
+
 /// Host CPU description for the RayStation clinical-baseline row.
 #[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CpuSpec {
@@ -368,6 +381,20 @@ mod tests {
         };
         let t = estimate(&spec, &profile, &stats);
         assert_eq!(t.bound, Bound::L2);
+    }
+
+    #[test]
+    fn gather_cost_scales_with_bytes_and_link_generation() {
+        let a = DeviceSpec::a100();
+        let p = DeviceSpec::p100();
+        assert_eq!(gather_estimate(&a, 0), 0.0);
+        let t1 = gather_estimate(&a, 1 << 20);
+        let t2 = gather_estimate(&a, 2 << 20);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+        assert!(gather_estimate(&p, 1 << 20) > t1);
+        // ~330 KB of non-empty liver rows over NVLink 3 is well under the
+        // kernel launch overhead — sharding must stay profitable.
+        assert!(gather_estimate(&a, 330_000) < a.launch_overhead_s);
     }
 
     #[test]

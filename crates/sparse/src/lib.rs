@@ -35,6 +35,7 @@ mod quantized;
 mod rowplan;
 mod rscompressed;
 mod sell;
+mod shardplan;
 pub mod stats;
 
 pub use coo::Coo;
@@ -49,3 +50,4 @@ pub use rowplan::{
 };
 pub use rscompressed::{RsCompressed, Segment};
 pub use sell::SellCSigma;
+pub use shardplan::{RowShard, ShardPlan};

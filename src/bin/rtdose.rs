@@ -18,17 +18,18 @@ use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
 use rtdose::engine::{Engine, RequestKind};
 use rtdose::f16::{DoseScalar, F16};
 use rtdose::gpusim::{
-    DeviceBuffer, DeviceOutBuffer, DeviceSpec, Gpu, GroupReport, KernelProfile, KernelStats,
+    DeviceBuffer, DeviceGroup, DeviceOutBuffer, DeviceSpec, Gpu, GroupReport, KernelProfile,
+    KernelStats, ShardedReport,
 };
 use rtdose::kernels::{
     bucketed_group_report, heuristic_width, profile_baseline, profile_half_double, profile_single,
-    rs_baseline_gpu_spmv, vector_csr_spmv, vector_csr_spmv_bucketed, vector_csr_spmv_tiled,
-    BucketWidths, GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelSelect, PartitionStrategy,
-    VecScalar, TILE_WIDTHS,
+    rs_baseline_gpu_spmv, select_per_shard, vector_csr_spmv, vector_csr_spmv_bucketed,
+    vector_csr_spmv_sharded, vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan,
+    GpuRsMatrix, KernelSelect, PartitionStrategy, ShardDispatch, VecScalar, TILE_WIDTHS,
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::stats::{MatrixSummary, RowStats};
-use rtdose::sparse::{load_csr, save_csr, Csr, RowPlan, RsCompressed};
+use rtdose::sparse::{load_csr, save_csr, Csr, RowPlan, RsCompressed, ShardPlan};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -44,10 +45,12 @@ fn usage() -> ! {
            rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
                            [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
                            [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
+                           [--shards auto|K]   (K-device pool, one row shard each; auto = 3)\n\
            rtdose kernels  FILE [--device a100|v100|p100] [--tpb N]\n\
            rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
            rtdose serve-demo [--requests N] [--shrink S] [--submitters N]\n\
                            [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
+                           [--shards auto|K]   (row-shard every plan across the pool)\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -108,6 +111,22 @@ fn parse_partition(flags: &HashMap<String, String>) -> Option<PartitionStrategy>
         usage();
     }
     Some(strategy)
+}
+
+/// `--shards`: `None` disables sharding, `Some(None)` means auto (match
+/// the pool size), `Some(Some(k))` pins the shard count.
+fn parse_shards(flags: &HashMap<String, String>) -> Option<Option<usize>> {
+    match flags.get("shards").map(String::as_str) {
+        None => None,
+        Some("auto") => Some(None),
+        Some(s) => match s.parse::<usize>() {
+            Ok(k) if k >= 1 => Some(Some(k)),
+            _ => {
+                eprintln!("--shards must be auto or a positive integer (got {s})");
+                usage();
+            }
+        },
+    }
 }
 
 fn device(name: &str) -> DeviceSpec {
@@ -265,6 +284,89 @@ fn run_partitioned_spmv<V: DoseScalar, X: VecScalar>(
     (g.merged, report, choice.mode, plan)
 }
 
+/// `--shards K`: the snapshot is split into K nnz-balanced row ranges
+/// and executed cooperatively on a pool of K identical devices, one
+/// shard resident per device. Widths are pinned from the *whole* matrix
+/// before the split, so the merged dose is bitwise identical to the
+/// unsharded kernel — the table shows where the pool's modeled time goes
+/// (per-shard compute plus the interconnect gather of its rows).
+fn run_sharded_spmv(
+    m: &Csr<F16, u32>,
+    dev: &DeviceSpec,
+    tpb: u32,
+    k: usize,
+    kernel: &str,
+    dispatch: ShardDispatch,
+) {
+    let t0 = std::time::Instant::now();
+    let report: ShardedReport = match kernel {
+        "half-double" => {
+            let plan = ShardPlan::build(m, k);
+            let group = DeviceGroup::new(vec![dev.clone(); plan.num_shards()]);
+            let sm = rtdose::kernels::ShardedCsr::upload(&group, &plan);
+            let x = vec![1.0f64; m.ncols()];
+            let (_, rep) =
+                vector_csr_spmv_sharded(&group, &sm, &x, tpb, dispatch, &profile_half_double())
+                    .expect("sharded dispatch cannot fail on a validated width");
+            rep
+        }
+        "single" => {
+            let m32: Csr<f32, u32> = m.convert_values();
+            let plan = ShardPlan::build(&m32, k);
+            let group = DeviceGroup::new(vec![dev.clone(); plan.num_shards()]);
+            let sm = rtdose::kernels::ShardedCsr::upload(&group, &plan);
+            let x = vec![1.0f32; m.ncols()];
+            let (_, rep) =
+                vector_csr_spmv_sharded(&group, &sm, &x, tpb, dispatch, &profile_single())
+                    .expect("sharded dispatch cannot fail on a validated width");
+            rep
+        }
+        other => {
+            eprintln!("--shards applies to the vector kernels only (got --kernel {other})");
+            usage();
+        }
+    };
+
+    println!(
+        "kernel {kernel} sharded {}x on {} x{} ({} threads/block), sim wall time {:.2?}",
+        report.shards.len(),
+        dev.name,
+        report.shards.len(),
+        tpb,
+        t0.elapsed()
+    );
+    println!(
+        "  {:<6} {:<7} {:>16} {:>12} {:>10} {:>12} {:>11}",
+        "shard", "device", "rows [start..)", "nnz", "dispatch", "modeled us", "gather us"
+    );
+    for s in &report.shards {
+        println!(
+            "  {:<6} {:<7} {:>7}..{:<8} {:>12} {:>10} {:>12.3} {:>11.3}",
+            s.shard,
+            s.device,
+            s.row_start,
+            s.row_start + s.rows,
+            s.nnz,
+            s.dispatch,
+            s.estimate.seconds * 1e6,
+            s.gather_seconds * 1e6
+        );
+    }
+    let serial: f64 = report.shards.iter().map(|s| s.estimate.seconds).sum();
+    println!(
+        "  critical path        : {:.3} ms (max over shards of compute + gather)",
+        report.modeled_seconds * 1e3
+    );
+    println!(
+        "  gather traffic       : {} bytes over the pool interconnect",
+        report.gather_bytes
+    );
+    println!(
+        "  speedup vs serialized: {:.2}x (sum of shard computes / critical path)",
+        serial / report.modeled_seconds
+    );
+}
+
 fn cmd_spmv(flags: HashMap<String, String>) {
     let m = load_matrix(&flags);
     let dev = device(flags.get("device").map(String::as_str).unwrap_or("a100"));
@@ -298,6 +400,24 @@ fn cmd_spmv(flags: HashMap<String, String>) {
             }
         }
     };
+
+    if let Some(k) = parse_shards(&flags) {
+        let dispatch = match partition {
+            Some(strategy) => {
+                let choice = KernelSelect::Partitioned(strategy)
+                    .choose(&dev, &m, tpb)
+                    .expect("partitioned selection cannot fail on a loaded snapshot");
+                let mut widths = BucketWidths::natural();
+                for bc in &choice.buckets {
+                    widths.0[bc.bucket] = bc.tile_width;
+                }
+                ShardDispatch::Bucketed(widths)
+            }
+            None => ShardDispatch::Fixed(tile),
+        };
+        run_sharded_spmv(&m, &dev, tpb, k.unwrap_or(3), kernel, dispatch);
+        return;
+    }
 
     let weights = vec![1.0f64; m.ncols()];
     let gpu = Gpu::new(dev.clone());
@@ -548,6 +668,47 @@ fn cmd_kernels(args: &[String]) {
         "partitioned gradient/transpose fallback width: w{} (widest populated bucket)",
         part.tile_width
     );
+
+    // The row-sharded alternative: what --shards 3 runs on a pool of
+    // three of this device. Dispatch pins the whole-matrix widths before
+    // the split; the per-shard autotuner verdicts below are evidence of
+    // what each shard *would* pick in isolation — any delta is the price
+    // of keeping sharded doses bitwise identical to unsharded ones.
+    let plan = ShardPlan::build(&m, 3);
+    let group = DeviceGroup::new(vec![dev.clone(); plan.num_shards()]);
+    let shard_sel = select_per_shard(
+        &KernelSelect::Partitioned(PartitionStrategy::Heuristic),
+        &group,
+        &plan,
+        tpb,
+    )
+    .expect("per-shard selection cannot fail on a loaded snapshot");
+    println!(
+        "\nrow-sharded dispatch (--shards 3): nnz-balanced row ranges, balance factor {:.2}",
+        plan.balance_factor()
+    );
+    println!("  shard    rows [start..)          nnz   solo pick   solo buckets      gather us");
+    for s in &shard_sel {
+        let buckets: Vec<String> = s
+            .choice
+            .buckets
+            .iter()
+            .filter(|b| b.rows > 0)
+            .map(|b| format!("w{}", b.tile_width))
+            .collect();
+        println!(
+            "  {:>5} {:>9}..{:<9} {:>12}   {:<9} {:<17} {:>9.3}",
+            s.shard,
+            s.row_start,
+            s.row_start + s.rows,
+            s.nnz,
+            format!("w{}", s.choice.tile_width),
+            buckets.join(" "),
+            s.gather_seconds * 1e6
+        );
+    }
+    let gather: u64 = shard_sel.iter().map(|s| s.gather_bytes).sum();
+    println!("modeled gather traffic: {gather} bytes (non-empty rows x 8, per result vector)");
 }
 
 fn cmd_optimize(flags: HashMap<String, String>) {
@@ -638,6 +799,9 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         (None, Some(w)) => KernelSelect::Fixed(w),
         (None, None) => KernelSelect::Heuristic,
     };
+    // --shards auto matches the demo pool (3 devices): every plan splits
+    // into one row shard per device instead of replicating everywhere.
+    let shards = parse_shards(&flags).map(|k| k.unwrap_or(3));
 
     println!("generating plans (shrink {shrink}) ...");
     let scale = ScaleConfig {
@@ -646,17 +810,19 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
     let liver = liver_case(scale).swap_remove(0).matrix;
     let prostate = prostate_case(scale).swap_remove(0).matrix;
 
-    let mut engine = Engine::builder()
+    let mut builder = Engine::builder()
         .device(DeviceSpec::a100())
         .device(DeviceSpec::a100())
         .device(DeviceSpec::v100())
         .queue_capacity(32)
-        .kernel_select(select)
-        .build()
-        .unwrap_or_else(|e| {
-            eprintln!("cannot build engine: {e}");
-            std::process::exit(1);
-        });
+        .kernel_select(select);
+    if let Some(k) = shards {
+        builder = builder.shards(k);
+    }
+    let mut engine = builder.build().unwrap_or_else(|e| {
+        eprintln!("cannot build engine: {e}");
+        std::process::exit(1);
+    });
     for (name, m) in [("liver", &liver), ("prostate", &prostate)] {
         engine.register_plan(name, m).unwrap_or_else(|e| {
             eprintln!("cannot register plan {name}: {e}");
@@ -670,6 +836,9 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
             m.nnz(),
             engine.plan_tile_width(name).unwrap()
         );
+        if let Some(k) = engine.plan_shard_count(name) {
+            println!("      sharded {k} ways: one nnz-balanced row range per pool device");
+        }
         let choice = engine.plan_choice(name).unwrap();
         for bc in choice.buckets.iter().filter(|b| b.rows > 0) {
             let range = if bc.max_len == u32::MAX {
