@@ -20,7 +20,13 @@
 //!   concurrently, the interconnect gather of each shard's rows charged
 //!   to the critical path. Its `sim_speedup_vs_one_device` compares the
 //!   pool's modeled critical path against the same bucketed dispatch
-//!   fully resident on one device.
+//!   fully resident on one device, and
+//! * a **placement break-even sweep** on the mixed 4-device demo pool
+//!   (2×A100 + V100 + P100): the shard count `ExecPolicy`'s
+//!   `ShardSpec::Auto` resolves to for the liver and prostate plans,
+//!   the full K=1..=4 evidence table, and the modeled throughput of two
+//!   concurrent requests under R=2 replica groups vs R=1 serializing
+//!   pool-wide fan-outs (the `placement` JSON object).
 //!
 //! The JSON carries `schema_version` and a stable `suite` id per kernel
 //! entry (`prostate-paper`, `shortrow`, `liver-beam-1`,
@@ -43,23 +49,26 @@
 //! non-zero if the autotuned pick is modeled slower than warp-per-row on
 //! the short-row suite, if the partitioned pick is modeled slower than
 //! the best fixed-width whole-matrix kernel on the liver beam-1 suite,
-//! or if the 3-device sharded dispatch models less than 1.6× one device
-//! on the same suite — the CI gates for the autotuners and the
-//! cooperative pool.
+//! if the 3-device sharded dispatch models less than 1.6× one device
+//! on the same suite, if the placement model's auto shard count fails
+//! to beat both forced K=1 and K=pool on the liver plan (or R=2 fails
+//! to model >1.5× R=1 serialized throughput), or if the small prostate
+//! plan is not auto-placed at K=1 — the CI gates for the autotuners,
+//! the cooperative pool, and the placement engine.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_core::{
-    profile_baseline, profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv,
-    vector_csr_spmv_bucketed, vector_csr_spmv_sharded, vector_csr_spmv_tiled, BucketWidths,
-    GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy,
-    ShardDispatch, ShardedCsr, TILE_WIDTHS,
+    choose_shard_count, modeled_whole_seconds, profile_baseline, profile_half_double,
+    rs_baseline_gpu_spmv, vector_csr_spmv, vector_csr_spmv_bucketed, vector_csr_spmv_sharded,
+    vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelChoice,
+    KernelSelect, PartitionStrategy, ShardBreakEven, ShardDispatch, ShardedCsr, TILE_WIDTHS,
 };
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
 use rt_gpusim::{
-    timing, BucketReport, DeviceGroup, DeviceSpec, Gpu, GroupStats, KernelProfile, KernelStats,
-    LaunchReport, ShardReport, ShardedReport,
+    snake_partition, timing, BucketReport, DeviceGroup, DeviceSpec, Gpu, GroupStats, KernelProfile,
+    KernelStats, LaunchReport, ShardReport, ShardedReport,
 };
 use rt_sparse::stats::RowStats;
 use rt_sparse::{Csr, RowPlan, RsCompressed, ShardPlan};
@@ -425,7 +434,126 @@ fn time_sharded(
     }
 }
 
-fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice) -> String {
+/// Modeled placement verdict for one plan on the mixed 4-device demo
+/// pool (2×A100 + V100 + P100) — the same break-even model the serving
+/// engine's `ShardSpec::Auto` runs at plan registration.
+///
+/// * `breakeven` sweeps K=1..=pool on the full pool (shard `i` homes on
+///   the `i`-th fastest device, throughput-weighted cuts).
+/// * `r2_throughput_ratio` compares two concurrent requests under R=2
+///   (pool snake-dealt into two bandwidth-matched groups, each serving
+///   one whole request at its own break-even K) against R=1 serializing
+///   two pool-wide K=pool fan-outs back-to-back.
+struct PlacementVerdict {
+    breakeven: ShardBreakEven,
+    t_k1: f64,
+    t_kpool: f64,
+    t_auto: f64,
+    group_seconds: Vec<f64>,
+    r2_throughput_ratio: f64,
+}
+
+fn placement_pool() -> Vec<DeviceSpec> {
+    vec![
+        DeviceSpec::a100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+    ]
+}
+
+/// `whole_seconds` is the plan's modeled whole-matrix time on the pool's
+/// reference (fastest) device — a measured-probe figure where one
+/// exists, the analytic [`modeled_whole_seconds`] otherwise.
+fn placement_verdict(whole_seconds: f64, nonempty_rows: usize) -> PlacementVerdict {
+    let pool = placement_pool();
+    let reference = &pool[0];
+    let breakeven = choose_shard_count(&pool, whole_seconds, nonempty_rows, pool.len());
+    let t_k1 = breakeven.candidates[0].modeled_seconds;
+    let t_kpool = breakeven.candidates[pool.len() - 1].modeled_seconds;
+    let t_auto = breakeven.candidates[breakeven.k - 1].modeled_seconds;
+
+    let weights: Vec<f64> = pool.iter().map(|d| d.effective_dram_bw()).collect();
+    let work = (whole_seconds - reference.launch_overhead_s).max(0.0);
+    let group_seconds: Vec<f64> = snake_partition(&weights, 2)
+        .into_iter()
+        .map(|members| {
+            let devs: Vec<DeviceSpec> = members.iter().map(|&i| pool[i].clone()).collect();
+            // Rescale the reference whole-matrix time to the group's own
+            // reference device (the engine does the same at placement).
+            let scaled = devs[0].launch_overhead_s
+                + work * reference.effective_dram_bw() / devs[0].effective_dram_bw();
+            let gbe = choose_shard_count(&devs, scaled, nonempty_rows, devs.len());
+            gbe.candidates[gbe.k - 1].modeled_seconds
+        })
+        .collect();
+    let slowest_group = group_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
+    PlacementVerdict {
+        breakeven,
+        t_k1,
+        t_kpool,
+        t_auto,
+        group_seconds,
+        r2_throughput_ratio: 2.0 * t_kpool / slowest_group,
+    }
+}
+
+fn render_placement(liver: &PlacementVerdict, prostate: &PlacementVerdict) -> String {
+    let mut out = String::new();
+    out.push_str("  \"placement\": {\n");
+    out.push_str("    \"pool\": [\"A100\", \"A100\", \"V100\", \"P100\"],\n");
+    writeln!(out, "    \"liver_auto_k\": {},", liver.breakeven.k).unwrap();
+    out.push_str("    \"liver_breakeven_us\": [");
+    for (i, p) in liver.breakeven.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(
+            out,
+            "{{\"k\": {}, \"modeled_us\": {:.3}}}",
+            p.k,
+            p.modeled_seconds * 1e6
+        )
+        .unwrap();
+    }
+    out.push_str("],\n");
+    writeln!(
+        out,
+        "    \"liver_auto_speedup_vs_k1\": {:.2},",
+        liver.t_k1 / liver.t_auto
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"liver_auto_speedup_vs_kpool\": {:.2},",
+        liver.t_kpool / liver.t_auto
+    )
+    .unwrap();
+    out.push_str("    \"liver_r2_group_us\": [");
+    for (i, s) in liver.group_seconds.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write!(out, "{:.3}", s * 1e6).unwrap();
+    }
+    out.push_str("],\n");
+    writeln!(
+        out,
+        "    \"liver_r2_throughput_ratio_vs_r1\": {:.2},",
+        liver.r2_throughput_ratio
+    )
+    .unwrap();
+    writeln!(out, "    \"prostate_auto_k\": {}", prostate.breakeven.k).unwrap();
+    out.push_str("  },\n");
+    out
+}
+
+fn render_json(
+    measurements: &[Measurement],
+    workers: usize,
+    auto: &KernelChoice,
+    placement: &str,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     writeln!(out, "  \"bench\": \"sim_kernels\",").unwrap();
@@ -438,6 +566,7 @@ fn render_json(measurements: &[Measurement], workers: usize, auto: &KernelChoice
         auto.mode, auto.tile_width, auto.avg_nnz_nonempty
     )
     .unwrap();
+    out.push_str(placement);
     out.push_str("  \"kernels\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         let per_sec = 1e9 / m.ns_per_iter;
@@ -642,6 +771,56 @@ fn quick_smoke() -> ! {
         eprintln!("FAIL: 3-device sharded dispatch models less than 1.6x one device");
         failed = true;
     }
+
+    // Gates 4-6: the placement break-even model on the mixed 4-device
+    // pool. The liver plan must find an interior optimum (auto-K strictly
+    // beats both K=1 and K=pool), two R=2 concurrent requests must model
+    // >1.5x the throughput of R=1 serializing pool-wide fan-outs, and
+    // the small prostate plan must stay at K=1 (break-even sanity).
+    let liver_place = placement_verdict(part_s, liver.nrows() - liver_stats.empty_rows);
+    println!(
+        "quick: placement: liver auto K={} ({:.3} us) vs K=1 {:.3} us, K=4 {:.3} us; R2/R1 throughput {:.2}x",
+        liver_place.breakeven.k,
+        liver_place.t_auto * 1e6,
+        liver_place.t_k1 * 1e6,
+        liver_place.t_kpool * 1e6,
+        liver_place.r2_throughput_ratio,
+    );
+    if liver_place.t_auto >= liver_place.t_k1 || liver_place.t_auto >= liver_place.t_kpool {
+        eprintln!("FAIL: liver auto shard count does not beat both forced K=1 and K=pool");
+        failed = true;
+    }
+    if liver_place.r2_throughput_ratio <= 1.5 {
+        eprintln!("FAIL: R=2 concurrent placement models <= 1.5x R=1 serialized fan-out");
+        failed = true;
+    }
+    let prostate: Csr<F16, u32> = prostate_case(ScaleConfig { shrink: 12.0 })
+        .remove(0)
+        .matrix
+        .convert_values();
+    let prostate_stats = RowStats::from_csr(&prostate);
+    let prostate_whole = modeled_whole_seconds(
+        &device,
+        prostate.nrows(),
+        prostate.ncols(),
+        prostate.nnz(),
+        2,
+        4,
+    );
+    let prostate_place =
+        placement_verdict(prostate_whole, prostate.nrows() - prostate_stats.empty_rows);
+    println!(
+        "quick: placement: prostate auto K={} (whole {:.3} us)",
+        prostate_place.breakeven.k,
+        prostate_whole * 1e6,
+    );
+    if prostate_place.breakeven.k != 1 {
+        eprintln!(
+            "FAIL: small prostate plan auto-picked K={} instead of 1",
+            prostate_place.breakeven.k
+        );
+        failed = true;
+    }
     std::process::exit(if failed { 1 } else { 0 });
 }
 
@@ -809,6 +988,17 @@ fn main() {
         Some(liver_part_s / liver_sharded.report.estimate.seconds);
     liver_entries.push(liver_sharded);
 
+    // Suite 5: the placement break-even model on the mixed 4-device pool
+    // — what `ExecPolicy` with `ShardSpec::Auto` resolves to for each
+    // plan. Liver uses the measured partitioned time as its whole-matrix
+    // figure; prostate uses the analytic estimate (the engine's fallback
+    // when no probe ran).
+    let liver_place = placement_verdict(liver_part_s, liver.nrows() - liver_stats.empty_rows);
+    let prostate_stats = RowStats::from_csr(&csr);
+    let prostate_whole = modeled_whole_seconds(&device, csr.nrows(), csr.ncols(), csr.nnz(), 2, 4);
+    let prostate_place = placement_verdict(prostate_whole, csr.nrows() - prostate_stats.empty_rows);
+    let placement_json = render_placement(&liver_place, &prostate_place);
+
     let mut measurements = vec![vector, baseline, warp32];
     measurements.extend(tiled);
     measurements.extend(liver_entries);
@@ -816,7 +1006,7 @@ fn main() {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let json = render_json(&measurements, workers, &choice);
+    let json = render_json(&measurements, workers, &choice, &placement_json);
     print!("{json}");
     let path = "BENCH_simspeed.json";
     match std::fs::write(path, &json) {

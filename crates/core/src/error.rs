@@ -57,6 +57,9 @@ pub enum RtError {
     RequestTooLarge { len: usize, max: usize },
     /// The engine is shutting down and no longer accepts requests.
     EngineShutdown,
+    /// An execution policy asked for a replica/shard placement the
+    /// device pool cannot satisfy (carries the rendered reason).
+    InvalidPlacement(String),
 }
 
 impl fmt::Display for RtError {
@@ -102,6 +105,7 @@ impl fmt::Display for RtError {
                 write!(f, "request length {len} exceeds limit {max}")
             }
             RtError::EngineShutdown => write!(f, "engine is shutting down"),
+            RtError::InvalidPlacement(msg) => write!(f, "invalid placement: {msg}"),
         }
     }
 }
@@ -144,6 +148,7 @@ impl RtError {
             RtError::DeadlineExceeded { .. } => "deadline_exceeded",
             RtError::RequestTooLarge { .. } => "request_too_large",
             RtError::EngineShutdown => "engine_shutdown",
+            RtError::InvalidPlacement(_) => "invalid_placement",
         }
     }
 }
@@ -205,6 +210,7 @@ mod tests {
             RtError::EngineShutdown.kind(),
             RtError::InvalidScale(-1.0).kind(),
             RtError::InvalidTileWidth(7).kind(),
+            RtError::InvalidPlacement("r > pool".into()).kind(),
         ];
         let set: std::collections::HashSet<_> = kinds.iter().collect();
         assert_eq!(set.len(), kinds.len());

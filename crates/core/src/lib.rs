@@ -23,6 +23,7 @@ pub mod calculator;
 pub mod cpu;
 pub mod error;
 pub mod libs;
+pub mod placement;
 pub mod scalar_csr;
 pub mod select;
 pub mod sell_kernel;
@@ -41,6 +42,7 @@ pub use calculator::{
 pub use cpu::{cpu_csr_spmv, RsCpu};
 pub use error::RtError;
 pub use libs::{cusparse_csr_spmv, ginkgo_csr_spmv};
+pub use placement::{choose_shard_count, modeled_whole_seconds, BreakEvenPoint, ShardBreakEven};
 pub use scalar_csr::scalar_csr_spmv;
 pub use select::{
     heuristic_width, probe_widths, BucketChoice, KernelChoice, KernelSelect, PartitionStrategy,

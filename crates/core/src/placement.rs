@@ -1,0 +1,198 @@
+//! Break-even shard-count model for placed (replicated × sharded) plans.
+//!
+//! Sharding one dose request across `K` devices divides the streaming
+//! traffic — the quantity that bounds SpMV — but buys three overheads
+//! that do *not* shrink with `K`:
+//!
+//! 1. **Fan-out dispatch**: the dispatching worker enqueues `K` shard
+//!    sub-tasks back-to-back, a serial `(K-1) · launch_overhead` term.
+//! 2. **Per-shard launch**: every home device pays its own kernel launch
+//!    overhead before touching a byte.
+//! 3. **Result gather**: each shard's non-empty-row partials cross the
+//!    interconnect to the merged dose vector
+//!    ([`rt_gpusim::gather_estimate`]).
+//!
+//! For a small plan (the paper's prostate case streams in well under the
+//! launch overhead) the overheads dominate instantly, so the right answer
+//! is `K = 1`; for an 800k-row liver beam the traffic term dominates and
+//! a pool-wide split wins. [`choose_shard_count`] evaluates the modeled
+//! completion time at every candidate `K` and returns the full evidence
+//! table, so reports can show *why* a width was picked — the same
+//! philosophy as [`crate::KernelSelect`]'s candidate tables.
+//!
+//! The model assumes **throughput-weighted cuts**
+//! ([`rt_sparse::ShardPlan::build_weighted`]): shard `i` gets an nnz
+//! share proportional to its home device's
+//! [`DeviceSpec::effective_dram_bw`], so every shard finishes its compute
+//! at the same modeled time `work · w_ref / Σw` (the reference device's
+//! whole-matrix time scaled by its share of the pooled bandwidth). That
+//! closed form is what makes the sweep cheap: no per-`K` re-sharding, one
+//! arithmetic pass per candidate.
+
+use rt_gpusim::{gather_estimate, DeviceSpec};
+
+/// One row of the break-even evidence table: the modeled completion time
+/// of a single request at shard count `k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BreakEvenPoint {
+    pub k: usize,
+    /// Modeled seconds: fan-out dispatch + the slowest home device's
+    /// (launches + equalized compute + gather) total.
+    pub modeled_seconds: f64,
+}
+
+/// Outcome of a break-even sweep: the chosen shard count plus the full
+/// candidate table (reported in `EngineReport.plans[].placement`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardBreakEven {
+    /// The chosen shard count (smallest `k` at the minimum).
+    pub k: usize,
+    pub candidates: Vec<BreakEvenPoint>,
+}
+
+/// Analytic lower-bound estimate of one whole-matrix SpMV on `spec`,
+/// used as the break-even `whole_seconds` input when no measured probe
+/// is available: compulsory traffic (row pointers + matrix entries +
+/// input vector + result writes) over sustainable bandwidth, plus one
+/// launch overhead. Deliberately ignores cache reuse and per-warp
+/// scheduling — ranking candidate shard counts only needs the traffic
+/// term to scale correctly with the matrix.
+pub fn modeled_whole_seconds(
+    spec: &DeviceSpec,
+    nrows: usize,
+    ncols: usize,
+    nnz: usize,
+    value_bytes: usize,
+    index_bytes: usize,
+) -> f64 {
+    let traffic = 4.0 * (nrows as f64 + 1.0)            // row_ptr
+        + nnz as f64 * (value_bytes + index_bytes) as f64 // matrix entries
+        + 8.0 * ncols as f64                              // input vector
+        + 8.0 * nrows as f64; // result writes
+    spec.launch_overhead_s + traffic / spec.effective_dram_bw()
+}
+
+/// Sweeps shard counts `1..=max_k` for a request served by `devices`
+/// (shard `i` homes on `devices[i % devices.len()]`, the fastest device
+/// first — the order a replica group lists its members) and returns the
+/// break-even choice.
+///
+/// * `whole_seconds` — modeled time of the *whole* matrix on
+///   `devices[0]`, either a measured-probe figure or
+///   [`modeled_whole_seconds`].
+/// * `nonempty_rows` — rows that actually cross the interconnect at
+///   gather time (`8` bytes each).
+///
+/// When `k` exceeds the device count, extra shards stack round-robin and
+/// the model charges the stacked device for each of its shards
+/// back-to-back — so oversharding a small group is correctly penalized,
+/// never rewarded.
+///
+/// # Panics
+/// Panics if `devices` is empty.
+pub fn choose_shard_count(
+    devices: &[DeviceSpec],
+    whole_seconds: f64,
+    nonempty_rows: usize,
+    max_k: usize,
+) -> ShardBreakEven {
+    assert!(!devices.is_empty(), "break-even sweep needs >= 1 device");
+    let max_k = max_k.max(1);
+    let n = devices.len();
+    let reference = &devices[0];
+    let w_ref = reference.effective_dram_bw();
+    let work = (whole_seconds - reference.launch_overhead_s).max(0.0);
+    let total_gather_bytes = nonempty_rows as f64 * 8.0;
+
+    let mut candidates = Vec::with_capacity(max_k);
+    let mut best = (0usize, f64::INFINITY);
+    for k in 1..=max_k {
+        let weights: Vec<f64> = (0..k).map(|i| devices[i % n].effective_dram_bw()).collect();
+        let sum_w: f64 = weights.iter().sum();
+        // Weighted cuts equalize compute: every shard streams for
+        // `work * w_ref / sum_w` modeled seconds.
+        let compute = work * w_ref / sum_w;
+        let mut slowest = 0.0f64;
+        for (d, dev) in devices.iter().enumerate().take(n.min(k)) {
+            let mut t = 0.0;
+            for i in (d..k).step_by(n) {
+                let bytes = (total_gather_bytes * weights[i] / sum_w).ceil() as u64;
+                t += dev.launch_overhead_s + compute + gather_estimate(dev, bytes);
+            }
+            slowest = slowest.max(t);
+        }
+        let fan = (k - 1) as f64 * reference.launch_overhead_s;
+        let modeled_seconds = fan + slowest;
+        candidates.push(BreakEvenPoint { k, modeled_seconds });
+        if modeled_seconds < best.1 {
+            best = (k, modeled_seconds);
+        }
+    }
+    ShardBreakEven {
+        k: best.0,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_plan_stays_unsharded() {
+        // Work far below the launch overhead: every extra shard is pure
+        // overhead, even on a homogeneous pool.
+        let pool = vec![DeviceSpec::a100(); 4];
+        let be = choose_shard_count(&pool, 4e-6, 200, 4);
+        assert_eq!(be.k, 1);
+        assert_eq!(be.candidates.len(), 4);
+        assert!(be.candidates[0].modeled_seconds < be.candidates[1].modeled_seconds);
+    }
+
+    #[test]
+    fn large_plan_takes_the_whole_homogeneous_pool() {
+        // 10 ms of streaming vs microseconds of overhead.
+        let pool = vec![DeviceSpec::a100(); 4];
+        let be = choose_shard_count(&pool, 10e-3, 500_000, 4);
+        assert_eq!(be.k, 4);
+        // The table is monotone decreasing in this regime.
+        for pair in be.candidates.windows(2) {
+            assert!(pair[1].modeled_seconds < pair[0].modeled_seconds);
+        }
+    }
+
+    #[test]
+    fn mixed_pool_finds_an_interior_optimum() {
+        // One fast card plus three slow ones, sized so the third P100's
+        // bandwidth no longer pays for another fan-out launch.
+        let pool = vec![
+            DeviceSpec::a100(),
+            DeviceSpec::p100(),
+            DeviceSpec::p100(),
+            DeviceSpec::p100(),
+        ];
+        let be = choose_shard_count(&pool, 33e-6, 12_000, 4);
+        assert_eq!(be.k, 3, "table: {:?}", be.candidates);
+    }
+
+    #[test]
+    fn oversharding_one_device_never_wins() {
+        let pool = vec![DeviceSpec::a100()];
+        let be = choose_shard_count(&pool, 5e-3, 100_000, 6);
+        assert_eq!(be.k, 1);
+        // Stacked shards pay their launches back-to-back.
+        for pair in be.candidates.windows(2) {
+            assert!(pair[1].modeled_seconds > pair[0].modeled_seconds);
+        }
+    }
+
+    #[test]
+    fn analytic_estimate_scales_with_matrix_and_device() {
+        let a = modeled_whole_seconds(&DeviceSpec::a100(), 1000, 100, 50_000, 2, 4);
+        let bigger = modeled_whole_seconds(&DeviceSpec::a100(), 1000, 100, 500_000, 2, 4);
+        let slower = modeled_whole_seconds(&DeviceSpec::p100(), 1000, 100, 50_000, 2, 4);
+        assert!(a > 0.0);
+        assert!(bigger > a);
+        assert!(slower > a);
+    }
+}

@@ -27,11 +27,18 @@
 //! [`DoseCalculator::compute_dose_batch`]: rt_core::DoseCalculator::compute_dose_batch
 
 use crate::metrics::{
-    BatchSample, BucketSelection, EngineReport, Metrics, PlanSelection, PlanShard,
+    BatchSample, BreakEvenSelection, BucketSelection, EngineReport, Metrics, PlacementSelection,
+    PlanSelection, PlanShard, ReplicaGroupSelection,
 };
+use crate::policy::{ExecPolicy, ReplicaSpec, ShardSpec};
 use crate::queue::BoundedQueue;
-use rt_core::{BucketWidths, DoseCalculator, KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH};
-use rt_gpusim::{gather_estimate, DeviceSpec, LaunchReport, ShardReport, ShardedReport};
+use rt_core::{
+    choose_shard_count, modeled_whole_seconds, BreakEvenPoint, BucketWidths, DoseCalculator,
+    KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH,
+};
+use rt_gpusim::{
+    gather_estimate, snake_partition, DeviceSpec, LaunchReport, ShardReport, ShardedReport,
+};
 use rt_sparse::{Csr, RowPlan, ShardPlan};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -156,6 +163,9 @@ struct ShardTask {
 /// shards skip execution, and no partially-merged dose can ever escape.
 struct FanOut {
     plan: usize,
+    /// Replica group executing this fan-out (indexes the plan's
+    /// placement groups and the per-plan load table).
+    group: usize,
     kind: RequestKind,
     /// The batch members with their queue-wait at fan-out time.
     requests: Vec<(EngineRequest, f64)>,
@@ -203,17 +213,32 @@ impl Gate {
     }
 }
 
+/// Per-plan replica-group load tracking for one serve session. One
+/// mutex per plan: group selection and the outstanding increment happen
+/// in a single critical section, so two workers dispatching the same
+/// plan concurrently can never both pick the "idle" group.
+struct PlanLoads {
+    /// Fan-outs currently in flight per replica group.
+    outstanding: Vec<u64>,
+    /// Fan-outs completed per replica group (reported as
+    /// `placement.groups[].served`).
+    served: Vec<u64>,
+}
+
 struct ServeState {
     queue: BoundedQueue<WorkItem>,
     gate: Gate,
     metrics: Metrics,
+    /// One entry per registered plan (empty vectors for unplaced plans).
+    loads: Vec<Mutex<PlanLoads>>,
 }
 
 /// One row-range shard's residency: a calculator holding just the
 /// sub-matrix (no transpose — the gradient direction has its own shard
 /// set), pinned to its home device.
 struct ShardUnit {
-    /// Home device index (shard `s` of a plan lives on `s % pool`).
+    /// Home device index into the *pool* (shard `s` of a replica group
+    /// lives on the group's `s % group_size`-th member).
     device: usize,
     row_start: usize,
     row_end: usize,
@@ -225,28 +250,63 @@ struct ShardUnit {
     calc: DoseCalculator,
 }
 
+/// One replica group of a placed plan: a disjoint device subset holding
+/// a full copy of the plan as `K` row-range shards (dose direction) plus
+/// `K` transpose shards (gradient direction).
+struct ReplicaGroup {
+    /// Absolute pool device indices, fastest (highest modeled bandwidth)
+    /// first — `devices[0]` is the group's reference device for the
+    /// break-even model.
+    devices: Vec<usize>,
+    /// Row-range shards of the dose matrix, in row order.
+    dose_shards: Vec<ShardUnit>,
+    /// Row-range shards of the transpose, sharded by *its* rows (= spot
+    /// columns of the dose matrix) so gradient outputs are disjoint too.
+    grad_shards: Vec<ShardUnit>,
+    /// Break-even evidence table ([`ShardSpec::Auto`] only): the modeled
+    /// single-request seconds at every candidate shard count.
+    breakeven: Vec<BreakEvenPoint>,
+}
+
+impl ReplicaGroup {
+    fn shards_for(&self, kind: RequestKind) -> &[ShardUnit] {
+        match kind {
+            RequestKind::Dose => &self.dose_shards,
+            RequestKind::Gradient => &self.grad_shards,
+        }
+    }
+}
+
+/// Resolved placement of a placed plan: `R` disjoint replica groups,
+/// each serving whole requests independently.
+struct PlannedPlacement {
+    /// Whether the per-group shard counts came from the break-even model
+    /// rather than being forced.
+    auto_shards: bool,
+    groups: Vec<ReplicaGroup>,
+}
+
 struct Plan {
     name: String,
     nrows: usize,
     ncols: usize,
     /// One calculator per pool device (`calcs[i]` lives on `devices[i]`),
-    /// each holding the matrix and its transpose. Empty for row-sharded
-    /// plans — those hold only their shards, cutting per-device
-    /// residency ~K×.
+    /// each holding the matrix and its transpose. Empty for placed
+    /// plans — those hold only their per-group shards, cutting
+    /// per-device residency.
     calcs: Vec<DoseCalculator>,
-    /// Row-range shards of the dose matrix, in row order (sharded plans
-    /// only).
-    dose_shards: Vec<ShardUnit>,
-    /// Row-range shards of the transpose, sharded by *its* rows (= spot
-    /// columns of the dose matrix) so gradient outputs are disjoint too.
-    grad_shards: Vec<ShardUnit>,
+    /// Replica × shard placement (`None` for the classic fully-resident
+    /// path — [`ShardSpec::Off`] with [`ReplicaSpec::Auto`]).
+    placement: Option<PlannedPlacement>,
+    /// The policy this plan was registered under.
+    policy: ExecPolicy,
     /// The autotuner's decision for this plan, made once at
     /// registration; every calculator runs at `choice.tile_width` (or,
     /// for partitioned plans, at the per-bucket widths in
-    /// `choice.buckets`). Width pinning is what keeps sharded doses
+    /// `choice.buckets`). Width pinning is what keeps placed doses
     /// bitwise identical to unsharded: every shard calculator inherits
     /// the whole-matrix decision, so each row's arithmetic is a function
-    /// of its length alone, not of the shard it landed in.
+    /// of its length alone, not of the shard or replica it landed in.
     choice: KernelChoice,
     /// Row-partition execution plan, built once at registration and
     /// shared by every per-device calculator (partitioned plans only).
@@ -254,28 +314,17 @@ struct Plan {
 }
 
 impl Plan {
-    fn is_sharded(&self) -> bool {
-        !self.dose_shards.is_empty()
-    }
-
-    fn shards_for(&self, kind: RequestKind) -> &[ShardUnit] {
-        match kind {
-            RequestKind::Dose => &self.dose_shards,
-            RequestKind::Gradient => &self.grad_shards,
-        }
-    }
-
     /// Device bytes this plan pins on pool device `dev`.
     fn resident_bytes_on(&self, dev: usize) -> u64 {
-        if self.is_sharded() {
-            self.dose_shards
+        match &self.placement {
+            Some(pl) => pl
+                .groups
                 .iter()
-                .chain(&self.grad_shards)
+                .flat_map(|g| g.dose_shards.iter().chain(&g.grad_shards))
                 .filter(|u| u.device == dev)
                 .map(|u| u.calc.resident_bytes())
-                .sum()
-        } else {
-            self.calcs[dev].resident_bytes()
+                .sum(),
+            None => self.calcs[dev].resident_bytes(),
         }
     }
 }
@@ -290,8 +339,7 @@ pub struct EngineBuilder {
     default_deadline_ms: Option<f64>,
     max_request_len: Option<usize>,
     start_paused: bool,
-    kernel_select: KernelSelect,
-    shards: Option<usize>,
+    default_policy: ExecPolicy,
     debug_delays: Vec<(usize, f64)>,
 }
 
@@ -305,8 +353,7 @@ impl Default for EngineBuilder {
             default_deadline_ms: None,
             max_request_len: None,
             start_paused: false,
-            kernel_select: KernelSelect::Heuristic,
-            shards: None,
+            default_policy: ExecPolicy::default(),
             debug_delays: Vec::new(),
         }
     }
@@ -365,25 +412,35 @@ impl EngineBuilder {
         self
     }
 
-    /// Tile-width selection strategy applied to every plan at
-    /// registration (default [`KernelSelect::Heuristic`]; use
-    /// `KernelSelect::Fixed(32)` to pin the paper's warp-per-row kernel).
-    pub fn kernel_select(mut self, select: KernelSelect) -> Self {
-        self.kernel_select = select;
+    /// Execution policy applied to plans registered through
+    /// [`Engine::register_plan`] (default [`ExecPolicy::default`]: the
+    /// classic fully-resident engine). Per-plan policies via
+    /// [`Engine::register_plan_with`] override this.
+    pub fn default_policy(mut self, policy: ExecPolicy) -> Self {
+        self.default_policy = policy;
         self
     }
 
-    /// Row-shards every subsequently registered plan into `k`
-    /// contiguous, nnz-balanced row ranges, each resident on one pool
-    /// device only (shard `s` on device `s % pool`). One request then
-    /// executes cooperatively across the whole pool: the dispatching
-    /// worker fans it out into per-shard sub-tasks, each home device
-    /// computes its row range, and the disjoint results scatter into one
-    /// dose. Doses stay bitwise identical to the unsharded engine for
-    /// any `k`, pool composition, or shard completion order. `k` is
-    /// clamped to at least 1 (and, per plan, to its row count).
+    /// Tile-width selection strategy applied to every plan at
+    /// registration.
+    #[deprecated(note = "kernel selection is an ExecPolicy field now: use \
+                default_policy(ExecPolicy::builder().kernel_select(..).build()?) \
+                or a per-plan register_plan_with")]
+    pub fn kernel_select(mut self, select: KernelSelect) -> Self {
+        self.default_policy.kernel_select = select;
+        self
+    }
+
+    /// Row-shards every subsequently registered plan into `k` row ranges
+    /// across the whole pool as a single replica group.
+    #[deprecated(note = "sharding is an ExecPolicy field now: use \
+                default_policy(ExecPolicy::builder().shards(ShardSpec::Fixed(k)).build()?) \
+                or a per-plan register_plan_with")]
     pub fn shards(mut self, k: usize) -> Self {
-        self.shards = Some(k.max(1));
+        // The pre-policy engine sharded across the whole pool: one
+        // replica group with a forced shard count.
+        self.default_policy.shards = ShardSpec::Fixed(k.max(1));
+        self.default_policy.replicas = ReplicaSpec::Fixed(1);
         self
     }
 
@@ -405,11 +462,7 @@ impl EngineBuilder {
         if !(32..=1024).contains(&tpb) || !tpb.is_multiple_of(32) {
             return Err(RtError::InvalidThreadsPerBlock(tpb));
         }
-        if let KernelSelect::Fixed(w) = self.kernel_select {
-            if !rt_gpusim::TILE_WIDTHS.contains(&w) {
-                return Err(RtError::InvalidTileWidth(w));
-            }
-        }
+        self.default_policy.validate()?;
         Ok(Engine {
             devices: self.devices,
             plans: Vec::new(),
@@ -420,8 +473,7 @@ impl EngineBuilder {
             default_deadline_ms: self.default_deadline_ms,
             max_request_len: self.max_request_len,
             start_paused: self.start_paused,
-            kernel_select: self.kernel_select,
-            shards: self.shards,
+            default_policy: self.default_policy,
             debug_delays: self.debug_delays,
         })
     }
@@ -463,8 +515,7 @@ pub struct Engine {
     default_deadline_ms: Option<f64>,
     max_request_len: Option<usize>,
     start_paused: bool,
-    kernel_select: KernelSelect,
-    shards: Option<usize>,
+    default_policy: ExecPolicy,
     debug_delays: Vec<(usize, f64)>,
 }
 
@@ -522,46 +573,126 @@ impl Engine {
         self.plan(name).and_then(|p| p.row_plan.as_ref())
     }
 
-    /// Configured shard count ([`EngineBuilder::shards`]), if sharding
-    /// is enabled.
-    pub fn shard_count(&self) -> Option<usize> {
-        self.shards
+    /// The default execution policy plans registered through
+    /// [`Engine::register_plan`] get.
+    pub fn default_policy(&self) -> ExecPolicy {
+        self.default_policy
     }
 
-    /// Dose-direction shards a registered plan actually got (the
-    /// configured count clamped to the plan's rows); `None` when the
-    /// plan is fully resident.
+    /// The execution policy a registered plan was placed under.
+    pub fn plan_policy(&self, name: &str) -> Option<ExecPolicy> {
+        self.plan(name).map(|p| p.policy)
+    }
+
+    /// Forced default shard count, if the default policy forces one.
+    #[deprecated(note = "sharding is per-plan now: use plan_shard_count or plan_policy")]
+    pub fn shard_count(&self) -> Option<usize> {
+        match self.default_policy.shards {
+            ShardSpec::Fixed(k) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Dose-direction shards per replica group a registered plan
+    /// actually got (forced counts are clamped to the plan's rows);
+    /// `None` when the plan runs the classic fully-resident path.
     pub fn plan_shard_count(&self, name: &str) -> Option<usize> {
         self.plan(name)
-            .filter(|p| p.is_sharded())
-            .map(|p| p.dose_shards.len())
+            .and_then(|p| p.placement.as_ref())
+            .map(|pl| pl.groups[0].dose_shards.len())
     }
 
-    /// Registers `matrix` under the plan name `name`. Fully-resident
-    /// mode uploads the matrix (and its transpose, for gradients) to
-    /// every device in the pool; with [`EngineBuilder::shards`], each
-    /// nnz-balanced row-range shard is uploaded to its home device only,
-    /// and the transpose is sharded by *its own* rows the same way.
-    ///
-    /// Registration is when the engine autotunes: the configured
-    /// [`KernelSelect`] strategy picks the plan's tile width once (from
-    /// row statistics, or by probing candidate widths on the first pool
-    /// device), and every per-device or per-shard calculator is built to
-    /// run at it — pinned widths are what make sharded doses bitwise
-    /// identical to unsharded ones.
+    /// Replica groups a registered plan was dealt across; `None` when
+    /// the plan runs the classic fully-resident path.
+    pub fn plan_replica_count(&self, name: &str) -> Option<usize> {
+        self.plan(name)
+            .and_then(|p| p.placement.as_ref())
+            .map(|pl| pl.groups.len())
+    }
+
+    /// The break-even evidence table recorded for a registered plan's
+    /// first replica group ([`ShardSpec::Auto`] plans only; empty for
+    /// forced shard counts, `None` for unplaced plans).
+    pub fn plan_breakeven(&self, name: &str) -> Option<&[BreakEvenPoint]> {
+        self.plan(name)
+            .and_then(|p| p.placement.as_ref())
+            .map(|pl| pl.groups[0].breakeven.as_slice())
+    }
+
+    /// Interior shard cut points of a registered plan's first replica
+    /// group (`K - 1` row indices; empty for `K = 1`, `None` for
+    /// unplaced plans). These are what
+    /// [`rt_sparse::save_csr_with_cuts`] persists so a snapshot cold
+    /// start can skip re-sharding.
+    pub fn plan_shard_cuts(&self, name: &str) -> Option<Vec<usize>> {
+        self.plan(name)
+            .and_then(|p| p.placement.as_ref())
+            .map(|pl| {
+                pl.groups[0]
+                    .dose_shards
+                    .iter()
+                    .skip(1)
+                    .map(|u| u.row_start)
+                    .collect()
+            })
+    }
+
+    /// Registers `matrix` under the plan name `name` with the engine's
+    /// default policy ([`EngineBuilder::default_policy`]); see
+    /// [`Engine::register_plan_with`].
     pub fn register_plan(&mut self, name: &str, matrix: &Csr<f64, u32>) -> Result<(), RtError> {
+        self.register_plan_inner(name, matrix, self.default_policy, None)
+    }
+
+    /// Registers `matrix` under the plan name `name` with a per-plan
+    /// execution policy.
+    ///
+    /// Registration is when the engine autotunes. The policy's
+    /// [`KernelSelect`] picks the plan's tile width once (from row
+    /// statistics, or by probing candidate widths on the first pool
+    /// device); every per-device or per-shard calculator is built to
+    /// run at it — pinned widths are what make placed doses bitwise
+    /// identical to unsharded ones.
+    ///
+    /// An unplaced policy ([`ShardSpec::Off`] + [`ReplicaSpec::Auto`],
+    /// the default) uploads the matrix and its transpose to every
+    /// device. Any other combination *places* the plan: the pool is
+    /// snake-dealt by modeled bandwidth into `R` disjoint replica
+    /// groups, and each group holds the plan as `K` throughput-weighted
+    /// row-range shards (`K` per the policy, or the break-even model
+    /// under [`ShardSpec::Auto`]). Returns
+    /// [`RtError::InvalidPlacement`] when a forced replica count
+    /// exceeds the pool.
+    pub fn register_plan_with(
+        &mut self,
+        name: &str,
+        matrix: &Csr<f64, u32>,
+        policy: ExecPolicy,
+    ) -> Result<(), RtError> {
+        self.register_plan_inner(name, matrix, policy, None)
+    }
+
+    fn register_plan_inner(
+        &mut self,
+        name: &str,
+        matrix: &Csr<f64, u32>,
+        policy: ExecPolicy,
+        stored_cuts: Option<&[usize]>,
+    ) -> Result<(), RtError> {
         if self.plan(name).is_some() {
             return Err(RtError::DuplicatePlan(name.to_string()));
         }
-        let choice = self
-            .kernel_select
-            .choose(&self.devices[0], matrix, self.threads_per_block)?;
+        policy.validate()?;
+        let choice =
+            policy
+                .kernel_select
+                .choose(&self.devices[0], matrix, self.threads_per_block)?;
         // Partitioned strategies: build the row plan once, apply the
         // per-bucket widths the autotuner picked, and share the plan
         // across every per-device calculator. (Bucket membership is a
         // function of row length, so sharded sub-matrices reuse the same
         // widths against their own row plans.)
-        let partition = if matches!(self.kernel_select, KernelSelect::Partitioned(_)) {
+        let partition = if matches!(policy.kernel_select, KernelSelect::Partitioned(_)) {
             let plan = Arc::new(RowPlan::from_csr(matrix));
             let mut widths = BucketWidths::natural();
             for bc in &choice.buckets {
@@ -571,17 +702,8 @@ impl Engine {
         } else {
             None
         };
-        let (calcs, dose_shards, grad_shards) = if let Some(k) = self.shards {
-            let widths = partition.as_ref().map(|(_, w)| *w);
-            let dose = self.build_shard_units(matrix, k, &choice, widths)?;
-            // The gradient runs `A^T r` as a forward SpMV on the
-            // transpose, so the transpose shards by its own rows and the
-            // gradient outputs stay disjoint. It keeps the whole-matrix
-            // width (never the dose partition — the transpose has its
-            // own shape), matching the fully-resident gradient path.
-            let grad = self.build_shard_units(&matrix.transpose(), k, &choice, None)?;
-            (Vec::new(), dose, grad)
-        } else {
+        let unplaced = policy.shards == ShardSpec::Off && policy.replicas == ReplicaSpec::Auto;
+        let (calcs, placement) = if unplaced {
             let calcs = self
                 .devices
                 .iter()
@@ -597,7 +719,11 @@ impl Engine {
                     b.build()
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            (calcs, Vec::new(), Vec::new())
+            (calcs, None)
+        } else {
+            let widths = partition.as_ref().map(|(_, w)| *w);
+            let placement = self.place_plan(matrix, &policy, &choice, widths, stored_cuts)?;
+            (Vec::new(), Some(placement))
         };
         self.plan_index.insert(name.to_string(), self.plans.len());
         self.plans.push(Plan {
@@ -605,30 +731,127 @@ impl Engine {
             nrows: matrix.nrows(),
             ncols: matrix.ncols(),
             calcs,
-            dose_shards,
-            grad_shards,
+            placement,
+            policy,
             choice,
             row_plan: partition.map(|(plan, _)| plan),
         });
         Ok(())
     }
 
-    /// Splits `matrix` into `k` nnz-balanced row-range shards and builds
-    /// one calculator per shard on its home device (`s % pool`). With
-    /// `widths`, each shard dispatches through the bucketed partition of
-    /// its own sub-matrix at the plan's pinned per-bucket widths.
-    fn build_shard_units(
+    /// Resolves a placed policy into replica groups with resident shard
+    /// calculators.
+    fn place_plan(
         &self,
         matrix: &Csr<f64, u32>,
+        policy: &ExecPolicy,
+        choice: &KernelChoice,
+        widths: Option<BucketWidths>,
+        stored_cuts: Option<&[usize]>,
+    ) -> Result<PlannedPlacement, RtError> {
+        let pool = self.devices.len();
+        let weights: Vec<f64> = self.devices.iter().map(|d| d.effective_dram_bw()).collect();
+        let nonempty = nonempty_rows(matrix);
+        let r = match policy.replicas {
+            ReplicaSpec::Fixed(r) => {
+                if r > pool {
+                    return Err(RtError::InvalidPlacement(format!(
+                        "{r} replica groups requested but the pool has {pool} devices"
+                    )));
+                }
+                r
+            }
+            ReplicaSpec::Auto => {
+                // Derive R from the shard count the plan would take on
+                // the full pool: enough groups that each can hold a
+                // complete shard set.
+                let k_target = match policy.shards {
+                    ShardSpec::Off => 1,
+                    ShardSpec::Fixed(k) => k,
+                    ShardSpec::Auto => {
+                        let sorted: Vec<DeviceSpec> = snake_partition(&weights, 1)
+                            .remove(0)
+                            .into_iter()
+                            .map(|d| self.devices[d].clone())
+                            .collect();
+                        let whole = self.whole_seconds_for(&sorted[0], matrix, choice);
+                        choose_shard_count(&sorted, whole, nonempty, pool).k
+                    }
+                };
+                (pool / k_target.min(pool)).max(1)
+            }
+        };
+        // Snake-deal the pool by modeled bandwidth so the R groups are
+        // matched in strength; each group lists its members fastest
+        // first.
+        let memberships = snake_partition(&weights, r);
+        // The gradient runs `A^T r` as a forward SpMV on the transpose,
+        // so the transpose shards by its own rows and the gradient
+        // outputs stay disjoint. It keeps the whole-matrix width (never
+        // the dose partition — the transpose has its own shape),
+        // matching the fully-resident gradient path.
+        let transpose = matrix.transpose();
+        let auto_shards = policy.shards == ShardSpec::Auto;
+        let mut groups = Vec::with_capacity(memberships.len());
+        for members in memberships {
+            let (k, breakeven) = match policy.shards {
+                ShardSpec::Off => (1, Vec::new()),
+                ShardSpec::Fixed(k) => (k, Vec::new()),
+                ShardSpec::Auto => {
+                    let specs: Vec<DeviceSpec> =
+                        members.iter().map(|&d| self.devices[d].clone()).collect();
+                    let whole = self.whole_seconds_for(&specs[0], matrix, choice);
+                    let be = choose_shard_count(&specs, whole, nonempty, specs.len());
+                    (be.k, be.candidates)
+                }
+            };
+            let dose_shards =
+                self.build_group_units(matrix, &members, k, choice, widths, stored_cuts)?;
+            let grad_shards =
+                self.build_group_units(&transpose, &members, k, choice, None, None)?;
+            groups.push(ReplicaGroup {
+                devices: members,
+                dose_shards,
+                grad_shards,
+                breakeven,
+            });
+        }
+        Ok(PlannedPlacement {
+            auto_shards,
+            groups,
+        })
+    }
+
+    /// Splits `matrix` into `k` row-range shards weighted by each home
+    /// device's modeled bandwidth (shard `s` homes on the group's
+    /// `s % group_size`-th member) and builds one calculator per shard.
+    /// Stored snapshot cuts short-circuit the split when they match the
+    /// resolved shard count. With `widths`, each shard dispatches
+    /// through the bucketed partition of its own sub-matrix at the
+    /// plan's pinned per-bucket widths.
+    fn build_group_units(
+        &self,
+        matrix: &Csr<f64, u32>,
+        members: &[usize],
         k: usize,
         choice: &KernelChoice,
         widths: Option<BucketWidths>,
+        stored_cuts: Option<&[usize]>,
     ) -> Result<Vec<ShardUnit>, RtError> {
-        let plan = ShardPlan::build(matrix, k);
+        let n = members.len();
+        let plan = match stored_cuts {
+            Some(cuts) if cuts.len() + 1 == k => ShardPlan::from_cuts(matrix, cuts),
+            _ => {
+                let group_weights: Vec<f64> = (0..k)
+                    .map(|i| self.devices[members[i % n]].effective_dram_bw())
+                    .collect();
+                ShardPlan::build_weighted(matrix, &group_weights)
+            }
+        };
         plan.shards()
             .iter()
             .map(|shard| {
-                let device = shard.index % self.devices.len();
+                let device = members[shard.index % n];
                 let mut b = DoseCalculator::builder(&shard.matrix)
                     .device(self.devices[device].clone())
                     .threads_per_block(self.threads_per_block)
@@ -648,18 +871,66 @@ impl Engine {
             .collect()
     }
 
-    /// Loads an RTDM snapshot from disk and registers it
-    /// ([`RtError::Snapshot`] / [`RtError::Sparse`] on malformed files).
+    /// Modeled seconds of one whole-matrix SpMV on `reference`, the
+    /// break-even model's dominant input. A measured probe
+    /// ([`KernelSelect::MeasuredProbe`]) already timed the chosen width
+    /// on the first pool device, so that figure is rescaled to the
+    /// reference by modeled bandwidth; other strategies fall back to the
+    /// analytic traffic estimate ([`modeled_whole_seconds`], binary16
+    /// values + `u32` column indices).
+    fn whole_seconds_for(
+        &self,
+        reference: &DeviceSpec,
+        matrix: &Csr<f64, u32>,
+        choice: &KernelChoice,
+    ) -> f64 {
+        match choice
+            .candidates
+            .iter()
+            .find(|c| c.tile_width == choice.tile_width)
+        {
+            Some(c) => {
+                c.modeled_seconds * self.devices[0].effective_dram_bw()
+                    / reference.effective_dram_bw()
+            }
+            None => modeled_whole_seconds(
+                reference,
+                matrix.nrows(),
+                matrix.ncols(),
+                matrix.nnz(),
+                2,
+                4,
+            ),
+        }
+    }
+
+    /// Loads an RTDM snapshot from disk and registers it with the
+    /// engine's default policy ([`RtError::Snapshot`] /
+    /// [`RtError::Sparse`] on malformed files).
     pub fn register_plan_snapshot(
         &mut self,
         name: &str,
         path: impl AsRef<std::path::Path>,
     ) -> Result<(), RtError> {
+        self.register_plan_snapshot_with(name, path, self.default_policy)
+    }
+
+    /// Loads an RTDM snapshot from disk and registers it with a
+    /// per-plan execution policy. A v2 snapshot written by
+    /// [`rt_sparse::save_csr_with_cuts`] carries its shard cut points;
+    /// when they match the shard count the policy resolves to, the cold
+    /// start reuses them and skips the nnz-prefix re-shard sweep.
+    pub fn register_plan_snapshot_with(
+        &mut self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+        policy: ExecPolicy,
+    ) -> Result<(), RtError> {
         let path = path.as_ref();
         let mut file = std::fs::File::open(path)
             .map_err(|e| RtError::Snapshot(format!("{}: {e}", path.display())))?;
-        let matrix: Csr<f64, u32> = rt_sparse::io::load_csr(&mut file)?;
-        self.register_plan(name, &matrix)
+        let (matrix, cuts): (Csr<f64, u32>, _) = rt_sparse::load_csr_with_cuts(&mut file)?;
+        self.register_plan_inner(name, &matrix, policy, cuts.as_deref())
     }
 
     /// Runs a serve session: spawns one worker per device, hands the
@@ -671,6 +942,17 @@ impl Engine {
             queue: BoundedQueue::new(self.queue_capacity),
             gate: Gate::new(self.start_paused),
             metrics: Metrics::new(&names),
+            loads: self
+                .plans
+                .iter()
+                .map(|p| {
+                    let groups = p.placement.as_ref().map_or(0, |pl| pl.groups.len());
+                    Mutex::new(PlanLoads {
+                        outstanding: vec![0; groups],
+                        served: vec![0; groups],
+                    })
+                })
+                .collect(),
         };
         let out = std::thread::scope(|s| {
             for dev in 0..self.devices.len() {
@@ -694,7 +976,8 @@ impl Engine {
         report.plans = self
             .plans
             .iter()
-            .map(|p| PlanSelection {
+            .enumerate()
+            .map(|(plan_idx, p)| PlanSelection {
                 name: p.name.clone(),
                 tile_width: p.choice.tile_width,
                 mode: p.choice.mode.to_string(),
@@ -713,18 +996,55 @@ impl Engine {
                     })
                     .collect(),
                 shards: p
-                    .dose_shards
-                    .iter()
-                    .enumerate()
-                    .map(|(i, u)| PlanShard {
-                        shard: i,
-                        device: self.devices[u.device].name.to_string(),
-                        row_start: u.row_start as u64,
-                        rows: (u.row_end - u.row_start) as u64,
-                        nnz: u.nnz,
-                        resident_bytes: u.calc.resident_bytes(),
+                    .placement
+                    .as_ref()
+                    .map(|pl| {
+                        pl.groups[0]
+                            .dose_shards
+                            .iter()
+                            .enumerate()
+                            .map(|(i, u)| PlanShard {
+                                shard: i,
+                                device: self.devices[u.device].name.to_string(),
+                                row_start: u.row_start as u64,
+                                rows: (u.row_end - u.row_start) as u64,
+                                nnz: u.nnz,
+                                resident_bytes: u.calc.resident_bytes(),
+                            })
+                            .collect()
                     })
-                    .collect(),
+                    .unwrap_or_default(),
+                placement: p.placement.as_ref().map(|pl| {
+                    let served = state.loads[plan_idx].lock().unwrap().served.clone();
+                    PlacementSelection {
+                        replicas: pl.groups.len(),
+                        shards_per_replica: pl.groups[0].dose_shards.len(),
+                        auto_shards: pl.auto_shards,
+                        groups: pl
+                            .groups
+                            .iter()
+                            .enumerate()
+                            .map(|(g, grp)| ReplicaGroupSelection {
+                                group: g,
+                                devices: grp
+                                    .devices
+                                    .iter()
+                                    .map(|&d| self.devices[d].name.to_string())
+                                    .collect(),
+                                shards: grp.dose_shards.len(),
+                                served: served[g],
+                            })
+                            .collect(),
+                        breakeven: pl.groups[0]
+                            .breakeven
+                            .iter()
+                            .map(|b| BreakEvenSelection {
+                                k: b.k,
+                                modeled_seconds: b.modeled_seconds,
+                            })
+                            .collect(),
+                    }
+                }),
             })
             .collect();
         for (dev, d) in report.devices.iter_mut().enumerate() {
@@ -790,10 +1110,23 @@ impl Engine {
             return;
         }
         let plan = &self.plans[plan_idx];
-        if plan.is_sharded() {
-            let shards = plan.shards_for(kind);
+        if let Some(pl) = &plan.placement {
+            // Least-loaded replica group, ties to the lowest index.
+            // Selection and the outstanding increment share one critical
+            // section so concurrent dispatchers never double-book the
+            // idle group.
+            let group = {
+                let mut loads = state.loads[plan_idx].lock().unwrap();
+                let g = (0..pl.groups.len())
+                    .min_by_key(|&g| loads.outstanding[g])
+                    .expect("a placement has at least one group");
+                loads.outstanding[g] += 1;
+                g
+            };
+            let shards = pl.groups[group].shards_for(kind);
             let fan = Arc::new(FanOut {
                 plan: plan_idx,
+                group,
                 kind,
                 outputs: Mutex::new(vec![
                     vec![
@@ -882,7 +1215,11 @@ impl Engine {
         }
         let fan = &task.fan;
         let plan = &self.plans[fan.plan];
-        let unit = &plan.shards_for(fan.kind)[task.shard];
+        let placement = plan
+            .placement
+            .as_ref()
+            .expect("fan-outs only on placed plans");
+        let unit = &placement.groups[fan.group].shards_for(fan.kind)[task.shard];
         let mut sample = empty_sample(dev);
 
         // A deadline that expired while sub-tasks sat behind a slow
@@ -910,7 +1247,7 @@ impl Engine {
         }
         if fan.cancelled.load(Ordering::SeqCst) {
             if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                state.queue.inflight_dec();
+                self.retire_fan(fan, state, false);
             }
             state.metrics.record_batch(sample);
             return;
@@ -953,8 +1290,9 @@ impl Engine {
                     gather_seconds: gather_estimate(spec, gather_bytes),
                 });
                 if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    state.queue.inflight_dec();
-                    if !fan.cancelled.load(Ordering::SeqCst) {
+                    let completed = !fan.cancelled.load(Ordering::SeqCst);
+                    self.retire_fan(fan, state, completed);
+                    if completed {
                         self.complete_fan(plan, fan, &mut sample);
                     }
                 }
@@ -971,11 +1309,23 @@ impl Engine {
                     }
                 }
                 if fan.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    state.queue.inflight_dec();
+                    self.retire_fan(fan, state, false);
                 }
             }
         }
         state.metrics.record_batch(sample);
+    }
+
+    /// Last shard of a fan-out retired (completed, shed, or failed):
+    /// release the queue's in-flight hold and return the replica group's
+    /// load slot, counting completed fan-outs toward its served tally.
+    fn retire_fan(&self, fan: &FanOut, state: &ServeState, completed: bool) {
+        state.queue.inflight_dec();
+        let mut loads = state.loads[fan.plan].lock().unwrap();
+        loads.outstanding[fan.group] -= 1;
+        if completed {
+            loads.served[fan.group] += 1;
+        }
     }
 
     /// Last shard landed: sort the per-shard reports into row order,
@@ -1044,6 +1394,12 @@ fn empty_sample(dev: usize) -> BatchSample {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Rows that scatter result bytes at gather time (empty rows ship
+/// nothing over the interconnect).
+fn nonempty_rows(matrix: &Csr<f64, u32>) -> usize {
+    matrix.row_ptr().windows(2).filter(|w| w[1] > w[0]).count()
 }
 
 /// Submission handle passed to the [`Engine::serve`] closure. Cheap to

@@ -15,13 +15,19 @@
 //!   queued compatible requests (same plan, same operation) into one
 //!   multi-vector launch, sharing the matrix bytes
 //!   ([`rt_core::vector_csr_spmm`]).
-//! * **Row-sharded multi-device dispatch** —
-//!   [`EngineBuilder::shards`] splits each plan into nnz-balanced
-//!   row-range shards, one pool device each (~K× less resident memory
-//!   per device), and one request then executes cooperatively across
-//!   the whole pool: the dispatching worker fans it out into per-shard
-//!   sub-tasks, each home device computes its rows, and a barrier-free
-//!   tracker scatters the disjoint results into one bitwise-exact dose.
+//! * **Per-plan execution policy** — [`Engine::register_plan_with`]
+//!   takes an [`ExecPolicy`] (kernel selection × sharding × replication),
+//!   so plans on the same engine can run completely different layouts.
+//! * **Replica × shard placement** — a placed plan is dealt across `R`
+//!   disjoint replica groups of the pool (snake-dealt by modeled device
+//!   bandwidth, so groups are matched in strength), each holding `K`
+//!   throughput-weighted row-range shards. `K` comes from a break-even
+//!   model ([`rt_core::choose_shard_count`]) under [`ShardSpec::Auto`] —
+//!   small plans stay whole, large plans split until the next shard's
+//!   launch + gather overhead outweighs its bandwidth. Dispatch picks
+//!   the least-loaded group per request; within a group the request fans
+//!   out into per-shard sub-tasks whose disjoint results scatter into
+//!   one bitwise-exact dose.
 //! * **Admission control** — a bounded queue: [`EngineClient::submit`]
 //!   blocks when full (backpressure), [`EngineClient::try_submit`] sheds
 //!   with [`RtError::QueueFull`]; per-request deadlines shed stale work
@@ -48,10 +54,15 @@
 mod engine;
 mod metrics;
 mod optim;
+mod policy;
 mod queue;
 
 pub use engine::{Engine, EngineBuilder, EngineClient, EngineResponse, RequestKind, Ticket};
-pub use metrics::{BucketSelection, DeviceReport, EngineReport, PlanSelection, PlanShard};
+pub use metrics::{
+    BreakEvenSelection, BucketSelection, DeviceReport, EngineReport, PlacementSelection,
+    PlanSelection, PlanShard, ReplicaGroupSelection,
+};
 pub use optim::ServedDoseEngine;
-pub use rt_core::{KernelChoice, KernelSelect, PartitionStrategy, RtError};
+pub use policy::{ExecPolicy, ExecPolicyBuilder, ReplicaSpec, ShardSpec};
+pub use rt_core::{BreakEvenPoint, KernelChoice, KernelSelect, PartitionStrategy, RtError};
 pub use rt_gpusim::{ShardReport, ShardedReport};

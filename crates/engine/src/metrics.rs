@@ -46,10 +46,58 @@ pub struct PlanSelection {
     /// Per-bucket width selections (partitioned plans only; empty for
     /// whole-matrix dispatch). Only populated buckets appear.
     pub buckets: Vec<BucketSelection>,
-    /// Row-range shards of the dose matrix, in row order (row-sharded
-    /// plans only; empty when the plan is fully resident on every
-    /// device).
+    /// Row-range shards of the dose matrix, in row order (placed plans
+    /// only; for replicated plans these are replica group 0's shards —
+    /// other groups may cut differently when their device mix differs).
+    /// Empty when the plan is fully resident on every device.
     pub shards: Vec<PlanShard>,
+    /// Replica × shard placement of the plan (placed plans only; `None`
+    /// when the plan runs the classic fully-resident path).
+    pub placement: Option<PlacementSelection>,
+}
+
+/// How a placed plan was laid out across the pool and how the replica
+/// groups shared the session's traffic.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PlacementSelection {
+    /// Number of replica groups.
+    pub replicas: usize,
+    /// Shards per replica group (group 0's count; forced counts are
+    /// clamped per plan to its row count).
+    pub shards_per_replica: usize,
+    /// Whether the shard count came from the break-even model
+    /// ([`ShardSpec::Auto`]) rather than being forced.
+    ///
+    /// [`ShardSpec::Auto`]: crate::ShardSpec::Auto
+    pub auto_shards: bool,
+    /// Per-group membership and served-request tallies.
+    pub groups: Vec<ReplicaGroupSelection>,
+    /// Break-even evidence table for group 0 (auto-sharded plans only):
+    /// the modeled single-request seconds at every candidate shard
+    /// count.
+    pub breakeven: Vec<BreakEvenSelection>,
+}
+
+/// One replica group's membership and traffic share.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ReplicaGroupSelection {
+    pub group: usize,
+    /// Member device names, fastest first (absolute pool members; groups
+    /// are disjoint).
+    pub devices: Vec<String>,
+    /// Shards this group holds.
+    pub shards: usize,
+    /// Fanned-out request batches this group completed during the
+    /// session (dispatch picks the least-loaded group, so these should
+    /// stay balanced under concurrent load).
+    pub served: u64,
+}
+
+/// One row of the break-even table ([`rt_core::BreakEvenPoint`]).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BreakEvenSelection {
+    pub k: usize,
+    pub modeled_seconds: f64,
 }
 
 /// One row-range shard of a row-sharded plan: where its rows live and
@@ -235,7 +283,43 @@ impl EngineReport {
                     sh.resident_bytes
                 ));
             }
-            out.push_str("]}");
+            out.push_str("], \"placement\": ");
+            match &p.placement {
+                None => out.push_str("null"),
+                Some(pl) => {
+                    out.push_str(&format!(
+                        "{{\"replicas\": {}, \"shards_per_replica\": {}, \"auto_shards\": {}, \"groups\": [",
+                        pl.replicas, pl.shards_per_replica, pl.auto_shards
+                    ));
+                    for (j, g) in pl.groups.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        let members = g
+                            .devices
+                            .iter()
+                            .map(|d| json_string(d))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        out.push_str(&format!(
+                            "{{\"group\": {}, \"devices\": [{}], \"shards\": {}, \"served\": {}}}",
+                            g.group, members, g.shards, g.served
+                        ));
+                    }
+                    out.push_str("], \"breakeven\": [");
+                    for (j, b) in pl.breakeven.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!(
+                            "{{\"k\": {}, \"modeled_seconds\": {:.6e}}}",
+                            b.k, b.modeled_seconds
+                        ));
+                    }
+                    out.push_str("]}");
+                }
+            }
+            out.push('}');
         }
         if !self.plans.is_empty() {
             out.push_str("\n  ");
@@ -429,6 +513,7 @@ mod tests {
             avg_nnz_nonempty: 4.5,
             buckets: Vec::new(),
             shards: Vec::new(),
+            placement: None,
         });
         let j = r.to_json();
         assert!(j.contains("\"prostate\""));
@@ -436,6 +521,7 @@ mod tests {
         assert!(j.contains("\"heuristic\""));
         assert!(j.contains("\"buckets\": []"));
         assert!(j.contains("\"shards\": []"));
+        assert!(j.contains("\"placement\": null"));
     }
 
     #[test]
@@ -467,6 +553,7 @@ mod tests {
                     resident_bytes: 2000,
                 },
             ],
+            placement: None,
         });
         let j = r.to_json();
         assert!(j.contains("\"resident_bytes\": 4096"));
@@ -502,6 +589,7 @@ mod tests {
                 },
             ],
             shards: Vec::new(),
+            placement: None,
         });
         let j = r.to_json();
         assert!(j.contains("\"partitioned-heuristic\""));
@@ -509,5 +597,56 @@ mod tests {
             "\"buckets\": [{\"min_len\": 1, \"max_len\": 2, \"rows\": 1000, \"tile_width\": 2, \"lanes_active_frac\": 0.7500}, "
         ));
         assert!(j.contains("\"lanes_active_frac\": 0.9912"));
+    }
+
+    #[test]
+    fn placement_renders_in_json() {
+        let m = Metrics::new(&["A100", "A100", "V100", "P100"]);
+        let mut r = m.report(4, 0);
+        r.plans.push(PlanSelection {
+            name: "liver".into(),
+            tile_width: 32,
+            mode: "heuristic".into(),
+            avg_nnz_nonempty: 12.0,
+            buckets: Vec::new(),
+            shards: Vec::new(),
+            placement: Some(PlacementSelection {
+                replicas: 2,
+                shards_per_replica: 2,
+                auto_shards: true,
+                groups: vec![
+                    ReplicaGroupSelection {
+                        group: 0,
+                        devices: vec!["A100".into(), "P100".into()],
+                        shards: 2,
+                        served: 3,
+                    },
+                    ReplicaGroupSelection {
+                        group: 1,
+                        devices: vec!["A100".into(), "V100".into()],
+                        shards: 2,
+                        served: 2,
+                    },
+                ],
+                breakeven: vec![
+                    BreakEvenSelection {
+                        k: 1,
+                        modeled_seconds: 3.3e-5,
+                    },
+                    BreakEvenSelection {
+                        k: 2,
+                        modeled_seconds: 2.1e-5,
+                    },
+                ],
+            }),
+        });
+        let j = r.to_json();
+        assert!(j.contains(
+            "\"placement\": {\"replicas\": 2, \"shards_per_replica\": 2, \"auto_shards\": true, \"groups\": [{\"group\": 0, \"devices\": [\"A100\", \"P100\"], \"shards\": 2, \"served\": 3}, "
+        ));
+        assert!(j.contains(
+            "{\"group\": 1, \"devices\": [\"A100\", \"V100\"], \"shards\": 2, \"served\": 2}"
+        ));
+        assert!(j.contains("\"breakeven\": [{\"k\": 1, \"modeled_seconds\": 3.300000e-5}, {\"k\": 2, \"modeled_seconds\": 2.100000e-5}]"));
     }
 }

@@ -4,7 +4,9 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rt_engine::{Engine, KernelSelect, PartitionStrategy, RequestKind};
+use rt_engine::{
+    Engine, ExecPolicy, KernelSelect, PartitionStrategy, ReplicaSpec, RequestKind, ShardSpec,
+};
 use rt_gpusim::DeviceSpec;
 use rt_sparse::Csr;
 
@@ -78,35 +80,39 @@ fn run_pool(
         submitters,
         liver,
         prostate,
-        None,
-        KernelSelect::Heuristic,
+        ExecPolicy::default(),
     )
     .0
 }
 
-/// [`run_pool`] with explicit shard count and kernel selection, also
+/// Shorthand for a forced placement: `k` shards per group, `r` groups.
+fn placed(k: usize, r: usize) -> ExecPolicy {
+    ExecPolicy::builder()
+        .shards(ShardSpec::Fixed(k))
+        .replicas(ReplicaSpec::Fixed(r))
+        .build()
+        .unwrap()
+}
+
+/// [`run_pool`] with an explicit per-plan execution policy, also
 /// returning the serve report.
-#[allow(clippy::too_many_arguments)]
 fn run_pool_with(
     devices: Vec<DeviceSpec>,
     order: &[usize],
     submitters: usize,
     liver: &Csr<f64, u32>,
     prostate: &Csr<f64, u32>,
-    shards: Option<usize>,
-    select: KernelSelect,
+    policy: ExecPolicy,
 ) -> (Vec<Vec<u64>>, rt_engine::EngineReport) {
     let work = workload(
         (liver.nrows(), liver.ncols()),
         (prostate.nrows(), prostate.ncols()),
     );
-    let mut builder = Engine::builder().devices(devices).kernel_select(select);
-    if let Some(k) = shards {
-        builder = builder.shards(k);
-    }
-    let mut engine = builder.build().unwrap();
-    engine.register_plan("liver", liver).unwrap();
-    engine.register_plan("prostate", prostate).unwrap();
+    let mut engine = Engine::builder().devices(devices).build().unwrap();
+    engine.register_plan_with("liver", liver, policy).unwrap();
+    engine
+        .register_plan_with("prostate", prostate, policy)
+        .unwrap();
 
     let (outputs, report) = engine.serve(|client| {
         let results: Vec<std::sync::Mutex<Option<Vec<f64>>>> =
@@ -257,9 +263,10 @@ fn partitioned_serving_is_bitwise_identical_and_reports_buckets() {
     let order: Vec<usize> = (0..n).collect();
 
     let run = |select: KernelSelect, devices: Vec<DeviceSpec>| {
+        let policy = ExecPolicy::builder().kernel_select(select).build().unwrap();
         let mut engine = Engine::builder()
             .devices(devices)
-            .kernel_select(select)
+            .default_policy(policy)
             .build()
             .unwrap();
         engine.register_plan("liver", &liver).unwrap();
@@ -345,10 +352,18 @@ fn partitioned_serving_is_bitwise_identical_and_reports_buckets() {
     // report's bucket rows account for exactly the non-empty rows.
     let mut engine = Engine::builder()
         .device(DeviceSpec::a100())
-        .kernel_select(KernelSelect::Partitioned(PartitionStrategy::Heuristic))
         .build()
         .unwrap();
-    engine.register_plan("liver", &liver).unwrap();
+    engine
+        .register_plan_with(
+            "liver",
+            &liver,
+            ExecPolicy::builder()
+                .kernel_select(KernelSelect::Partitioned(PartitionStrategy::Heuristic))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
     let plan = engine.plan_row_plan("liver").expect("row plan cached");
     assert_eq!(
         liver_sel.buckets.iter().map(|b| b.rows).sum::<u64>(),
@@ -404,17 +419,22 @@ fn batched_and_unbatched_serving_agree() {
 }
 
 #[test]
-fn sharded_serving_is_bitwise_identical_to_unsharded() {
-    // §II-D across the pool: splitting a plan into K row shards and
-    // executing one request cooperatively on N devices must not change a
-    // single dose byte — for any K, pool mix, submission order, or
+fn placed_serving_is_bitwise_identical_to_unsharded() {
+    // §II-D across the pool: placing a plan as R replica groups × K row
+    // shards and executing requests cooperatively must not change a
+    // single dose byte — for any R, K, pool mix, submission order, or
     // kernel selection. Pinned whole-matrix widths make each row's
-    // reduction tree shard-invariant; disjoint row ranges make the merge
-    // a pure scatter.
+    // reduction tree shard- and replica-invariant; disjoint row ranges
+    // make the merge a pure scatter.
     let liver = random_matrix(1, 900, 60, 40);
     let prostate = random_matrix(2, 700, 80, 8);
     let n = 48;
-    let mixed = vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
+    let mixed = vec![
+        DeviceSpec::a100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+    ];
 
     let baseline = run_pool(
         vec![DeviceSpec::a100()],
@@ -423,35 +443,69 @@ fn sharded_serving_is_bitwise_identical_to_unsharded() {
         &liver,
         &prostate,
     );
-    for k in 1..=4usize {
-        let (sharded, report) = run_pool_with(
-            mixed.clone(),
-            &shuffled(100 + k as u64, n),
-            4,
-            &liver,
-            &prostate,
-            Some(k),
-            KernelSelect::Heuristic,
-        );
-        assert_eq!(sharded, baseline, "k={k} mixed pool changed dose bytes");
-        for plan in &report.plans {
-            assert_eq!(plan.shards.len(), k, "plan {} shard count", plan.name);
+    for r in 1..=2usize {
+        for k in 1..=4usize {
+            let (out, report) = run_pool_with(
+                mixed.clone(),
+                &shuffled(100 + (r * 10 + k) as u64, n),
+                4,
+                &liver,
+                &prostate,
+                placed(k, r),
+            );
+            assert_eq!(out, baseline, "r={r} k={k} mixed pool changed dose bytes");
+            for plan in &report.plans {
+                assert_eq!(plan.shards.len(), k, "plan {} shard count", plan.name);
+                let pl = plan.placement.as_ref().expect("placed plan reports layout");
+                assert_eq!(pl.replicas, r);
+                assert_eq!(pl.shards_per_replica, k);
+                assert!(!pl.auto_shards);
+                // Groups partition the pool: disjoint, all devices used
+                // when R divides the pool evenly.
+                let member_count: usize = pl.groups.iter().map(|g| g.devices.len()).sum();
+                assert_eq!(member_count, mixed.len());
+            }
         }
     }
-    // Single-device pool still accepts sharding (all shards home there).
+
+    // The break-even autotuner must preserve bitwise doses too, whatever
+    // K it picks per group.
+    let auto = ExecPolicy::builder()
+        .shards(ShardSpec::Auto)
+        .replicas(ReplicaSpec::Fixed(2))
+        .build()
+        .unwrap();
+    let (auto_out, auto_report) =
+        run_pool_with(mixed.clone(), &shuffled(400, n), 4, &liver, &prostate, auto);
+    assert_eq!(auto_out, baseline, "auto-sharded pool changed dose bytes");
+    for plan in &auto_report.plans {
+        let pl = plan.placement.as_ref().unwrap();
+        assert!(pl.auto_shards);
+        assert!(
+            !pl.breakeven.is_empty(),
+            "auto plans must report their break-even table"
+        );
+        let chosen = pl
+            .breakeven
+            .iter()
+            .min_by(|a, b| a.modeled_seconds.total_cmp(&b.modeled_seconds))
+            .unwrap();
+        assert_eq!(pl.shards_per_replica, chosen.k, "reported K is the argmin");
+    }
+
+    // Single-device pool still accepts placement (all shards home there).
     let (one_dev, _) = run_pool_with(
         vec![DeviceSpec::v100()],
         &shuffled(55, n),
         2,
         &liver,
         &prostate,
-        Some(3),
-        KernelSelect::Heuristic,
+        placed(3, 1),
     );
-    assert_eq!(one_dev, baseline, "1-device sharded pool changed bytes");
+    assert_eq!(one_dev, baseline, "1-device placed pool changed bytes");
 
-    // Partitioned (bucketed) selection: sharded doses must match the
-    // unsharded partitioned doses — the global bucket widths are pinned
+    // Partitioned (bucketed) selection: placed doses must match the
+    // unplaced partitioned doses — the global bucket widths are pinned
     // before the split and applied to every shard's row plan.
     let select = KernelSelect::Partitioned(PartitionStrategy::Heuristic);
     let (part_base, _) = run_pool_with(
@@ -460,21 +514,24 @@ fn sharded_serving_is_bitwise_identical_to_unsharded() {
         1,
         &liver,
         &prostate,
-        None,
-        select,
+        ExecPolicy::builder().kernel_select(select).build().unwrap(),
     );
-    let (part_sharded, _) = run_pool_with(
+    let (part_placed, _) = run_pool_with(
         mixed,
         &shuffled(77, n),
         4,
         &liver,
         &prostate,
-        Some(3),
-        select,
+        ExecPolicy::builder()
+            .kernel_select(select)
+            .shards(ShardSpec::Fixed(3))
+            .replicas(ReplicaSpec::Fixed(1))
+            .build()
+            .unwrap(),
     );
     assert_eq!(
-        part_sharded, part_base,
-        "partitioned sharded pool changed dose bytes"
+        part_placed, part_base,
+        "partitioned placed pool changed dose bytes"
     );
 }
 
@@ -486,18 +543,14 @@ fn sharded_report_exposes_shards_and_cuts_residency() {
         .collect();
     let pool = || vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
 
-    let run = |shards: Option<usize>| {
-        let mut builder = Engine::builder().devices(pool());
-        if let Some(k) = shards {
-            builder = builder.shards(k);
-        }
-        let mut engine = builder.build().unwrap();
-        engine.register_plan("liver", &liver).unwrap();
+    let run = |policy: ExecPolicy| {
+        let mut engine = Engine::builder().devices(pool()).build().unwrap();
+        engine.register_plan_with("liver", &liver, policy).unwrap();
         engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap())
     };
 
-    let (full_resp, full) = run(None);
-    let (sharded_resp, sharded) = run(Some(3));
+    let (full_resp, full) = run(ExecPolicy::default());
+    let (sharded_resp, sharded) = run(placed(3, 1));
 
     // Fully-resident plans replicate matrix + transpose on every device;
     // sharded plans split one copy across the pool (~K× per-device cut).
@@ -580,11 +633,12 @@ fn deadline_shed_under_fan_out_cancels_all_shard_subtasks() {
             DeviceSpec::v100(),
             DeviceSpec::p100(),
         ])
-        .shards(3)
         .debug_device_delay_ms(2, 60.0)
         .build()
         .unwrap();
-    engine.register_plan("liver", &liver).unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(3, 1))
+        .unwrap();
     let ((shed, ok), report) = engine.serve(|client| {
         let ticket = client
             .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 15.0)
@@ -644,12 +698,13 @@ fn queue_full_fan_out_sheds_at_admission_without_partial_doses() {
             DeviceSpec::v100(),
             DeviceSpec::p100(),
         ])
-        .shards(3)
         .queue_capacity(1)
         .start_paused()
         .build()
         .unwrap();
-    engine.register_plan("liver", &liver).unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(3, 1))
+        .unwrap();
     let ((first, rejected), report) = engine.serve(|client| {
         let ticket = client
             .submit("liver", RequestKind::Dose, payload.clone())
@@ -710,11 +765,12 @@ fn batching_composes_with_sharding() {
     // each — 3 launches total, not 18.
     let mut engine = Engine::builder()
         .device(DeviceSpec::a100())
-        .shards(3)
         .start_paused()
         .build()
         .unwrap();
-    engine.register_plan("liver", &liver).unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(3, 1))
+        .unwrap();
     let (responses, report) = engine.serve(|client| {
         let tickets: Vec<_> = payloads
             .iter()
@@ -743,4 +799,337 @@ fn batching_composes_with_sharding() {
         let bits: Vec<u64> = r.output.iter().map(|v| v.to_bits()).collect();
         assert_eq!(&bits, golden, "batched sharded dose diverged");
     }
+}
+
+#[test]
+fn replica_groups_share_concurrent_traffic() {
+    // R=2 × K=2 on a 4-device mixed pool: least-loaded dispatch must
+    // spread overlapping fan-outs across both replica groups, and every
+    // dose must still be bitwise identical to the single-device path.
+    let liver = random_matrix(41, 900, 60, 24);
+    let payloads: Vec<Vec<f64>> = (0..8)
+        .map(|v| {
+            (0..liver.ncols())
+                .map(|j| ((v * 31 + j * 7) % 29) as f64 * 0.03 + 0.1)
+                .collect()
+        })
+        .collect();
+
+    let goldens: Vec<Vec<u64>> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (out, _) = engine.serve(|c| {
+            payloads
+                .iter()
+                .map(|p| {
+                    c.call("liver", RequestKind::Dose, p.clone())
+                        .unwrap()
+                        .output
+                        .into_iter()
+                        .map(f64::to_bits)
+                        .collect()
+                })
+                .collect::<Vec<_>>()
+        });
+        out
+    };
+
+    // max_batch(1) keeps each request its own fan-out; per-device delays
+    // hold every fan in flight long enough that the 4 dispatching
+    // workers overlap and the least-loaded pick alternates groups.
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .max_batch(1)
+        .start_paused()
+        .debug_device_delay_ms(0, 5.0)
+        .debug_device_delay_ms(1, 5.0)
+        .debug_device_delay_ms(2, 5.0)
+        .debug_device_delay_ms(3, 5.0)
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(2, 2))
+        .unwrap();
+    assert_eq!(engine.plan_replica_count("liver"), Some(2));
+    assert_eq!(engine.plan_shard_count("liver"), Some(2));
+
+    let (responses, report) = engine.serve(|client| {
+        let tickets: Vec<_> = payloads
+            .iter()
+            .map(|p| {
+                client
+                    .submit("liver", RequestKind::Dose, p.clone())
+                    .unwrap()
+            })
+            .collect();
+        client.resume();
+        tickets
+            .into_iter()
+            .map(|t| t.wait().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    assert_eq!(report.completed, 8);
+    for (r, golden) in responses.iter().zip(&goldens) {
+        let bits: Vec<u64> = r.output.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(&bits, golden, "replicated dose diverged");
+    }
+    let placement = report.plans[0].placement.as_ref().expect("placed plan");
+    assert_eq!(placement.replicas, 2);
+    let served: Vec<u64> = placement.groups.iter().map(|g| g.served).collect();
+    assert_eq!(served.iter().sum::<u64>(), 8, "every fan-out accounted");
+    assert!(
+        served.iter().all(|&s| s > 0),
+        "least-loaded dispatch left a replica group idle: {served:?}"
+    );
+    // Groups are disjoint subsets of the pool.
+    let mut members: Vec<&String> = placement
+        .groups
+        .iter()
+        .flat_map(|g| g.devices.iter())
+        .collect();
+    assert_eq!(members.len(), 4);
+    members.sort();
+}
+
+#[test]
+fn deadline_shed_under_replica_fan_out_cancels_only_its_group() {
+    // Two budgeted requests on an R=2 pool where one group contains a
+    // stalled device: the fan-out routed there sheds as a unit, the
+    // other group's fan-out completes, and no partial dose escapes.
+    let liver = random_matrix(42, 900, 60, 24);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.019).sin().abs())
+        .collect();
+
+    let golden: Vec<u64> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+
+    // Snake-dealt groups of [A100, A100, V100, P100]: group 0 gets the
+    // first A100 + the P100 (stalled), group 1 the second A100 + V100.
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .max_batch(1)
+        .start_paused()
+        .debug_device_delay_ms(3, 120.0)
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(2, 2))
+        .unwrap();
+
+    let (results, report) = engine.serve(|client| {
+        let tickets: Vec<_> = (0..2)
+            .map(|_| {
+                client
+                    .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 25.0)
+                    .unwrap()
+            })
+            .collect();
+        client.resume();
+        tickets.into_iter().map(|t| t.wait()).collect::<Vec<_>>()
+    });
+
+    assert_eq!(report.shed_deadline, 1, "exactly the stalled group sheds");
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    let mut shed = 0;
+    for r in results {
+        match r {
+            Err(rt_engine::RtError::DeadlineExceeded { budget_ms, .. }) => {
+                assert_eq!(budget_ms, 25.0);
+                shed += 1;
+            }
+            Ok(resp) => {
+                let bits: Vec<u64> = resp.output.into_iter().map(f64::to_bits).collect();
+                assert_eq!(bits, golden, "surviving group's dose diverged");
+            }
+            Err(other) => panic!("expected DeadlineExceeded or success, got {other:?}"),
+        }
+    }
+    assert_eq!(shed, 1);
+}
+
+#[test]
+fn snapshot_cuts_skip_resharding_on_cold_start() {
+    use rt_sparse::ShardPlan;
+
+    let liver = random_matrix(43, 900, 60, 24);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.011).cos().abs())
+        .collect();
+    // Persist the *uniform* nnz-balanced cuts alongside the matrix.
+    let stored_cuts = ShardPlan::build(&liver, 3).cut_points();
+    let path = std::env::temp_dir().join(format!(
+        "rt_engine_snapshot_cuts_{}.rtdm",
+        std::process::id()
+    ));
+    {
+        let mut file = std::fs::File::create(&path).unwrap();
+        rt_sparse::save_csr_with_cuts(&liver, &stored_cuts, &mut file).unwrap();
+    }
+
+    let pool = || vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
+    // Cold start from the snapshot: the stored cuts are reused verbatim.
+    let mut from_snapshot = Engine::builder().devices(pool()).build().unwrap();
+    from_snapshot
+        .register_plan_snapshot_with("liver", &path, placed(3, 1))
+        .unwrap();
+    assert_eq!(
+        from_snapshot.plan_shard_cuts("liver").unwrap(),
+        stored_cuts,
+        "snapshot cuts were re-derived instead of reused"
+    );
+
+    // Fresh registration on the same mixed pool weights its cuts by
+    // device bandwidth — a genuinely different split.
+    let mut fresh = Engine::builder().devices(pool()).build().unwrap();
+    fresh
+        .register_plan_with("liver", &liver, placed(3, 1))
+        .unwrap();
+    assert_ne!(
+        fresh.plan_shard_cuts("liver").unwrap(),
+        stored_cuts,
+        "weighted cuts should differ from uniform cuts on a mixed pool"
+    );
+
+    // A shard count the stored cuts cannot satisfy falls back to the
+    // weighted split.
+    let mut mismatched = Engine::builder().devices(pool()).build().unwrap();
+    mismatched
+        .register_plan_snapshot_with("liver", &path, placed(2, 1))
+        .unwrap();
+    assert_eq!(mismatched.plan_shard_count("liver"), Some(2));
+
+    // Cut provenance never changes a dose byte.
+    let dose = |engine: &Engine| {
+        let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect::<Vec<u64>>()
+    };
+    let a = dose(&from_snapshot);
+    assert_eq!(a, dose(&fresh));
+    assert_eq!(a, dose(&mismatched));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn breakeven_autotuner_scales_shards_to_plan_size() {
+    // On a 2×P100 pool, a ~1.3M-nnz plan streams long enough that
+    // splitting beats the extra launch + gather; a small plan does not.
+    // ShardSpec::Auto must pick K accordingly — and keep doses bitwise.
+    let big = random_matrix(44, 4000, 600, 900);
+    let small = random_matrix(45, 700, 80, 8);
+
+    let mut engine = Engine::builder()
+        .devices(vec![DeviceSpec::p100(), DeviceSpec::p100()])
+        .build()
+        .unwrap();
+    let auto = ExecPolicy::builder()
+        .shards(ShardSpec::Auto)
+        .replicas(ReplicaSpec::Fixed(1))
+        .build()
+        .unwrap();
+    engine.register_plan_with("big", &big, auto).unwrap();
+    engine.register_plan_with("small", &small, auto).unwrap();
+
+    assert_eq!(
+        engine.plan_shard_count("big"),
+        Some(2),
+        "large plan should take both devices: {:?}",
+        engine.plan_breakeven("big")
+    );
+    assert_eq!(
+        engine.plan_shard_count("small"),
+        Some(1),
+        "small plan must stay whole: {:?}",
+        engine.plan_breakeven("small")
+    );
+    // The evidence tables justify both picks.
+    let big_be = engine.plan_breakeven("big").unwrap();
+    assert!(big_be[1].modeled_seconds < big_be[0].modeled_seconds);
+    let small_be = engine.plan_breakeven("small").unwrap();
+    assert!(small_be[0].modeled_seconds < small_be[1].modeled_seconds);
+
+    // Auto-sharded dose == unsharded dose, bit for bit.
+    let payload: Vec<f64> = (0..big.ncols())
+        .map(|j| ((j * 13 + 5) % 17) as f64 * 0.05 + 0.1)
+        .collect();
+    let golden: Vec<u64> = {
+        let mut one = Engine::builder()
+            .device(DeviceSpec::p100())
+            .build()
+            .unwrap();
+        one.register_plan("big", &big).unwrap();
+        let (r, _) = one.serve(|c| c.call("big", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+    let (r, _) = engine.serve(|c| c.call("big", RequestKind::Dose, payload.clone()).unwrap());
+    let bits: Vec<u64> = r.output.into_iter().map(f64::to_bits).collect();
+    assert_eq!(bits, golden, "auto-sharded dose diverged");
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_builder_knobs_still_shard_and_select() {
+    // The pre-policy surface must keep compiling and map onto the
+    // equivalent ExecPolicy: pool-wide single-group sharding plus a
+    // pinned kernel selection.
+    let liver = random_matrix(46, 900, 60, 24);
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .kernel_select(KernelSelect::Fixed(32))
+        .shards(3)
+        .build()
+        .unwrap();
+    engine.register_plan("liver", &liver).unwrap();
+    assert_eq!(engine.shard_count(), Some(3));
+    assert_eq!(engine.plan_shard_count("liver"), Some(3));
+    assert_eq!(engine.plan_replica_count("liver"), Some(1));
+    assert_eq!(engine.plan_tile_width("liver"), Some(32));
+    let policy = engine.plan_policy("liver").unwrap();
+    assert_eq!(policy.shards(), ShardSpec::Fixed(3));
+    assert_eq!(policy.replicas(), ReplicaSpec::Fixed(1));
+
+    let payload: Vec<f64> = (0..liver.ncols()).map(|j| (j % 11) as f64 * 0.09).collect();
+    let golden: Vec<u64> = {
+        let mut one = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        one.register_plan_with(
+            "liver",
+            &liver,
+            ExecPolicy::builder().tile_width(32).build().unwrap(),
+        )
+        .unwrap();
+        let (r, _) = one.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+    let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+    let bits: Vec<u64> = r.output.into_iter().map(f64::to_bits).collect();
+    assert_eq!(bits, golden, "deprecated shard path diverged");
 }

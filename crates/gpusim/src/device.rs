@@ -185,6 +185,16 @@ impl DeviceSpec {
     pub fn total_warp_slots(&self) -> u32 {
         self.sm_count * self.max_threads_per_sm / 32
     }
+
+    /// Sustainable streaming bandwidth in bytes/s — `dram_bw` derated by
+    /// `dram_efficiency`. The single number that ranks devices for a
+    /// bandwidth-bound SpMV, used as the throughput weight when sharding
+    /// across a heterogeneous pool and when dealing devices into replica
+    /// groups.
+    #[inline]
+    pub fn effective_dram_bw(&self) -> f64 {
+        self.dram_bw * self.dram_efficiency
+    }
 }
 
 #[cfg(test)]

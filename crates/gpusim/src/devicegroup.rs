@@ -21,6 +21,38 @@ use crate::exec::{ExecMode, Gpu};
 /// per-shard result (typically partial doses plus [`crate::KernelStats`]).
 pub type DeviceTask<'e, R> = Box<dyn FnOnce(&Gpu) -> R + Send + 'e>;
 
+/// Deals item indices into `r` disjoint groups by descending-weight
+/// "snake" order: indices are sorted by weight (descending, ties keep
+/// index order), then dealt `0, 1, .., r-1, r-1, .., 1, 0, 0, 1, ..` so
+/// every group's aggregate weight stays as even as a greedy deal allows.
+/// Used to split a heterogeneous device pool into replica groups of
+/// comparable modeled throughput; each group lists its members fastest
+/// first, so `group[0]` is a natural reference device.
+///
+/// `r` is clamped to `[1, weights.len()]` — every group gets at least
+/// one member.
+///
+/// # Panics
+/// Panics if `weights` is empty or contains a non-finite weight.
+pub fn snake_partition(weights: &[f64], r: usize) -> Vec<Vec<usize>> {
+    assert!(!weights.is_empty(), "snake_partition needs >= 1 weight");
+    assert!(
+        weights.iter().all(|w| w.is_finite()),
+        "weights must be finite"
+    );
+    let r = r.clamp(1, weights.len());
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+    let mut groups: Vec<Vec<usize>> = (0..r).map(|_| Vec::new()).collect();
+    for (round, chunk) in order.chunks(r).enumerate() {
+        for (pos, &dev) in chunk.iter().enumerate() {
+            let g = if round % 2 == 0 { pos } else { r - 1 - pos };
+            groups[g].push(dev);
+        }
+    }
+    groups
+}
+
 /// A fixed pool of simulated GPUs that cooperatively execute the shards
 /// of one kernel launch.
 pub struct DeviceGroup {
@@ -196,5 +228,35 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_group_rejected() {
         let _ = DeviceGroup::new(vec![]);
+    }
+
+    #[test]
+    fn snake_partition_deals_by_descending_weight() {
+        // Two A100s, a V100, a P100 by effective bandwidth.
+        let w = [1461.7, 1461.7, 843.2, 351.4];
+        let groups = snake_partition(&w, 2);
+        assert_eq!(groups, vec![vec![0, 3], vec![1, 2]]);
+        // Each group leads with its fastest member.
+        for g in &groups {
+            assert!(w[g[0]] >= w[*g.last().unwrap()]);
+        }
+    }
+
+    #[test]
+    fn snake_partition_sorts_before_dealing() {
+        let w = [1.0, 4.0, 2.0, 8.0, 3.0];
+        // Desc order: 3(8), 1(4), 4(3), 2(2), 0(1); snake r=2:
+        // round0 g0<-3 g1<-1, round1 g1<-4 g0<-2, round2 g0<-0.
+        assert_eq!(snake_partition(&w, 2), vec![vec![3, 2, 0], vec![1, 4]]);
+    }
+
+    #[test]
+    fn snake_partition_clamps_group_count() {
+        let w = [2.0, 1.0, 3.0];
+        let one = snake_partition(&w, 0);
+        assert_eq!(one, vec![vec![2, 0, 1]]);
+        let many = snake_partition(&w, 9);
+        assert_eq!(many.len(), 3);
+        assert!(many.iter().all(|g| g.len() == 1));
     }
 }

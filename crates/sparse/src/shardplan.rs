@@ -123,13 +123,93 @@ impl<V: DoseScalar, I: ColIndex> ShardPlan<V, I> {
         }
         bounds.push(nrows);
 
+        Self::from_bounds(m, bounds)
+    }
+
+    /// Splits `m` into `weights.len()` contiguous shards whose nnz shares
+    /// are proportional to `weights` — shard `i` targets
+    /// `nnz * w_i / Σw` entries, so a shard homed on a device with twice
+    /// the modeled bandwidth gets twice the traffic and every shard
+    /// *finishes* at the same modeled time on a heterogeneous pool.
+    /// `build(m, k)` is the uniform-weights special case.
+    ///
+    /// The shard count is clamped to `[1, max(1, nrows)]` like
+    /// [`ShardPlan::build`] (excess trailing weights are dropped).
+    /// Deterministic: cut points are a pure function of the row-length
+    /// profile and the weight vector.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a non-finite or
+    /// non-positive weight.
+    pub fn build_weighted(m: &Csr<V, I>, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "build_weighted needs >= 1 weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "shard weights must be finite and positive"
+        );
+        let nrows = m.nrows();
+        let nnz = m.nnz();
+        let k = weights.len().clamp(1, nrows.max(1));
+        let row_ptr = m.row_ptr();
+        let total: f64 = weights[..k].iter().sum();
+
+        // Same sweep as `build`, but the cut target for shard boundary s
+        // is the cumulative *weight* fraction of total nnz.
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(0usize);
+        let mut row = 0usize;
+        let mut prefix = 0.0f64;
+        for s in 1..k {
+            prefix += weights[s - 1];
+            // Division last: for uniform weights this is exactly
+            // `ceil(nnz * s / k)`, so `build` and `build_weighted`
+            // produce identical cut points.
+            let target = (nnz as f64 * prefix / total).ceil() as u32;
+            while row < nrows && row_ptr[row + 1] < target {
+                row += 1;
+            }
+            let max_start = nrows - (k - s);
+            let start = (row + 1).max(bounds[s - 1] + 1).min(max_start);
+            bounds.push(start);
+            row = start;
+        }
+        bounds.push(nrows);
+        Self::from_bounds(m, bounds)
+    }
+
+    /// Rebuilds a plan from persisted interior cut points (the vector
+    /// returned by [`ShardPlan::cut_points`]), skipping the cut sweep —
+    /// the snapshot cold-start path. `cuts` holds the `k - 1` interior
+    /// row boundaries; the implied outer bounds `0` and `nrows` are added.
+    ///
+    /// # Panics
+    /// Panics if the cuts are not strictly increasing within
+    /// `(0, nrows)` — callers (the snapshot loader) validate before
+    /// handing cuts over.
+    pub fn from_cuts(m: &Csr<V, I>, cuts: &[usize]) -> Self {
+        let nrows = m.nrows();
+        let mut bounds = Vec::with_capacity(cuts.len() + 2);
+        bounds.push(0usize);
+        for &c in cuts {
+            assert!(
+                c > *bounds.last().unwrap() && c < nrows,
+                "shard cut points must be strictly increasing within (0, nrows)"
+            );
+            bounds.push(c);
+        }
+        bounds.push(nrows);
+        Self::from_bounds(m, bounds)
+    }
+
+    fn from_bounds(m: &Csr<V, I>, bounds: Vec<usize>) -> Self {
+        let k = bounds.len() - 1;
         let shards = (0..k)
             .map(|s| Self::materialize(m, s, bounds[s], bounds[s + 1]))
             .collect();
         ShardPlan {
-            nrows,
+            nrows: m.nrows(),
             ncols: m.ncols(),
-            nnz,
+            nnz: m.nnz(),
             shards,
         }
     }
@@ -200,6 +280,44 @@ impl<V: DoseScalar, I: ColIndex> ShardPlan<V, I> {
         let ideal = self.nnz as f64 / self.shards.len() as f64;
         let max = self.shards.iter().map(|s| s.nnz()).max().unwrap_or(0);
         max as f64 / ideal
+    }
+
+    /// The `k - 1` interior cut points (each shard's `row_start` except
+    /// the first) — everything needed to rebuild this plan via
+    /// [`ShardPlan::from_cuts`] without re-sweeping the nnz curve, and
+    /// what the RTDM v2 snapshot persists alongside the matrix.
+    pub fn cut_points(&self) -> Vec<usize> {
+        self.shards.iter().skip(1).map(|s| s.row_start).collect()
+    }
+
+    /// Balance factor against a *weighted* ideal: the largest ratio of a
+    /// shard's nnz over its weighted share `nnz * w_i / Σw`. 1.0 is a
+    /// perfect throughput-weighted split; the plain
+    /// [`ShardPlan::balance_factor`] is the uniform-weights special case
+    /// and is misleading on mixed pools (a V100 shard *should* hold fewer
+    /// entries than an A100 shard). Weights are cycled if fewer than the
+    /// shard count, matching how shards are homed round-robin on a device
+    /// group.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or contains a non-finite or
+    /// non-positive weight.
+    pub fn balance_factor_weighted(&self, weights: &[f64]) -> f64 {
+        assert!(!weights.is_empty(), "balance needs >= 1 weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "shard weights must be finite and positive"
+        );
+        if self.nnz == 0 {
+            return 1.0;
+        }
+        let w = |i: usize| weights[i % weights.len()];
+        let total: f64 = (0..self.shards.len()).map(w).sum();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.nnz() as f64 / (self.nnz as f64 * w(i) / total))
+            .fold(0.0, f64::max)
     }
 
     /// Total bytes crossing the interconnect at gather time (sum of
@@ -329,6 +447,66 @@ mod tests {
         let one = ShardPlan::build(&m, 0);
         assert_eq!(one.num_shards(), 1);
         assert_eq!(one.shards()[0].nrows(), 3);
+    }
+
+    #[test]
+    fn weighted_split_tracks_weight_shares() {
+        let m = beamlike(800, 100);
+        // A 2:1 weight split: shard 0 should hold ~2/3 of the nnz.
+        let plan = ShardPlan::build_weighted(&m, &[2.0, 1.0]);
+        assert_eq!(plan.num_shards(), 2);
+        let share0 = plan.shards()[0].nnz() as f64 / m.nnz() as f64;
+        let max_row = (0..m.nrows()).map(|r| m.row_len(r)).max().unwrap() as f64;
+        assert!(
+            (share0 - 2.0 / 3.0).abs() <= max_row / m.nnz() as f64,
+            "share0 = {share0}"
+        );
+        assert!(plan.balance_factor_weighted(&[2.0, 1.0]) < 1.1);
+        // The uniform factor *should* look bad on purpose here.
+        assert!(plan.balance_factor() > 1.2);
+    }
+
+    #[test]
+    fn uniform_weights_match_build() {
+        let m = beamlike(500, 80);
+        for k in [1, 2, 3, 5] {
+            let uniform = ShardPlan::build(&m, k);
+            let weighted = ShardPlan::build_weighted(&m, &vec![1.0; k]);
+            let cuts_u: Vec<usize> = uniform.shards().iter().map(|s| s.row_start).collect();
+            let cuts_w: Vec<usize> = weighted.shards().iter().map(|s| s.row_start).collect();
+            assert_eq!(cuts_u, cuts_w, "k={k}");
+        }
+    }
+
+    #[test]
+    fn cut_points_round_trip_through_from_cuts() {
+        let m = beamlike(500, 80);
+        let plan = ShardPlan::build_weighted(&m, &[3.0, 1.0, 2.0]);
+        let cuts = plan.cut_points();
+        assert_eq!(cuts.len(), 2);
+        let back = ShardPlan::from_cuts(&m, &cuts);
+        assert_eq!(back.num_shards(), plan.num_shards());
+        for (a, b) in plan.shards().iter().zip(back.shards()) {
+            assert_eq!(a.row_start, b.row_start);
+            assert_eq!(a.row_end, b.row_end);
+            assert_eq!(a.matrix, b.matrix);
+        }
+        assert_eq!(back.cut_points(), cuts);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_cuts_rejects_unsorted() {
+        let m = beamlike(100, 20);
+        let _ = ShardPlan::from_cuts(&m, &[40, 40]);
+    }
+
+    #[test]
+    fn weighted_k_clamps_to_row_count() {
+        let m = beamlike(3, 10);
+        let plan = ShardPlan::build_weighted(&m, &[1.0, 2.0, 4.0, 8.0, 16.0]);
+        assert_eq!(plan.num_shards(), 3);
+        assert!(plan.shards().iter().all(|s| s.nrows() == 1));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! ```
 
 use rtdose::dose::cases::{liver_case, prostate_case, DoseCase, ScaleConfig};
-use rtdose::engine::{Engine, RequestKind};
+use rtdose::engine::{Engine, ExecPolicy, ReplicaSpec, RequestKind, ShardSpec};
 use rtdose::f16::{DoseScalar, F16};
 use rtdose::gpusim::{
     DeviceBuffer, DeviceGroup, DeviceOutBuffer, DeviceSpec, Gpu, GroupReport, KernelProfile,
@@ -29,7 +29,9 @@ use rtdose::kernels::{
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::stats::{MatrixSummary, RowStats};
-use rtdose::sparse::{load_csr, save_csr, Csr, RowPlan, RsCompressed, ShardPlan};
+use rtdose::sparse::{
+    load_csr, save_csr, save_csr_with_cuts, Csr, RowPlan, RsCompressed, ShardPlan,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -41,6 +43,7 @@ fn usage() -> ! {
          USAGE:\n\
            rtdose info\n\
            rtdose generate --case <liver|prostate> [--beam N] [--shrink S] --out FILE\n\
+                           [--shards K]        (embed K nnz-balanced shard cuts in the snapshot)\n\
            rtdose stats    --matrix FILE\n\
            rtdose spmv     --matrix FILE [--device a100|v100|p100]\n\
                            [--kernel half-double|single|baseline] [--tpb N] [--repeat N]\n\
@@ -48,9 +51,10 @@ fn usage() -> ! {
                            [--shards auto|K]   (K-device pool, one row shard each; auto = 3)\n\
            rtdose kernels  FILE [--device a100|v100|p100] [--tpb N]\n\
            rtdose optimize --case <liver|prostate> [--shrink S] [--iters N]\n\
-           rtdose serve-demo [--requests N] [--shrink S] [--submitters N]\n\
+           rtdose serve-demo [--requests N] [--shrink S] [--submitters N] [--devices N]\n\
                            [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
-                           [--shards auto|K]   (row-shard every plan across the pool)\n\
+                           [--shards auto|K]   (K row shards per replica group; auto = break-even model)\n\
+                           [--replicas auto|R] (R replica groups over the pool; auto = pool/K)\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -129,6 +133,33 @@ fn parse_shards(flags: &HashMap<String, String>) -> Option<Option<usize>> {
     }
 }
 
+/// serve-demo `--shards`: maps 1:1 onto [`ShardSpec`] — absent means
+/// no sharding, `auto` defers to the break-even model at registration,
+/// an integer forces the per-group shard count.
+fn parse_shard_spec(flags: &HashMap<String, String>) -> ShardSpec {
+    match parse_shards(flags) {
+        None => ShardSpec::Off,
+        Some(None) => ShardSpec::Auto,
+        Some(Some(k)) => ShardSpec::Fixed(k),
+    }
+}
+
+/// serve-demo `--replicas`: maps 1:1 onto [`ReplicaSpec`] — absent or
+/// `auto` derives the group count from the resolved shard count, an
+/// integer forces it.
+fn parse_replicas(flags: &HashMap<String, String>) -> ReplicaSpec {
+    match flags.get("replicas").map(String::as_str) {
+        None | Some("auto") => ReplicaSpec::Auto,
+        Some(s) => match s.parse::<usize>() {
+            Ok(r) if r >= 1 => ReplicaSpec::Fixed(r),
+            _ => {
+                eprintln!("--replicas must be auto or a positive integer (got {s})");
+                usage();
+            }
+        },
+    }
+}
+
 fn device(name: &str) -> DeviceSpec {
     match name {
         "a100" => DeviceSpec::a100(),
@@ -195,7 +226,21 @@ fn cmd_generate(flags: HashMap<String, String>) {
     let case = generate_case(&flags);
     let m16: Csr<F16, u32> = case.matrix.convert_values();
     let mut file = std::fs::File::create(out).expect("create output file");
-    save_csr(&m16, &mut file).expect("write snapshot");
+    // --shards K embeds the nnz-balanced cut points in the snapshot (v2
+    // container) so `register_plan_snapshot` cold starts reuse them
+    // instead of re-sharding the full CSR.
+    let cuts = match parse_shards(&flags) {
+        None => None,
+        Some(None) => {
+            eprintln!("generate needs an explicit shard count (got --shards auto)");
+            usage();
+        }
+        Some(Some(k)) => Some(ShardPlan::build(&m16, k).cut_points()),
+    };
+    match &cuts {
+        Some(c) => save_csr_with_cuts(&m16, c, &mut file).expect("write snapshot"),
+        None => save_csr(&m16, &mut file).expect("write snapshot"),
+    }
     println!(
         "{}: {} voxels x {} spots, {} non-zeros -> {} ({} bytes, {:.1?})",
         case.name,
@@ -206,6 +251,9 @@ fn cmd_generate(flags: HashMap<String, String>) {
         m16.size_bytes(),
         t0.elapsed()
     );
+    if let Some(c) = cuts {
+        println!("  embedded {} shard cut point(s) at rows {:?}", c.len(), c);
+    }
 }
 
 fn load_matrix(flags: &HashMap<String, String>) -> Csr<F16, u32> {
@@ -669,13 +717,21 @@ fn cmd_kernels(args: &[String]) {
         part.tile_width
     );
 
-    // The row-sharded alternative: what --shards 3 runs on a pool of
-    // three of this device. Dispatch pins the whole-matrix widths before
-    // the split; the per-shard autotuner verdicts below are evidence of
-    // what each shard *would* pick in isolation — any delta is the price
-    // of keeping sharded doses bitwise identical to unsharded ones.
-    let plan = ShardPlan::build(&m, 3);
-    let group = DeviceGroup::new(vec![dev.clone(); plan.num_shards()]);
+    // The row-sharded alternative: what `serve-demo --shards 3` places
+    // on the paper's mixed A100+V100+P100 pool. Cut points are weighted
+    // by each home device's modeled DRAM bandwidth, so the balance
+    // factor below is *throughput*-weighted (max over shards of
+    // nnz-share / bandwidth-share): 1.00 means every device finishes
+    // its shard at the same modeled instant, which raw nnz balance gets
+    // wrong whenever the pool is mixed. Dispatch still pins the
+    // whole-matrix widths before the split; the per-shard autotuner
+    // verdicts below are evidence of what each shard *would* pick in
+    // isolation — any delta is the price of keeping sharded doses
+    // bitwise identical to unsharded ones.
+    let pool = [DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()];
+    let weights: Vec<f64> = pool.iter().map(|d| d.effective_dram_bw()).collect();
+    let plan = ShardPlan::build_weighted(&m, &weights);
+    let group = DeviceGroup::new(pool.to_vec());
     let shard_sel = select_per_shard(
         &KernelSelect::Partitioned(PartitionStrategy::Heuristic),
         &group,
@@ -684,7 +740,12 @@ fn cmd_kernels(args: &[String]) {
     )
     .expect("per-shard selection cannot fail on a loaded snapshot");
     println!(
-        "\nrow-sharded dispatch (--shards 3): nnz-balanced row ranges, balance factor {:.2}",
+        "\nrow-sharded dispatch (--shards 3 on {}): throughput-weighted row ranges",
+        pool.iter().map(|d| d.name).collect::<Vec<_>>().join("+")
+    );
+    println!(
+        "  balance factor: {:.2} throughput-weighted ({:.2} by raw nnz share)",
+        plan.balance_factor_weighted(&weights),
         plan.balance_factor()
     );
     println!("  shard    rows [start..)          nnz   solo pick   solo buckets      gather us");
@@ -799,9 +860,31 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         (None, Some(w)) => KernelSelect::Fixed(w),
         (None, None) => KernelSelect::Heuristic,
     };
-    // --shards auto matches the demo pool (3 devices): every plan splits
-    // into one row shard per device instead of replicating everywhere.
-    let shards = parse_shards(&flags).map(|k| k.unwrap_or(3));
+    // --shards / --replicas map 1:1 onto the per-plan ExecPolicy; the
+    // demo applies one policy to both plans via the builder default.
+    let policy = ExecPolicy::builder()
+        .kernel_select(select)
+        .shards(parse_shard_spec(&flags))
+        .replicas(parse_replicas(&flags))
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid execution policy: {e}");
+            std::process::exit(2);
+        });
+    // --devices N sizes the pool by cycling the paper's device mix —
+    // the default 3 keeps the classic 2xA100 + 1xV100 demo pool.
+    let pool_size: usize = flags
+        .get("devices")
+        .map(|s| s.parse().expect("--devices"))
+        .unwrap_or(3)
+        .max(1);
+    let mix = [
+        DeviceSpec::a100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+    ];
+    let pool: Vec<DeviceSpec> = (0..pool_size).map(|i| mix[i % mix.len()].clone()).collect();
 
     println!("generating plans (shrink {shrink}) ...");
     let scale = ScaleConfig {
@@ -810,19 +893,15 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
     let liver = liver_case(scale).swap_remove(0).matrix;
     let prostate = prostate_case(scale).swap_remove(0).matrix;
 
-    let mut builder = Engine::builder()
-        .device(DeviceSpec::a100())
-        .device(DeviceSpec::a100())
-        .device(DeviceSpec::v100())
+    let mut engine = Engine::builder()
+        .devices(pool)
         .queue_capacity(32)
-        .kernel_select(select);
-    if let Some(k) = shards {
-        builder = builder.shards(k);
-    }
-    let mut engine = builder.build().unwrap_or_else(|e| {
-        eprintln!("cannot build engine: {e}");
-        std::process::exit(1);
-    });
+        .default_policy(policy)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot build engine: {e}");
+            std::process::exit(1);
+        });
     for (name, m) in [("liver", &liver), ("prostate", &prostate)] {
         engine.register_plan(name, m).unwrap_or_else(|e| {
             eprintln!("cannot register plan {name}: {e}");
@@ -836,8 +915,20 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
             m.nnz(),
             engine.plan_tile_width(name).unwrap()
         );
-        if let Some(k) = engine.plan_shard_count(name) {
-            println!("      sharded {k} ways: one nnz-balanced row range per pool device");
+        if let (Some(r), Some(k)) = (
+            engine.plan_replica_count(name),
+            engine.plan_shard_count(name),
+        ) {
+            println!(
+                "      placed as {r} replica group(s) x {k} shard(s): throughput-weighted row ranges"
+            );
+            if let Some(table) = engine.plan_breakeven(name) {
+                let picks: Vec<String> = table
+                    .iter()
+                    .map(|p| format!("K={} {:.1}us", p.k, p.modeled_seconds * 1e6))
+                    .collect();
+                println!("      break-even model picked K={k}: {}", picks.join(", "));
+            }
         }
         let choice = engine.plan_choice(name).unwrap();
         for bc in choice.buckets.iter().filter(|b| b.rows > 0) {
