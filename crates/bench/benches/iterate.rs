@@ -1,0 +1,68 @@
+//! End-to-end optimizer iterate (ISSUE 9): one projected-gradient step
+//! is a forward dose `A w`, an objective gradient, and a backward
+//! projection `A^T r`. PRs 4–8 tuned only the forward half; this bench
+//! measures the full iterate with the gradient path running (a) the
+//! whole-matrix transpose kernel and (b) the bucketed partition of the
+//! transpose. This compares *host* wall-clock on the simulator, and it
+//! is shape-dependent: the liver case's transpose is dense in beamlet
+//! rows, so the partitioned dispatch's extra launches cost more here
+//! than empty-row elimination saves. The modeled backward-pass win on
+//! the empty-transpose serving shape is measured (and CI-gated ≥ 1.4×)
+//! by the `liver-grad` suite in `simspeed`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rt_core::{DoseCalculator, KernelSelect, PartitionStrategy};
+use rt_dose::cases::{liver_case, ScaleConfig};
+use rt_gpusim::DeviceSpec;
+use rt_optim::{DoseEngine, GpuDoseEngine};
+
+/// One full iterate: forward dose, residual against a uniform
+/// prescription, gradient back-projection, projected step.
+fn iterate(engine: &GpuDoseEngine, w: &[f64]) -> Vec<f64> {
+    let d = engine.dose(w);
+    let r: Vec<f64> = d.iter().map(|&di| di - 1.0).collect();
+    let g = engine.backproject(&r);
+    w.iter()
+        .zip(g.iter())
+        .map(|(&wi, &gi)| (wi - 1e-3 * gi).max(0.0))
+        .collect()
+}
+
+fn bench_iterate(c: &mut Criterion) {
+    let case = liver_case(ScaleConfig { shrink: 24.0 }).remove(0);
+    let m = &case.matrix;
+    let spec = DeviceSpec::a100();
+    let w0 = vec![0.5f64; m.ncols()];
+
+    // (a) Whole-matrix gradients at the transpose's autotuned width.
+    let whole = GpuDoseEngine::new(spec.clone(), m).unwrap();
+
+    // (b) Both directions partitioned, each from its own heuristic
+    // per-bucket table (dose on A's row plan, gradients on A^T's).
+    let select = KernelSelect::Partitioned(PartitionStrategy::Heuristic);
+    let choice = select.choose(&spec, m, 512).unwrap();
+    let grad_choice = select.choose(&spec, &m.transpose(), 512).unwrap();
+    let calc = DoseCalculator::builder(m)
+        .device(spec)
+        .with_transpose()
+        .partitioned(choice.bucket_widths())
+        .grad_partitioned(grad_choice.bucket_widths())
+        .build()
+        .unwrap();
+    let partitioned = GpuDoseEngine::with_calculator(calc).unwrap();
+
+    let mut g = c.benchmark_group("iterate");
+    g.throughput(Throughput::Elements(m.nnz() as u64 * 2));
+    g.bench_function("liver_whole_gradient", |b| b.iter(|| iterate(&whole, &w0)));
+    g.bench_function("liver_partitioned_gradient", |b| {
+        b.iter(|| iterate(&partitioned, &w0))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_iterate
+}
+criterion_main!(benches);

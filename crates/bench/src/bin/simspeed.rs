@@ -21,6 +21,13 @@
 //!   to the critical path. Its `sim_speedup_vs_one_device` compares the
 //!   pool's modeled critical path against the same bucketed dispatch
 //!   fully resident on one device, and
+//! * a deterministic "liver gradient" optimizer shape (a wide beamlet
+//!   axis where ~98% of beamlets never touch the dose shell, so the
+//!   **transpose** is empty-row heavy) timing the backward pass `Aᵀ r`
+//!   as every fixed-width whole-transpose kernel and as the bucketed
+//!   partition of the transpose — the gradient-direction counterpart of
+//!   the liver beam-1 suite, with the forward direction alongside so
+//!   the report carries forward vs backward lane occupancy, and
 //! * a **placement break-even sweep** on the mixed 4-device demo pool
 //!   (2×A100 + V100 + P100): the shard count `ExecPolicy`'s
 //!   `ShardSpec::Auto` resolves to for the liver and prostate plans,
@@ -30,8 +37,8 @@
 //!
 //! The JSON carries `schema_version` and a stable `suite` id per kernel
 //! entry (`prostate-paper`, `shortrow`, `liver-beam-1`,
-//! `liver-beam-1-sharded`) so trend tooling can group entries without
-//! parsing names.
+//! `liver-beam-1-sharded`, `liver-grad`) so trend tooling can group
+//! entries without parsing names.
 //!
 //! Reported per kernel: median wall-clock per launch, simulated non-zeros
 //! per second, simulated L2 sector transactions per second, and (for the
@@ -52,9 +59,12 @@
 //! if the 3-device sharded dispatch models less than 1.6× one device
 //! on the same suite, if the placement model's auto shard count fails
 //! to beat both forced K=1 and K=pool on the liver plan (or R=2 fails
-//! to model >1.5× R=1 serialized throughput), or if the small prostate
-//! plan is not auto-placed at K=1 — the CI gates for the autotuners,
-//! the cooperative pool, and the placement engine.
+//! to model >1.5× R=1 serialized throughput), if the small prostate
+//! plan is not auto-placed at K=1, or if the partitioned transpose
+//! dispatch on the liver gradient suite models less than 1.4× the best
+//! fixed-width whole-transpose kernel — the CI gates for the
+//! autotuners, the cooperative pool, the placement engine, and the
+//! backward-pass partition.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,6 +120,12 @@ struct Measurement {
     /// Partitioned entry only: per-bucket breakdown of the fused
     /// dispatch (width, rows, true lane occupancy, standalone estimate).
     buckets: Option<Vec<BucketReport>>,
+    /// Liver-grad partitioned entry only: modeled speedup of the
+    /// bucketed transpose dispatch over the best fixed-width
+    /// whole-transpose kernel — the backward-pass counterpart of
+    /// `sim_speedup_vs_best_fixed`, under the name the gradient CI gate
+    /// keys on.
+    grad_speedup_vs_whole: Option<f64>,
     /// Sharded entry only: modeled critical-path speedup of the pool
     /// over the same dispatch fully resident on one device.
     sim_speedup_vs_one_device: Option<f64>,
@@ -126,6 +142,8 @@ struct Measurement {
 fn suite_id(name: &str) -> &'static str {
     if name.starts_with("shortrow_") {
         "shortrow"
+    } else if name.starts_with("livergrad_") {
+        "liver-grad"
     } else if name.starts_with("liverb1_sharded") {
         "liver-beam-1-sharded"
     } else if name.starts_with("liverb1_") {
@@ -177,6 +195,7 @@ fn time_kernel(
         sim_speedup_vs_warp32: None,
         speedup_vs_autotuned_w: None,
         sim_speedup_vs_best_fixed: None,
+        grad_speedup_vs_whole: None,
         buckets: None,
         sim_speedup_vs_one_device: None,
         shards: None,
@@ -312,6 +331,65 @@ fn liver_beam1_matrix() -> Csr<F16, u32> {
     m.convert_values()
 }
 
+fn livergrad_width_entry_name(w: u32) -> &'static str {
+    match w {
+        2 => "livergrad_grad_w2",
+        4 => "livergrad_grad_w4",
+        8 => "livergrad_grad_w8",
+        16 => "livergrad_grad_w16",
+        32 => "livergrad_grad_w32",
+        _ => unreachable!("width {w} is not in TILE_WIDTHS"),
+    }
+}
+
+/// Deterministic "liver gradient" optimizer shape: one beam's dose
+/// shell over the *full plan's* beamlet axis (480k beamlets). The
+/// interesting operand is the **transpose** (one beamlet per row —
+/// what every gradient `Aᵀ r` runs over): ~98% of beamlet rows are
+/// empty (beams that never graze this shell), a handful of
+/// central-axis beamlets deposit along their whole track through the
+/// grid (256–512 voxels each), and a ~2% fringe of edge beamlets
+/// graze one or two shell voxels. No single tile width suits both
+/// populations, and a whole-transpose kernel pays a tile per silent
+/// beamlet on every gradient — the same Table I skew the forward-path
+/// liver beam-1 suite has, now on the backward operand. The bucketed
+/// partition of the transpose drops the silent rows and splits the
+/// fringe from the tracks; this is the shape the §4g gradient
+/// partition exists for. Built transpose-first, returned as the
+/// forward voxels × beamlets operand.
+fn liver_grad_matrix() -> Csr<F16, u32> {
+    let mut rng = StdRng::seed_from_u64(2021);
+    let nvoxels = 32_768;
+    let beamlet_rows: Vec<Vec<(usize, f64)>> = (0..480_000)
+        .map(|i| {
+            if i % 4_666 == 0 {
+                // Central-axis beamlet: deposits along its whole track.
+                let len: usize = rng.gen_range(256..=512);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..nvoxels)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            } else if rng.gen_bool(0.02) {
+                // Edge beamlet: grazes one or two shell voxels.
+                let len = rng.gen_range(1..=2);
+                let mut cols: Vec<usize> = (0..len).map(|_| rng.gen_range(0..nvoxels)).collect();
+                cols.sort_unstable();
+                cols.dedup();
+                cols.into_iter()
+                    .map(|c| (c, rng.gen_range(0.0..2.0)))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
+    let t: Csr<f64, u32> = Csr::from_rows(nvoxels, &beamlet_rows).unwrap();
+    let t: Csr<F16, u32> = t.convert_values();
+    t.transpose()
+}
+
 /// Times the bucketed row-partition dispatch with its probe-autotuned
 /// per-bucket widths; attaches the per-bucket breakdown of the last
 /// (warm-cache) launch.
@@ -422,6 +500,7 @@ fn time_sharded(
         sim_speedup_vs_warp32: None,
         speedup_vs_autotuned_w: None,
         sim_speedup_vs_best_fixed: None,
+        grad_speedup_vs_whole: None,
         buckets: None,
         sim_speedup_vs_one_device: None,
         shards: Some(last.shards.clone()),
@@ -614,6 +693,9 @@ fn render_json(
         }
         if let Some(s) = m.sim_speedup_vs_best_fixed {
             writeln!(out, "      \"sim_speedup_vs_best_fixed\": {s:.2},").unwrap();
+        }
+        if let Some(s) = m.grad_speedup_vs_whole {
+            writeln!(out, "      \"grad_speedup_vs_whole\": {s:.2},").unwrap();
         }
         if let Some(s) = m.sim_speedup_vs_one_device {
             writeln!(out, "      \"sim_speedup_vs_one_device\": {s:.2},").unwrap();
@@ -821,6 +903,47 @@ fn quick_smoke() -> ! {
         );
         failed = true;
     }
+
+    // Gate 7: the backward-pass partition. On the liver gradient shape
+    // (the transpose is ~96% empty beamlet rows), the bucketed
+    // transpose dispatch must model at least 1.4x the best fixed-width
+    // whole-transpose kernel — the gradient-direction counterpart of
+    // gate 2, and the acceptance bar for the §4g gradient partition.
+    let grad_case = liver_grad_matrix();
+    let grad_t: Csr<F16, u32> = grad_case.transpose();
+    let bwd_stats = RowStats::from_csr(&grad_t);
+    let grad_best_fixed = TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            time_shortrow(
+                livergrad_width_entry_name(w),
+                &grad_t,
+                &bwd_stats,
+                w,
+                w == 32,
+                &device,
+                1,
+                2,
+            )
+            .report
+            .estimate
+            .seconds
+        })
+        .fold(f64::INFINITY, f64::min);
+    let grad_part = time_partitioned("livergrad_grad_partitioned", &grad_t, &device, 1, 2);
+    let grad_part_s = grad_part.report.estimate.seconds;
+    println!(
+        "quick: gradient partitioned: {:.3} us modeled vs best fixed whole-transpose {:.3} us ({:.2}x)",
+        grad_part_s * 1e6,
+        grad_best_fixed * 1e6,
+        grad_best_fixed / grad_part_s,
+    );
+    if grad_best_fixed / grad_part_s < 1.4 {
+        eprintln!(
+            "FAIL: partitioned transpose dispatch models less than 1.4x the best fixed width"
+        );
+        failed = true;
+    }
     std::process::exit(if failed { 1 } else { 0 });
 }
 
@@ -988,6 +1111,63 @@ fn main() {
         Some(liver_part_s / liver_sharded.report.estimate.seconds);
     liver_entries.push(liver_sharded);
 
+    // Suite 6: the liver gradient shape — the backward pass `Aᵀ r` as
+    // every fixed-width whole-transpose kernel and as the bucketed
+    // partition of the transpose (what `gradient_csr_spmv_bucketed`
+    // runs), with one forward entry alongside so the report carries
+    // forward vs backward lane occupancy for the same plan.
+    let grad_case = liver_grad_matrix();
+    let grad_t: Csr<F16, u32> = grad_case.transpose();
+    let fwd_stats = RowStats::from_csr(&grad_case);
+    let bwd_stats = RowStats::from_csr(&grad_t);
+    let fwd_choice = KernelSelect::MeasuredProbe
+        .choose(&device, &grad_case, 512)
+        .expect("probe cannot fail on a valid matrix");
+    let mut grad_entries = vec![time_shortrow(
+        "livergrad_forward_auto",
+        &grad_case,
+        &fwd_stats,
+        fwd_choice.tile_width,
+        fwd_choice.tile_width == 32,
+        &device,
+        2,
+        7,
+    )];
+    let grad_fixed: Vec<Measurement> = TILE_WIDTHS
+        .iter()
+        .map(|&w| {
+            time_shortrow(
+                livergrad_width_entry_name(w),
+                &grad_t,
+                &bwd_stats,
+                w,
+                w == 32,
+                &device,
+                2,
+                7,
+            )
+        })
+        .collect();
+    let grad_w32 = grad_fixed
+        .iter()
+        .find(|m| m.tile_width == Some(32))
+        .expect("width 32 is always timed");
+    let (gw32_ns, gw32_s) = (grad_w32.ns_per_iter, grad_w32.report.estimate.seconds);
+    let grad_best_fixed_s = grad_fixed
+        .iter()
+        .map(|m| m.report.estimate.seconds)
+        .fold(f64::INFINITY, f64::min);
+    let mut grad_part = time_partitioned("livergrad_grad_partitioned", &grad_t, &device, 2, 7);
+    grad_part.speedup_vs_warp32 = Some(gw32_ns / grad_part.ns_per_iter);
+    grad_part.sim_speedup_vs_warp32 = Some(gw32_s / grad_part.report.estimate.seconds);
+    grad_part.grad_speedup_vs_whole = Some(grad_best_fixed_s / grad_part.report.estimate.seconds);
+    grad_entries.extend(grad_fixed);
+    for m in &mut grad_entries[1..] {
+        m.speedup_vs_warp32 = Some(gw32_ns / m.ns_per_iter);
+        m.sim_speedup_vs_warp32 = Some(gw32_s / m.report.estimate.seconds);
+    }
+    grad_entries.push(grad_part);
+
     // Suite 5: the placement break-even model on the mixed 4-device pool
     // — what `ExecPolicy` with `ShardSpec::Auto` resolves to for each
     // plan. Liver uses the measured partitioned time as its whole-matrix
@@ -1002,6 +1182,7 @@ fn main() {
     let mut measurements = vec![vector, baseline, warp32];
     measurements.extend(tiled);
     measurements.extend(liver_entries);
+    measurements.extend(grad_entries);
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())

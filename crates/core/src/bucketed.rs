@@ -336,6 +336,44 @@ pub fn vector_csr_spmm_bucketed<V: DoseScalar, I: ColIndex, X: VecScalar>(
     gpu.launch_group(members)
 }
 
+/// Bucketed back-projection `g = A^T r`, dispatched over a [`RowPlan`]
+/// of the **transpose** (beamlet rows: empty beamlets dropped,
+/// length-bucketed, width-matched per bucket). The kernels are the same
+/// direction-agnostic bucket members as [`vector_csr_spmv_bucketed`] —
+/// `t` must be the uploaded transpose and `gplan` its row plan, so the
+/// name records which direction the partition describes.
+///
+/// Bitwise identical per beamlet-row to the fixed-width tiled kernel at
+/// the row's bucket width, for any worker count or execution mode.
+pub fn gradient_csr_spmv_bucketed<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    t: &GpuCsrMatrix<V, I>,
+    r: &DeviceBuffer<X>,
+    g: &DeviceOutBuffer<X>,
+    threads_per_block: u32,
+    gplan: &GpuRowPlan,
+    widths: BucketWidths,
+) -> GroupStats {
+    vector_csr_spmv_bucketed(gpu, t, r, g, threads_per_block, gplan, widths)
+}
+
+/// Multi-residual bucketed back-projection: `gs[v] = A^T rs[v]` for
+/// every `v`, the gradient-direction counterpart of
+/// [`vector_csr_spmm_bucketed`]. Per-vector arithmetic is identical to
+/// an unbatched [`gradient_csr_spmv_bucketed`] launch with the same
+/// widths.
+pub fn gradient_csr_spmm_bucketed<V: DoseScalar, I: ColIndex, X: VecScalar>(
+    gpu: &Gpu,
+    t: &GpuCsrMatrix<V, I>,
+    rs: &[&DeviceBuffer<X>],
+    gs: &[&DeviceOutBuffer<X>],
+    threads_per_block: u32,
+    gplan: &GpuRowPlan,
+    widths: BucketWidths,
+) -> GroupStats {
+    vector_csr_spmm_bucketed(gpu, t, rs, gs, threads_per_block, gplan, widths)
+}
+
 /// Host-side reference of the exact arithmetic the bucketed dispatch
 /// performs: each row is reduced with the truncated halving tree of its
 /// bucket's width, empty rows are zero. Mirrors

@@ -7,8 +7,8 @@
 //! CLI-loaded snapshot) surface as typed errors.
 
 use crate::bucketed::{
-    bucketed_group_report, vector_csr_spmm_bucketed, vector_csr_spmv_bucketed, BucketWidths,
-    GpuRowPlan,
+    bucketed_group_report, gradient_csr_spmv_bucketed, vector_csr_spmm_bucketed,
+    vector_csr_spmv_bucketed, BucketWidths, GpuRowPlan,
 };
 use crate::error::RtError;
 use crate::tiled::{vector_csr_spmm_tiled, vector_csr_spmv_tiled};
@@ -89,7 +89,9 @@ pub struct DoseCalculatorBuilder<'m> {
     transpose: bool,
     profile: PrecisionProfile,
     tile_width: u32,
+    grad_tile_width: Option<u32>,
     partition: Option<(Option<Arc<RowPlan>>, BucketWidths)>,
+    grad_partition: Option<(Option<Arc<RowPlan>>, BucketWidths)>,
 }
 
 impl<'m> DoseCalculatorBuilder<'m> {
@@ -103,7 +105,9 @@ impl<'m> DoseCalculatorBuilder<'m> {
             transpose: false,
             profile: PrecisionProfile::HalfDouble,
             tile_width: 32,
+            grad_tile_width: None,
             partition: None,
+            grad_partition: None,
         }
     }
 
@@ -155,14 +159,26 @@ impl<'m> DoseCalculatorBuilder<'m> {
         self
     }
 
+    /// Cooperative-group tile width for the gradient (transpose) SpMV
+    /// kernels. The transpose has its own row-length distribution, so
+    /// its width is selected independently; unset, gradients inherit
+    /// [`DoseCalculatorBuilder::tile_width`] (the pre-partition
+    /// behavior).
+    pub fn grad_tile_width(mut self, tile_width: u32) -> Self {
+        self.grad_tile_width = Some(tile_width);
+        self
+    }
+
     /// Dispatch dose SpMV through the bucketed row partition
     /// ([`crate::bucketed`]): empty rows are eliminated and each length
     /// bucket launches at its `widths` entry. The [`RowPlan`] is built
     /// from the matrix at [`DoseCalculatorBuilder::build`]; use
     /// [`DoseCalculatorBuilder::partitioned_with_plan`] to reuse a cached
-    /// plan. Gradient back-projections keep the whole-matrix kernel at
-    /// the configured [`DoseCalculatorBuilder::tile_width`] (the
-    /// transpose has its own shape).
+    /// plan. The gradient direction is partitioned independently — see
+    /// [`DoseCalculatorBuilder::grad_partitioned`] — because the
+    /// transpose has its own shape; without it, back-projections run the
+    /// whole-matrix kernel at
+    /// [`DoseCalculatorBuilder::grad_tile_width`].
     pub fn partitioned(mut self, widths: BucketWidths) -> Self {
         self.partition = Some((None, widths));
         self
@@ -173,6 +189,26 @@ impl<'m> DoseCalculatorBuilder<'m> {
     /// matrix). The plan must describe this matrix.
     pub fn partitioned_with_plan(mut self, plan: Arc<RowPlan>, widths: BucketWidths) -> Self {
         self.partition = Some((Some(plan), widths));
+        self
+    }
+
+    /// Dispatch gradient back-projections through the bucketed row
+    /// partition of the *transpose*: empty beamlet-rows are eliminated
+    /// and each length bucket launches at its `widths` entry. The
+    /// transpose [`RowPlan`] is built at
+    /// [`DoseCalculatorBuilder::build`]; requires
+    /// [`DoseCalculatorBuilder::with_transpose`].
+    pub fn grad_partitioned(mut self, widths: BucketWidths) -> Self {
+        self.grad_partition = Some((None, widths));
+        self
+    }
+
+    /// Like [`DoseCalculatorBuilder::grad_partitioned`], reusing a
+    /// transpose row plan built once elsewhere (the serving engine caches
+    /// one per registered matrix). The plan must describe this matrix's
+    /// transpose.
+    pub fn grad_partitioned_with_plan(mut self, plan: Arc<RowPlan>, widths: BucketWidths) -> Self {
+        self.grad_partition = Some((Some(plan), widths));
         self
     }
 
@@ -202,25 +238,50 @@ impl<'m> DoseCalculatorBuilder<'m> {
         if !TILE_WIDTHS.contains(&self.tile_width) {
             return Err(RtError::InvalidTileWidth(self.tile_width));
         }
-        if let Some((_, widths)) = &self.partition {
+        if let Some(gw) = self.grad_tile_width {
+            if !TILE_WIDTHS.contains(&gw) {
+                return Err(RtError::InvalidTileWidth(gw));
+            }
+        }
+        for part in [&self.partition, &self.grad_partition]
+            .into_iter()
+            .flatten()
+        {
+            let (_, widths) = part;
             if let Some(&bad) = widths.0.iter().find(|w| !TILE_WIDTHS.contains(w)) {
                 return Err(RtError::InvalidTileWidth(bad));
             }
+        }
+        if self.grad_partition.is_some() && !self.transpose {
+            // A gradient partition without the transpose resident can
+            // never dispatch.
+            return Err(RtError::TransposeUnavailable);
         }
 
         let gpu = Gpu::new(self.device);
         let m16: Csr<F16, u32> = m.convert_values();
         let gm = GpuCsrMatrix::upload(&gpu, &m16);
-        let transpose = if self.transpose {
-            let t16: Csr<F16, u32> = m.transpose().convert_values();
-            Some(GpuCsrMatrix::upload(&gpu, &t16))
+        let transposed = if self.transpose || self.grad_partition.is_some() {
+            Some(m.transpose())
         } else {
             None
         };
+        let transpose = transposed.as_ref().map(|t| {
+            let t16: Csr<F16, u32> = t.convert_values();
+            GpuCsrMatrix::upload(&gpu, &t16)
+        });
         let partition = self.partition.map(|(plan, widths)| {
             // Value conversion preserves the sparsity structure, so a plan
             // built from the f64 matrix serves the f16 upload.
             let plan = plan.unwrap_or_else(|| Arc::new(RowPlan::from_csr(m)));
+            (GpuRowPlan::upload(&gpu, plan), widths)
+        });
+        let grad_partition = self.grad_partition.map(|(plan, widths)| {
+            let plan = plan.unwrap_or_else(|| {
+                Arc::new(RowPlan::from_csr(
+                    transposed.as_ref().expect("transpose built above"),
+                ))
+            });
             (GpuRowPlan::upload(&gpu, plan), widths)
         });
         let y = gpu.alloc_out::<f64>(m.nrows());
@@ -229,6 +290,7 @@ impl<'m> DoseCalculatorBuilder<'m> {
             matrix: gm,
             transpose,
             partition,
+            grad_partition,
             y,
             profile: match self.profile {
                 PrecisionProfile::HalfDouble => profile_half_double(),
@@ -238,6 +300,7 @@ impl<'m> DoseCalculatorBuilder<'m> {
             scale: self.scale,
             row_scale: self.row_scale,
             tile_width: self.tile_width,
+            grad_tile_width: self.grad_tile_width.unwrap_or(self.tile_width),
         })
     }
 }
@@ -256,8 +319,14 @@ pub struct DoseCalculator {
     transpose: Option<GpuCsrMatrix<F16, u32>>,
     /// Bucketed row-partition dispatch state: the uploaded plan plus
     /// per-bucket widths. When present, dose SpMV runs through
-    /// [`vector_csr_spmv_bucketed`]; gradients keep the whole-matrix path.
+    /// [`vector_csr_spmv_bucketed`].
     partition: Option<(GpuRowPlan, BucketWidths)>,
+    /// Gradient-direction counterpart of `partition`: a row plan of the
+    /// *transpose* plus its own per-bucket widths. When present,
+    /// back-projections run through
+    /// [`gradient_csr_spmv_bucketed`](crate::bucketed::gradient_csr_spmv_bucketed);
+    /// otherwise they keep the whole-matrix kernel at `grad_tile_width`.
+    grad_partition: Option<(GpuRowPlan, BucketWidths)>,
     y: DeviceOutBuffer<f64>,
     profile: rt_gpusim::KernelProfile,
     threads_per_block: u32,
@@ -270,6 +339,10 @@ pub struct DoseCalculator {
     /// Cooperative-group tile width: 32 dispatches to the classic
     /// warp-per-row kernels, narrower widths to the tiled family.
     tile_width: u32,
+    /// Tile width for the gradient (transpose) direction, selected
+    /// independently because the transpose has its own row-length
+    /// distribution. Defaults to `tile_width`.
+    grad_tile_width: u32,
 }
 
 impl std::fmt::Debug for DoseCalculator {
@@ -323,11 +396,19 @@ impl DoseCalculator {
         self.transpose.is_some()
     }
 
-    /// The cooperative-group tile width the whole-matrix SpMV kernels run
-    /// at (for a partitioned calculator: the gradient path's width).
+    /// The cooperative-group tile width the whole-matrix dose SpMV
+    /// kernels run at.
     #[inline]
     pub fn tile_width(&self) -> u32 {
         self.tile_width
+    }
+
+    /// The tile width the gradient (transpose) kernels run at — selected
+    /// independently of the dose direction; equals
+    /// [`DoseCalculator::tile_width`] unless overridden at build.
+    #[inline]
+    pub fn grad_tile_width(&self) -> u32 {
+        self.grad_tile_width
     }
 
     /// Whether dose SpMV dispatches through the bucketed row partition.
@@ -336,37 +417,45 @@ impl DoseCalculator {
         self.partition.is_some()
     }
 
+    /// Whether gradient back-projections dispatch through the bucketed
+    /// partition of the transpose.
+    #[inline]
+    pub fn is_grad_partitioned(&self) -> bool {
+        self.grad_partition.is_some()
+    }
+
     /// The per-bucket widths of a partitioned calculator.
     #[inline]
     pub fn bucket_widths(&self) -> Option<BucketWidths> {
         self.partition.as_ref().map(|(_, w)| *w)
     }
 
-    /// Dispatches one SpMV launch at the configured tile width (32 keeps
-    /// the classic warp-per-row kernel and its exact golden counters).
+    /// The per-bucket widths of the gradient (transpose) partition.
+    #[inline]
+    pub fn grad_bucket_widths(&self) -> Option<BucketWidths> {
+        self.grad_partition.as_ref().map(|(_, w)| *w)
+    }
+
+    /// Dispatches one SpMV launch at `width` (32 keeps the classic
+    /// warp-per-row kernel and its exact golden counters).
     fn spmv(
         &self,
         matrix: &GpuCsrMatrix<F16, u32>,
         x: &DeviceBuffer<f64>,
         y: &DeviceOutBuffer<f64>,
+        width: u32,
     ) -> KernelStats {
-        if self.tile_width == 32 {
+        if width == 32 {
             vector_csr_spmv(&self.gpu, matrix, x, y, self.threads_per_block)
         } else {
-            vector_csr_spmv_tiled(
-                &self.gpu,
-                matrix,
-                x,
-                y,
-                self.threads_per_block,
-                self.tile_width,
-            )
+            vector_csr_spmv_tiled(&self.gpu, matrix, x, y, self.threads_per_block, width)
         }
     }
 
     /// Scales counters and builds the launch report for one (possibly
-    /// accumulated) launch's stats.
-    fn report_for(&self, stats: &KernelStats) -> LaunchReport {
+    /// accumulated) launch's stats; `width` is the direction's tile
+    /// width (dose or gradient).
+    fn report_for(&self, stats: &KernelStats, width: u32) -> LaunchReport {
         let mut scaled = stats.scale(self.scale);
         let row_factor = self.row_scale.unwrap_or(self.scale);
         scaled.warps = (stats.warps as f64 * row_factor).round() as u64;
@@ -378,7 +467,7 @@ impl DoseCalculator {
             stats.clone(),
             estimate,
         )
-        .with_tile_width(self.tile_width)
+        .with_tile_width(width)
     }
 
     /// Computes `dose = A w` with the Half/double kernel. Partitioned
@@ -409,11 +498,11 @@ impl DoseCalculator {
                     bucketed_group_report(self.gpu.spec(), &self.profile, gplan.plan(), &g);
                 (g.merged, Some(report))
             }
-            None => (self.spmv(&self.matrix, &dx, &self.y), None),
+            None => (self.spmv(&self.matrix, &dx, &self.y, self.tile_width), None),
         };
         Ok(DoseResult {
             dose: self.y.to_vec(),
-            report: self.report_for(&stats),
+            report: self.report_for(&stats, self.tile_width),
             group,
         })
     }
@@ -437,12 +526,21 @@ impl DoseCalculator {
                 });
             }
         }
-        self.batched_spmm(&self.matrix, self.nrows(), weights, true)
+        self.batched_spmm(
+            &self.matrix,
+            self.nrows(),
+            weights,
+            self.partition.as_ref(),
+            self.tile_width,
+        )
     }
 
     /// Computes `g = A^T r` (the optimizer's gradient back-projection).
     /// Requires construction via
-    /// [`DoseCalculatorBuilder::with_transpose`].
+    /// [`DoseCalculatorBuilder::with_transpose`]. Grad-partitioned
+    /// calculators dispatch through the bucketed partition of the
+    /// transpose (bitwise identical per beamlet-row to the fixed-width
+    /// kernel at the row's bucket width).
     pub fn compute_gradient_term(&self, residual: &[f64]) -> Result<Vec<f64>, RtError> {
         let t = self
             .transpose
@@ -457,7 +555,22 @@ impl DoseCalculator {
         }
         let dr: DeviceBuffer<f64> = self.gpu.upload(residual);
         let g = self.gpu.alloc_out::<f64>(self.ncols());
-        self.spmv(t, &dr, &g);
+        match &self.grad_partition {
+            Some((gplan, widths)) => {
+                gradient_csr_spmv_bucketed(
+                    &self.gpu,
+                    t,
+                    &dr,
+                    &g,
+                    self.threads_per_block,
+                    gplan,
+                    *widths,
+                );
+            }
+            None => {
+                self.spmv(t, &dr, &g, self.grad_tile_width);
+            }
+        }
         Ok(g.to_vec())
     }
 
@@ -478,26 +591,29 @@ impl DoseCalculator {
                 });
             }
         }
-        self.batched_spmm(t, self.ncols(), residuals, false)
+        self.batched_spmm(
+            t,
+            self.ncols(),
+            residuals,
+            self.grad_partition.as_ref(),
+            self.grad_tile_width,
+        )
     }
 
     /// Shared batched-launch path: runs `inputs` through `matrix` in
     /// [`MAX_SPMM_BATCH`]-sized chunks and merges the counters.
-    /// `use_partition` selects the bucketed dispatch when the calculator
-    /// is partitioned (the dose direction only — the transpose has its
-    /// own shape and keeps the whole-matrix kernel).
+    /// `partition` selects the bucketed dispatch for the direction being
+    /// run (the dose partition of `A` or the gradient partition of
+    /// `A^T`); `width` is that direction's whole-matrix tile width and is
+    /// carried on the merged [`LaunchReport`].
     fn batched_spmm(
         &self,
         matrix: &GpuCsrMatrix<F16, u32>,
         out_len: usize,
         inputs: &[&[f64]],
-        use_partition: bool,
+        partition: Option<&(GpuRowPlan, BucketWidths)>,
+        width: u32,
     ) -> Result<BatchDoseResult, RtError> {
-        let partition = if use_partition {
-            self.partition.as_ref()
-        } else {
-            None
-        };
         let mut outputs = Vec::with_capacity(inputs.len());
         let mut merged = KernelStats::default();
         let mut group_acc: Option<GroupStats> = None;
@@ -527,7 +643,7 @@ impl DoseCalculator {
                     }
                     stats
                 }
-                None if self.tile_width == 32 => {
+                None if width == 32 => {
                     vector_csr_spmm(&self.gpu, matrix, &xr, &yr, self.threads_per_block)
                 }
                 None => vector_csr_spmm_tiled(
@@ -536,19 +652,19 @@ impl DoseCalculator {
                     &xr,
                     &yr,
                     self.threads_per_block,
-                    self.tile_width,
+                    width,
                 ),
             };
             merged.accumulate(&stats);
             outputs.extend(dys.iter().map(|y| y.to_vec()));
         }
         let group = group_acc.map(|g| {
-            let (gplan, _) = self.partition.as_ref().expect("partitioned dispatch ran");
+            let (gplan, _) = partition.expect("partitioned dispatch ran");
             bucketed_group_report(self.gpu.spec(), &self.profile, gplan.plan(), &g)
         });
         Ok(BatchDoseResult {
             outputs,
-            report: self.report_for(&merged),
+            report: self.report_for(&merged, width),
             group,
         })
     }
@@ -832,7 +948,9 @@ mod tests {
         }
         assert!(batch.group.is_some());
 
-        // Gradients keep the whole-matrix path: no group report.
+        // Without a gradient partition, gradients keep the whole-matrix
+        // path: no group report.
+        assert!(!calc.is_grad_partitioned());
         let residual: Vec<f64> = (0..700).map(|i| (i % 5) as f64).collect();
         let grad_batch = calc.compute_gradient_batch(&[&residual]).unwrap();
         assert!(grad_batch.group.is_none());
@@ -854,6 +972,109 @@ mod tests {
                 .build()
                 .unwrap_err(),
             RtError::InvalidTileWidth(6)
+        );
+    }
+
+    #[test]
+    fn grad_partitioned_gradients_match_bucketed_reference_and_report_buckets() {
+        let m = random_matrix(63, 500, 40);
+        let widths = BucketWidths::natural();
+        let calc = DoseCalculator::builder(&m)
+            .with_transpose()
+            .grad_partitioned(widths)
+            .build()
+            .unwrap();
+        assert!(calc.is_grad_partitioned());
+        assert!(!calc.is_partitioned());
+        assert_eq!(calc.grad_bucket_widths(), Some(widths));
+
+        let residual: Vec<f64> = (0..500).map(|i| ((i % 7) as f64 * 0.31).cos()).collect();
+        let g = calc.compute_gradient_term(&residual).unwrap();
+
+        // The exact arithmetic contract: bucketed dispatch over the
+        // transpose == host bucketed reference on the transpose.
+        let t = m.transpose();
+        let t16: Csr<rt_f16::F16, u32> = t.convert_values();
+        let want = crate::bucketed::vector_csr_bucketed_reference(&t16, &residual, widths);
+        assert_eq!(
+            g.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        // The batched gradient path is bitwise identical and carries the
+        // transpose's per-bucket group report.
+        let grad_batch = calc
+            .compute_gradient_batch(&[&residual, &residual])
+            .unwrap();
+        for out in &grad_batch.outputs {
+            assert_eq!(
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                g.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        let group = grad_batch.group.as_ref().expect("grad partition group");
+        assert_eq!(group.buckets[0].label, "zero_fill");
+
+        // The dose direction is untouched by the gradient partition.
+        let w: Vec<f64> = (0..40).map(|i| (i as f64 * 0.13).sin().abs()).collect();
+        assert!(calc.compute_dose(&w).unwrap().group.is_none());
+    }
+
+    #[test]
+    fn grad_tile_width_is_independent_and_carried_on_gradient_reports() {
+        let m = random_matrix(64, 300, 24);
+        let calc = DoseCalculator::builder(&m)
+            .with_transpose()
+            .tile_width(16)
+            .grad_tile_width(4)
+            .build()
+            .unwrap();
+        assert_eq!(calc.tile_width(), 16);
+        assert_eq!(calc.grad_tile_width(), 4);
+
+        let w = vec![1.0; 24];
+        assert_eq!(calc.compute_dose(&w).unwrap().report.tile_width, 16);
+        let residual = vec![1.0; 300];
+        // The merged gradient-batch report carries the gradient
+        // direction's width, not the dose width.
+        let grad_batch = calc.compute_gradient_batch(&[&residual]).unwrap();
+        assert_eq!(grad_batch.report.tile_width, 4);
+
+        // Defaulting: grad width follows the dose width when unset.
+        let follows = DoseCalculator::builder(&m)
+            .with_transpose()
+            .tile_width(8)
+            .build()
+            .unwrap();
+        assert_eq!(follows.grad_tile_width(), 8);
+    }
+
+    #[test]
+    fn grad_partition_validates_widths_and_requires_transpose() {
+        let m = random_matrix(65, 60, 10);
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .grad_partitioned(BucketWidths::natural())
+                .build()
+                .unwrap_err(),
+            RtError::TransposeUnavailable
+        );
+        let mut widths = BucketWidths::natural();
+        widths.0[1] = 5;
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .with_transpose()
+                .grad_partitioned(widths)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidTileWidth(5)
+        );
+        assert_eq!(
+            DoseCalculator::builder(&m)
+                .grad_tile_width(3)
+                .build()
+                .unwrap_err(),
+            RtError::InvalidTileWidth(3)
         );
     }
 }

@@ -109,8 +109,9 @@ pub struct BucketChoice {
 #[derive(Clone, Debug, PartialEq)]
 pub struct KernelChoice {
     /// The selected tile width. For `Partitioned` this is the widest
-    /// non-empty bucket's width (the width the transpose/gradient path
-    /// and other whole-matrix consumers fall back to).
+    /// non-empty bucket's width (the width whole-matrix consumers of the
+    /// same direction fall back to; the gradient path gets its own
+    /// choice by running the selector on the transpose).
     pub tile_width: u32,
     /// Which strategy produced it: `"fixed"`, `"heuristic"`, `"probe"`,
     /// `"partitioned-heuristic"` or `"partitioned-probe"`.
@@ -123,6 +124,20 @@ pub struct KernelChoice {
     /// Per-bucket decisions ([`KernelSelect::Partitioned`] only; empty
     /// for the whole-matrix strategies).
     pub buckets: Vec<BucketChoice>,
+}
+
+impl KernelChoice {
+    /// The pinned per-bucket width table this decision implies:
+    /// [`BucketWidths::natural`] overlaid with the per-bucket picks.
+    /// Meaningful for the `Partitioned` strategies (otherwise it is just
+    /// the natural table).
+    pub fn bucket_widths(&self) -> BucketWidths {
+        let mut widths = BucketWidths::natural();
+        for bc in &self.buckets {
+            widths.0[bc.bucket] = bc.tile_width;
+        }
+        widths
+    }
 }
 
 impl KernelSelect {
@@ -177,8 +192,10 @@ impl KernelSelect {
                         probe_bucket_choices(spec, m, &plan, threads_per_block)
                     }
                 };
-                // Whole-matrix consumers (the gradient/transpose path)
-                // fall back to the widest width any populated bucket uses.
+                // Whole-matrix consumers of this direction fall back to
+                // the widest width any populated bucket uses (each
+                // direction runs its own selection: the gradient table
+                // comes from choosing on the transpose).
                 let tile_width = buckets
                     .iter()
                     .filter(|b| b.rows > 0)

@@ -230,20 +230,29 @@ fn spmm_sharded_matches_spmv_sharded_per_vector() {
 #[test]
 fn transpose_shards_by_its_own_rows_keep_gradients_bitwise() {
     // The gradient path runs A^T x: sharding A^T by *its* rows (= columns
-    // of A) keeps gradient outputs disjoint too.
+    // of A) keeps gradient outputs disjoint too. Widths are pinned from
+    // the whole transpose before the split (Fixed or a global bucketed
+    // table each shard's own RowPlan indexes into), so the partitioned
+    // backward pass is shard-invariant exactly like the forward pass.
     let m64 = beam_matrix(900, 160);
     let t: Csr<F16, u32> = m64.transpose().convert_values();
     let x = input(900);
-    let golden = unsharded_bits(&t, &x, ShardDispatch::Fixed(32));
-    for k in [2, 3] {
-        let got = sharded_bits(
-            &t,
-            &x,
-            k,
-            vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
-            ExecMode::Sequential,
-            ShardDispatch::Fixed(32),
-        );
-        assert_eq!(got, golden, "transpose k={k}");
+    for dispatch in [
+        ShardDispatch::Fixed(32),
+        ShardDispatch::Fixed(8),
+        ShardDispatch::Bucketed(BucketWidths::natural()),
+    ] {
+        let golden = unsharded_bits(&t, &x, dispatch);
+        for k in [2, 3] {
+            let got = sharded_bits(
+                &t,
+                &x,
+                k,
+                vec![DeviceSpec::a100(), DeviceSpec::v100(), DeviceSpec::p100()],
+                ExecMode::Sequential,
+                dispatch,
+            );
+            assert_eq!(got, golden, "transpose k={k} dispatch={}", dispatch.label());
+        }
     }
 }

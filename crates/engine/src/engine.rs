@@ -308,9 +308,21 @@ struct Plan {
     /// the whole-matrix decision, so each row's arithmetic is a function
     /// of its length alone, not of the shard or replica it landed in.
     choice: KernelChoice,
+    /// The autotuner's independent decision for the gradient direction,
+    /// made once at registration by running the same strategy on the
+    /// transpose. Pinned from the whole transpose before any shard
+    /// split, so sharded gradients stay bitwise identical to unsharded
+    /// for any R/K/pool/completion order — the backward mirror of
+    /// `choice`.
+    grad_choice: KernelChoice,
     /// Row-partition execution plan, built once at registration and
     /// shared by every per-device calculator (partitioned plans only).
     row_plan: Option<Arc<RowPlan>>,
+    /// Row-partition plan of the **transpose** (empty beamlet rows
+    /// dropped, length-bucketed), built once at registration and shared
+    /// by every per-device calculator's gradient path (partitioned plans
+    /// only).
+    grad_row_plan: Option<Arc<RowPlan>>,
 }
 
 impl Plan {
@@ -418,29 +430,6 @@ impl EngineBuilder {
     /// [`Engine::register_plan_with`] override this.
     pub fn default_policy(mut self, policy: ExecPolicy) -> Self {
         self.default_policy = policy;
-        self
-    }
-
-    /// Tile-width selection strategy applied to every plan at
-    /// registration.
-    #[deprecated(note = "kernel selection is an ExecPolicy field now: use \
-                default_policy(ExecPolicy::builder().kernel_select(..).build()?) \
-                or a per-plan register_plan_with")]
-    pub fn kernel_select(mut self, select: KernelSelect) -> Self {
-        self.default_policy.kernel_select = select;
-        self
-    }
-
-    /// Row-shards every subsequently registered plan into `k` row ranges
-    /// across the whole pool as a single replica group.
-    #[deprecated(note = "sharding is an ExecPolicy field now: use \
-                default_policy(ExecPolicy::builder().shards(ShardSpec::Fixed(k)).build()?) \
-                or a per-plan register_plan_with")]
-    pub fn shards(mut self, k: usize) -> Self {
-        // The pre-policy engine sharded across the whole pool: one
-        // replica group with a forced shard count.
-        self.default_policy.shards = ShardSpec::Fixed(k.max(1));
-        self.default_policy.replicas = ReplicaSpec::Fixed(1);
         self
     }
 
@@ -573,6 +562,24 @@ impl Engine {
         self.plan(name).and_then(|p| p.row_plan.as_ref())
     }
 
+    /// The tile width a registered plan's gradient (transpose) kernels
+    /// run at — selected independently of the dose direction.
+    pub fn plan_grad_tile_width(&self, name: &str) -> Option<u32> {
+        self.plan(name).map(|p| p.grad_choice.tile_width)
+    }
+
+    /// The autotuner decision recorded for a registered plan's gradient
+    /// direction (the same strategy run on the transpose).
+    pub fn plan_grad_choice(&self, name: &str) -> Option<&KernelChoice> {
+        self.plan(name).map(|p| &p.grad_choice)
+    }
+
+    /// The transpose row-partition plan a registered plan's gradients
+    /// dispatch through, if the policy selects [`KernelSelect::Partitioned`].
+    pub fn plan_grad_row_plan(&self, name: &str) -> Option<&Arc<RowPlan>> {
+        self.plan(name).and_then(|p| p.grad_row_plan.as_ref())
+    }
+
     /// The default execution policy plans registered through
     /// [`Engine::register_plan`] get.
     pub fn default_policy(&self) -> ExecPolicy {
@@ -582,15 +589,6 @@ impl Engine {
     /// The execution policy a registered plan was placed under.
     pub fn plan_policy(&self, name: &str) -> Option<ExecPolicy> {
         self.plan(name).map(|p| p.policy)
-    }
-
-    /// Forced default shard count, if the default policy forces one.
-    #[deprecated(note = "sharding is per-plan now: use plan_shard_count or plan_policy")]
-    pub fn shard_count(&self) -> Option<usize> {
-        match self.default_policy.shards {
-            ShardSpec::Fixed(k) => Some(k),
-            _ => None,
-        }
     }
 
     /// Dose-direction shards per replica group a registered plan
@@ -693,12 +691,26 @@ impl Engine {
         // function of row length, so sharded sub-matrices reuse the same
         // widths against their own row plans.)
         let partition = if matches!(policy.kernel_select, KernelSelect::Partitioned(_)) {
-            let plan = Arc::new(RowPlan::from_csr(matrix));
-            let mut widths = BucketWidths::natural();
-            for bc in &choice.buckets {
-                widths.0[bc.bucket] = bc.tile_width;
-            }
-            Some((plan, widths))
+            Some((Arc::new(RowPlan::from_csr(matrix)), choice.bucket_widths()))
+        } else {
+            None
+        };
+        // The gradient direction gets its own decision: the same
+        // strategy run on the transpose, whose row-length distribution
+        // (beamlet rows) is unrelated to the dose direction's. Built
+        // once here so the widths — and, for partitioned strategies, the
+        // transpose RowPlan — are pinned from the whole transpose before
+        // any shard split.
+        let transposed = matrix.transpose();
+        let grad_choice =
+            policy
+                .kernel_select
+                .choose(&self.devices[0], &transposed, self.threads_per_block)?;
+        let grad_partition = if matches!(policy.kernel_select, KernelSelect::Partitioned(_)) {
+            Some((
+                Arc::new(RowPlan::from_csr(&transposed)),
+                grad_choice.bucket_widths(),
+            ))
         } else {
             None
         };
@@ -712,9 +724,13 @@ impl Engine {
                         .device(d.clone())
                         .threads_per_block(self.threads_per_block)
                         .tile_width(choice.tile_width)
+                        .grad_tile_width(grad_choice.tile_width)
                         .with_transpose();
                     if let Some((plan, widths)) = &partition {
                         b = b.partitioned_with_plan(plan.clone(), *widths);
+                    }
+                    if let Some((plan, widths)) = &grad_partition {
+                        b = b.grad_partitioned_with_plan(plan.clone(), *widths);
                     }
                     b.build()
                 })
@@ -722,7 +738,17 @@ impl Engine {
             (calcs, None)
         } else {
             let widths = partition.as_ref().map(|(_, w)| *w);
-            let placement = self.place_plan(matrix, &policy, &choice, widths, stored_cuts)?;
+            let grad_widths = grad_partition.as_ref().map(|(_, w)| *w);
+            let placement = self.place_plan(
+                matrix,
+                &transposed,
+                &policy,
+                &choice,
+                &grad_choice,
+                widths,
+                grad_widths,
+                stored_cuts,
+            )?;
             (Vec::new(), Some(placement))
         };
         self.plan_index.insert(name.to_string(), self.plans.len());
@@ -734,19 +760,25 @@ impl Engine {
             placement,
             policy,
             choice,
+            grad_choice,
             row_plan: partition.map(|(plan, _)| plan),
+            grad_row_plan: grad_partition.map(|(plan, _)| plan),
         });
         Ok(())
     }
 
     /// Resolves a placed policy into replica groups with resident shard
     /// calculators.
+    #[allow(clippy::too_many_arguments)] // both directions' pinned decisions
     fn place_plan(
         &self,
         matrix: &Csr<f64, u32>,
+        transpose: &Csr<f64, u32>,
         policy: &ExecPolicy,
         choice: &KernelChoice,
+        grad_choice: &KernelChoice,
         widths: Option<BucketWidths>,
+        grad_widths: Option<BucketWidths>,
         stored_cuts: Option<&[usize]>,
     ) -> Result<PlannedPlacement, RtError> {
         let pool = self.devices.len();
@@ -787,10 +819,10 @@ impl Engine {
         let memberships = snake_partition(&weights, r);
         // The gradient runs `A^T r` as a forward SpMV on the transpose,
         // so the transpose shards by its own rows and the gradient
-        // outputs stay disjoint. It keeps the whole-matrix width (never
-        // the dose partition — the transpose has its own shape),
-        // matching the fully-resident gradient path.
-        let transpose = matrix.transpose();
+        // outputs stay disjoint. It runs at the gradient direction's own
+        // pinned decision (width table chosen on the whole transpose,
+        // never the dose partition — the transpose has its own shape),
+        // matching the fully-resident gradient path bit for bit.
         let auto_shards = policy.shards == ShardSpec::Auto;
         let mut groups = Vec::with_capacity(memberships.len());
         for members in memberships {
@@ -808,7 +840,7 @@ impl Engine {
             let dose_shards =
                 self.build_group_units(matrix, &members, k, choice, widths, stored_cuts)?;
             let grad_shards =
-                self.build_group_units(&transpose, &members, k, choice, None, None)?;
+                self.build_group_units(transpose, &members, k, grad_choice, grad_widths, None)?;
             groups.push(ReplicaGroup {
                 devices: members,
                 dose_shards,
@@ -982,8 +1014,22 @@ impl Engine {
                 tile_width: p.choice.tile_width,
                 mode: p.choice.mode.to_string(),
                 avg_nnz_nonempty: p.choice.avg_nnz_nonempty,
+                grad_tile_width: p.grad_choice.tile_width,
                 buckets: p
                     .choice
+                    .buckets
+                    .iter()
+                    .filter(|bc| bc.rows > 0)
+                    .map(|bc| BucketSelection {
+                        min_len: bc.min_len,
+                        max_len: bc.max_len,
+                        rows: bc.rows,
+                        tile_width: bc.tile_width,
+                        lanes_active_frac: bc.lanes_active_frac,
+                    })
+                    .collect(),
+                grad_buckets: p
+                    .grad_choice
                     .buckets
                     .iter()
                     .filter(|bc| bc.rows > 0)
@@ -1358,8 +1404,14 @@ impl Engine {
                 / 1e9;
         }
         let device = sharded.devices.join("+");
+        // The merged report carries the direction-correct width: the
+        // gradient direction runs at its own pinned decision.
+        let fan_width = match fan.kind {
+            RequestKind::Dose => plan.choice.tile_width,
+            RequestKind::Gradient => plan.grad_choice.tile_width,
+        };
         let report = LaunchReport::new(kernel, device.clone(), sharded.stats.clone(), estimate)
-            .with_tile_width(plan.choice.tile_width);
+            .with_tile_width(fan_width);
         let outputs = std::mem::take(&mut *fan.outputs.lock().unwrap());
         sample.completed = fan.requests.len() as u64;
         for ((req, waited_ms), output) in fan.requests.iter().zip(outputs) {

@@ -34,10 +34,13 @@ pub struct DeviceReport {
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PlanSelection {
     pub name: String,
-    /// Cooperative-group tile width the plan's kernels run at (for
-    /// partitioned plans: the widest populated bucket, which is also the
-    /// whole-matrix width the gradient path uses).
+    /// Cooperative-group tile width the plan's dose-direction kernels
+    /// run at (for partitioned plans: the widest populated bucket).
     pub tile_width: u32,
+    /// Tile width the gradient (transpose) kernels run at — an
+    /// independent decision made by running the same strategy on the
+    /// whole transpose.
+    pub grad_tile_width: u32,
     /// Selection strategy that picked it ("fixed", "heuristic", "probe",
     /// "partitioned-heuristic", "partitioned-probe").
     pub mode: String,
@@ -46,6 +49,10 @@ pub struct PlanSelection {
     /// Per-bucket width selections (partitioned plans only; empty for
     /// whole-matrix dispatch). Only populated buckets appear.
     pub buckets: Vec<BucketSelection>,
+    /// Per-bucket width selections for the gradient direction, from the
+    /// transpose's own row plan (partitioned plans only). Only populated
+    /// buckets appear.
+    pub grad_buckets: Vec<BucketSelection>,
     /// Row-range shards of the dose matrix, in row order (placed plans
     /// only; for replicated plans these are replica group 0's shards —
     /// other groups may cut differently when their device mix differs).
@@ -253,13 +260,24 @@ impl EngineReport {
         for (i, p) in self.plans.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str(&format!(
-                "    {{\"name\": {}, \"tile_width\": {}, \"mode\": {}, \"avg_nnz_nonempty\": {:.2}, \"buckets\": [",
+                "    {{\"name\": {}, \"tile_width\": {}, \"grad_tile_width\": {}, \"mode\": {}, \"avg_nnz_nonempty\": {:.2}, \"buckets\": [",
                 json_string(&p.name),
                 p.tile_width,
+                p.grad_tile_width,
                 json_string(&p.mode),
                 p.avg_nnz_nonempty
             ));
             for (j, b) in p.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!(
+                    "{{\"min_len\": {}, \"max_len\": {}, \"rows\": {}, \"tile_width\": {}, \"lanes_active_frac\": {:.4}}}",
+                    b.min_len, b.max_len, b.rows, b.tile_width, b.lanes_active_frac
+                ));
+            }
+            out.push_str("], \"grad_buckets\": [");
+            for (j, b) in p.grad_buckets.iter().enumerate() {
                 if j > 0 {
                     out.push_str(", ");
                 }
@@ -509,17 +527,21 @@ mod tests {
         r.plans.push(PlanSelection {
             name: "prostate".into(),
             tile_width: 4,
+            grad_tile_width: 8,
             mode: "heuristic".into(),
             avg_nnz_nonempty: 4.5,
             buckets: Vec::new(),
+            grad_buckets: Vec::new(),
             shards: Vec::new(),
             placement: None,
         });
         let j = r.to_json();
         assert!(j.contains("\"prostate\""));
         assert!(j.contains("\"tile_width\": 4"));
+        assert!(j.contains("\"grad_tile_width\": 8"));
         assert!(j.contains("\"heuristic\""));
         assert!(j.contains("\"buckets\": []"));
+        assert!(j.contains("\"grad_buckets\": []"));
         assert!(j.contains("\"shards\": []"));
         assert!(j.contains("\"placement\": null"));
     }
@@ -532,9 +554,11 @@ mod tests {
         r.plans.push(PlanSelection {
             name: "liver".into(),
             tile_width: 32,
+            grad_tile_width: 32,
             mode: "fixed".into(),
             avg_nnz_nonempty: 12.0,
             buckets: Vec::new(),
+            grad_buckets: Vec::new(),
             shards: vec![
                 PlanShard {
                     shard: 0,
@@ -570,6 +594,7 @@ mod tests {
         r.plans.push(PlanSelection {
             name: "liver".into(),
             tile_width: 32,
+            grad_tile_width: 16,
             mode: "partitioned-heuristic".into(),
             avg_nnz_nonempty: 2.1,
             buckets: vec![
@@ -588,6 +613,13 @@ mod tests {
                     lanes_active_frac: 0.9912,
                 },
             ],
+            grad_buckets: vec![BucketSelection {
+                min_len: 9,
+                max_len: 16,
+                rows: 140,
+                tile_width: 16,
+                lanes_active_frac: 0.8125,
+            }],
             shards: Vec::new(),
             placement: None,
         });
@@ -597,6 +629,9 @@ mod tests {
             "\"buckets\": [{\"min_len\": 1, \"max_len\": 2, \"rows\": 1000, \"tile_width\": 2, \"lanes_active_frac\": 0.7500}, "
         ));
         assert!(j.contains("\"lanes_active_frac\": 0.9912"));
+        assert!(j.contains(
+            "\"grad_buckets\": [{\"min_len\": 9, \"max_len\": 16, \"rows\": 140, \"tile_width\": 16, \"lanes_active_frac\": 0.8125}]"
+        ));
     }
 
     #[test]
@@ -606,9 +641,11 @@ mod tests {
         r.plans.push(PlanSelection {
             name: "liver".into(),
             tile_width: 32,
+            grad_tile_width: 32,
             mode: "heuristic".into(),
             avg_nnz_nonempty: 12.0,
             buckets: Vec::new(),
+            grad_buckets: Vec::new(),
             shards: Vec::new(),
             placement: Some(PlacementSelection {
                 replicas: 2,

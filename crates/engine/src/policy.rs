@@ -103,8 +103,9 @@ impl ExecPolicy {
     }
 
     /// Re-checks the invariants [`ExecPolicyBuilder::build`] enforces
-    /// (the engine revalidates at registration so deprecated shims that
-    /// set fields directly cannot smuggle an invalid policy through).
+    /// (the engine revalidates at registration so a policy constructed
+    /// or mutated outside the builder cannot smuggle invalid fields
+    /// through).
     pub(crate) fn validate(&self) -> Result<(), RtError> {
         if let KernelSelect::Fixed(w) = self.kernel_select {
             if !rt_gpusim::TILE_WIDTHS.contains(&w) {

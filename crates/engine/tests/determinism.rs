@@ -1088,48 +1088,85 @@ fn breakeven_autotuner_scales_shards_to_plan_size() {
     assert_eq!(bits, golden, "auto-sharded dose diverged");
 }
 
+/// The backward-pass counterpart of the R×K placement sweep: partitioned
+/// gradients served through every replica/shard layout must be bitwise
+/// identical to the single-device unplaced partitioned gradient, because
+/// the transpose's per-bucket widths are pinned from the whole transpose
+/// before any shard split.
 #[test]
-#[allow(deprecated)]
-fn deprecated_builder_knobs_still_shard_and_select() {
-    // The pre-policy surface must keep compiling and map onto the
-    // equivalent ExecPolicy: pool-wide single-group sharding plus a
-    // pinned kernel selection.
-    let liver = random_matrix(46, 900, 60, 24);
-    let mut engine = Engine::builder()
-        .devices(vec![
-            DeviceSpec::a100(),
-            DeviceSpec::v100(),
-            DeviceSpec::p100(),
-        ])
-        .kernel_select(KernelSelect::Fixed(32))
-        .shards(3)
+fn partitioned_gradients_bitwise_across_replicas_and_shards() {
+    let liver = random_matrix(46, 1600, 220, 40);
+    let partitioned = ExecPolicy::builder()
+        .kernel_select(KernelSelect::Partitioned(PartitionStrategy::Heuristic))
         .build()
         .unwrap();
-    engine.register_plan("liver", &liver).unwrap();
-    assert_eq!(engine.shard_count(), Some(3));
-    assert_eq!(engine.plan_shard_count("liver"), Some(3));
-    assert_eq!(engine.plan_replica_count("liver"), Some(1));
-    assert_eq!(engine.plan_tile_width("liver"), Some(32));
-    let policy = engine.plan_policy("liver").unwrap();
-    assert_eq!(policy.shards(), ShardSpec::Fixed(3));
-    assert_eq!(policy.replicas(), ReplicaSpec::Fixed(1));
+    let residual: Vec<f64> = (0..liver.nrows())
+        .map(|j| ((j * 7 + 3) % 13) as f64 * 0.06 + 0.05)
+        .collect();
 
-    let payload: Vec<f64> = (0..liver.ncols()).map(|j| (j % 11) as f64 * 0.09).collect();
+    // Golden: one device, unplaced, grad-partitioned at the pinned
+    // transpose widths.
     let golden: Vec<u64> = {
         let mut one = Engine::builder()
             .device(DeviceSpec::a100())
             .build()
             .unwrap();
-        one.register_plan_with(
-            "liver",
-            &liver,
-            ExecPolicy::builder().tile_width(32).build().unwrap(),
-        )
-        .unwrap();
-        let (r, _) = one.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        one.register_plan_with("liver", &liver, partitioned)
+            .unwrap();
+        assert!(
+            one.plan_grad_row_plan("liver").is_some(),
+            "partitioned plans must cache a transpose row plan"
+        );
+        let (r, _) = one.serve(|c| {
+            c.call("liver", RequestKind::Gradient, residual.clone())
+                .unwrap()
+        });
         r.output.into_iter().map(f64::to_bits).collect()
     };
-    let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
-    let bits: Vec<u64> = r.output.into_iter().map(f64::to_bits).collect();
-    assert_eq!(bits, golden, "deprecated shard path diverged");
+
+    let pool = vec![
+        DeviceSpec::a100(),
+        DeviceSpec::a100(),
+        DeviceSpec::v100(),
+        DeviceSpec::p100(),
+    ];
+    for r_groups in 1..=2usize {
+        for k in 1..=4usize {
+            if r_groups * k > pool.len() {
+                continue;
+            }
+            let policy = ExecPolicy::builder()
+                .kernel_select(KernelSelect::Partitioned(PartitionStrategy::Heuristic))
+                .shards(ShardSpec::Fixed(k))
+                .replicas(ReplicaSpec::Fixed(r_groups))
+                .build()
+                .unwrap();
+            let mut engine = Engine::builder().devices(pool.clone()).build().unwrap();
+            engine.register_plan_with("liver", &liver, policy).unwrap();
+            let (outs, report) = engine.serve(|c| {
+                (0..3)
+                    .map(|_| {
+                        c.call("liver", RequestKind::Gradient, residual.clone())
+                            .unwrap()
+                            .output
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for out in outs {
+                let bits: Vec<u64> = out.into_iter().map(f64::to_bits).collect();
+                assert_eq!(bits, golden, "R={r_groups} K={k} gradient diverged");
+            }
+            // The report carries the gradient direction's own selection.
+            let plan = &report.plans[0];
+            assert_eq!(
+                plan.grad_tile_width,
+                engine.plan_grad_tile_width("liver").unwrap(),
+                "R={r_groups} K={k}"
+            );
+            assert!(
+                !plan.grad_buckets.is_empty(),
+                "R={r_groups} K={k}: partitioned plan reports grad buckets"
+            );
+        }
+    }
 }

@@ -19,6 +19,11 @@ pub trait DoseEngine {
     fn modeled_seconds(&self) -> f64 {
         0.0
     }
+    /// Modeled seconds spent in gradient back-projections so far (0 for
+    /// engines without a performance model).
+    fn modeled_gradient_seconds(&self) -> f64 {
+        0.0
+    }
 }
 
 /// Full-precision CPU reference engine.
@@ -68,6 +73,7 @@ impl DoseEngine for CpuDoseEngine {
 pub struct GpuDoseEngine {
     calc: DoseCalculator,
     seconds: std::cell::Cell<f64>,
+    grad_seconds: std::cell::Cell<f64>,
 }
 
 impl GpuDoseEngine {
@@ -82,6 +88,7 @@ impl GpuDoseEngine {
                 .with_transpose()
                 .build()?,
             seconds: std::cell::Cell::new(0.0),
+            grad_seconds: std::cell::Cell::new(0.0),
         })
     }
 
@@ -102,6 +109,22 @@ impl GpuDoseEngine {
                 .row_scale(row_scale)
                 .build()?,
             seconds: std::cell::Cell::new(0.0),
+            grad_seconds: std::cell::Cell::new(0.0),
+        })
+    }
+
+    /// Wraps a pre-configured calculator (e.g. one with partitioned
+    /// dose and gradient dispatch) — the calculator must have been
+    /// built [`with_transpose`](rt_core::DoseCalculatorBuilder::with_transpose),
+    /// or every back-projection fails.
+    pub fn with_calculator(calc: DoseCalculator) -> Result<Self, rt_core::RtError> {
+        if !calc.has_transpose() {
+            return Err(rt_core::RtError::TransposeUnavailable);
+        }
+        Ok(GpuDoseEngine {
+            calc,
+            seconds: std::cell::Cell::new(0.0),
+            grad_seconds: std::cell::Cell::new(0.0),
         })
     }
 }
@@ -127,18 +150,26 @@ impl DoseEngine for GpuDoseEngine {
     }
 
     fn backproject(&self, residual: &[f64]) -> Vec<f64> {
-        // The transpose SpMV moves the same matrix bytes as the forward
-        // kernel; approximate its modeled cost by doubling the forward
-        // accounting at the call site is avoided — instead we track only
-        // forward kernels and note in EXPERIMENTS.md that a full
-        // iteration costs ~2x one SpMV.
-        self.calc
-            .compute_gradient_term(residual)
-            .expect("transpose uploaded at construction")
+        // The batch entry point (batch of one) returns the gradient
+        // launch report, so the backward pass's modeled time is tracked
+        // like the forward pass's — at the gradient direction's own
+        // width/partition, which since ISSUE 9 may differ from the
+        // dose direction's.
+        let mut r = self
+            .calc
+            .compute_gradient_batch(&[residual])
+            .expect("transpose uploaded at construction");
+        self.grad_seconds
+            .set(self.grad_seconds.get() + r.report.estimate.seconds);
+        r.outputs.swap_remove(0)
     }
 
     fn modeled_seconds(&self) -> f64 {
         self.seconds.get()
+    }
+
+    fn modeled_gradient_seconds(&self) -> f64 {
+        self.grad_seconds.get()
     }
 }
 

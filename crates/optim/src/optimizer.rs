@@ -59,6 +59,9 @@ pub struct OptimizeResult {
     pub dose_evals: usize,
     /// Modeled seconds spent in dose kernels (engines with a model).
     pub modeled_dose_seconds: f64,
+    /// Modeled seconds spent in gradient back-projections (engines with
+    /// a model) — the backward share of the iterate.
+    pub modeled_gradient_seconds: f64,
 }
 
 /// Runs projected gradient descent: `w_{k+1} = max(0, w_k - t g_k)`.
@@ -165,6 +168,7 @@ pub(crate) fn optimize_impl<E: DoseEngine>(
         converged,
         dose_evals,
         modeled_dose_seconds: engine.modeled_seconds(),
+        modeled_gradient_seconds: engine.modeled_gradient_seconds(),
     }
 }
 

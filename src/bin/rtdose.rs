@@ -25,7 +25,8 @@ use rtdose::kernels::{
     bucketed_group_report, heuristic_width, profile_baseline, profile_half_double, profile_single,
     rs_baseline_gpu_spmv, select_per_shard, vector_csr_spmv, vector_csr_spmv_bucketed,
     vector_csr_spmv_sharded, vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan,
-    GpuRsMatrix, KernelSelect, PartitionStrategy, ShardDispatch, VecScalar, TILE_WIDTHS,
+    GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy, ShardDispatch, VecScalar,
+    TILE_WIDTHS,
 };
 use rtdose::optim::{optimize, GpuDoseEngine, Objective, ObjectiveTerm, OptimizerConfig};
 use rtdose::sparse::stats::{MatrixSummary, RowStats};
@@ -616,6 +617,33 @@ fn cmd_spmv(flags: HashMap<String, String>) {
     }
 }
 
+/// Prints a partitioned choice's populated buckets: row-length range,
+/// rows, nnz, the natural width, the probe's pick, and true lane
+/// occupancy. Shared by the dose and gradient (transpose) tables.
+fn print_bucket_table(choice: &KernelChoice) {
+    println!("  bucket            rows          nnz   natural   probe   lanes active");
+    let natural = BucketWidths::natural();
+    for bc in &choice.buckets {
+        if bc.rows == 0 {
+            continue;
+        }
+        let range = if bc.max_len == u32::MAX {
+            format!("{}+", bc.min_len)
+        } else {
+            format!("{}-{}", bc.min_len, bc.max_len)
+        };
+        println!(
+            "  rows {:<8} {:>9} {:>12} {:>9} {:>7} {:>13.1}%",
+            range,
+            bc.rows,
+            bc.nnz,
+            format!("w{}", natural.0[bc.bucket]),
+            format!("w{}", bc.tile_width),
+            bc.lanes_active_frac * 100.0
+        );
+    }
+}
+
 /// Prints the autotuner's full decision table for one snapshot: every
 /// candidate width probed on a throwaway `Sequential` simulator, plus
 /// what the statistics heuristic and the measured probe each pick.
@@ -691,30 +719,28 @@ fn cmd_kernels(args: &[String]) {
         "\nrow-partitioned dispatch (--partition probe): {} empty rows eliminated",
         stats.empty_rows
     );
-    println!("  bucket            rows          nnz   natural   probe   lanes active");
-    let natural = BucketWidths::natural();
-    for bc in &part.buckets {
-        if bc.rows == 0 {
-            continue;
-        }
-        let range = if bc.max_len == u32::MAX {
-            format!("{}+", bc.min_len)
-        } else {
-            format!("{}-{}", bc.min_len, bc.max_len)
-        };
-        println!(
-            "  rows {:<8} {:>9} {:>12} {:>9} {:>7} {:>13.1}%",
-            range,
-            bc.rows,
-            bc.nnz,
-            format!("w{}", natural.0[bc.bucket]),
-            format!("w{}", bc.tile_width),
-            bc.lanes_active_frac * 100.0
-        );
-    }
+    print_bucket_table(&part);
+
+    // The gradient direction: the same partitioned probe run on the
+    // transpose (one beamlet per row — what every backward pass `Aᵀ r`
+    // executes). Widths are pinned from the whole transpose before any
+    // shard split, so this table is exactly what gradient requests run
+    // at, regardless of placement.
+    let t = m.transpose();
+    let t_stats = RowStats::from_csr(&t);
+    let grad = KernelSelect::Partitioned(PartitionStrategy::MeasuredProbe)
+        .choose(&dev, &t, tpb)
+        .expect("partitioned probe cannot fail on a loaded snapshot");
     println!(
-        "partitioned gradient/transpose fallback width: w{} (widest populated bucket)",
-        part.tile_width
+        "\ngradient (transpose) dispatch: {} beamlet rows, {:.1}% empty — {} eliminated",
+        t.nrows(),
+        t_stats.empty_fraction() * 100.0,
+        t_stats.empty_rows
+    );
+    print_bucket_table(&grad);
+    println!(
+        "whole-transpose width (unpartitioned gradients): w{}",
+        grad.tile_width
     );
 
     // The row-sharded alternative: what `serve-demo --shards 3` places
@@ -939,6 +965,24 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
             };
             println!(
                 "      bucket rows {:<6} -> w{:<2} ({} rows, {:.1}% lanes active)",
+                range,
+                bc.tile_width,
+                bc.rows,
+                bc.lanes_active_frac * 100.0
+            );
+        }
+        // The gradient direction's own table: chosen on the whole
+        // transpose at registration, pinned before any shard split.
+        let grad = engine.plan_grad_choice(name).unwrap();
+        println!("      gradient (transpose) tile width {}", grad.tile_width);
+        for bc in grad.buckets.iter().filter(|b| b.rows > 0) {
+            let range = if bc.max_len == u32::MAX {
+                format!("{}+", bc.min_len)
+            } else {
+                format!("{}-{}", bc.min_len, bc.max_len)
+            };
+            println!(
+                "      grad bucket rows {:<6} -> w{:<2} ({} rows, {:.1}% lanes active)",
                 range,
                 bc.tile_width,
                 bc.rows,
