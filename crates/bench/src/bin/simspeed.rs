@@ -33,7 +33,12 @@
 //!   `ShardSpec::Auto` resolves to for the liver and prostate plans,
 //!   the full K=1..=4 evidence table, and the modeled throughput of two
 //!   concurrent requests under R=2 replica groups vs R=1 serializing
-//!   pool-wide fan-outs (the `placement` JSON object).
+//!   pool-wide fan-outs (the `placement` JSON object), and
+//! * a **drain-recovery sweep** on the same pool: modeled R=2 group
+//!   times and pool throughput before the P100 is drained, after the
+//!   drain with the registration-time deal kept (the group that lost
+//!   its member stops serving), and after the engine's live re-deal
+//!   over the three survivors (the `rebalance` JSON object).
 //!
 //! The JSON carries `schema_version` and a stable `suite` id per kernel
 //! entry (`prostate-paper`, `shortrow`, `liver-beam-1`,
@@ -62,23 +67,26 @@
 //! to model >1.5× R=1 serialized throughput), if the small prostate
 //! plan is not auto-placed at K=1, or if the partitioned transpose
 //! dispatch on the liver gradient suite models less than 1.4× the best
-//! fixed-width whole-transpose kernel — the CI gates for the
-//! autotuners, the cooperative pool, the placement engine, and the
+//! fixed-width whole-transpose kernel, or if draining the P100 and
+//! re-dealing over the survivors recovers less than 80% of the
+//! pre-drain modeled throughput — the CI gates for the autotuners, the
+//! cooperative pool, the placement engine, live rebalancing, and the
 //! backward-pass partition.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rt_core::{
-    choose_shard_count, modeled_whole_seconds, profile_baseline, profile_half_double,
-    rs_baseline_gpu_spmv, vector_csr_spmv, vector_csr_spmv_bucketed, vector_csr_spmv_sharded,
-    vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan, GpuRsMatrix, KernelChoice,
-    KernelSelect, PartitionStrategy, ShardBreakEven, ShardDispatch, ShardedCsr, TILE_WIDTHS,
+    choose_shard_count, modeled_pool_throughput, modeled_whole_seconds, profile_baseline,
+    profile_half_double, rs_baseline_gpu_spmv, vector_csr_spmv, vector_csr_spmv_bucketed,
+    vector_csr_spmv_sharded, vector_csr_spmv_tiled, BucketWidths, GpuCsrMatrix, GpuRowPlan,
+    GpuRsMatrix, KernelChoice, KernelSelect, PartitionStrategy, ShardBreakEven, ShardDispatch,
+    ShardedCsr, TILE_WIDTHS,
 };
 use rt_dose::cases::{prostate_case, ScaleConfig};
 use rt_f16::F16;
 use rt_gpusim::{
-    snake_partition, timing, BucketReport, DeviceGroup, DeviceSpec, Gpu, GroupStats, KernelProfile,
-    KernelStats, LaunchReport, ShardReport, ShardedReport,
+    snake_partition, snake_partition_subset, timing, BucketReport, DeviceGroup, DeviceSpec, Gpu,
+    GroupStats, KernelProfile, KernelStats, LaunchReport, ShardReport, ShardedReport,
 };
 use rt_sparse::stats::RowStats;
 use rt_sparse::{Csr, RowPlan, RsCompressed, ShardPlan};
@@ -546,26 +554,18 @@ fn placement_pool() -> Vec<DeviceSpec> {
 /// exists, the analytic [`modeled_whole_seconds`] otherwise.
 fn placement_verdict(whole_seconds: f64, nonempty_rows: usize) -> PlacementVerdict {
     let pool = placement_pool();
-    let reference = &pool[0];
     let breakeven = choose_shard_count(&pool, whole_seconds, nonempty_rows, pool.len());
     let t_k1 = breakeven.candidates[0].modeled_seconds;
     let t_kpool = breakeven.candidates[pool.len() - 1].modeled_seconds;
     let t_auto = breakeven.candidates[breakeven.k - 1].modeled_seconds;
 
     let weights: Vec<f64> = pool.iter().map(|d| d.effective_dram_bw()).collect();
-    let work = (whole_seconds - reference.launch_overhead_s).max(0.0);
-    let group_seconds: Vec<f64> = snake_partition(&weights, 2)
-        .into_iter()
-        .map(|members| {
-            let devs: Vec<DeviceSpec> = members.iter().map(|&i| pool[i].clone()).collect();
-            // Rescale the reference whole-matrix time to the group's own
-            // reference device (the engine does the same at placement).
-            let scaled = devs[0].launch_overhead_s
-                + work * reference.effective_dram_bw() / devs[0].effective_dram_bw();
-            let gbe = choose_shard_count(&devs, scaled, nonempty_rows, devs.len());
-            gbe.candidates[gbe.k - 1].modeled_seconds
-        })
-        .collect();
+    let group_seconds = group_seconds_over(
+        &pool,
+        &snake_partition(&weights, 2),
+        whole_seconds,
+        nonempty_rows,
+    );
     let slowest_group = group_seconds.iter().fold(0.0f64, |a, &b| a.max(b));
     PlacementVerdict {
         breakeven,
@@ -575,6 +575,128 @@ fn placement_verdict(whole_seconds: f64, nonempty_rows: usize) -> PlacementVerdi
         group_seconds,
         r2_throughput_ratio: 2.0 * t_kpool / slowest_group,
     }
+}
+
+/// Modeled time of each replica group over `members` (absolute pool
+/// indices), at the group's own break-even K. The whole-matrix time is
+/// rescaled from the pool's reference device to the group's own
+/// reference device — the same scaling the engine applies at placement.
+fn group_seconds_over(
+    pool: &[DeviceSpec],
+    groups: &[Vec<usize>],
+    whole_seconds: f64,
+    nonempty_rows: usize,
+) -> Vec<f64> {
+    let reference = &pool[0];
+    let work = (whole_seconds - reference.launch_overhead_s).max(0.0);
+    groups
+        .iter()
+        .map(|members| {
+            let devs: Vec<DeviceSpec> = members.iter().map(|&i| pool[i].clone()).collect();
+            let scaled = devs[0].launch_overhead_s
+                + work * reference.effective_dram_bw() / devs[0].effective_dram_bw();
+            let gbe = choose_shard_count(&devs, scaled, nonempty_rows, devs.len());
+            gbe.candidates[gbe.k - 1].modeled_seconds
+        })
+        .collect()
+}
+
+/// Modeled drain-recovery verdict on the mixed 4-device pool: R=2
+/// snake-dealt groups pre-drain, then the P100 (pool device 3) taken
+/// out for maintenance.
+///
+/// * `naive_throughput` keeps the registration-time deal — the group
+///   that placed shards on the drained device can accept no new
+///   fan-outs, so only the untouched groups keep serving;
+/// * `redealt_throughput` is the engine's live re-deal
+///   (`snake_partition_subset` over the survivors, each group back at
+///   its own break-even K) — what `drain_device` swaps in.
+struct RebalanceVerdict {
+    drained_name: &'static str,
+    pre_group_seconds: Vec<f64>,
+    pre_throughput: f64,
+    naive_throughput: f64,
+    redealt_group_seconds: Vec<f64>,
+    redealt_throughput: f64,
+}
+
+fn rebalance_verdict(whole_seconds: f64, nonempty_rows: usize) -> RebalanceVerdict {
+    let pool = placement_pool();
+    let weights: Vec<f64> = pool.iter().map(|d| d.effective_dram_bw()).collect();
+    let drained = pool.len() - 1;
+    let pre_groups = snake_partition(&weights, 2);
+    let pre_group_seconds = group_seconds_over(&pool, &pre_groups, whole_seconds, nonempty_rows);
+    let pre_throughput = modeled_pool_throughput(&pre_group_seconds);
+    let naive: Vec<f64> = pre_groups
+        .iter()
+        .zip(&pre_group_seconds)
+        .filter(|(members, _)| !members.contains(&drained))
+        .map(|(_, &s)| s)
+        .collect();
+    let naive_throughput = modeled_pool_throughput(&naive);
+    let live: Vec<usize> = (0..pool.len()).filter(|&d| d != drained).collect();
+    let redealt = snake_partition_subset(&weights, &live, 2);
+    let redealt_group_seconds = group_seconds_over(&pool, &redealt, whole_seconds, nonempty_rows);
+    let redealt_throughput = modeled_pool_throughput(&redealt_group_seconds);
+    RebalanceVerdict {
+        drained_name: pool[drained].name,
+        pre_group_seconds,
+        pre_throughput,
+        naive_throughput,
+        redealt_group_seconds,
+        redealt_throughput,
+    }
+}
+
+fn render_rebalance(v: &RebalanceVerdict) -> String {
+    let us = |xs: &[f64]| {
+        xs.iter()
+            .map(|s| format!("{:.3}", s * 1e6))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = String::new();
+    out.push_str("  \"rebalance\": {\n");
+    writeln!(out, "    \"drained_device\": \"{}\",", v.drained_name).unwrap();
+    writeln!(out, "    \"pre_group_us\": [{}],", us(&v.pre_group_seconds)).unwrap();
+    writeln!(
+        out,
+        "    \"pre_throughput_per_s\": {:.1},",
+        v.pre_throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"naive_throughput_per_s\": {:.1},",
+        v.naive_throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"redealt_group_us\": [{}],",
+        us(&v.redealt_group_seconds)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"redealt_throughput_per_s\": {:.1},",
+        v.redealt_throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"recovery_ratio\": {:.3},",
+        v.redealt_throughput / v.pre_throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "    \"naive_ratio\": {:.3}",
+        v.naive_throughput / v.pre_throughput
+    )
+    .unwrap();
+    out.push_str("  },\n");
+    out
 }
 
 fn render_placement(liver: &PlacementVerdict, prostate: &PlacementVerdict) -> String {
@@ -944,6 +1066,24 @@ fn quick_smoke() -> ! {
         );
         failed = true;
     }
+    // Gate 8: drain recovery. Taking the P100 out of the mixed pool
+    // mid-session and re-dealing R=2 groups over the three survivors
+    // must recover at least 80% of the pre-drain modeled throughput on
+    // the liver plan (the naive no-re-deal figure is reported for
+    // contrast: the group that lost its member stops serving).
+    let rebal = rebalance_verdict(part_s, liver.nrows() - liver_stats.empty_rows);
+    println!(
+        "quick: rebalance: drain {}: pre {:.0}/s -> naive {:.0}/s, re-dealt {:.0}/s (recovery {:.2}x)",
+        rebal.drained_name,
+        rebal.pre_throughput,
+        rebal.naive_throughput,
+        rebal.redealt_throughput,
+        rebal.redealt_throughput / rebal.pre_throughput,
+    );
+    if rebal.redealt_throughput < 0.8 * rebal.pre_throughput {
+        eprintln!("FAIL: post-drain re-dealt throughput recovers less than 80% of pre-drain");
+        failed = true;
+    }
     std::process::exit(if failed { 1 } else { 0 });
 }
 
@@ -1177,7 +1317,15 @@ fn main() {
     let prostate_stats = RowStats::from_csr(&csr);
     let prostate_whole = modeled_whole_seconds(&device, csr.nrows(), csr.ncols(), csr.nnz(), 2, 4);
     let prostate_place = placement_verdict(prostate_whole, csr.nrows() - prostate_stats.empty_rows);
-    let placement_json = render_placement(&liver_place, &prostate_place);
+    // Suite 7: drain recovery on the same pool — what `drain_device`
+    // models when the P100 leaves mid-session and every placed plan is
+    // re-dealt over the survivors (the `rebalance` JSON object).
+    let liver_rebalance = rebalance_verdict(liver_part_s, liver.nrows() - liver_stats.empty_rows);
+    let placement_json = format!(
+        "{}{}",
+        render_placement(&liver_place, &prostate_place),
+        render_rebalance(&liver_rebalance)
+    );
 
     let mut measurements = vec![vector, baseline, warp32];
     measurements.extend(tiled);

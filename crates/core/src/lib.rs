@@ -43,7 +43,10 @@ pub use calculator::{
 pub use cpu::{cpu_csr_spmv, RsCpu};
 pub use error::RtError;
 pub use libs::{cusparse_csr_spmv, ginkgo_csr_spmv};
-pub use placement::{choose_shard_count, modeled_whole_seconds, BreakEvenPoint, ShardBreakEven};
+pub use placement::{
+    choose_shard_count, modeled_pool_throughput, modeled_whole_seconds, BreakEvenPoint,
+    ShardBreakEven,
+};
 pub use scalar_csr::scalar_csr_spmv;
 pub use select::{
     heuristic_width, probe_widths, BucketChoice, KernelChoice, KernelSelect, PartitionStrategy,

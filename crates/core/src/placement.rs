@@ -43,11 +43,47 @@ pub struct BreakEvenPoint {
 
 /// Outcome of a break-even sweep: the chosen shard count plus the full
 /// candidate table (reported in `EngineReport.plans[].placement`).
+///
+/// The sweep is cheap enough to re-run live: when a device is drained
+/// (or undrained) the engine re-deals replica groups over the surviving
+/// members and calls [`choose_shard_count`] again with each shrunken
+/// group's specs, so `K` is re-chosen against the pool that will
+/// actually serve — a group that loses its slow member may shrink to
+/// `K = 1` while the whole pool would have picked `K = 2`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShardBreakEven {
     /// The chosen shard count (smallest `k` at the minimum).
     pub k: usize,
     pub candidates: Vec<BreakEvenPoint>,
+}
+
+impl ShardBreakEven {
+    /// The modeled completion time at candidate shard count `k`, if it
+    /// was swept. Used by benchmarks to compare specific layouts
+    /// without re-deriving the table.
+    pub fn seconds_at(&self, k: usize) -> Option<f64> {
+        self.candidates
+            .iter()
+            .find(|c| c.k == k)
+            .map(|c| c.modeled_seconds)
+    }
+}
+
+/// Aggregate modeled throughput (requests/second) of a set of replica
+/// groups, each characterized by its per-request completion time in
+/// seconds: groups serve independently, so pool throughput is the sum
+/// of `1 / t_g`. Non-positive or non-finite group times contribute
+/// nothing (a dead group serves no traffic).
+///
+/// This is the figure the simspeed `rebalance` suite compares before
+/// and after a drain: losing a device degrades the group it lived in,
+/// while a re-deal spreads the loss across the surviving pool.
+pub fn modeled_pool_throughput(group_seconds: &[f64]) -> f64 {
+    group_seconds
+        .iter()
+        .filter(|&&t| t.is_finite() && t > 0.0)
+        .map(|&t| 1.0 / t)
+        .sum()
 }
 
 /// Analytic lower-bound estimate of one whole-matrix SpMV on `spec`,
@@ -184,6 +220,25 @@ mod tests {
         for pair in be.candidates.windows(2) {
             assert!(pair[1].modeled_seconds > pair[0].modeled_seconds);
         }
+    }
+
+    #[test]
+    fn pool_throughput_sums_group_rates_and_skips_dead_groups() {
+        let healthy = modeled_pool_throughput(&[2e-3, 4e-3]);
+        assert!((healthy - (500.0 + 250.0)).abs() < 1e-9);
+        // A drained group (infinite / zero time) serves nothing.
+        let degraded = modeled_pool_throughput(&[2e-3, f64::INFINITY]);
+        assert!((degraded - 500.0).abs() < 1e-9);
+        assert_eq!(modeled_pool_throughput(&[]), 0.0);
+    }
+
+    #[test]
+    fn seconds_at_reads_the_candidate_table() {
+        let pool = vec![DeviceSpec::a100(); 4];
+        let be = choose_shard_count(&pool, 10e-3, 500_000, 4);
+        assert_eq!(be.seconds_at(1), Some(be.candidates[0].modeled_seconds));
+        assert_eq!(be.seconds_at(4), Some(be.candidates[3].modeled_seconds));
+        assert_eq!(be.seconds_at(9), None);
     }
 
     #[test]

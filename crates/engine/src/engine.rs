@@ -37,11 +37,11 @@ use rt_core::{
     KernelChoice, KernelSelect, RtError, MAX_SPMM_BATCH,
 };
 use rt_gpusim::{
-    gather_estimate, snake_partition, DeviceSpec, LaunchReport, ShardReport, ShardedReport,
+    gather_estimate, snake_partition_subset, DeviceSpec, LaunchReport, ShardReport, ShardedReport,
 };
 use rt_sparse::{Csr, RowPlan, ShardPlan};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -163,9 +163,14 @@ struct ShardTask {
 /// shards skip execution, and no partially-merged dose can ever escape.
 struct FanOut {
     plan: usize,
-    /// Replica group executing this fan-out (indexes the plan's
-    /// placement groups and the per-plan load table).
+    /// Replica group executing this fan-out (indexes `epoch.groups` and
+    /// the per-plan, per-epoch load table).
     group: usize,
+    /// The placement epoch this fan-out was dealt under. Shard indices
+    /// resolve against *these* groups even if a rebalance swaps the
+    /// plan's current epoch mid-flight — the `Arc` keeps the old
+    /// generation's calculators alive until the last shard retires.
+    epoch: Arc<PlacementEpoch>,
     kind: RequestKind,
     /// The batch members with their queue-wait at fan-out time.
     requests: Vec<(EngineRequest, f64)>,
@@ -176,12 +181,14 @@ struct FanOut {
     /// by shard index at merge time (the merged report is deterministic
     /// even though the landing order is not).
     reports: Mutex<Vec<ShardReport>>,
-    /// Strictest queue-wait budget in the batch, measured from the
-    /// oldest submission: the whole fan-out is shed as a unit when it
-    /// expires before every shard has dispatched (conservative, keeps
-    /// the all-or-nothing dose invariant simple).
-    budget_ms: Option<f64>,
-    oldest: Instant,
+    /// Earliest true deadline in the batch — `min_i(submitted_i +
+    /// budget_i)` over members that carry a budget — paired with the
+    /// binding member's budget. The whole fan-out is shed as a unit
+    /// when it expires before every shard has dispatched
+    /// (all-or-nothing keeps the dose invariant simple), but no member
+    /// is ever shed earlier than its *own* deadline: a mate's tighter
+    /// budget binds only from that mate's later submission time.
+    deadline: Option<(Instant, f64)>,
 }
 
 /// Worker start gate: an engine built with `start_paused` holds its
@@ -213,16 +220,44 @@ impl Gate {
     }
 }
 
-/// Per-plan replica-group load tracking for one serve session. One
-/// mutex per plan: group selection and the outstanding increment happen
-/// in a single critical section, so two workers dispatching the same
-/// plan concurrently can never both pick the "idle" group.
-struct PlanLoads {
+/// EWMA smoothing factor for the per-group served-share tracker.
+const SKEW_EWMA_ALPHA: f64 = 0.25;
+/// Completed fan-outs an epoch must accumulate before a skew verdict.
+const SKEW_MIN_COMPLETIONS: u64 = 16;
+/// A group whose served share falls below `SKEW_SHARE_FLOOR / R` while
+/// still holding outstanding work is starved behind a slow member.
+const SKEW_SHARE_FLOOR: f64 = 0.1;
+
+/// Replica-group load counters for one placement epoch.
+struct GroupLoads {
     /// Fan-outs currently in flight per replica group.
     outstanding: Vec<u64>,
-    /// Fan-outs completed per replica group (reported as
-    /// `placement.groups[].served`).
+    /// Fan-outs completed per replica group (the current epoch's row is
+    /// reported as `placement.groups[].served`).
     served: Vec<u64>,
+}
+
+/// Per-plan replica-group load tracking for one serve session, keyed by
+/// placement epoch: an in-flight fan-out retires against the epoch that
+/// dispatched it even after a rebalance swaps the plan's current
+/// generation. One mutex per plan: group selection and the outstanding
+/// increment happen in a single critical section, so two workers
+/// dispatching the same plan concurrently can never both pick the
+/// "idle" group.
+struct PlanLoads {
+    epochs: HashMap<u64, GroupLoads>,
+    /// EWMA of each group's share of completed fan-outs on
+    /// `ewma_epoch` (indicator update): least-loaded routing bounds the
+    /// *outstanding* skew at one fan-out, so sustained starvation shows
+    /// up in the served share — a group stuck behind a slow device
+    /// decays toward zero here while it still holds outstanding work.
+    ewma_served: Vec<f64>,
+    /// The newest epoch this plan has dispatched on; the EWMA resets
+    /// when a rebalance moves dispatch to a new generation.
+    ewma_epoch: u64,
+    /// Completed fan-outs on `ewma_epoch` (hysteresis for the skew
+    /// verdict).
+    epoch_completions: u64,
 }
 
 struct ServeState {
@@ -277,13 +312,45 @@ impl ReplicaGroup {
     }
 }
 
-/// Resolved placement of a placed plan: `R` disjoint replica groups,
-/// each serving whole requests independently.
-struct PlannedPlacement {
+/// One immutable generation of a placed plan's resolved placement: `R`
+/// disjoint replica groups, each serving whole requests independently.
+/// Fan-outs pin the epoch they were dispatched under (`Arc`), so a live
+/// rebalance never pulls shard calculators out from under an in-flight
+/// batch.
+struct PlacementEpoch {
+    /// Monotone generation counter (0 = the registration-time deal).
+    epoch: u64,
+    groups: Vec<ReplicaGroup>,
+}
+
+/// A placed plan's placement slot: the current epoch behind a mutex'd
+/// `Arc` (the lock is held only to clone or swap the pointer — never
+/// across a shard build), plus the rebalance event counter reported as
+/// `placement.rebalances`.
+struct PlacementCell {
     /// Whether the per-group shard counts came from the break-even model
     /// rather than being forced.
     auto_shards: bool,
-    groups: Vec<ReplicaGroup>,
+    current: Mutex<Arc<PlacementEpoch>>,
+    rebalances: AtomicU64,
+}
+
+impl PlacementCell {
+    fn snapshot(&self) -> Arc<PlacementEpoch> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+}
+
+/// Host-side copies of a placed plan's matrices, kept so a live
+/// rebalance (drain, undrain, or sustained load skew) can rebuild shard
+/// calculators over a new device subset. The autotuned widths are
+/// pinned on the [`Plan`] from the whole matrix/transpose, so a re-deal
+/// can never change the arithmetic — only where it runs.
+struct PlacementSource {
+    matrix: Csr<f64, u32>,
+    transpose: Csr<f64, u32>,
+    widths: Option<BucketWidths>,
+    grad_widths: Option<BucketWidths>,
 }
 
 struct Plan {
@@ -297,7 +364,9 @@ struct Plan {
     calcs: Vec<DoseCalculator>,
     /// Replica × shard placement (`None` for the classic fully-resident
     /// path — [`ShardSpec::Off`] with [`ReplicaSpec::Auto`]).
-    placement: Option<PlannedPlacement>,
+    placement: Option<PlacementCell>,
+    /// Matrices a rebalance rebuilds shards from (placed plans only).
+    source: Option<PlacementSource>,
     /// The policy this plan was registered under.
     policy: ExecPolicy,
     /// The autotuner's decision for this plan, made once at
@@ -326,10 +395,12 @@ struct Plan {
 }
 
 impl Plan {
-    /// Device bytes this plan pins on pool device `dev`.
+    /// Device bytes this plan pins on pool device `dev` under its
+    /// current placement epoch.
     fn resident_bytes_on(&self, dev: usize) -> u64 {
         match &self.placement {
-            Some(pl) => pl
+            Some(cell) => cell
+                .snapshot()
                 .groups
                 .iter()
                 .flat_map(|g| g.dose_shards.iter().chain(&g.grad_shards))
@@ -452,10 +523,13 @@ impl EngineBuilder {
             return Err(RtError::InvalidThreadsPerBlock(tpb));
         }
         self.default_policy.validate()?;
+        let pool = self.devices.len();
         Ok(Engine {
             devices: self.devices,
             plans: Vec::new(),
             plan_index: HashMap::new(),
+            drained: (0..pool).map(|_| AtomicBool::new(false)).collect(),
+            rebalance_lock: Mutex::new(()),
             queue_capacity: self.queue_capacity,
             max_batch: self.max_batch,
             threads_per_block: tpb,
@@ -498,6 +572,14 @@ pub struct Engine {
     /// Name → index into `plans`: submits resolve plans by name on the
     /// hot path, so the lookup must not rescan the plan list.
     plan_index: HashMap<String, usize>,
+    /// Per-device drain flags. A drained device takes no new requests
+    /// and no shard homes in new placement epochs, but still executes
+    /// shard sub-tasks pinned to it by an older epoch — in-flight
+    /// fan-outs finish where they started.
+    drained: Vec<AtomicBool>,
+    /// Serializes drain/undrain/skew re-deals so two triggers can never
+    /// interleave their build-then-swap sequences.
+    rebalance_lock: Mutex<()>,
     queue_capacity: usize,
     max_batch: usize,
     threads_per_block: u32,
@@ -592,29 +674,40 @@ impl Engine {
     }
 
     /// Dose-direction shards per replica group a registered plan
-    /// actually got (forced counts are clamped to the plan's rows);
-    /// `None` when the plan runs the classic fully-resident path.
+    /// actually got under its current placement epoch (forced counts
+    /// are clamped to the plan's rows); `None` when the plan runs the
+    /// classic fully-resident path.
     pub fn plan_shard_count(&self, name: &str) -> Option<usize> {
         self.plan(name)
             .and_then(|p| p.placement.as_ref())
-            .map(|pl| pl.groups[0].dose_shards.len())
+            .map(|cell| cell.snapshot().groups[0].dose_shards.len())
     }
 
-    /// Replica groups a registered plan was dealt across; `None` when
-    /// the plan runs the classic fully-resident path.
+    /// Replica groups a registered plan is currently dealt across;
+    /// `None` when the plan runs the classic fully-resident path.
     pub fn plan_replica_count(&self, name: &str) -> Option<usize> {
         self.plan(name)
             .and_then(|p| p.placement.as_ref())
-            .map(|pl| pl.groups.len())
+            .map(|cell| cell.snapshot().groups.len())
+    }
+
+    /// Rebalance events (drain, undrain, or skew-triggered re-deals) a
+    /// registered plan's placement has absorbed; `None` for unplaced
+    /// plans.
+    pub fn plan_rebalances(&self, name: &str) -> Option<u64> {
+        self.plan(name)
+            .and_then(|p| p.placement.as_ref())
+            .map(|cell| cell.rebalances.load(Ordering::SeqCst))
     }
 
     /// The break-even evidence table recorded for a registered plan's
-    /// first replica group ([`ShardSpec::Auto`] plans only; empty for
-    /// forced shard counts, `None` for unplaced plans).
-    pub fn plan_breakeven(&self, name: &str) -> Option<&[BreakEvenPoint]> {
+    /// first replica group under its current placement epoch
+    /// ([`ShardSpec::Auto`] plans only; empty for forced shard counts,
+    /// `None` for unplaced plans).
+    pub fn plan_breakeven(&self, name: &str) -> Option<Vec<BreakEvenPoint>> {
         self.plan(name)
             .and_then(|p| p.placement.as_ref())
-            .map(|pl| pl.groups[0].breakeven.as_slice())
+            .map(|cell| cell.snapshot().groups[0].breakeven.clone())
     }
 
     /// Interior shard cut points of a registered plan's first replica
@@ -625,8 +718,8 @@ impl Engine {
     pub fn plan_shard_cuts(&self, name: &str) -> Option<Vec<usize>> {
         self.plan(name)
             .and_then(|p| p.placement.as_ref())
-            .map(|pl| {
-                pl.groups[0]
+            .map(|cell| {
+                cell.snapshot().groups[0]
                     .dose_shards
                     .iter()
                     .skip(1)
@@ -715,7 +808,7 @@ impl Engine {
             None
         };
         let unplaced = policy.shards == ShardSpec::Off && policy.replicas == ReplicaSpec::Auto;
-        let (calcs, placement) = if unplaced {
+        let (calcs, placement, source) = if unplaced {
             let calcs = self
                 .devices
                 .iter()
@@ -735,11 +828,11 @@ impl Engine {
                     b.build()
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            (calcs, None)
+            (calcs, None, None)
         } else {
             let widths = partition.as_ref().map(|(_, w)| *w);
             let grad_widths = grad_partition.as_ref().map(|(_, w)| *w);
-            let placement = self.place_plan(
+            let groups = self.place_groups(
                 matrix,
                 &transposed,
                 &policy,
@@ -748,8 +841,20 @@ impl Engine {
                 widths,
                 grad_widths,
                 stored_cuts,
+                &self.live_devices(),
             )?;
-            (Vec::new(), Some(placement))
+            let cell = PlacementCell {
+                auto_shards: policy.shards == ShardSpec::Auto,
+                current: Mutex::new(Arc::new(PlacementEpoch { epoch: 0, groups })),
+                rebalances: AtomicU64::new(0),
+            };
+            let source = PlacementSource {
+                matrix: matrix.clone(),
+                transpose: transposed.clone(),
+                widths,
+                grad_widths,
+            };
+            (Vec::new(), Some(cell), Some(source))
         };
         self.plan_index.insert(name.to_string(), self.plans.len());
         self.plans.push(Plan {
@@ -758,6 +863,7 @@ impl Engine {
             ncols: matrix.ncols(),
             calcs,
             placement,
+            source,
             policy,
             choice,
             grad_choice,
@@ -768,9 +874,13 @@ impl Engine {
     }
 
     /// Resolves a placed policy into replica groups with resident shard
-    /// calculators.
+    /// calculators, dealt over the `live` device subset (the whole pool
+    /// at registration; the surviving members during a drain re-deal).
+    /// The break-even model re-runs against the live members, so a
+    /// shrunken group may legitimately pick a smaller `K` than the full
+    /// pool would have.
     #[allow(clippy::too_many_arguments)] // both directions' pinned decisions
-    fn place_plan(
+    fn place_groups(
         &self,
         matrix: &Csr<f64, u32>,
         transpose: &Csr<f64, u32>,
@@ -780,8 +890,10 @@ impl Engine {
         widths: Option<BucketWidths>,
         grad_widths: Option<BucketWidths>,
         stored_cuts: Option<&[usize]>,
-    ) -> Result<PlannedPlacement, RtError> {
+        live: &[usize],
+    ) -> Result<Vec<ReplicaGroup>, RtError> {
         let pool = self.devices.len();
+        let live_n = live.len();
         let weights: Vec<f64> = self.devices.iter().map(|d| d.effective_dram_bw()).collect();
         let nonempty = nonempty_rows(matrix);
         let r = match policy.replicas {
@@ -791,39 +903,41 @@ impl Engine {
                         "{r} replica groups requested but the pool has {pool} devices"
                     )));
                 }
-                r
+                // A transient drain can shrink the live pool below a
+                // forced R: clamp — the undrain re-deal restores full
+                // replication.
+                r.min(live_n)
             }
             ReplicaSpec::Auto => {
                 // Derive R from the shard count the plan would take on
-                // the full pool: enough groups that each can hold a
+                // the live pool: enough groups that each can hold a
                 // complete shard set.
                 let k_target = match policy.shards {
                     ShardSpec::Off => 1,
                     ShardSpec::Fixed(k) => k,
                     ShardSpec::Auto => {
-                        let sorted: Vec<DeviceSpec> = snake_partition(&weights, 1)
+                        let sorted: Vec<DeviceSpec> = snake_partition_subset(&weights, live, 1)
                             .remove(0)
                             .into_iter()
                             .map(|d| self.devices[d].clone())
                             .collect();
                         let whole = self.whole_seconds_for(&sorted[0], matrix, choice);
-                        choose_shard_count(&sorted, whole, nonempty, pool).k
+                        choose_shard_count(&sorted, whole, nonempty, live_n).k
                     }
                 };
-                (pool / k_target.min(pool)).max(1)
+                (live_n / k_target.min(live_n)).max(1)
             }
         };
-        // Snake-deal the pool by modeled bandwidth so the R groups are
-        // matched in strength; each group lists its members fastest
-        // first.
-        let memberships = snake_partition(&weights, r);
+        // Snake-deal the live devices by modeled bandwidth so the R
+        // groups are matched in strength; each group lists its members
+        // fastest first.
+        let memberships = snake_partition_subset(&weights, live, r);
         // The gradient runs `A^T r` as a forward SpMV on the transpose,
         // so the transpose shards by its own rows and the gradient
         // outputs stay disjoint. It runs at the gradient direction's own
         // pinned decision (width table chosen on the whole transpose,
         // never the dose partition — the transpose has its own shape),
         // matching the fully-resident gradient path bit for bit.
-        let auto_shards = policy.shards == ShardSpec::Auto;
         let mut groups = Vec::with_capacity(memberships.len());
         for members in memberships {
             let (k, breakeven) = match policy.shards {
@@ -848,10 +962,130 @@ impl Engine {
                 breakeven,
             });
         }
-        Ok(PlannedPlacement {
-            auto_shards,
+        Ok(groups)
+    }
+
+    /// Pool devices not currently drained.
+    fn live_devices(&self) -> Vec<usize> {
+        (0..self.devices.len())
+            .filter(|&d| !self.drained[d].load(Ordering::SeqCst))
+            .collect()
+    }
+
+    /// Whether pool device `d` is currently drained.
+    pub fn device_drained(&self, d: usize) -> bool {
+        self.drained
+            .get(d)
+            .is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Marks pool device `d` ineligible for new work: its worker stops
+    /// popping requests, no new placement epoch homes shards on it, and
+    /// every placed plan currently holding shards there is re-dealt
+    /// over the surviving devices. Shard sub-tasks already pinned by an
+    /// older epoch still execute, so in-flight fan-outs finish where
+    /// they started — and because every epoch's widths are pinned from
+    /// the whole matrix, the dose bytes are identical either way.
+    ///
+    /// Idempotent. Fails with [`RtError::InvalidPlacement`] when `d` is
+    /// out of range or draining it would leave the pool empty.
+    pub fn drain_device(&self, d: usize) -> Result<(), RtError> {
+        if d >= self.devices.len() {
+            return Err(RtError::InvalidPlacement(format!(
+                "drain target {d} out of range for a {}-device pool",
+                self.devices.len()
+            )));
+        }
+        let _serialize = self.rebalance_lock.lock().unwrap();
+        if self.drained[d].load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let live: Vec<usize> = (0..self.devices.len())
+            .filter(|&i| i != d && !self.drained[i].load(Ordering::SeqCst))
+            .collect();
+        if live.is_empty() {
+            return Err(RtError::InvalidPlacement(format!(
+                "cannot drain device {d}: it is the last live device in the pool"
+            )));
+        }
+        self.drained[d].store(true, Ordering::SeqCst);
+        for idx in 0..self.plans.len() {
+            let uses_d = self.plans[idx].placement.as_ref().is_some_and(|cell| {
+                cell.snapshot()
+                    .groups
+                    .iter()
+                    .any(|g| g.devices.contains(&d))
+            });
+            if uses_d {
+                self.redeal_plan(idx, &live)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns a drained device to service and re-deals every placed
+    /// plan over the grown pool. Idempotent; fails with
+    /// [`RtError::InvalidPlacement`] when `d` is out of range.
+    pub fn undrain_device(&self, d: usize) -> Result<(), RtError> {
+        if d >= self.devices.len() {
+            return Err(RtError::InvalidPlacement(format!(
+                "undrain target {d} out of range for a {}-device pool",
+                self.devices.len()
+            )));
+        }
+        let _serialize = self.rebalance_lock.lock().unwrap();
+        if !self.drained[d].swap(false, Ordering::SeqCst) {
+            return Ok(());
+        }
+        let live = self.live_devices();
+        for idx in 0..self.plans.len() {
+            if self.plans[idx].placement.is_some() {
+                self.redeal_plan(idx, &live)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Skew-triggered re-deal: `try_lock` so a worker thread never
+    /// blocks behind a drain already in progress (the drain's own
+    /// re-deal supersedes this one anyway).
+    fn rebalance_plan(&self, plan_idx: usize) {
+        let Ok(_serialize) = self.rebalance_lock.try_lock() else {
+            return;
+        };
+        let live = self.live_devices();
+        // Build errors can't reach here (the same inputs placed cleanly
+        // at registration), but a worker must never panic.
+        let _ = self.redeal_plan(plan_idx, &live);
+    }
+
+    /// Re-deals one placed plan's replica groups over `live` and swaps
+    /// the new epoch in. The shard build runs *before* the cell lock is
+    /// taken, so dispatchers are never blocked behind calculator
+    /// construction; callers hold `rebalance_lock`.
+    fn redeal_plan(&self, plan_idx: usize, live: &[usize]) -> Result<(), RtError> {
+        let plan = &self.plans[plan_idx];
+        let (Some(cell), Some(src)) = (&plan.placement, &plan.source) else {
+            return Ok(());
+        };
+        let groups = self.place_groups(
+            &src.matrix,
+            &src.transpose,
+            &plan.policy,
+            &plan.choice,
+            &plan.grad_choice,
+            src.widths,
+            src.grad_widths,
+            None,
+            live,
+        )?;
+        let mut cur = cell.current.lock().unwrap();
+        *cur = Arc::new(PlacementEpoch {
+            epoch: cur.epoch + 1,
             groups,
-        })
+        });
+        cell.rebalances.fetch_add(1, Ordering::SeqCst);
+        Ok(())
     }
 
     /// Splits `matrix` into `k` row-range shards weighted by each home
@@ -978,10 +1212,18 @@ impl Engine {
                 .plans
                 .iter()
                 .map(|p| {
-                    let groups = p.placement.as_ref().map_or(0, |pl| pl.groups.len());
+                    let (groups, epoch) = p.placement.as_ref().map_or((0, 0), |cell| {
+                        let cur = cell.snapshot();
+                        (cur.groups.len(), cur.epoch)
+                    });
                     Mutex::new(PlanLoads {
-                        outstanding: vec![0; groups],
-                        served: vec![0; groups],
+                        epochs: HashMap::new(),
+                        ewma_served: vec![
+                            if groups > 0 { 1.0 / groups as f64 } else { 0.0 };
+                            groups
+                        ],
+                        ewma_epoch: epoch,
+                        epoch_completions: 0,
                     })
                 })
                 .collect(),
@@ -1009,103 +1251,122 @@ impl Engine {
             .plans
             .iter()
             .enumerate()
-            .map(|(plan_idx, p)| PlanSelection {
-                name: p.name.clone(),
-                tile_width: p.choice.tile_width,
-                mode: p.choice.mode.to_string(),
-                avg_nnz_nonempty: p.choice.avg_nnz_nonempty,
-                grad_tile_width: p.grad_choice.tile_width,
-                buckets: p
-                    .choice
-                    .buckets
-                    .iter()
-                    .filter(|bc| bc.rows > 0)
-                    .map(|bc| BucketSelection {
-                        min_len: bc.min_len,
-                        max_len: bc.max_len,
-                        rows: bc.rows,
-                        tile_width: bc.tile_width,
-                        lanes_active_frac: bc.lanes_active_frac,
-                    })
-                    .collect(),
-                grad_buckets: p
-                    .grad_choice
-                    .buckets
-                    .iter()
-                    .filter(|bc| bc.rows > 0)
-                    .map(|bc| BucketSelection {
-                        min_len: bc.min_len,
-                        max_len: bc.max_len,
-                        rows: bc.rows,
-                        tile_width: bc.tile_width,
-                        lanes_active_frac: bc.lanes_active_frac,
-                    })
-                    .collect(),
-                shards: p
-                    .placement
-                    .as_ref()
-                    .map(|pl| {
-                        pl.groups[0]
-                            .dose_shards
-                            .iter()
-                            .enumerate()
-                            .map(|(i, u)| PlanShard {
-                                shard: i,
-                                device: self.devices[u.device].name.to_string(),
-                                row_start: u.row_start as u64,
-                                rows: (u.row_end - u.row_start) as u64,
-                                nnz: u.nnz,
-                                resident_bytes: u.calc.resident_bytes(),
-                            })
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-                placement: p.placement.as_ref().map(|pl| {
-                    let served = state.loads[plan_idx].lock().unwrap().served.clone();
-                    PlacementSelection {
-                        replicas: pl.groups.len(),
-                        shards_per_replica: pl.groups[0].dose_shards.len(),
-                        auto_shards: pl.auto_shards,
-                        groups: pl
-                            .groups
-                            .iter()
-                            .enumerate()
-                            .map(|(g, grp)| ReplicaGroupSelection {
-                                group: g,
-                                devices: grp
-                                    .devices
-                                    .iter()
-                                    .map(|&d| self.devices[d].name.to_string())
-                                    .collect(),
-                                shards: grp.dose_shards.len(),
-                                served: served[g],
-                            })
-                            .collect(),
-                        breakeven: pl.groups[0]
-                            .breakeven
-                            .iter()
-                            .map(|b| BreakEvenSelection {
-                                k: b.k,
-                                modeled_seconds: b.modeled_seconds,
-                            })
-                            .collect(),
-                    }
-                }),
+            .map(|(plan_idx, p)| {
+                let placed = p.placement.as_ref().map(|cell| cell.snapshot());
+                PlanSelection {
+                    name: p.name.clone(),
+                    tile_width: p.choice.tile_width,
+                    mode: p.choice.mode.to_string(),
+                    avg_nnz_nonempty: p.choice.avg_nnz_nonempty,
+                    grad_tile_width: p.grad_choice.tile_width,
+                    buckets: p
+                        .choice
+                        .buckets
+                        .iter()
+                        .filter(|bc| bc.rows > 0)
+                        .map(|bc| BucketSelection {
+                            min_len: bc.min_len,
+                            max_len: bc.max_len,
+                            rows: bc.rows,
+                            tile_width: bc.tile_width,
+                            lanes_active_frac: bc.lanes_active_frac,
+                        })
+                        .collect(),
+                    grad_buckets: p
+                        .grad_choice
+                        .buckets
+                        .iter()
+                        .filter(|bc| bc.rows > 0)
+                        .map(|bc| BucketSelection {
+                            min_len: bc.min_len,
+                            max_len: bc.max_len,
+                            rows: bc.rows,
+                            tile_width: bc.tile_width,
+                            lanes_active_frac: bc.lanes_active_frac,
+                        })
+                        .collect(),
+                    shards: placed
+                        .as_ref()
+                        .map(|pl| {
+                            pl.groups[0]
+                                .dose_shards
+                                .iter()
+                                .enumerate()
+                                .map(|(i, u)| PlanShard {
+                                    shard: i,
+                                    device: self.devices[u.device].name.to_string(),
+                                    row_start: u.row_start as u64,
+                                    rows: (u.row_end - u.row_start) as u64,
+                                    nnz: u.nnz,
+                                    resident_bytes: u.calc.resident_bytes(),
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default(),
+                    placement: placed.as_ref().map(|pl| {
+                        // Served tallies are per-epoch; the report shows the
+                        // current epoch's row (zeros if nothing dispatched
+                        // on it yet).
+                        let served: Vec<u64> = state.loads[plan_idx]
+                            .lock()
+                            .unwrap()
+                            .epochs
+                            .get(&pl.epoch)
+                            .map(|e| e.served.clone())
+                            .unwrap_or_else(|| vec![0; pl.groups.len()]);
+                        PlacementSelection {
+                            replicas: pl.groups.len(),
+                            shards_per_replica: pl.groups[0].dose_shards.len(),
+                            auto_shards: p.placement.as_ref().is_some_and(|cell| cell.auto_shards),
+                            rebalances: p
+                                .placement
+                                .as_ref()
+                                .map_or(0, |cell| cell.rebalances.load(Ordering::SeqCst)),
+                            groups: pl
+                                .groups
+                                .iter()
+                                .enumerate()
+                                .map(|(g, grp)| ReplicaGroupSelection {
+                                    group: g,
+                                    devices: grp
+                                        .devices
+                                        .iter()
+                                        .map(|&d| self.devices[d].name.to_string())
+                                        .collect(),
+                                    shards: grp.dose_shards.len(),
+                                    served: served[g],
+                                })
+                                .collect(),
+                            breakeven: pl.groups[0]
+                                .breakeven
+                                .iter()
+                                .map(|b| BreakEvenSelection {
+                                    k: b.k,
+                                    modeled_seconds: b.modeled_seconds,
+                                })
+                                .collect(),
+                        }
+                    }),
+                }
             })
             .collect();
         for (dev, d) in report.devices.iter_mut().enumerate() {
             d.resident_bytes = self.plans.iter().map(|p| p.resident_bytes_on(dev)).sum();
+            d.drained = self.drained[dev].load(Ordering::SeqCst);
         }
         (out, report)
     }
 
-    /// One device's worker loop: pop a request (any) or a shard sub-task
-    /// pinned to this device, then dispatch it.
+    /// One device's worker loop: pop a request (any, unless this device
+    /// is drained) or a shard sub-task pinned to this device, then
+    /// dispatch it. A drained worker still serves its pinned shard
+    /// sub-tasks — older placement epochs may have homed shards here,
+    /// and their in-flight fan-outs must finish where they started.
     fn worker(&self, dev: usize, state: &ServeState) {
         loop {
             state.gate.wait_open();
             let Some(item) = state.queue.pop_matching(|it| match it {
-                WorkItem::Request(_) => true,
+                WorkItem::Request(_) => !self.drained[dev].load(Ordering::SeqCst),
                 WorkItem::Shard(t) => t.device == dev,
             }) else {
                 return;
@@ -1156,23 +1417,55 @@ impl Engine {
             return;
         }
         let plan = &self.plans[plan_idx];
-        if let Some(pl) = &plan.placement {
+        if let Some(cell) = &plan.placement {
+            // Pin the placement epoch for this fan-out before group
+            // selection: a rebalance swapping the cell after this point
+            // only affects *later* dispatches.
+            let epoch = cell.snapshot();
+            let r = epoch.groups.len();
             // Least-loaded replica group, ties to the lowest index.
             // Selection and the outstanding increment share one critical
             // section so concurrent dispatchers never double-book the
             // idle group.
             let group = {
                 let mut loads = state.loads[plan_idx].lock().unwrap();
-                let g = (0..pl.groups.len())
-                    .min_by_key(|&g| loads.outstanding[g])
+                if epoch.epoch > loads.ewma_epoch {
+                    // First dispatch on a new generation: reset the
+                    // skew tracker to a balanced prior.
+                    loads.ewma_epoch = epoch.epoch;
+                    loads.ewma_served = vec![1.0 / r as f64; r];
+                    loads.epoch_completions = 0;
+                }
+                let entry = loads
+                    .epochs
+                    .entry(epoch.epoch)
+                    .or_insert_with(|| GroupLoads {
+                        outstanding: vec![0; r],
+                        served: vec![0; r],
+                    });
+                let g = (0..r)
+                    .min_by_key(|&g| entry.outstanding[g])
                     .expect("a placement has at least one group");
-                loads.outstanding[g] += 1;
+                entry.outstanding[g] += 1;
                 g
             };
-            let shards = pl.groups[group].shards_for(kind);
+            // The binding deadline is the earliest member's *true*
+            // deadline (`submitted_i + budget_i`), never the oldest
+            // submission paired with the batch's minimum budget — a
+            // mate's tight budget binds only from that mate's own,
+            // later submission time.
+            let deadline = live
+                .iter()
+                .filter_map(|(req, _)| {
+                    req.budget_ms
+                        .map(|b| (req.submitted + Duration::from_secs_f64(b / 1e3), b))
+                })
+                .min_by(|a, b| a.0.cmp(&b.0));
+            let shards = epoch.groups[group].shards_for(kind);
             let fan = Arc::new(FanOut {
                 plan: plan_idx,
                 group,
+                epoch: Arc::clone(&epoch),
                 kind,
                 outputs: Mutex::new(vec![
                     vec![
@@ -1187,14 +1480,7 @@ impl Engine {
                 remaining: AtomicUsize::new(shards.len()),
                 cancelled: AtomicBool::new(false),
                 reports: Mutex::new(Vec::with_capacity(shards.len())),
-                budget_ms: live.iter().filter_map(|(r, _)| r.budget_ms).fold(
-                    None,
-                    |acc: Option<f64>, b| match acc {
-                        Some(a) => Some(a.min(b)),
-                        None => Some(b),
-                    },
-                ),
-                oldest: live.iter().map(|(r, _)| r.submitted).min().unwrap(),
+                deadline,
                 requests: live,
             });
             // Register the fan-out *before* its sub-tasks exist so no
@@ -1222,6 +1508,7 @@ impl Engine {
         match result {
             Ok(batch_result) => {
                 sample.launches = 1;
+                sample.batches = 1;
                 sample.batch_size = live.len() as u64;
                 sample.completed = live.len() as u64;
                 sample.modeled_seconds = batch_result.report.estimate.seconds;
@@ -1261,11 +1548,10 @@ impl Engine {
         }
         let fan = &task.fan;
         let plan = &self.plans[fan.plan];
-        let placement = plan
-            .placement
-            .as_ref()
-            .expect("fan-outs only on placed plans");
-        let unit = &placement.groups[fan.group].shards_for(fan.kind)[task.shard];
+        // Resolve the shard against the epoch this fan-out was dealt
+        // under, not the plan's current placement — a rebalance may have
+        // swapped the cell while this sub-task sat in the queue.
+        let unit = &fan.epoch.groups[fan.group].shards_for(fan.kind)[task.shard];
         let mut sample = empty_sample(dev);
 
         // A deadline that expired while sub-tasks sat behind a slow
@@ -1273,9 +1559,8 @@ impl Engine {
         // slot, everyone else (including shards already computed) just
         // retires. A partially-merged dose can never be returned.
         if !fan.cancelled.load(Ordering::SeqCst) {
-            if let Some(budget) = fan.budget_ms {
-                let waited_ms = ms(fan.oldest.elapsed());
-                if waited_ms > budget
+            if let Some((deadline, binding_budget)) = fan.deadline {
+                if Instant::now() > deadline
                     && fan
                         .cancelled
                         .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
@@ -1283,8 +1568,11 @@ impl Engine {
                 {
                     sample.shed_deadline = fan.requests.len() as u64;
                     for (req, _) in &fan.requests {
+                        // Each member reports *its own* budget; a mate
+                        // that carried none inherits the binding
+                        // member's.
                         req.slot.complete(Err(RtError::DeadlineExceeded {
-                            budget_ms: budget,
+                            budget_ms: req.budget_ms.unwrap_or(binding_budget),
                             waited_ms: ms(req.submitted.elapsed()),
                         }));
                     }
@@ -1314,8 +1602,10 @@ impl Engine {
                         out[v][unit.row_start..unit.row_end].copy_from_slice(part);
                     }
                 }
+                // One *physical* launch sequence on this device; the
+                // fan-out's request batch is counted once, at merge
+                // time, so sharding never inflates the batch metrics.
                 sample.launches = 1;
-                sample.batch_size = inputs.len() as u64;
                 sample.modeled_seconds = br.report.estimate.seconds;
                 let spec = &self.devices[unit.device];
                 let gather_bytes = unit.gather_bytes * inputs.len() as u64;
@@ -1363,14 +1653,47 @@ impl Engine {
     }
 
     /// Last shard of a fan-out retired (completed, shed, or failed):
-    /// release the queue's in-flight hold and return the replica group's
-    /// load slot, counting completed fan-outs toward its served tally.
+    /// release the queue's in-flight hold and return the replica
+    /// group's load slot in the epoch it was dealt under, counting
+    /// completed fan-outs toward its served tally — and, on the current
+    /// epoch, feed the EWMA skew tracker. A group whose served share
+    /// has decayed below `SKEW_SHARE_FLOOR / R` while it still holds
+    /// outstanding work is starved behind a slow member: the plan is
+    /// re-dealt over the live devices (epoch swap), which also resets
+    /// the tracker.
     fn retire_fan(&self, fan: &FanOut, state: &ServeState, completed: bool) {
         state.queue.inflight_dec();
-        let mut loads = state.loads[fan.plan].lock().unwrap();
-        loads.outstanding[fan.group] -= 1;
-        if completed {
-            loads.served[fan.group] += 1;
+        let skewed = {
+            let mut loads = state.loads[fan.plan].lock().unwrap();
+            let entry = loads
+                .epochs
+                .get_mut(&fan.epoch.epoch)
+                .expect("dispatch created this epoch's load row");
+            entry.outstanding[fan.group] -= 1;
+            if completed {
+                entry.served[fan.group] += 1;
+            }
+            if completed && fan.epoch.epoch == loads.ewma_epoch && loads.ewma_served.len() >= 2 {
+                loads.epoch_completions += 1;
+                let group = fan.group;
+                for (g, share) in loads.ewma_served.iter_mut().enumerate() {
+                    let hit = if g == group { 1.0 } else { 0.0 };
+                    *share = (1.0 - SKEW_EWMA_ALPHA) * *share + SKEW_EWMA_ALPHA * hit;
+                }
+                let r = loads.ewma_served.len() as f64;
+                let entry = &loads.epochs[&fan.epoch.epoch];
+                loads.epoch_completions >= SKEW_MIN_COMPLETIONS
+                    && loads
+                        .ewma_served
+                        .iter()
+                        .enumerate()
+                        .any(|(g, &share)| share < SKEW_SHARE_FLOOR / r && entry.outstanding[g] > 0)
+            } else {
+                false
+            }
+        };
+        if skewed {
+            self.rebalance_plan(fan.plan);
         }
     }
 
@@ -1414,6 +1737,10 @@ impl Engine {
             .with_tile_width(fan_width);
         let outputs = std::mem::take(&mut *fan.outputs.lock().unwrap());
         sample.completed = fan.requests.len() as u64;
+        // The fan-out's request batch counts once — here, at merge —
+        // regardless of how many shards executed it.
+        sample.batches = 1;
+        sample.batch_size = fan.requests.len() as u64;
         for ((req, waited_ms), output) in fan.requests.iter().zip(outputs) {
             sample
                 .timings
@@ -1438,6 +1765,7 @@ fn empty_sample(dev: usize) -> BatchSample {
         shed_deadline: 0,
         failed: 0,
         launches: 0,
+        batches: 0,
         batch_size: 0,
         modeled_seconds: 0.0,
         timings: Vec::new(),
@@ -1575,6 +1903,21 @@ impl EngineClient<'_> {
         payload: Vec<f64>,
     ) -> Result<EngineResponse, RtError> {
         self.submit(plan, kind, payload)?.wait()
+    }
+
+    /// Drains pool device `d` for maintenance mid-session: no new
+    /// requests or shard homes land on it, every placed plan holding
+    /// shards there is re-dealt over the surviving devices, and
+    /// in-flight fan-outs finish on their old placement epoch. See
+    /// [`Engine::drain_device`].
+    pub fn drain_device(&self, d: usize) -> Result<(), RtError> {
+        self.engine.drain_device(d)
+    }
+
+    /// Returns a drained device to service and re-deals every placed
+    /// plan over the grown pool. See [`Engine::undrain_device`].
+    pub fn undrain_device(&self, d: usize) -> Result<(), RtError> {
+        self.engine.undrain_device(d)
     }
 
     /// Releases workers held by [`EngineBuilder::start_paused`].

@@ -27,6 +27,12 @@ pub struct DeviceReport {
     /// just this device's shards for row-sharded plans). Attached by the
     /// engine after the metrics snapshot.
     pub resident_bytes: u64,
+    /// Whether the device was drained (out for maintenance) when the
+    /// report was taken: no new requests or shard homes land on it,
+    /// though in-flight fan-outs from older placement epochs may still
+    /// have executed here. Attached by the engine after the metrics
+    /// snapshot.
+    pub drained: bool,
 }
 
 /// One registered plan's autotuned kernel selection, carried in the
@@ -77,7 +83,12 @@ pub struct PlacementSelection {
     ///
     /// [`ShardSpec::Auto`]: crate::ShardSpec::Auto
     pub auto_shards: bool,
-    /// Per-group membership and served-request tallies.
+    /// Rebalance events this plan's placement absorbed over its
+    /// lifetime: drain/undrain re-deals plus skew-triggered re-deals,
+    /// each an atomic epoch swap.
+    pub rebalances: u64,
+    /// Per-group membership and served-request tallies (the current
+    /// placement epoch's groups; served counts are per-epoch).
     pub groups: Vec<ReplicaGroupSelection>,
     /// Break-even evidence table for group 0 (auto-sharded plans only):
     /// the modeled single-request seconds at every candidate shard
@@ -161,9 +172,16 @@ pub struct EngineReport {
     pub shed_deadline: u64,
     /// Requests that failed in execution with some other error.
     pub failed: u64,
-    /// Batched launch sequences executed across all devices.
+    /// Physical kernel-launch sequences executed across all devices: a
+    /// fan-out contributes one per shard, an unsharded batch exactly
+    /// one.
     pub launches: u64,
-    /// Largest batch observed (requests per launch).
+    /// Completed request *batches*: a fanned-out batch counts once (at
+    /// merge), no matter how many shards executed it — the denominator
+    /// of [`EngineReport::avg_batch`], so sharding never deflates the
+    /// batching win.
+    pub batches: u64,
+    /// Largest batch observed (requests per batch).
     pub max_batch: u64,
     /// Bounded-queue capacity.
     pub queue_capacity: usize,
@@ -194,12 +212,14 @@ impl EngineReport {
         }
     }
 
-    /// Mean requests per launch (the batching win; 1.0 = no batching).
+    /// Mean requests per completed batch (the batching win; 1.0 = no
+    /// batching). A fanned-out batch counts once here even though it
+    /// ran as `K` per-shard launches.
     pub fn avg_batch(&self) -> f64 {
-        if self.launches == 0 {
+        if self.batches == 0 {
             0.0
         } else {
-            self.completed as f64 / self.launches as f64
+            self.completed as f64 / self.batches as f64
         }
     }
 
@@ -222,6 +242,7 @@ impl EngineReport {
         out.push_str(&format!("  \"shed_deadline\": {},\n", self.shed_deadline));
         out.push_str(&format!("  \"failed\": {},\n", self.failed));
         out.push_str(&format!("  \"launches\": {},\n", self.launches));
+        out.push_str(&format!("  \"batches\": {},\n", self.batches));
         out.push_str(&format!("  \"avg_batch\": {:.2},\n", self.avg_batch()));
         out.push_str(&format!("  \"max_batch\": {},\n", self.max_batch));
         out.push_str(&format!(
@@ -244,12 +265,13 @@ impl EngineReport {
         for (i, d) in self.devices.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             out.push_str(&format!(
-                "    {{\"name\": {}, \"requests\": {}, \"launches\": {}, \"modeled_seconds\": {:.6e}, \"resident_bytes\": {}}}",
+                "    {{\"name\": {}, \"requests\": {}, \"launches\": {}, \"modeled_seconds\": {:.6e}, \"resident_bytes\": {}, \"drained\": {}}}",
                 json_string(&d.name),
                 d.requests,
                 d.launches,
                 d.modeled_seconds,
-                d.resident_bytes
+                d.resident_bytes,
+                d.drained
             ));
         }
         if !self.devices.is_empty() {
@@ -306,8 +328,8 @@ impl EngineReport {
                 None => out.push_str("null"),
                 Some(pl) => {
                     out.push_str(&format!(
-                        "{{\"replicas\": {}, \"shards_per_replica\": {}, \"auto_shards\": {}, \"groups\": [",
-                        pl.replicas, pl.shards_per_replica, pl.auto_shards
+                        "{{\"replicas\": {}, \"shards_per_replica\": {}, \"auto_shards\": {}, \"rebalances\": {}, \"groups\": [",
+                        pl.replicas, pl.shards_per_replica, pl.auto_shards, pl.rebalances
                     ));
                     for (j, g) in pl.groups.iter().enumerate() {
                         if j > 0 {
@@ -355,6 +377,7 @@ struct Inner {
     shed_deadline: u64,
     failed: u64,
     launches: u64,
+    batches: u64,
     max_batch: u64,
     wait_ms_sum: f64,
     wait_ms_max: f64,
@@ -377,8 +400,13 @@ pub(crate) struct BatchSample {
     pub completed: u64,
     pub shed_deadline: u64,
     pub failed: u64,
-    /// 0 when the whole batch was shed before launch.
+    /// Physical kernel-launch sequences this worker executed (one per
+    /// shard sub-task; 0 when the whole batch was shed before launch).
     pub launches: u64,
+    /// Completed request batches this sample accounts for: 1 on the
+    /// unsharded path and on the fan-out *merge*, 0 on every other
+    /// shard sub-task — so a fan-out's batch counts exactly once.
+    pub batches: u64,
     pub batch_size: u64,
     pub modeled_seconds: f64,
     /// (wait_ms, latency_ms) per completed request.
@@ -416,6 +444,7 @@ impl Metrics {
         g.shed_deadline += s.shed_deadline;
         g.failed += s.failed;
         g.launches += s.launches;
+        g.batches += s.batches;
         g.max_batch = g.max_batch.max(s.batch_size);
         for (wait, latency) in &s.timings {
             g.wait_ms_sum += wait;
@@ -441,6 +470,7 @@ impl Metrics {
             shed_deadline: g.shed_deadline,
             failed: g.failed,
             launches: g.launches,
+            batches: g.batches,
             max_batch: g.max_batch,
             queue_capacity,
             queue_max_depth,
@@ -472,6 +502,7 @@ mod tests {
             shed_deadline: 1,
             failed: 0,
             launches: 1,
+            batches: 1,
             batch_size: 2,
             modeled_seconds: 0.5,
             timings: vec![(1.0, 3.0), (2.0, 5.0)],
@@ -482,6 +513,7 @@ mod tests {
         assert_eq!(r.rejected_queue_full, 1);
         assert_eq!(r.shed_deadline, 1);
         assert_eq!(r.launches, 1);
+        assert_eq!(r.batches, 1);
         assert_eq!(r.max_batch, 2);
         assert_eq!(r.queue_capacity, 8);
         assert_eq!(r.queue_max_depth, 3);
@@ -492,6 +524,41 @@ mod tests {
         assert_eq!(r.devices[1].requests, 0);
         assert!((r.avg_batch() - 2.0).abs() < 1e-12);
         assert!(r.throughput_rps() >= 0.0);
+    }
+
+    #[test]
+    fn fan_out_batches_count_once_but_launches_per_shard() {
+        let m = Metrics::new(&["A100", "V100"]);
+        // One 4-request batch fanned out as two shard sub-tasks: the
+        // non-merging shard is a physical launch only...
+        m.record_batch(BatchSample {
+            device: 0,
+            completed: 0,
+            shed_deadline: 0,
+            failed: 0,
+            launches: 1,
+            batches: 0,
+            batch_size: 0,
+            modeled_seconds: 0.1,
+            timings: Vec::new(),
+        });
+        // ...and the merging shard carries the batch and completions.
+        m.record_batch(BatchSample {
+            device: 1,
+            completed: 4,
+            shed_deadline: 0,
+            failed: 0,
+            launches: 1,
+            batches: 1,
+            batch_size: 4,
+            modeled_seconds: 0.1,
+            timings: vec![(0.1, 0.2); 4],
+        });
+        let r = m.report(8, 4);
+        assert_eq!(r.launches, 2, "one physical launch per shard");
+        assert_eq!(r.batches, 1, "the fan-out batch counts once");
+        assert!((r.avg_batch() - 4.0).abs() < 1e-12);
+        assert_eq!(r.max_batch, 4);
     }
 
     #[test]
@@ -506,7 +573,9 @@ mod tests {
             "\"rejected_queue_full\"",
             "\"shed_deadline\"",
             "\"launches\"",
+            "\"batches\"",
             "\"avg_batch\"",
+            "\"drained\"",
             "\"queue\"",
             "\"wait_ms\"",
             "\"latency_ms\"",
@@ -651,6 +720,7 @@ mod tests {
                 replicas: 2,
                 shards_per_replica: 2,
                 auto_shards: true,
+                rebalances: 3,
                 groups: vec![
                     ReplicaGroupSelection {
                         group: 0,
@@ -679,7 +749,7 @@ mod tests {
         });
         let j = r.to_json();
         assert!(j.contains(
-            "\"placement\": {\"replicas\": 2, \"shards_per_replica\": 2, \"auto_shards\": true, \"groups\": [{\"group\": 0, \"devices\": [\"A100\", \"P100\"], \"shards\": 2, \"served\": 3}, "
+            "\"placement\": {\"replicas\": 2, \"shards_per_replica\": 2, \"auto_shards\": true, \"rebalances\": 3, \"groups\": [{\"group\": 0, \"devices\": [\"A100\", \"P100\"], \"shards\": 2, \"served\": 3}, "
         ));
         assert!(j.contains(
             "{\"group\": 1, \"devices\": [\"A100\", \"V100\"], \"shards\": 2, \"served\": 2}"

@@ -74,7 +74,11 @@ impl<T> BoundedQueue<T> {
         g.items.push_back(item);
         g.max_depth = g.max_depth.max(g.items.len());
         drop(g);
-        self.not_empty.notify_one();
+        // notify_all, not notify_one: poppers are *selective*
+        // (`pop_matching`), so a single wakeup could land on a worker
+        // whose predicate rejects the new item — e.g. a drained device
+        // refusing requests — which would re-sleep and strand the item.
+        self.not_empty.notify_all();
         Ok(())
     }
 
@@ -93,7 +97,8 @@ impl<T> BoundedQueue<T> {
         g.items.push_back(item);
         g.max_depth = g.max_depth.max(g.items.len());
         drop(g);
-        self.not_empty.notify_one();
+        // Same selective-popper rationale as `push`.
+        self.not_empty.notify_all();
         Ok(())
     }
 

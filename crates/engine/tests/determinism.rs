@@ -1170,3 +1170,325 @@ fn partitioned_gradients_bitwise_across_replicas_and_shards() {
         }
     }
 }
+
+#[test]
+fn mixed_budget_batch_binds_on_each_members_own_deadline() {
+    // Regression for the fan-out shed deadline: it used to be built
+    // from the *oldest* submission paired with the batch's *minimum*
+    // budget, so a loose-budget request that had waited a while was
+    // cancelled the moment a tight-budget mate joined its batch — even
+    // though the mate's own deadline (submitted + budget) was still far
+    // away. The binding deadline must be min_i(submitted_i + budget_i).
+    let liver = random_matrix(61, 800, 56, 36);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.017).sin().abs())
+        .collect();
+
+    let golden: Vec<u64> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (r, _) = engine.serve(|c| c.call("liver", RequestKind::Dose, payload.clone()).unwrap());
+        r.output.into_iter().map(f64::to_bits).collect()
+    };
+
+    let mut engine = Engine::builder()
+        .devices(vec![DeviceSpec::a100(), DeviceSpec::v100()])
+        .start_paused()
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(2, 1))
+        .unwrap();
+
+    let (results, report) = engine.serve(|client| {
+        // The loose request ages 600ms in the paused queue before the
+        // tight mate arrives; under the old deadline the batch would be
+        // cancelled at oldest + min-budget = 500ms — already in the
+        // past when the workers resume.
+        let loose = client
+            .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 10_000.0)
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        let tight = client
+            .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 500.0)
+            .unwrap();
+        client.resume();
+        (loose.wait(), tight.wait())
+    });
+
+    assert_eq!(report.shed_deadline, 0, "no member's real deadline expired");
+    assert_eq!(report.completed, 2);
+    assert_eq!(report.failed, 0);
+    // One merged fan-out batch of 2, K=2 physical launches.
+    assert_eq!(report.batches, 1);
+    assert_eq!(report.launches, 2);
+    for r in [results.0, results.1] {
+        let resp = r.expect("both batch mates complete before their own deadlines");
+        let bits: Vec<u64> = resp.output.into_iter().map(f64::to_bits).collect();
+        assert_eq!(bits, golden, "batched dose diverged from unsharded");
+    }
+}
+
+#[test]
+fn shed_fan_out_fails_each_slot_with_its_own_budget() {
+    // When a fan-out genuinely sheds, every slot must report *its own*
+    // budget_ms (the CAS winner used to stamp the fan-wide minimum on
+    // all of them).
+    let liver = random_matrix(62, 900, 60, 40);
+    let payload: Vec<f64> = (0..liver.ncols())
+        .map(|j| (j as f64 * 0.019).cos().abs())
+        .collect();
+
+    let mut engine = Engine::builder()
+        .devices(vec![
+            DeviceSpec::a100(),
+            DeviceSpec::v100(),
+            DeviceSpec::p100(),
+        ])
+        .start_paused()
+        .debug_device_delay_ms(2, 300.0)
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(3, 1))
+        .unwrap();
+
+    let (results, report) = engine.serve(|client| {
+        let loose = client
+            .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 2_000.0)
+            .unwrap();
+        let tight = client
+            .submit_with_deadline("liver", RequestKind::Dose, payload.clone(), 100.0)
+            .unwrap();
+        client.resume();
+        (loose.wait(), tight.wait())
+    });
+
+    assert_eq!(report.shed_deadline, 2, "the whole fan-out sheds as a unit");
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.failed, 0);
+    for (r, own_budget) in [(results.0, 2_000.0), (results.1, 100.0)] {
+        match r {
+            Err(rt_engine::RtError::DeadlineExceeded {
+                budget_ms,
+                waited_ms,
+            }) => {
+                assert_eq!(budget_ms, own_budget, "slot must carry its own budget");
+                assert!(waited_ms > 0.0);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn drain_undrain_mid_traffic_keeps_doses_bitwise_identical() {
+    // Maintenance sweep: drain and undrain devices while traffic is in
+    // flight. Every re-deal swaps the placement epoch, but widths are
+    // pinned from the whole matrix, so the dose bytes must match the
+    // static single-device golden bit for bit at any drain timing.
+    let liver = random_matrix(63, 1100, 64, 44);
+    let prostate = random_matrix(64, 600, 72, 8);
+    let n = 48;
+    let order: Vec<usize> = (0..n).collect();
+
+    let golden = run_pool(vec![DeviceSpec::a100()], &order, 1, &liver, &prostate);
+
+    for (sweep, pause_ms) in [(0u64, 0u64), (1, 2), (2, 5)] {
+        let work = workload(
+            (liver.nrows(), liver.ncols()),
+            (prostate.nrows(), prostate.ncols()),
+        );
+        let mut engine = Engine::builder()
+            .devices(vec![
+                DeviceSpec::a100(),
+                DeviceSpec::a100(),
+                DeviceSpec::v100(),
+                DeviceSpec::p100(),
+            ])
+            .build()
+            .unwrap();
+        engine
+            .register_plan_with("liver", &liver, placed(2, 2))
+            .unwrap();
+        engine
+            .register_plan_with("prostate", &prostate, placed(2, 2))
+            .unwrap();
+
+        let (outputs, report) = engine.serve(|client| {
+            let results: Vec<std::sync::Mutex<Option<Vec<f64>>>> =
+                work.iter().map(|_| std::sync::Mutex::new(None)).collect();
+            std::thread::scope(|s| {
+                for chunk in order.chunks(order.len().div_ceil(4)) {
+                    let results = &results;
+                    let work = &work;
+                    s.spawn(move || {
+                        for &id in chunk {
+                            let w = &work[id];
+                            let r = client
+                                .call(w.plan, w.kind, w.payload.clone())
+                                .expect("request served across drains");
+                            *results[id].lock().unwrap() = Some(r.output);
+                        }
+                    });
+                }
+                // Maintenance from the main thread, racing the
+                // submitters: take the P100 out, then an A100, bring
+                // the A100 back, and leave the P100 drained.
+                let nap = || std::thread::sleep(std::time::Duration::from_millis(pause_ms));
+                nap();
+                client.drain_device(3).unwrap();
+                nap();
+                client.drain_device(0).unwrap();
+                nap();
+                client.undrain_device(0).unwrap();
+            });
+            results
+                .into_iter()
+                .map(|m| m.into_inner().unwrap().unwrap())
+                .collect::<Vec<_>>()
+        });
+
+        let bits: Vec<Vec<u64>> = outputs
+            .into_iter()
+            .map(|v| v.into_iter().map(f64::to_bits).collect())
+            .collect();
+        assert_eq!(bits, golden, "sweep {sweep}: drain changed dose bytes");
+        assert_eq!(report.completed, n as u64, "sweep {sweep}");
+        assert_eq!(report.failed, 0, "sweep {sweep}");
+        let drained: Vec<bool> = report.devices.iter().map(|d| d.drained).collect();
+        assert_eq!(drained, [false, false, false, true], "sweep {sweep}");
+        for plan in &report.plans {
+            let placement = plan.placement.as_ref().expect("placed plans");
+            assert!(
+                placement.rebalances >= 3,
+                "sweep {sweep}: {} re-dealt {} times, expected one per drain event",
+                plan.name,
+                placement.rebalances
+            );
+        }
+    }
+}
+
+#[test]
+fn sustained_skew_triggers_a_rebalance_without_changing_doses() {
+    // One replica group sits behind a stalled device; the EWMA tracker
+    // must notice the starved group and re-deal the plan (epoch bump)
+    // while every dose still matches the unsharded golden.
+    let liver = random_matrix(65, 700, 48, 32);
+    let payloads: Vec<Vec<f64>> = (0..60)
+        .map(|i| {
+            (0..liver.ncols())
+                .map(|j| ((i * 101 + j * 13) as f64 * 0.011).sin().abs())
+                .collect()
+        })
+        .collect();
+
+    let golden: Vec<Vec<u64>> = {
+        let mut engine = Engine::builder()
+            .device(DeviceSpec::a100())
+            .build()
+            .unwrap();
+        engine.register_plan("liver", &liver).unwrap();
+        let (outs, _) = engine.serve(|c| {
+            payloads
+                .iter()
+                .map(|p| {
+                    c.call("liver", RequestKind::Dose, p.clone())
+                        .unwrap()
+                        .output
+                })
+                .collect::<Vec<_>>()
+        });
+        outs.into_iter()
+            .map(|v| v.into_iter().map(f64::to_bits).collect())
+            .collect()
+    };
+
+    let mut engine = Engine::builder()
+        .devices(vec![DeviceSpec::a100(), DeviceSpec::a100()])
+        .max_batch(1)
+        .debug_device_delay_ms(1, 40.0)
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(1, 2))
+        .unwrap();
+
+    let (outputs, report) = engine.serve(|client| {
+        let results: Vec<std::sync::Mutex<Option<Vec<f64>>>> = payloads
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let ids: Vec<usize> = (0..payloads.len()).collect();
+        std::thread::scope(|s| {
+            for chunk in ids.chunks(15) {
+                let results = &results;
+                let payloads = &payloads;
+                s.spawn(move || {
+                    for &id in chunk {
+                        let r = client
+                            .call("liver", RequestKind::Dose, payloads[id].clone())
+                            .unwrap();
+                        *results[id].lock().unwrap() = Some(r.output);
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().unwrap())
+            .collect::<Vec<_>>()
+    });
+
+    let bits: Vec<Vec<u64>> = outputs
+        .into_iter()
+        .map(|v| v.into_iter().map(f64::to_bits).collect())
+        .collect();
+    assert_eq!(bits, golden, "skew rebalance changed dose bytes");
+    assert_eq!(report.completed, 60);
+    let placement = report.plans[0].placement.as_ref().unwrap();
+    assert!(
+        placement.rebalances >= 1,
+        "sustained skew must trigger at least one re-deal, saw {}",
+        placement.rebalances
+    );
+}
+
+#[test]
+fn drain_rejects_out_of_range_and_emptying_the_pool() {
+    let liver = random_matrix(66, 400, 32, 16);
+    let mut engine = Engine::builder()
+        .devices(vec![DeviceSpec::a100(), DeviceSpec::v100()])
+        .build()
+        .unwrap();
+    engine
+        .register_plan_with("liver", &liver, placed(1, 2))
+        .unwrap();
+
+    assert!(engine.drain_device(5).is_err(), "out-of-range drain");
+    assert!(engine.undrain_device(5).is_err(), "out-of-range undrain");
+
+    engine.drain_device(0).unwrap();
+    assert!(engine.device_drained(0));
+    assert_eq!(engine.plan_rebalances("liver"), Some(1));
+    // Idempotent: a second drain of the same device is a no-op.
+    engine.drain_device(0).unwrap();
+    assert_eq!(engine.plan_rebalances("liver"), Some(1));
+
+    // The last live device can never be drained.
+    assert!(
+        engine.drain_device(1).is_err(),
+        "draining the last live device must fail"
+    );
+    assert!(!engine.device_drained(1));
+
+    engine.undrain_device(0).unwrap();
+    assert!(!engine.device_drained(0));
+    assert_eq!(engine.plan_rebalances("liver"), Some(2));
+    engine.drain_device(1).unwrap();
+    assert!(engine.device_drained(1));
+}

@@ -53,6 +53,31 @@ pub fn snake_partition(weights: &[f64], r: usize) -> Vec<Vec<usize>> {
     groups
 }
 
+/// [`snake_partition`] restricted to a subset of the pool: only the
+/// indices in `members` are dealt, and the returned groups contain
+/// *absolute* indices into `weights`. This is the live-rebalancing
+/// entry point — when a device is drained the engine re-deals replica
+/// groups over the surviving members without renumbering the pool.
+///
+/// `members` order does not matter (the deal sorts by weight); duplicate
+/// members are dealt once per occurrence and out-of-range members panic
+/// via the index.
+///
+/// # Panics
+/// Panics if `members` is empty, or if any selected weight is
+/// non-finite.
+pub fn snake_partition_subset(weights: &[f64], members: &[usize], r: usize) -> Vec<Vec<usize>> {
+    assert!(
+        !members.is_empty(),
+        "snake_partition_subset needs >= 1 live member"
+    );
+    let subset: Vec<f64> = members.iter().map(|&m| weights[m]).collect();
+    snake_partition(&subset, r)
+        .into_iter()
+        .map(|g| g.into_iter().map(|i| members[i]).collect())
+        .collect()
+}
+
 /// A fixed pool of simulated GPUs that cooperatively execute the shards
 /// of one kernel launch.
 pub struct DeviceGroup {
@@ -248,6 +273,35 @@ mod tests {
         // Desc order: 3(8), 1(4), 4(3), 2(2), 0(1); snake r=2:
         // round0 g0<-3 g1<-1, round1 g1<-4 g0<-2, round2 g0<-0.
         assert_eq!(snake_partition(&w, 2), vec![vec![3, 2, 0], vec![1, 4]]);
+    }
+
+    #[test]
+    fn snake_partition_subset_returns_absolute_indices() {
+        // Same hybrid pool as above, but device 1 (an A100) is drained.
+        let w = [1461.7, 1461.7, 843.2, 351.4];
+        let groups = snake_partition_subset(&w, &[0, 2, 3], 2);
+        // Desc among live: 0(1461.7), 2(843.2), 3(351.4); snake r=2:
+        // round0 g0<-0 g1<-2, round1 g1<-3.
+        assert_eq!(groups, vec![vec![0], vec![2, 3]]);
+        // Full-membership subset matches the plain deal.
+        assert_eq!(
+            snake_partition_subset(&w, &[0, 1, 2, 3], 2),
+            snake_partition(&w, 2)
+        );
+    }
+
+    #[test]
+    fn snake_partition_subset_clamps_to_live_count() {
+        let w = [2.0, 1.0, 3.0, 4.0];
+        let groups = snake_partition_subset(&w, &[1, 2], 4);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups, vec![vec![2], vec![1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "live member")]
+    fn snake_partition_subset_rejects_empty_membership() {
+        let _ = snake_partition_subset(&[1.0, 2.0], &[], 1);
     }
 
     #[test]

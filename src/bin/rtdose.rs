@@ -56,6 +56,8 @@ fn usage() -> ! {
                            [--tile auto|2|4|8|16|32] [--partition heuristic|probe]\n\
                            [--shards auto|K]   (K row shards per replica group; auto = break-even model)\n\
                            [--replicas auto|R] (R replica groups over the pool; auto = pool/K)\n\
+                           [--drain-after N]   (drain the last pool device once N requests\n\
+                           \u{20}                   completed; placed plans re-deal over the rest)\n\
          \n\
          Matrices are stored as RTDM snapshots (binary16 values, u32 indices)."
     );
@@ -904,6 +906,16 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
         .map(|s| s.parse().expect("--devices"))
         .unwrap_or(3)
         .max(1);
+    // --drain-after N takes the last pool device out for maintenance
+    // once N requests have completed, mid-traffic; requires a pool of
+    // at least two (the engine refuses to drain the last live device).
+    let drain_after: Option<usize> = flags
+        .get("drain-after")
+        .map(|s| s.parse().expect("--drain-after"));
+    if drain_after.is_some() && pool_size < 2 {
+        eprintln!("--drain-after needs at least 2 devices");
+        std::process::exit(2);
+    }
     let mix = [
         DeviceSpec::a100(),
         DeviceSpec::a100(),
@@ -1004,11 +1016,14 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
 
     let liver_dims = (liver.nrows(), liver.ncols());
     let prostate_dims = (prostate.nrows(), prostate.ncols());
+    let drain_target = pool_size - 1;
     let (ok, report) = engine.serve(|client| {
         let done = std::sync::atomic::AtomicUsize::new(0);
+        let drained = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|s| {
             for t in 0..submitters {
                 let done = &done;
+                let drained = &drained;
                 s.spawn(move || {
                     let mut i = t;
                     while i < requests {
@@ -1026,7 +1041,27 @@ fn cmd_serve_demo(flags: HashMap<String, String>) {
                             .map(|j| ((i * 37 + j) as f64 * 0.01).sin().abs())
                             .collect();
                         if client.call(plan, kind, payload).is_ok() {
-                            done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let served =
+                                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+                            // Mid-traffic maintenance drain: first
+                            // submitter past the threshold wins the
+                            // flag; in-flight fan-outs finish on their
+                            // old placement epoch, doses unchanged.
+                            if let Some(after) = drain_after {
+                                if served >= after
+                                    && !drained.swap(true, std::sync::atomic::Ordering::SeqCst)
+                                {
+                                    match client.drain_device(drain_target) {
+                                        Ok(()) => println!(
+                                            "  drained device {drain_target} after {served} requests; \
+                                             placed plans re-dealt over the live pool"
+                                        ),
+                                        Err(e) => eprintln!(
+                                            "  drain of device {drain_target} failed: {e}"
+                                        ),
+                                    }
+                                }
+                            }
                         }
                         i += submitters;
                     }
